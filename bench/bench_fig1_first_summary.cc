@@ -1,0 +1,36 @@
+// Figure 1: the summary shown after expanding the empty rule on the
+// Marketing dataset (first 7 columns), Size weighting, k=4, mw=5.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "explore/renderer.h"
+#include "explore/session.h"
+#include "weights/standard_weights.h"
+
+int main() {
+  using namespace smartdd;
+  using namespace smartdd::bench;
+
+  const Table& table = Marketing7();
+  SizeWeight weight;
+  SessionOptions options;
+  options.k = 4;
+  options.max_weight = 5;
+  ExplorationSession session(table, weight, options);
+
+  PrintExperimentHeader(
+      "Figure 1", "first summary on Marketing (Size weighting, k=4, mw=5)",
+      "gender rules (Female ~4918 / Male ~4075) plus size-2/3 rules "
+      "combining gender with TimeInBayArea / MaritalStatus; all selected "
+      "rules have small size (<= 3)");
+
+  auto children = session.Expand(session.root());
+  if (!children.ok()) {
+    std::fprintf(stderr, "expand failed: %s\n",
+                 children.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderSession(session).c_str());
+  return 0;
+}

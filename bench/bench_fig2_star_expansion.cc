@@ -1,0 +1,67 @@
+// Figure 2: star expansion on the Education column of the Female rule —
+// "the number of females with different levels of education, for the 4 most
+// frequent levels of education among females".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "explore/renderer.h"
+#include "explore/session.h"
+#include "weights/standard_weights.h"
+
+int main() {
+  using namespace smartdd;
+  using namespace smartdd::bench;
+
+  const Table& table = Marketing7();
+  SizeWeight weight;
+  SessionOptions options;
+  options.k = 4;
+  options.max_weight = 5;
+  ExplorationSession session(table, weight, options);
+
+  PrintExperimentHeader(
+      "Figure 2", "star drill-down on Education within the Female rule",
+      "four rules, each instantiating Female + one Education level, counts "
+      "descending (the most frequent education levels among females)");
+
+  // Build the Female rule as a display node by expanding the root first.
+  auto children = session.Expand(session.root());
+  if (!children.ok()) return 1;
+  int female = -1;
+  auto female_code = table.dictionary(1).Find("Female");
+  for (int id : *children) {
+    const Rule& r = session.node(id).rule;
+    if (female_code && !r.is_star(1) && r.value(1) == *female_code &&
+        r.size() == 1) {
+      female = id;
+    }
+  }
+  if (female < 0) {
+    // The Figure-1 summary may not contain the bare Female rule; expand the
+    // root with a star on Sex and pick Female from there.
+    (void)session.Collapse(session.root());
+    auto sexes = session.ExpandStar(session.root(), 1);
+    if (!sexes.ok()) return 1;
+    for (int id : *sexes) {
+      const Rule& r = session.node(id).rule;
+      if (female_code && !r.is_star(1) && r.value(1) == *female_code) {
+        female = id;
+        break;
+      }
+    }
+  }
+  if (female < 0) {
+    std::fprintf(stderr, "no Female rule found\n");
+    return 1;
+  }
+
+  auto education = session.ExpandStar(female, 4);  // Education column
+  if (!education.ok()) {
+    std::fprintf(stderr, "star expand failed: %s\n",
+                 education.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderSession(session).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces the paper's running example: Table 1 (initial summary),
+// Table 2 (first smart drill-down), Table 3 (drilling into the Walmart
+// rule) on the retail dataset of Example 1.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/retail_gen.h"
+#include "explore/renderer.h"
+#include "explore/session.h"
+#include "tests/test_util.h"
+#include "weights/standard_weights.h"
+
+int main() {
+  using namespace smartdd;
+  using namespace smartdd::bench;
+
+  Table table = GenerateRetailTable();
+  SizeWeight weight;
+  SessionOptions options;
+  options.k = 3;
+  options.max_weight = 5;
+  ExplorationSession session(table, weight, options);
+
+  PrintExperimentHeader(
+      "Tables 1-3", "smart drill-down running example (Store/Product/Region)",
+      "Table 2: (Target,bicycles,?)=200 w2, (?,comforters,MA-3)=600 w2, "
+      "(Walmart,?,?)=1000 w1; Table 3 adds (Walmart,cookies,?)=200, "
+      "(Walmart,?,CA-1)=150, (Walmart,?,WA-5)=130");
+
+  std::printf("\n-- Table 1: initial summary --\n%s",
+              RenderSession(session).c_str());
+
+  auto level1 = session.Expand(session.root());
+  if (!level1.ok()) {
+    std::fprintf(stderr, "expand failed: %s\n",
+                 level1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n-- Table 2: after first smart drill-down --\n%s",
+              RenderSession(session).c_str());
+
+  int walmart = -1;
+  for (int id : *level1) {
+    if (session.node(id).rule.size() == 1) walmart = id;  // the w1 rule
+  }
+  if (walmart >= 0) {
+    auto level2 = session.Expand(walmart);
+    if (level2.ok()) {
+      std::printf("\n-- Table 3: after drilling into the Walmart rule --\n%s",
+                  RenderSession(session).c_str());
+    }
+  }
+
+  // The roll-up (collapse) back to Table 2.
+  if (walmart >= 0) {
+    (void)session.Collapse(walmart);
+    std::printf("\n-- After roll-up (collapse of the Walmart rule) --\n%s",
+                RenderSession(session).c_str());
+  }
+  return 0;
+}

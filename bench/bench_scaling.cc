@@ -1,0 +1,71 @@
+// §5.2.3: the expansion runtime decomposes as a*|T| + b*minSS — linear in
+// the table size (the sample-creating pass) and linear in minSS (the BRS
+// passes over the sample), with b > a.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/synth.h"
+#include "weights/standard_weights.h"
+
+int main() {
+  using namespace smartdd;
+  using namespace smartdd::bench;
+
+  const uint64_t iters = EnvU64("SMARTDD_BENCH_ITERS", 3);
+
+  PrintExperimentHeader(
+      "Section 5.2.3", "runtime = a*|T| + b*minSS decomposition",
+      "sweep 1 (fixed minSS, growing |T|): time grows linearly in |T|; "
+      "sweep 2 (fixed |T|, growing minSS): time grows linearly in minSS; "
+      "the per-tuple cost b of BRS exceeds the per-tuple scan cost a");
+
+  SizeWeight weight;
+
+  // Sweep 1: |T| grows, minSS fixed.
+  std::vector<uint64_t> row_counts = {20000, 50000, 100000, 200000, 400000};
+  for (uint64_t rows : row_counts) {
+    SynthSpec spec;
+    spec.rows = rows;
+    spec.cardinalities = {6, 5, 7, 4, 8, 3, 5};
+    spec.zipf = {1.0, 0.7, 1.2, 0.4, 0.9, 1.1, 0.6};
+    spec.seed = 400;
+    Table t = GenerateSyntheticTable(spec);
+    MemoryScanSource source(t);
+    double total = 0;
+    for (uint64_t it = 0; it < iters; ++it) {
+      total += MeasureExpandEmpty(source, weight, /*mw=*/5,
+                                  /*min_sample_size=*/5000,
+                                  /*memory_capacity=*/50000, /*k=*/4,
+                                  900 + it)
+                   .total_ms;
+    }
+    PrintSeriesRow("grow-|T|(minSS=5000)", static_cast<double>(rows),
+                   total / static_cast<double>(iters), "rows", "time_ms");
+  }
+
+  // Sweep 2: |T| fixed, minSS grows.
+  SynthSpec spec;
+  spec.rows = 200000;
+  spec.cardinalities = {6, 5, 7, 4, 8, 3, 5};
+  spec.zipf = {1.0, 0.7, 1.2, 0.4, 0.9, 1.1, 0.6};
+  spec.seed = 400;
+  Table t = GenerateSyntheticTable(spec);
+  MemoryScanSource source(t);
+  for (uint64_t minss : {1000, 2000, 5000, 10000, 20000, 40000}) {
+    double total = 0;
+    double brs_only = 0;
+    for (uint64_t it = 0; it < iters; ++it) {
+      ExpansionMeasurement m = MeasureExpandEmpty(
+          source, weight, 5, minss, /*memory_capacity=*/50000, 4, 950 + it);
+      total += m.total_ms;
+      brs_only += m.brs_ms;
+    }
+    PrintSeriesRow("grow-minSS(|T|=200k)", static_cast<double>(minss),
+                   total / static_cast<double>(iters), "minSS", "time_ms");
+    PrintSeriesRow("grow-minSS-brs-only", static_cast<double>(minss),
+                   brs_only / static_cast<double>(iters), "minSS", "time_ms");
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace smartdd::bench {
+
+uint64_t EnvU64(const char* name, uint64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value) return default_value;
+  return static_cast<uint64_t>(parsed);
+}
+
+const Table& Marketing7() {
+  static const Table* table = [] {
+    MarketingSpec spec;
+    spec.columns = 7;
+    return new Table(GenerateMarketingTable(spec));
+  }();
+  return *table;
+}
+
+const Table& Marketing14() {
+  static const Table* table = [] {
+    return new Table(GenerateMarketingTable({}));
+  }();
+  return *table;
+}
+
+const CensusData& Census() {
+  static const CensusData* data = [] {
+    auto* d = new CensusData();
+    CensusSpec spec;
+    spec.rows = EnvU64("SMARTDD_CENSUS_ROWS", 500000);
+    // The paper (§5): "Unless otherwise specified, in all our experiments,
+    // we restrict the tables to the first 7 columns". Override with
+    // SMARTDD_CENSUS_COLS=68 for the full-width (much heavier) variant.
+    spec.columns_used = EnvU64("SMARTDD_CENSUS_COLS", 7);
+    const char* tmp = std::getenv("TMPDIR");
+    d->path = std::string(tmp ? tmp : "/tmp") + "/smartdd_census_bench.sddt";
+    std::fprintf(stderr,
+                 "[bench] generating census disk table (%llu rows x %zu "
+                 "cols) at %s\n",
+                 static_cast<unsigned long long>(spec.rows),
+                 spec.columns_used, d->path.c_str());
+    Status s = GenerateCensusDiskTable(spec, d->path);
+    SMARTDD_CHECK(s.ok()) << s.ToString();
+    auto dt = DiskTable::Open(d->path);
+    SMARTDD_CHECK(dt.ok()) << dt.status().ToString();
+    d->disk = *dt;
+    d->source = std::make_unique<DiskScanSource>(d->disk);
+    return d;
+  }();
+  return *data;
+}
+
+void PrintExperimentHeader(const std::string& id, const std::string& title,
+                           const std::string& paper_expectation) {
+  std::printf("\n=============================================================\n");
+  std::printf("EXPERIMENT %s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("=============================================================\n");
+  std::fflush(stdout);
+}
+
+void PrintSeriesRow(const std::string& series, double x, double y,
+                    const std::string& x_name, const std::string& y_name) {
+  std::printf("series=%-28s %s=%-10.4g %s=%.6g\n", series.c_str(),
+              x_name.c_str(), x, y_name.c_str(), y);
+  std::fflush(stdout);
+}
+
+ExpansionMeasurement MeasureExpandEmpty(const ScanSource& source,
+                                        const WeightFunction& weight,
+                                        double mw, uint64_t min_sample_size,
+                                        uint64_t memory_capacity, size_t k,
+                                        uint64_t seed) {
+  ExpansionMeasurement m;
+  SampleHandlerOptions options;
+  options.memory_capacity = memory_capacity;
+  options.min_sample_size = min_sample_size;
+  // The paper's SampleHandler returns samples of exactly minSS tuples; a
+  // bare Create here must not round up to a fraction of M, or the minSS
+  // sweeps of Figure 8 would all see the same sample.
+  options.create_capacity_fraction = 0;
+  options.seed = seed;
+  SampleHandler handler(source, options);
+
+  WallTimer total;
+  WallTimer phase;
+  auto sample = handler.GetSampleFor(Rule::Trivial(source.schema().num_columns()));
+  SMARTDD_CHECK(sample.ok()) << sample.status().ToString();
+  m.sample_ms = phase.ElapsedMillis();
+  m.scale = sample->scale;
+  m.sample_rows = sample->table.num_rows();
+
+  TableView view(sample->table);
+  BrsOptions brs;
+  brs.k = k;
+  brs.max_weight = mw;
+  phase.Restart();
+  auto result = RunBrs(view, weight, brs);
+  SMARTDD_CHECK(result.ok()) << result.status().ToString();
+  m.brs_ms = phase.ElapsedMillis();
+  m.total_ms = total.ElapsedMillis();
+  m.result = std::move(result).value();
+  return m;
+}
+
+}  // namespace smartdd::bench

@@ -1,0 +1,126 @@
+// An interactive command-line analogue of the paper's web prototype: load a
+// CSV (or the built-in retail example), then explore with smart drill-down
+// commands. Reads from stdin; suitable for piping a script.
+//
+// Commands:
+//   show                render the current rule table (with node ids)
+//   expand <id>         smart drill-down on a displayed rule
+//   star <id> <column>  star drill-down on a column of a rule
+//   collapse <id>       roll up
+//   k <n>               change the number of rules per expansion
+//   exact               refresh displayed counts to exact values
+//   help, quit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "data/retail_gen.h"
+#include "explore/renderer.h"
+#include "explore/session.h"
+#include "storage/csv.h"
+#include "weights/standard_weights.h"
+
+namespace {
+
+using namespace smartdd;
+
+void Render(const ExplorationSession& session) {
+  // Render with explicit node ids so commands can address rules.
+  const Table& proto = session.prototype();
+  std::printf("%4s | %s", "id", RenderSession(session).c_str());
+  std::printf("node ids in display order:");
+  for (int id : session.DisplayOrder()) std::printf(" %d", id);
+  std::printf("\n");
+  (void)proto;
+}
+
+void Help() {
+  std::printf(
+      "commands: show | expand <id> | star <id> <col> | collapse <id> | "
+      "k <n> | exact | help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Table table = [&]() {
+    if (argc > 1) {
+      auto loaded = ReadCsvFile(argv[1]);
+      if (loaded.ok()) return std::move(loaded).value();
+      std::fprintf(stderr, "failed to load %s: %s — using built-in retail\n",
+                   argv[1], loaded.status().ToString().c_str());
+    }
+    return GenerateRetailTable();
+  }();
+
+  SizeWeight weight;
+  SessionOptions options;
+  options.k = 3;
+  auto session_ptr =
+      std::make_unique<ExplorationSession>(table, weight, options);
+
+  std::printf("smartdd interactive explorer — %llu rows, %zu columns\n",
+              static_cast<unsigned long long>(table.num_rows()),
+              table.num_columns());
+  std::printf("columns:");
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::printf(" %zu=%s", c, table.schema().name(c).c_str());
+  }
+  std::printf("\n");
+  Help();
+  Render(*session_ptr);
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    ExplorationSession& session = *session_ptr;
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "show") {
+      Render(session);
+    } else if (cmd == "expand") {
+      int id;
+      if (!(in >> id)) { Help(); continue; }
+      auto r = session.Expand(id);
+      if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
+      else Render(session);
+    } else if (cmd == "star") {
+      int id;
+      size_t col;
+      if (!(in >> id >> col)) { Help(); continue; }
+      auto r = session.ExpandStar(id, col);
+      if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
+      else Render(session);
+    } else if (cmd == "collapse") {
+      int id;
+      if (!(in >> id)) { Help(); continue; }
+      Status s = session.Collapse(id);
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+      else Render(session);
+    } else if (cmd == "k") {
+      size_t k;
+      if (!(in >> k) || k == 0) { Help(); continue; }
+      options.k = k;
+      session_ptr =
+          std::make_unique<ExplorationSession>(table, weight, options);
+      std::printf("k set to %zu (display reset)\n", k);
+      Render(*session_ptr);
+    } else if (cmd == "exact") {
+      Status s = session.RefreshExactCounts();
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+      else Render(session);
+    } else {
+      Help();
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#ifndef SMARTDD_COMMON_HASH_H_
+#define SMARTDD_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smartdd {
+
+/// Mixes a 64-bit value (finalizer from MurmurHash3).
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash with a new value (boost-style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (HashMix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Hash of a span of 32-bit codes; used for rule keys.
+inline uint64_t HashCodes(const uint32_t* data, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ULL ^ n;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+inline uint64_t HashCodes(const std::vector<uint32_t>& v) {
+  return HashCodes(v.data(), v.size());
+}
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_COMMON_HASH_H_

@@ -1,0 +1,75 @@
+#ifndef SMARTDD_COMMON_LOGGING_H_
+#define SMARTDD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace smartdd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level that is actually emitted; default kInfo. Not thread-safe to
+/// mutate concurrently with logging (set it once at startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace smartdd
+
+#define SMARTDD_LOG(level)                                                 \
+  ::smartdd::internal::LogMessage(::smartdd::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// Fatal-on-failure invariant check; additional context may be streamed:
+///   SMARTDD_CHECK(a < b) << "a=" << a;
+/// Use for internal logic errors only; user-facing failures go via Status.
+#define SMARTDD_CHECK(cond)                                        \
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (cond)                                                      \
+      ;                                                            \
+    else                                                           \
+      ::smartdd::internal::LogMessage(::smartdd::LogLevel::kFatal, \
+                                      __FILE__, __LINE__)          \
+          << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define SMARTDD_DCHECK(cond) SMARTDD_CHECK(cond)
+#else
+#define SMARTDD_DCHECK(cond) \
+  while (false) ::smartdd::internal::NullStream()
+#endif
+
+#endif  // SMARTDD_COMMON_LOGGING_H_

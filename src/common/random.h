@@ -1,0 +1,68 @@
+#ifndef SMARTDD_COMMON_RANDOM_H_
+#define SMARTDD_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace smartdd {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All randomized components of
+/// the library (reservoir sampling, data generators, solvers) draw from this
+/// so that every experiment is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Zipf-distributed integer in [0, n) with exponent s >= 0 (s=0 is
+  /// uniform). Uses an inverse-CDF table; cheap for repeated draws via
+  /// ZipfTable.
+  class ZipfTable {
+   public:
+    ZipfTable(size_t n, double s);
+    /// Draws one value in [0, n).
+    size_t Sample(Rng& rng) const;
+    size_t size() const { return cdf_.size(); }
+
+   private:
+    std::vector<double> cdf_;
+  };
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// SplitMix64 step, used for seeding and hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_COMMON_RANDOM_H_

@@ -1,0 +1,74 @@
+#ifndef SMARTDD_COMMON_RESULT_H_
+#define SMARTDD_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace smartdd {
+
+/// A value-or-error holder, analogous to arrow::Result. Either contains a T
+/// (status is OK) or a non-OK Status describing why the value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error status. Constructing a Result from
+  /// an OK status without a value is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SMARTDD_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    SMARTDD_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SMARTDD_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SMARTDD_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace smartdd
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// Status out of the enclosing function.
+#define SMARTDD_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  SMARTDD_ASSIGN_OR_RETURN_IMPL_(                                  \
+      SMARTDD_CONCAT_(_smartdd_result_, __LINE__), lhs, rexpr)
+
+#define SMARTDD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define SMARTDD_CONCAT_(a, b) SMARTDD_CONCAT_IMPL_(a, b)
+#define SMARTDD_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SMARTDD_COMMON_RESULT_H_

@@ -1,0 +1,84 @@
+#ifndef SMARTDD_COMMON_STATUS_H_
+#define SMARTDD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace smartdd {
+
+/// Error categories used throughout the library. Follows the Arrow/RocksDB
+/// convention: fallible operations return a Status (or Result<T>) instead of
+/// throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIOError,
+  kCapacityExceeded,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the success case (no message
+/// allocation), carries a code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace smartdd
+
+/// Propagates a non-OK Status from the enclosing function.
+#define SMARTDD_RETURN_IF_ERROR(expr)                    \
+  do {                                                   \
+    ::smartdd::Status _smartdd_status = (expr);          \
+    if (!_smartdd_status.ok()) return _smartdd_status;   \
+  } while (false)
+
+#endif  // SMARTDD_COMMON_STATUS_H_

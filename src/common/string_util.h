@@ -1,0 +1,43 @@
+#ifndef SMARTDD_COMMON_STRING_UTIL_H_
+#define SMARTDD_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartdd {
+
+/// Splits `input` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer / double parsing (whole string must parse).
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("1.5", "200", "0.033").
+std::string FormatDouble(double v, int digits = 6);
+
+/// Pads or truncates `s` to exactly `width` characters (left-aligned).
+std::string PadRight(std::string s, size_t width);
+std::string PadLeft(std::string s, size_t width);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_COMMON_STRING_UTIL_H_

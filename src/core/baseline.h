@@ -1,0 +1,61 @@
+#ifndef SMARTDD_CORE_BASELINE_H_
+#define SMARTDD_CORE_BASELINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/best_marginal.h"
+#include "core/score.h"
+#include "storage/table_view.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// Minimal result bundle for the exact solver (kept separate from BrsResult
+/// to avoid a dependency cycle with brs.h).
+struct ExactRuleSetResult {
+  std::vector<ScoredRule> rules;  ///< descending weight
+  double total_score = 0;
+};
+
+/// Enumerates every distinct rule with support > 0, size in [1, max_size],
+/// over `allowed_columns` (empty = all). Cost is O(rows * 2^|columns|);
+/// intended for tests and small exploratory tables.
+std::vector<Rule> EnumerateSupportedRules(
+    const TableView& view, size_t max_size,
+    const std::vector<size_t>& allowed_columns = {});
+
+/// Reference implementation of the best-marginal-rule search: enumerates all
+/// supported rules and scores each directly. Used for differential testing
+/// of MarginalRuleFinder's pruning, and by the ablation benchmark.
+Result<MarginalRuleResult> NaiveBestMarginal(
+    const TableView& view, const WeightFunction& weight,
+    const std::vector<double>& covered_weight,
+    double max_weight = std::numeric_limits<double>::infinity(),
+    size_t max_size = std::numeric_limits<size_t>::max());
+
+/// Exact solution of Problem 3 by exhaustive search over all k-subsets of
+/// supported rules. Refuses instances with more than `max_universe`
+/// supported rules. Small inputs only — this is the optimum that greedy BRS
+/// is tested against (greedy score >= (1 - (1-1/k)^k) * optimum).
+Result<ExactRuleSetResult> BruteForceOptimalRuleSet(
+    const TableView& view, const WeightFunction& weight, size_t k,
+    size_t max_size = 3, size_t max_universe = 32);
+
+/// Traditional drill-down on one column (paper §5.1.2 / Figure 4): every
+/// distinct value with its mass, descending by mass.
+std::vector<std::pair<uint32_t, double>> TraditionalDrillDown(
+    const TableView& view, size_t col);
+
+/// Classic a-priori frequent-pattern mining over rules: all rules of size
+/// in [1, max_size] with mass >= min_support, each with its mass/weight.
+/// The "related work" baseline smart drill-down is compared against.
+std::vector<ScoredRule> FrequentRules(const TableView& view,
+                                      double min_support, size_t max_size,
+                                      const WeightFunction& weight);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_CORE_BASELINE_H_

@@ -1,0 +1,392 @@
+#include "core/best_marginal.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace smartdd {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    return static_cast<size_t>(HashCodes(v));
+  }
+};
+
+/// Per-candidate counters. `excluded` marks rules whose weight exceeds mw
+/// or whose upper bound fell below the threshold H before they were
+/// counted; they are kept as tombstones so that candidate generation skips
+/// extensions of them cheaply.
+struct Entry {
+  double weight = 0;
+  double mass = 0;
+  double marginal = 0;
+  /// Upper bound on the marginal value (set at generation, passes >= 2).
+  double bound = 0;
+  bool excluded = false;
+};
+
+using Vals = std::vector<uint32_t>;
+using Cols = std::vector<uint32_t>;
+using ValsMap = std::unordered_map<Vals, Entry, VecHash>;
+
+/// All candidates sharing one set of instantiated columns.
+struct Group {
+  Cols cols;
+  ValsMap entries;
+};
+
+/// Deterministic tie-break for equal marginal values: prefer higher weight,
+/// then lexicographically smaller rule values.
+bool RuleValuesLess(const Rule& a, const Rule& b) {
+  return a.values() < b.values();
+}
+
+}  // namespace
+
+struct MarginalRuleFinder::Impl {
+  const TableView& view;
+  const WeightFunction& weight;
+  const MarginalSearchOptions& options;
+  MarginalSearchStats& stats;
+  const std::vector<double>& covered_weight;
+
+  std::vector<uint32_t> columns;  // search space, ascending
+  Rule base;                      // merged into candidates for weight eval
+
+  /// Counted groups from every completed pass, keyed by column set.
+  std::unordered_map<Cols, ValsMap, VecHash> counted;
+
+  /// Per allowed column: row postings per dictionary code, built during
+  /// pass 1. Candidate counting in later passes walks the postings of the
+  /// candidate's *rarest* value and verifies the remaining columns, so its
+  /// cost is sum over candidates of min singleton support — not
+  /// rows x groups (which explodes on wide tables).
+  std::unordered_map<uint32_t, std::vector<std::vector<uint32_t>>> postings;
+
+  double best_marginal = 0;  // the paper's threshold H
+  Rule best_rule{0};
+  double best_weight = 0;
+  double best_mass = 0;
+
+  Impl(const TableView& v, const WeightFunction& w,
+       const MarginalSearchOptions& opts, MarginalSearchStats& s,
+       const std::vector<double>& cw)
+      : view(v),
+        weight(w),
+        options(opts),
+        stats(s),
+        covered_weight(cw),
+        base(opts.base_rule ? *opts.base_rule : Rule(v.num_columns())) {
+    SMARTDD_CHECK(base.num_columns() == view.num_columns());
+    if (options.allowed_columns.empty()) {
+      for (size_t c = 0; c < view.num_columns(); ++c) {
+        columns.push_back(static_cast<uint32_t>(c));
+      }
+    } else {
+      for (size_t c : options.allowed_columns) {
+        SMARTDD_CHECK(c < view.num_columns());
+        columns.push_back(static_cast<uint32_t>(c));
+      }
+      std::sort(columns.begin(), columns.end());
+      columns.erase(std::unique(columns.begin(), columns.end()),
+                    columns.end());
+    }
+  }
+
+  Rule FullRule(const Cols& cols, const Vals& vals) const {
+    Rule r = base;
+    for (size_t i = 0; i < cols.size(); ++i) r.set_value(cols[i], vals[i]);
+    return r;
+  }
+
+  double EffectiveWeight(const Cols& cols, const Vals& vals) const {
+    return weight.Weight(FullRule(cols, vals));
+  }
+
+  /// Pass 1: one scan counting every size-1 rule (lazily created) and
+  /// building the per-value row postings.
+  void CountSizeOne(std::vector<Group>& groups) {
+    const uint64_t n = view.num_rows();
+    for (uint32_t c : columns) {
+      postings[c].resize(view.table().dictionary(c).size());
+    }
+    Vals key(1);
+    for (auto& g : groups) {
+      const uint32_t c = g.cols[0];
+      auto& posts = postings[c];
+      for (uint64_t t = 0; t < n; ++t) {
+        uint32_t code = view.code(c, t);
+        key[0] = code;
+        auto [it, inserted] = g.entries.try_emplace(key);
+        Entry* e = &it->second;
+        if (inserted) {
+          e->weight = EffectiveWeight(g.cols, key);
+          e->excluded = e->weight > options.max_weight;
+          ++stats.candidates_generated;
+          if (!e->excluded) ++stats.candidates_counted;
+        }
+        posts[code].push_back(static_cast<uint32_t>(t));
+        if (e->excluded) continue;
+        const double m = view.mass(t);
+        e->mass += m;
+        e->marginal += m * std::max(0.0, e->weight - covered_weight[t]);
+      }
+      stats.tuple_visits += n;
+    }
+    ++stats.passes;
+  }
+
+  /// Singleton mass lookup (for picking the rarest posting list).
+  double SingletonMass(uint32_t col, uint32_t val) const {
+    auto cit = counted.find(Cols{col});
+    if (cit == counted.end()) return 0;
+    auto eit = cit->second.find(Vals{val});
+    if (eit == cit->second.end()) return 0;
+    return eit->second.mass;
+  }
+
+  /// Passes 2+: verify each candidate against the postings of its rarest
+  /// instantiated value. Candidates are processed in decreasing order of
+  /// their generation-time upper bound, and the threshold H is advanced
+  /// after every candidate — so once a strong candidate is counted, the
+  /// long tail of weaker ones is skipped without touching any tuple (the
+  /// paper's threshold rule, applied eagerly within the pass).
+  void CountCandidates(std::vector<Group>& groups) {
+    struct Item {
+      Group* group;
+      const Vals* vals;
+      Entry* entry;
+    };
+    std::vector<Item> items;
+    for (auto& g : groups) {
+      for (auto& [vals, e] : g.entries) {
+        if (!e.excluded) items.push_back(Item{&g, &vals, &e});
+      }
+    }
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      return a.entry->bound > b.entry->bound;
+    });
+
+    const bool prune = options.pruning == PruningMode::kFull;
+    double h = best_marginal;
+    for (const Item& item : items) {
+      Entry& e = *item.entry;
+      if (prune && (e.bound < h || e.bound <= 0)) {
+        e.excluded = true;  // tombstone: super-rules prune through it
+        ++stats.candidates_pruned;
+        continue;
+      }
+      const Cols& cols = item.group->cols;
+      const Vals& vals = *item.vals;
+      const size_t arity = cols.size();
+      size_t rare_i = 0;
+      double rare_mass = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < arity; ++i) {
+        double m = SingletonMass(cols[i], vals[i]);
+        if (m < rare_mass) {
+          rare_mass = m;
+          rare_i = i;
+        }
+      }
+      const auto& rows = postings.at(cols[rare_i])[vals[rare_i]];
+      for (uint32_t t : rows) {
+        bool covered = true;
+        for (size_t i = 0; i < arity; ++i) {
+          if (i == rare_i) continue;
+          if (view.code(cols[i], t) != vals[i]) {
+            covered = false;
+            break;
+          }
+        }
+        if (!covered) continue;
+        const double m = view.mass(t);
+        e.mass += m;
+        e.marginal += m * std::max(0.0, e.weight - covered_weight[t]);
+      }
+      stats.tuple_visits += rows.size();
+      ++stats.candidates_counted;
+      if (e.marginal > h) h = e.marginal;
+    }
+    ++stats.passes;
+  }
+
+  /// Folds a finished pass into the candidate store; updates the threshold
+  /// H / current best rule.
+  void AbsorbPass(std::vector<Group>& groups) {
+    for (auto& g : groups) {
+      for (const auto& [vals, e] : g.entries) {
+        if (e.excluded || e.marginal <= 0) continue;
+        bool better = e.marginal > best_marginal;
+        if (!better && e.marginal == best_marginal && best_marginal > 0) {
+          Rule r = FullRule(g.cols, vals);
+          better = e.weight > best_weight ||
+                   (e.weight == best_weight && RuleValuesLess(r, best_rule));
+        }
+        if (better) {
+          best_marginal = e.marginal;
+          best_rule = FullRule(g.cols, vals);
+          best_weight = e.weight;
+          best_mass = e.mass;
+        }
+      }
+      counted[g.cols] = std::move(g.entries);
+    }
+  }
+
+  /// Upper bound on the marginal value of any super-rule of a counted rule
+  /// (paper §3.5): Marginal(r') + Mass(r') * (mw - W(r')).
+  double SuperRuleBound(const Entry& e) const {
+    return e.marginal + e.mass * (options.max_weight - e.weight);
+  }
+
+  /// Generates size-(j) candidate groups by extending the size-(j-1) column
+  /// sets in `prev_cols` (whose entries now live in `counted`). Each
+  /// candidate extends a parent with one column strictly after the parent's
+  /// last column, so every candidate is generated exactly once from its
+  /// prefix sub-rule.
+  std::vector<Group> GenerateCandidates(const std::vector<Cols>& prev_cols) {
+    const bool prune = options.pruning == PruningMode::kFull;
+    std::unordered_map<Cols, size_t, VecHash> group_index;
+    std::vector<Group> out;
+
+    Cols cand_cols;
+    Vals cand_vals;
+    Cols sub_cols;
+    Vals sub_vals;
+
+    for (const auto& pcols : prev_cols) {
+      const auto& parents = counted.at(pcols);
+      for (const auto& [vals, parent] : parents) {
+        if (parent.excluded || parent.mass <= 0) continue;
+        // Cheap parent-level cut: no super-rule of this parent can beat H.
+        if (prune && SuperRuleBound(parent) < best_marginal) continue;
+        for (uint32_t c : columns) {
+          if (c <= pcols.back()) continue;
+          auto size1_it = counted.find(Cols{c});
+          if (size1_it == counted.end()) continue;
+          for (const auto& [v1, e1] : size1_it->second) {
+            if (e1.excluded || e1.mass <= 0) continue;
+            ++stats.candidates_generated;
+
+            cand_cols = pcols;
+            cand_cols.push_back(c);
+            cand_vals = vals;
+            cand_vals.push_back(v1[0]);
+
+            double w = EffectiveWeight(cand_cols, cand_vals);
+            if (w > options.max_weight) continue;  // weight cap (mw)
+
+            // Upper-bound test against every counted immediate sub-rule. A
+            // missing / excluded / zero-mass sub-rule proves the candidate
+            // is itself zero-mass or already dominated, so drop it.
+            bool pruned = false;
+            double bound = std::numeric_limits<double>::infinity();
+            for (size_t drop = 0; drop < cand_cols.size(); ++drop) {
+              sub_cols.clear();
+              sub_vals.clear();
+              for (size_t i = 0; i < cand_cols.size(); ++i) {
+                if (i == drop) continue;
+                sub_cols.push_back(cand_cols[i]);
+                sub_vals.push_back(cand_vals[i]);
+              }
+              auto cit = counted.find(sub_cols);
+              const Entry* sub = nullptr;
+              if (cit != counted.end()) {
+                auto eit = cit->second.find(sub_vals);
+                if (eit != cit->second.end()) sub = &eit->second;
+              }
+              if (sub == nullptr || sub->excluded || sub->mass <= 0) {
+                pruned = true;
+                break;
+              }
+              bound = std::min(bound, SuperRuleBound(*sub));
+            }
+            if (!pruned && prune && (bound < best_marginal || bound <= 0)) {
+              pruned = true;
+            }
+            if (pruned) {
+              ++stats.candidates_pruned;
+              continue;
+            }
+
+            size_t gi;
+            auto git = group_index.find(cand_cols);
+            if (git == group_index.end()) {
+              gi = out.size();
+              out.emplace_back();
+              out.back().cols = cand_cols;
+              group_index.emplace(cand_cols, gi);
+            } else {
+              gi = git->second;
+            }
+            Entry e;
+            e.weight = w;
+            e.bound = bound;
+            out[gi].entries.emplace(cand_vals, e);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  Result<MarginalRuleResult> Run() {
+    const size_t max_size = std::min(options.max_rule_size, columns.size());
+    if (max_size == 0 || view.num_rows() == 0) {
+      return Status::NotFound("no rule with positive marginal value");
+    }
+
+    // Pass 1: count all size-1 rules and build postings.
+    std::vector<Group> pass_groups;
+    for (uint32_t c : columns) {
+      Group g;
+      g.cols = {c};
+      pass_groups.push_back(std::move(g));
+    }
+    CountSizeOne(pass_groups);
+    std::vector<Cols> prev_cols;
+    for (const auto& g : pass_groups) prev_cols.push_back(g.cols);
+    AbsorbPass(pass_groups);
+
+    // Passes 2..max_size: a-priori-style candidate generation + counting.
+    for (size_t j = 2; j <= max_size; ++j) {
+      std::vector<Group> next = GenerateCandidates(prev_cols);
+      if (next.empty()) break;
+      CountCandidates(next);
+      prev_cols.clear();
+      for (const auto& g : next) prev_cols.push_back(g.cols);
+      AbsorbPass(next);
+    }
+
+    if (best_marginal <= 0) {
+      return Status::NotFound("no rule with positive marginal value");
+    }
+    MarginalRuleResult result;
+    result.rule = best_rule;
+    result.weight = best_weight;
+    result.mass = best_mass;
+    result.marginal = best_marginal;
+    return result;
+  }
+};
+
+MarginalRuleFinder::MarginalRuleFinder(const TableView& view,
+                                       const WeightFunction& weight,
+                                       MarginalSearchOptions options)
+    : view_(&view), weight_(&weight), options_(std::move(options)) {}
+
+Result<MarginalRuleResult> MarginalRuleFinder::Find(
+    const std::vector<double>& covered_weight) {
+  SMARTDD_CHECK(covered_weight.size() == view_->num_rows())
+      << "covered_weight must have one entry per view row";
+  stats_ = MarginalSearchStats{};
+  Impl impl(*view_, *weight_, options_, stats_, covered_weight);
+  return impl.Run();
+}
+
+}  // namespace smartdd

@@ -1,0 +1,97 @@
+#ifndef SMARTDD_CORE_BEST_MARGINAL_H_
+#define SMARTDD_CORE_BEST_MARGINAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/rule.h"
+#include "storage/table_view.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// Controls how aggressively FindBestMarginalRule prunes its candidate
+/// space. kFull is the paper's Algorithm 2; kExhaustive disables the
+/// upper-bound/threshold pruning (but still skips zero-support rules, whose
+/// super-rules cannot cover anything) and is used for differential testing
+/// and the pruning ablation benchmark.
+enum class PruningMode { kFull, kExhaustive };
+
+struct MarginalSearchOptions {
+  /// The paper's mw: the search only considers rules with W(r) <= max_weight
+  /// (monotonicity makes this cap downward-closed). Infinity = no cap.
+  double max_weight = std::numeric_limits<double>::infinity();
+  PruningMode pruning = PruningMode::kFull;
+  /// Cap on the number of instantiated columns of candidate rules.
+  size_t max_rule_size = std::numeric_limits<size_t>::max();
+  /// Columns candidates may instantiate; empty = all columns. (Drill-down
+  /// reductions restrict the search to the clicked rule's starred columns.)
+  std::vector<size_t> allowed_columns;
+  /// Base rule merged into every candidate before weight evaluation, so the
+  /// weight of a drill-down result is the weight of the *full* super-rule.
+  std::optional<Rule> base_rule;
+};
+
+/// Instrumentation for tests and the pruning-ablation benchmark.
+struct MarginalSearchStats {
+  size_t passes = 0;                 ///< counting passes over the view
+  size_t candidates_generated = 0;   ///< candidate rules considered
+  size_t candidates_pruned = 0;      ///< dropped by the upper-bound test
+  size_t candidates_counted = 0;     ///< actually counted in a pass
+  uint64_t tuple_visits = 0;         ///< row visits across counting passes
+
+  void Accumulate(const MarginalSearchStats& other) {
+    passes += other.passes;
+    candidates_generated += other.candidates_generated;
+    candidates_pruned += other.candidates_pruned;
+    candidates_counted += other.candidates_counted;
+    tuple_visits += other.tuple_visits;
+  }
+};
+
+/// Result of one best-marginal-rule search.
+struct MarginalRuleResult {
+  Rule rule{0};      ///< full-width rule (base merged in)
+  double weight = 0;
+  double mass = 0;   ///< Count/Sum of the rule over the view
+  double marginal = 0;  ///< sum over covered tuples of mass*(W(r)-cw(t))^+
+};
+
+/// Implements the paper's Algorithm 2 ("Find best marginal rule"): finds the
+/// rule r maximizing the marginal score gain
+///     sum_{t covered by r} mass(t) * max(0, W(r) - covered_weight[t])
+/// among rules with W(r) <= max_weight, via multi-pass a-priori-style
+/// counting. In pass j it counts candidate rules of size j generated from
+/// surviving size-(j-1) rules, pruning any candidate whose upper bound
+///     min over counted sub-rules r' of
+///         Marginal(r') + Mass(r') * (max_weight - W(r'))
+/// cannot beat the best marginal value H found so far.
+class MarginalRuleFinder {
+ public:
+  /// `view` and `weight` must outlive the finder.
+  MarginalRuleFinder(const TableView& view, const WeightFunction& weight,
+                     MarginalSearchOptions options);
+
+  /// Runs the search. `covered_weight[i]` is the weight of the
+  /// highest-weight already-selected rule covering view row i (0 if none).
+  /// Returns NotFound when no rule has positive marginal value.
+  Result<MarginalRuleResult> Find(const std::vector<double>& covered_weight);
+
+  /// Stats of the most recent Find call.
+  const MarginalSearchStats& stats() const { return stats_; }
+
+ private:
+  struct Impl;
+
+  const TableView* view_;
+  const WeightFunction* weight_;
+  MarginalSearchOptions options_;
+  MarginalSearchStats stats_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_CORE_BEST_MARGINAL_H_

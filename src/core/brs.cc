@@ -1,0 +1,92 @@
+#include "core/brs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "rules/rule_ops.h"
+
+namespace smartdd {
+
+Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
+                         const BrsOptions& options) {
+  if (view.has_measure()) {
+    // Negative masses would invalidate the a-priori pruning bounds and the
+    // submodularity argument; reject them up front.
+    const uint64_t n = view.num_rows();
+    for (uint64_t i = 0; i < n; ++i) {
+      if (view.mass(i) < 0) {
+        return Status::InvalidArgument(
+            "Sum aggregation requires non-negative measure values");
+      }
+    }
+  }
+
+  MarginalSearchOptions search;
+  search.max_weight = options.max_weight;
+  if (std::isinf(search.max_weight)) {
+    double cap = weight.MaxPossibleWeight(view.num_columns());
+    if (std::isfinite(cap)) search.max_weight = cap;
+  }
+  search.pruning = options.pruning;
+  search.max_rule_size = options.max_rule_size;
+  search.allowed_columns = options.allowed_columns;
+  search.base_rule = options.base_rule;
+
+  MarginalRuleFinder finder(view, weight, search);
+
+  BrsResult result;
+  std::vector<double> covered(view.num_rows(), 0.0);
+  std::vector<Rule> selected;
+
+  WallTimer budget_timer;
+  for (size_t step = 0; step < options.k; ++step) {
+    if (options.time_budget_ms > 0 && step > 0 &&
+        budget_timer.ElapsedMillis() >= options.time_budget_ms) {
+      break;  // anytime mode: report what we have so far
+    }
+    auto found = finder.Find(covered);
+    result.stats.Accumulate(finder.stats());
+    if (!found.ok()) {
+      if (found.status().code() == StatusCode::kNotFound) break;
+      return found.status();
+    }
+    const MarginalRuleResult& m = *found;
+
+    ScoredRule sr;
+    sr.rule = m.rule;
+    sr.weight = m.weight;
+    sr.mass = m.mass;
+    sr.marginal_value = m.marginal;
+    selected.push_back(m.rule);
+    result.rules.push_back(sr);
+
+    // Update per-tuple covered weights for the next greedy step.
+    const uint64_t n = view.num_rows();
+    for (uint64_t i = 0; i < n; ++i) {
+      if (covered[i] < m.weight && RuleCoversRow(m.rule, view, i)) {
+        covered[i] = m.weight;
+      }
+    }
+
+    if (options.on_rule && !options.on_rule(sr, step)) break;
+  }
+
+  // Display order: descending weight (Lemma 1), stable for ties.
+  std::stable_sort(
+      result.rules.begin(), result.rules.end(),
+      [](const ScoredRule& a, const ScoredRule& b) { return a.weight > b.weight; });
+
+  // Exact Count/MCount (or Sum/MSum) of the final list over the view.
+  std::vector<Rule> in_order;
+  for (const auto& r : result.rules) in_order.push_back(r.rule);
+  RuleListEvaluation eval = EvaluateRuleList(view, in_order, weight);
+  for (size_t i = 0; i < result.rules.size(); ++i) {
+    result.rules[i].mass = eval.mass[i];
+    result.rules[i].marginal_mass = eval.marginal_mass[i];
+  }
+  result.total_score = eval.total_score;
+  return result;
+}
+
+}  // namespace smartdd

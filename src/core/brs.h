@@ -1,0 +1,64 @@
+#ifndef SMARTDD_CORE_BRS_H_
+#define SMARTDD_CORE_BRS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/best_marginal.h"
+#include "core/score.h"
+#include "storage/table_view.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// Options for the BRS (Best Rule Set) greedy algorithm (paper Algorithm 1).
+struct BrsOptions {
+  /// Number of rules to select (the paper's k).
+  size_t k = 4;
+  /// The paper's mw cap; rules heavier than this are not considered. When
+  /// infinite, RunBrs substitutes weight.MaxPossibleWeight(num_columns) if
+  /// that is finite, making the search exact by default.
+  double max_weight = std::numeric_limits<double>::infinity();
+  PruningMode pruning = PruningMode::kFull;
+  size_t max_rule_size = std::numeric_limits<size_t>::max();
+  /// Drill-down reduction: restrict the search to these columns and merge
+  /// `base_rule` into every candidate (see core/drilldown.h).
+  std::vector<size_t> allowed_columns;
+  std::optional<Rule> base_rule;
+  /// Anytime mode (§6.1: "keep adding rules ... displaying new rules as
+  /// they are found"): invoked after each greedy pick; return false to stop
+  /// early with the rules found so far.
+  std::function<bool(const ScoredRule&, size_t index)> on_rule;
+  /// Time-budget mode (§6.1: "we can set a time limit ... and display as
+  /// many rules as we can find within that time limit"). After the budget
+  /// elapses, no further greedy steps are started (the rules found so far
+  /// are returned; at least one step always runs). 0 = unlimited.
+  double time_budget_ms = 0;
+};
+
+/// Output of BRS.
+struct BrsResult {
+  /// Selected rules in display order: descending weight (Lemma 1), ties in
+  /// selection order. mass/marginal_mass are exact over the input view.
+  std::vector<ScoredRule> rules;
+  /// Score (Definition 2) of the selected set over the view.
+  double total_score = 0;
+  /// Aggregated search statistics across the k greedy steps.
+  MarginalSearchStats stats;
+};
+
+/// Runs the greedy BRS algorithm: k iterations of FindBestMarginalRule,
+/// each adding the rule with the highest marginal score gain. By
+/// submodularity of Score (Lemma 3) the result is within 1-(1-1/k)^k of the
+/// optimal score when max_weight covers the optimal rules' weights.
+///
+/// May return fewer than k rules when no remaining rule has positive
+/// marginal value. Errors only on invalid inputs (e.g. negative masses in
+/// Sum mode, which would break the pruning bounds).
+Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
+                         const BrsOptions& options = {});
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_CORE_BRS_H_

@@ -1,0 +1,77 @@
+#include "core/drilldown.h"
+
+#include "rules/rule_ops.h"
+#include "weights/star_constraint.h"
+
+namespace smartdd {
+
+Result<DrillDownResponse> SmartDrillDown(const TableView& view,
+                                         const WeightFunction& weight,
+                                         const DrillDownRequest& request) {
+  const Rule& base = request.base;
+  if (base.num_columns() != view.num_columns()) {
+    return Status::InvalidArgument("base rule width does not match table");
+  }
+  if (request.star_column) {
+    if (*request.star_column >= view.num_columns()) {
+      return Status::InvalidArgument("star column out of range");
+    }
+    if (!base.is_star(*request.star_column)) {
+      return Status::InvalidArgument(
+          "star drill-down column is already instantiated in the base rule");
+    }
+  }
+
+  // Problem 1 -> Problem 2: restrict to tuples covered by the clicked rule.
+  std::optional<TableView> filtered;
+  const TableView* sub = &view;
+  if (!base.is_trivial()) {
+    filtered = FilterView(view, base);
+    sub = &*filtered;
+  }
+
+  DrillDownResponse response;
+  response.base_mass = sub->total_mass();
+
+  // Search space: the starred columns of base. Tuples covered by base are
+  // constant on its instantiated columns, so nothing is lost.
+  std::vector<size_t> allowed;
+  for (size_t c = 0; c < base.num_columns(); ++c) {
+    if (base.is_star(c)) allowed.push_back(c);
+  }
+  if (allowed.empty()) {
+    return response;  // base is fully instantiated; nothing to expand
+  }
+
+  BrsOptions brs;
+  brs.k = request.k;
+  brs.max_weight = request.max_weight;
+  brs.pruning = request.pruning;
+  brs.max_rule_size = request.max_rule_size;
+  brs.allowed_columns = allowed;
+  brs.base_rule = base;
+
+  // Star drill-down: weight rewrite W'(r) = 0 when r stars the clicked
+  // column (§3.1), which also keeps W' monotonic.
+  std::optional<StarConstraintWeight> star_weight;
+  const WeightFunction* w = &weight;
+  if (request.star_column) {
+    star_weight.emplace(weight, *request.star_column);
+    w = &*star_weight;
+  }
+
+  SMARTDD_ASSIGN_OR_RETURN(BrsResult brs_result, RunBrs(*sub, *w, brs));
+
+  for (auto& r : brs_result.rules) {
+    // Zero-weight rules can only appear if nothing positive exists; they
+    // never pass the positive-marginal filter in BRS, but be defensive for
+    // star drill-downs: only emit rules that instantiate the clicked column.
+    if (request.star_column && r.rule.is_star(*request.star_column)) continue;
+    response.rules.push_back(std::move(r));
+  }
+  response.total_score = brs_result.total_score;
+  response.stats = brs_result.stats;
+  return response;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,57 @@
+#ifndef SMARTDD_CORE_DRILLDOWN_H_
+#define SMARTDD_CORE_DRILLDOWN_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "core/brs.h"
+
+namespace smartdd {
+
+/// One smart drill-down interaction (paper Problem 1).
+struct DrillDownRequest {
+  /// The rule the user clicked. All returned rules are super-rules of it.
+  /// Use Rule::Trivial(num_columns) for the initial summary.
+  Rule base{0};
+  /// Star drill-down (paper §2.3): the user clicked the `?` in this column;
+  /// every returned rule instantiates it. Must be a starred column of base.
+  std::optional<size_t> star_column;
+  /// Number of rules to return (default 3, like the paper's UI).
+  size_t k = 3;
+  /// The mw cap forwarded to BRS; infinity = derive from the weight
+  /// function.
+  double max_weight = std::numeric_limits<double>::infinity();
+  PruningMode pruning = PruningMode::kFull;
+  size_t max_rule_size = std::numeric_limits<size_t>::max();
+};
+
+/// Result of a smart drill-down.
+struct DrillDownResponse {
+  /// Full-width super-rules of the request's base, sorted by descending
+  /// weight. mass is Count(r)/Sum(r) over the *input view* (for a super-rule
+  /// of base this equals its count over the base's cover); marginal_mass is
+  /// MCount/MSum within this list.
+  std::vector<ScoredRule> rules;
+  double total_score = 0;
+  /// Mass of tuples covered by base (|Tr| for Count).
+  double base_mass = 0;
+  MarginalSearchStats stats;
+  /// Sampling context, filled by callers that ran the drill-down on a
+  /// sample and scaled the masses: the scale factor applied and the number
+  /// of sample rows (0 = exact, no sampling).
+  double sample_scale = 1.0;
+  uint64_t sample_rows = 0;
+};
+
+/// Executes a smart drill-down over a view using the reduction of §3.1:
+/// filter the view to the tuples covered by base (Problem 1 -> Problem 2),
+/// search only base's starred columns with weights evaluated on the merged
+/// super-rule, and — for star drill-downs — rewrite the weight so rules not
+/// instantiating the clicked column get weight 0.
+Result<DrillDownResponse> SmartDrillDown(const TableView& view,
+                                         const WeightFunction& weight,
+                                         const DrillDownRequest& request);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_CORE_DRILLDOWN_H_

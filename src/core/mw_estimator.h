@@ -1,0 +1,33 @@
+#ifndef SMARTDD_CORE_MW_ESTIMATOR_H_
+#define SMARTDD_CORE_MW_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/table_view.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// Output of the §6.1 mw estimation procedure.
+struct MwEstimate {
+  /// Recommended mw: 2x the heaviest rule BRS selects on a small sample
+  /// ("To account for sampling error, we can set mw to 2x").
+  double mw = 0;
+  /// The heaviest weight actually observed on the sample.
+  double observed_max_weight = 0;
+  /// Rows used in the estimation sample.
+  uint64_t sample_rows = 0;
+};
+
+/// Estimates the mw parameter by running BRS (k rules) on a uniform sample
+/// of `sample_rows` rows from the view (paper §6.1). Deterministic given
+/// `seed`. Falls back to the weight function's max possible weight when the
+/// sample run selects nothing.
+Result<MwEstimate> EstimateMaxWeight(const TableView& view,
+                                     const WeightFunction& weight, size_t k,
+                                     uint64_t sample_rows, uint64_t seed);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_CORE_MW_ESTIMATOR_H_

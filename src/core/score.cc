@@ -1,0 +1,78 @@
+#include "core/score.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rules/rule_ops.h"
+
+namespace smartdd {
+
+std::vector<size_t> OrderByWeightDesc(const std::vector<Rule>& rules,
+                                      const WeightFunction& weight) {
+  std::vector<double> w(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) w[i] = weight.Weight(rules[i]);
+  std::vector<size_t> order(rules.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return w[a] > w[b]; });
+  return order;
+}
+
+RuleListEvaluation EvaluateRuleList(const TableView& view,
+                                    const std::vector<Rule>& rules,
+                                    const WeightFunction& weight) {
+  RuleListEvaluation out;
+  out.mass.assign(rules.size(), 0.0);
+  out.marginal_mass.assign(rules.size(), 0.0);
+
+  std::vector<size_t> order = OrderByWeightDesc(rules, weight);
+  std::vector<double> weights(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    weights[i] = weight.Weight(rules[i]);
+  }
+
+  const uint64_t n = view.num_rows();
+  for (uint64_t t = 0; t < n; ++t) {
+    double m = view.mass(t);
+    bool attributed = false;
+    for (size_t oi = 0; oi < order.size(); ++oi) {
+      size_t i = order[oi];
+      if (RuleCoversRow(rules[i], view, t)) {
+        out.mass[i] += m;
+        if (!attributed) {
+          out.marginal_mass[i] += m;
+          out.total_score += m * weights[i];
+          attributed = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double ScoreRuleSet(const TableView& view, const std::vector<Rule>& rules,
+                    const WeightFunction& weight) {
+  return EvaluateRuleList(view, rules, weight).total_score;
+}
+
+double ScoreRuleListInOrder(const TableView& view,
+                            const std::vector<Rule>& rules,
+                            const WeightFunction& weight) {
+  std::vector<double> weights(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    weights[i] = weight.Weight(rules[i]);
+  }
+  double score = 0;
+  const uint64_t n = view.num_rows();
+  for (uint64_t t = 0; t < n; ++t) {
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (RuleCoversRow(rules[i], view, t)) {
+        score += view.mass(t) * weights[i];
+        break;  // first rule in *list order* claims the tuple
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,118 @@
+#include "data/census_gen.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "storage/disk_table.h"
+
+namespace smartdd {
+
+namespace {
+
+/// Census-like cardinality profile, cycled across the 68 columns: mostly
+/// small categorical domains with occasional wide ones (ancestry, POB...).
+constexpr uint32_t kCardinalityCycle[] = {2,  3, 5,  9, 2, 4,  13, 2, 7, 10,
+                                          2,  5, 31, 3, 2, 8,  4,  6, 2, 17,
+                                          5,  3, 9,  2, 6, 51, 4,  2, 7, 3};
+constexpr size_t kCycleLen =
+    sizeof(kCardinalityCycle) / sizeof(kCardinalityCycle[0]);
+
+/// Zipf exponent per column (cycled): 0 = uniform .. 1.4 = heavily skewed.
+constexpr double kZipfCycle[] = {1.1, 0.6, 0.9, 1.3, 0.4, 1.0, 0.8,
+                                 1.2, 0.5, 1.4, 0.7, 1.0, 1.1, 0.9};
+constexpr size_t kZipfLen = sizeof(kZipfCycle) / sizeof(kZipfCycle[0]);
+
+struct ColumnModel {
+  uint32_t cardinality;
+  Rng::ZipfTable zipf;
+  bool correlated_with_prev;
+};
+
+std::vector<ColumnModel> BuildModels(const CensusSpec& spec) {
+  std::vector<ColumnModel> models;
+  models.reserve(spec.columns);
+  for (size_t c = 0; c < spec.columns; ++c) {
+    uint32_t card = kCardinalityCycle[c % kCycleLen];
+    double zipf = kZipfCycle[c % kZipfLen];
+    // Every 7th column (except column 0) echoes its predecessor: 80% of the
+    // time its value is a deterministic function of the previous column's.
+    bool correlated = (c % 7 == 0) && c > 0;
+    models.push_back(ColumnModel{card, Rng::ZipfTable(card, zipf),
+                                 correlated});
+  }
+  return models;
+}
+
+Table BuildPrototype(const std::vector<ColumnModel>& models,
+                     size_t num_cols) {
+  std::vector<std::string> names;
+  for (size_t c = 0; c < num_cols; ++c) {
+    names.push_back(StrFormat("attr%02zu", c));
+  }
+  Table proto(names);
+  for (size_t c = 0; c < num_cols; ++c) {
+    for (uint32_t v = 0; v < models[c].cardinality; ++v) {
+      proto.EncodeValue(c, StrFormat("v%u", v));
+    }
+  }
+  return proto;
+}
+
+/// Generates rows, invoking `emit(codes)` per row.
+template <typename Emit>
+void GenerateRows(const CensusSpec& spec,
+                  const std::vector<ColumnModel>& models, size_t num_cols,
+                  Emit&& emit) {
+  Rng rng(spec.seed);
+  std::vector<uint32_t> codes(num_cols);
+  for (uint64_t r = 0; r < spec.rows; ++r) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const ColumnModel& m = models[c];
+      if (m.correlated_with_prev && rng.Bernoulli(0.8)) {
+        // Deterministic echo of the previous column, folded into this
+        // column's domain.
+        codes[c] = (codes[c - 1] * 2654435761u) % m.cardinality;
+      } else {
+        codes[c] = static_cast<uint32_t>(m.zipf.Sample(rng));
+      }
+    }
+    emit(codes.data());
+  }
+}
+
+}  // namespace
+
+Table GenerateCensusTable(const CensusSpec& spec) {
+  size_t num_cols = spec.columns_used == 0
+                        ? spec.columns
+                        : std::min(spec.columns_used, spec.columns);
+  std::vector<ColumnModel> models = BuildModels(spec);
+  Table table = BuildPrototype(models, num_cols);
+  GenerateRows(spec, models, num_cols, [&](const uint32_t* codes) {
+    table.AppendRow(std::span<const uint32_t>(codes, num_cols));
+  });
+  return table;
+}
+
+Status GenerateCensusDiskTable(const CensusSpec& spec,
+                               const std::string& path) {
+  size_t num_cols = spec.columns_used == 0
+                        ? spec.columns
+                        : std::min(spec.columns_used, spec.columns);
+  std::vector<ColumnModel> models = BuildModels(spec);
+  Table proto = BuildPrototype(models, num_cols);
+  auto writer_or = DiskTableWriter::Create(proto, path);
+  if (!writer_or.ok()) return writer_or.status();
+  auto writer = std::move(writer_or).value();
+  Status status = Status::OK();
+  GenerateRows(spec, models, num_cols, [&](const uint32_t* codes) {
+    if (status.ok()) status = writer->AppendRow(codes, nullptr);
+  });
+  SMARTDD_RETURN_IF_ERROR(status);
+  return writer->Finish();
+}
+
+}  // namespace smartdd

@@ -1,0 +1,40 @@
+#ifndef SMARTDD_DATA_CENSUS_GEN_H_
+#define SMARTDD_DATA_CENSUS_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// Synthetic stand-in for the paper's "Census" dataset (UCI USCensus1990,
+/// ~2.5M tuples x 68 pre-bucketized columns). Column cardinalities cycle
+/// through a census-like profile (many binary/small columns, a few dozens-
+/// wide), marginals are Zipf-skewed with per-column exponents, and every
+/// 7th column is strongly correlated with its predecessor so that
+/// multi-column rules carry real mass (see DESIGN.md §3 for why this
+/// preserves the Figure 5/8 shapes).
+struct CensusSpec {
+  /// Paper scale is 2458285; default is container-friendly. Override via
+  /// the SMARTDD_CENSUS_ROWS environment variable in the benches.
+  uint64_t rows = 500000;
+  size_t columns = 68;
+  uint64_t seed = 7;
+  /// Restrict to the first `columns_used` columns (0 = all). The paper's
+  /// qualitative experiments use 7.
+  size_t columns_used = 0;
+};
+
+/// In-memory generation (use for row counts that comfortably fit in RAM).
+Table GenerateCensusTable(const CensusSpec& spec = {});
+
+/// Streams the table straight to a DiskTable file without materializing it
+/// (the substrate for the paper's large-table experiments).
+Status GenerateCensusDiskTable(const CensusSpec& spec,
+                               const std::string& path);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_DATA_CENSUS_GEN_H_

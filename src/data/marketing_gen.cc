@@ -1,0 +1,215 @@
+#include "data/marketing_gen.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace smartdd {
+
+namespace {
+
+/// Draws an index from a discrete distribution (weights need not sum to 1).
+size_t Draw(Rng& rng, const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double u = rng.UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+const std::vector<std::string> kIncome = {
+    "<10k", "10-15k", "15-20k", "20-25k", "25-30k",
+    "30-40k", "40-50k", "50-75k", "75k+"};
+const std::vector<std::string> kSex = {"Female", "Male", "NA"};
+const std::vector<std::string> kMarital = {
+    "Married", "LivingTogether", "Divorced", "Widowed", "NeverMarried"};
+const std::vector<std::string> kAge = {"14-17", "18-24", "25-34", "35-44",
+                                       "45-54", "55-64", "65+"};
+const std::vector<std::string> kEducation = {
+    "<Grade8", "Grades9-11", "HighSchoolGrad", "SomeCollege",
+    "CollegeGrad", "GradStudy"};
+const std::vector<std::string> kOccupation = {
+    "Professional", "Sales", "Laborer", "Clerical", "Homemaker",
+    "Student", "Military", "Retired", "Unemployed"};
+const std::vector<std::string> kTimeBay = {"<1yr", "1-3yrs", "4-6yrs",
+                                           "7-10yrs", ">10yrs"};
+const std::vector<std::string> kDualIncome = {"NotMarried", "Yes", "No"};
+const std::vector<std::string> kPersons = {"1", "2", "3", "4", "5",
+                                           "6", "7", "8", "9+"};
+const std::vector<std::string> kUnder18 = {"0", "1", "2", "3", "4",
+                                           "5", "6", "7", "8+"};
+const std::vector<std::string> kHouseholder = {"Own", "Rent",
+                                               "LiveWithFamily"};
+const std::vector<std::string> kHome = {"House", "Condo", "Apartment",
+                                        "MobileHome", "Other"};
+const std::vector<std::string> kEthnic = {
+    "White", "Hispanic", "Asian", "Black", "AmericanIndian",
+    "PacificIslander", "Other", "NA"};
+const std::vector<std::string> kLanguage = {"English", "Spanish", "Other"};
+
+}  // namespace
+
+Table GenerateMarketingTable(const MarketingSpec& spec) {
+  const std::vector<std::string> all_names = {
+      "Income",       "Sex",          "MaritalStatus",  "Age",
+      "Education",    "Occupation",   "TimeInBayArea",  "DualIncome",
+      "Persons",      "PersonsU18",   "Householder",    "TypeOfHome",
+      "EthnicClass",  "Language"};
+  size_t num_cols = spec.columns == 0
+                        ? all_names.size()
+                        : std::min(spec.columns, all_names.size());
+  Table table(std::vector<std::string>(all_names.begin(),
+                                       all_names.begin() + num_cols));
+  Rng rng(spec.seed);
+
+  // Sex gets *exact* counts matching the paper's Figure 1 proportions:
+  // 4918 Female / 4075 Male / 416 missing out of 9409.
+  const uint64_t n = spec.rows;
+  uint64_t males = static_cast<uint64_t>(
+      std::llround(0.43310 * static_cast<double>(n)));
+  uint64_t missing = static_cast<uint64_t>(
+      std::llround(0.04421 * static_cast<double>(n)));
+  std::vector<size_t> sex_codes;
+  sex_codes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i < males) {
+      sex_codes.push_back(1);
+    } else if (i < males + missing) {
+      sex_codes.push_back(2);
+    } else {
+      sex_codes.push_back(0);
+    }
+  }
+  rng.Shuffle(sex_codes);
+
+  std::vector<std::string> row(all_names.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    size_t sex = sex_codes[i];
+
+    // Age: skewed toward 25-44.
+    size_t age = Draw(rng, {0.04, 0.17, 0.28, 0.20, 0.12, 0.10, 0.09});
+
+    // Marital status conditioned on sex and age (young -> never married).
+    // The male never-married share is calibrated so the greedy picks the
+    // paper's (Male, NeverMarried, >10yrs) size-3 rule (see DESIGN.md).
+    std::vector<double> marital_w;
+    if (age <= 1) {
+      marital_w = sex == 1 ? std::vector<double>{0.12, 0.12, 0.04, 0.02, 0.70}
+                           : std::vector<double>{0.12, 0.14, 0.04, 0.00, 0.70};
+    } else if (sex == 1) {  // Male
+      marital_w = {0.30, 0.07, 0.09, 0.02, 0.52};
+    } else {
+      marital_w = {0.48, 0.09, 0.16, 0.07, 0.20};
+    }
+    size_t marital = Draw(rng, marital_w);
+
+    // Education conditioned on age.
+    std::vector<double> edu_w;
+    if (age == 0) {
+      edu_w = {0.25, 0.65, 0.08, 0.02, 0.00, 0.00};
+    } else if (age == 1) {
+      edu_w = {0.02, 0.12, 0.28, 0.45, 0.11, 0.02};
+    } else {
+      edu_w = {0.04, 0.10, 0.30, 0.26, 0.20, 0.10};
+    }
+    size_t education = Draw(rng, edu_w);
+
+    // Income conditioned on education (shift mass upward with education).
+    std::vector<double> income_w = {0.08, 0.08, 0.09, 0.10, 0.11,
+                                    0.16, 0.14, 0.15, 0.09};
+    for (size_t b = 0; b < income_w.size(); ++b) {
+      double tilt = (static_cast<double>(b) - 4.0) *
+                    (static_cast<double>(education) - 2.5) * 0.02;
+      income_w[b] = std::max(0.01, income_w[b] + tilt);
+    }
+    size_t income = Draw(rng, income_w);
+
+    // Occupation conditioned on age/education.
+    std::vector<double> occ_w = {0.22, 0.12, 0.12, 0.16, 0.10,
+                                 0.08, 0.02, 0.10, 0.08};
+    if (age <= 1) {
+      occ_w = {0.08, 0.12, 0.12, 0.14, 0.02, 0.42, 0.03, 0.00, 0.07};
+    } else if (age >= 5) {
+      occ_w = {0.12, 0.06, 0.05, 0.08, 0.12, 0.00, 0.01, 0.48, 0.08};
+    } else if (education >= 4) {
+      occ_w = {0.48, 0.12, 0.03, 0.12, 0.06, 0.06, 0.02, 0.05, 0.06};
+    }
+    size_t occupation = Draw(rng, occ_w);
+
+    // Time in Bay Area: calibrated so that the greedy's 4-rule summary is
+    // exactly {Female, Male, (Female,>10yrs), (Male,NeverMarried,>10yrs)} —
+    // the Figure 1 rule set — with comfortable marginal-value margins.
+    double p_gt10 = 0.45;
+    if (sex == 1) p_gt10 = (marital == 4) ? 0.70 : 0.15;
+    if (age >= 4) p_gt10 = std::max(p_gt10, 0.65);  // long-time residents
+    double rest = (1.0 - p_gt10) / 4.0;
+    size_t timebay = Draw(rng, {rest, rest, rest, rest, p_gt10});
+
+    // Dual income is a function of marital status.
+    size_t dual;
+    if (marital == 0 || marital == 1) {
+      dual = rng.Bernoulli(0.55) ? 1 : 2;
+    } else {
+      dual = 0;
+    }
+
+    // Household sizes.
+    std::vector<double> persons_w;
+    if (marital == 0 || marital == 1) {
+      persons_w = {0.02, 0.30, 0.22, 0.24, 0.12, 0.06, 0.02, 0.01, 0.01};
+    } else {
+      persons_w = {0.42, 0.26, 0.14, 0.09, 0.05, 0.02, 0.01, 0.005, 0.005};
+    }
+    size_t persons = Draw(rng, persons_w);
+    std::vector<double> under18_w = {0.58, 0.16, 0.14, 0.07, 0.03,
+                                     0.01, 0.005, 0.003, 0.002};
+    size_t under18 = std::min(Draw(rng, under18_w), persons);
+
+    // Householder status conditioned on age.
+    std::vector<double> hh_w = age <= 1
+                                   ? std::vector<double>{0.06, 0.40, 0.54}
+                                   : std::vector<double>{0.48, 0.40, 0.12};
+    size_t householder = Draw(rng, hh_w);
+
+    // Home type conditioned on householder status.
+    std::vector<double> home_w =
+        householder == 0 ? std::vector<double>{0.70, 0.12, 0.08, 0.06, 0.04}
+                         : std::vector<double>{0.28, 0.12, 0.48, 0.06, 0.06};
+    size_t home = Draw(rng, home_w);
+
+    size_t ethnic = Draw(rng, {0.62, 0.12, 0.12, 0.06, 0.01,
+                               0.01, 0.03, 0.03});
+    size_t language = ethnic == 1 ? Draw(rng, {0.55, 0.42, 0.03})
+                                  : Draw(rng, {0.93, 0.01, 0.06});
+
+    row[0] = kIncome[income];
+    row[1] = kSex[sex];
+    row[2] = kMarital[marital];
+    row[3] = kAge[age];
+    row[4] = kEducation[education];
+    row[5] = kOccupation[occupation];
+    row[6] = kTimeBay[timebay];
+    row[7] = kDualIncome[dual];
+    row[8] = kPersons[persons];
+    row[9] = kUnder18[under18];
+    row[10] = kHouseholder[householder];
+    row[11] = kHome[home];
+    row[12] = kEthnic[ethnic];
+    row[13] = kLanguage[language];
+
+    std::vector<std::string> cells(row.begin(), row.begin() + num_cols);
+    SMARTDD_CHECK(table.AppendRowValues(cells).ok());
+  }
+  return table;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,122 @@
+#include "data/mcp_gen.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+
+McpInstance GenerateMcpInstance(size_t universe_size, size_t num_subsets,
+                                double density, uint64_t seed) {
+  McpInstance inst;
+  inst.universe_size = universe_size;
+  inst.subsets.resize(num_subsets);
+  Rng rng(seed);
+  for (size_t e = 0; e < universe_size; ++e) {
+    for (size_t s = 0; s < num_subsets; ++s) {
+      if (rng.Bernoulli(density)) inst.subsets[s].push_back(e);
+    }
+  }
+  return inst;
+}
+
+Table McpToTable(const McpInstance& instance) {
+  std::vector<std::string> names;
+  for (size_t s = 0; s < instance.subsets.size(); ++s) {
+    names.push_back(StrFormat("S%zu", s));
+  }
+  Table table(names);
+  std::vector<std::vector<bool>> member(
+      instance.subsets.size(), std::vector<bool>(instance.universe_size));
+  for (size_t s = 0; s < instance.subsets.size(); ++s) {
+    for (size_t e : instance.subsets[s]) member[s][e] = true;
+  }
+  std::vector<std::string> row(names.size());
+  for (size_t e = 0; e < instance.universe_size; ++e) {
+    for (size_t s = 0; s < names.size(); ++s) {
+      row[s] = member[s][e] ? "1" : "0";
+    }
+    SMARTDD_CHECK(table.AppendRowValues(row).ok());
+  }
+  return table;
+}
+
+McpWeight::McpWeight(std::vector<uint32_t> one_codes)
+    : one_codes_(std::move(one_codes)) {}
+
+McpWeight McpWeight::FromTable(const Table& table) {
+  std::vector<uint32_t> codes;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    auto code = table.dictionary(c).Find("1");
+    codes.push_back(code ? *code : kStar);
+  }
+  return McpWeight(std::move(codes));
+}
+
+double McpWeight::Weight(const Rule& rule) const {
+  SMARTDD_DCHECK(rule.num_columns() == one_codes_.size());
+  for (size_t c = 0; c < rule.num_columns(); ++c) {
+    if (!rule.is_star(c) && one_codes_[c] != kStar &&
+        rule.value(c) == one_codes_[c]) {
+      return 1.0;
+    }
+  }
+  return 0.0;
+}
+
+size_t GreedyMaxCoverage(const McpInstance& instance, size_t k) {
+  std::vector<bool> covered(instance.universe_size, false);
+  std::vector<bool> used(instance.subsets.size(), false);
+  size_t total = 0;
+  for (size_t step = 0; step < k; ++step) {
+    size_t best = instance.subsets.size();
+    size_t best_gain = 0;
+    for (size_t s = 0; s < instance.subsets.size(); ++s) {
+      if (used[s]) continue;
+      size_t gain = 0;
+      for (size_t e : instance.subsets[s]) {
+        if (!covered[e]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    if (best == instance.subsets.size()) break;
+    used[best] = true;
+    for (size_t e : instance.subsets[best]) covered[e] = true;
+    total += best_gain;
+  }
+  return total;
+}
+
+size_t BruteForceMaxCoverage(const McpInstance& instance, size_t k) {
+  const size_t m = instance.subsets.size();
+  SMARTDD_CHECK(m <= 20) << "brute force limited to small instances";
+  size_t best = 0;
+  std::vector<size_t> chosen;
+  std::function<void(size_t)> recurse = [&](size_t start) {
+    if (chosen.size() == std::min(k, m)) {
+      std::vector<bool> covered(instance.universe_size, false);
+      for (size_t s : chosen) {
+        for (size_t e : instance.subsets[s]) covered[e] = true;
+      }
+      size_t count = static_cast<size_t>(
+          std::count(covered.begin(), covered.end(), true));
+      best = std::max(best, count);
+      return;
+    }
+    for (size_t s = start; s < m; ++s) {
+      chosen.push_back(s);
+      recurse(s + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,56 @@
+#ifndef SMARTDD_DATA_MCP_GEN_H_
+#define SMARTDD_DATA_MCP_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// A Maximum Coverage Problem instance: a universe {0..universe_size-1} and
+/// m subsets. Used to exercise the paper's Lemma 2 NP-hardness reduction
+/// (MCP -> Problem 3) in tests and benchmarks.
+struct McpInstance {
+  size_t universe_size = 0;
+  std::vector<std::vector<size_t>> subsets;
+};
+
+/// Random instance: each element joins each subset with probability
+/// `density`. Deterministic for a seed.
+McpInstance GenerateMcpInstance(size_t universe_size, size_t num_subsets,
+                                double density, uint64_t seed);
+
+/// Lemma 2 construction: a table with one row per universe element and one
+/// column per subset; cell (i, j) = "1" iff element i is in subset j.
+Table McpToTable(const McpInstance& instance);
+
+/// Lemma 2 weight: W(r) = 1 if r instantiates at least one column with the
+/// value "1" (code resolved per table), else 0. Monotonic and non-negative,
+/// so BRS applies; maximizing Score over this table/weight is exactly MCP.
+class McpWeight : public WeightFunction {
+ public:
+  /// `one_codes[c]` is the dictionary code of "1" in column c (kStar if the
+  /// column has no "1"). Use FromTable.
+  explicit McpWeight(std::vector<uint32_t> one_codes);
+  static McpWeight FromTable(const Table& table);
+
+  double Weight(const Rule& rule) const override;
+  std::string name() const override { return "McpIndicator"; }
+  double MaxPossibleWeight(size_t) const override { return 1.0; }
+
+ private:
+  std::vector<uint32_t> one_codes_;
+};
+
+/// Classic greedy max-coverage (picks the subset covering the most
+/// uncovered elements, k times). Returns covered-element count.
+size_t GreedyMaxCoverage(const McpInstance& instance, size_t k);
+
+/// Exact max coverage by exhaustive subset search (small instances).
+size_t BruteForceMaxCoverage(const McpInstance& instance, size_t k);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_DATA_MCP_GEN_H_

@@ -1,0 +1,107 @@
+#include "data/retail_gen.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+
+namespace {
+
+constexpr size_t kNumStores = 20;
+constexpr size_t kNumProducts = 30;
+constexpr size_t kNumRegions = 30;
+
+}  // namespace
+
+Table GenerateRetailTable(const RetailSpec& spec) {
+  SMARTDD_CHECK(spec.walmart_cookies + spec.walmart_ca1 + spec.walmart_wa5 <=
+                spec.walmart_total);
+  SMARTDD_CHECK(spec.target_bicycles + spec.comforters_ma3 +
+                    spec.walmart_total <=
+                spec.total_rows);
+
+  Table table({"Store", "Product", "Region"});
+  table.AddMeasureColumn("Sales");
+  Rng rng(spec.seed);
+
+  // Vocabulary. Named values first so they get stable codes.
+  std::vector<std::string> stores = {"Walmart", "Target"};
+  for (size_t i = stores.size(); i < kNumStores; ++i) {
+    stores.push_back(StrFormat("Store-%02zu", i));
+  }
+  std::vector<std::string> products = {"bicycles", "comforters", "cookies"};
+  for (size_t i = products.size(); i < kNumProducts; ++i) {
+    products.push_back(StrFormat("Product-%02zu", i));
+  }
+  std::vector<std::string> regions = {"MA-3", "CA-1", "WA-5"};
+  for (size_t i = regions.size(); i < kNumRegions; ++i) {
+    regions.push_back(StrFormat("Region-%02zu", i));
+  }
+
+  auto sales = [&](double mean) {
+    return std::max(1.0, mean * (0.5 + rng.UniformDouble()));
+  };
+  auto add = [&](const std::string& s, const std::string& p,
+                 const std::string& r, double mean_sales) {
+    double sale = sales(mean_sales);
+    SMARTDD_CHECK(
+        table
+            .AppendRowValues({s, p, r}, std::vector<double>{sale})
+            .ok());
+  };
+  // Helpers drawing "background" values that avoid the planted patterns.
+  auto other_store = [&]() {
+    return stores[2 + rng.UniformInt(kNumStores - 2)];
+  };
+  auto other_product = [&]() {
+    return products[3 + rng.UniformInt(kNumProducts - 3)];
+  };
+  auto other_region = [&]() {
+    return regions[3 + rng.UniformInt(kNumRegions - 3)];
+  };
+
+  // (Target, bicycles, *): spread over non-planted regions.
+  for (uint64_t i = 0; i < spec.target_bicycles; ++i) {
+    add("Target", "bicycles", other_region(), 120);
+  }
+  // (*, comforters, MA-3): spread over stores other than Walmart/Target so
+  // the pattern stays multi-store.
+  for (uint64_t i = 0; i < spec.comforters_ma3; ++i) {
+    add(other_store(), "comforters", "MA-3", 80);
+  }
+  // Walmart block.
+  for (uint64_t i = 0; i < spec.walmart_cookies; ++i) {
+    add("Walmart", "cookies", other_region(), 60);
+  }
+  for (uint64_t i = 0; i < spec.walmart_ca1; ++i) {
+    add("Walmart", other_product(), "CA-1", 70);
+  }
+  for (uint64_t i = 0; i < spec.walmart_wa5; ++i) {
+    add("Walmart", other_product(), "WA-5", 70);
+  }
+  uint64_t walmart_rest = spec.walmart_total - spec.walmart_cookies -
+                          spec.walmart_ca1 - spec.walmart_wa5;
+  for (uint64_t i = 0; i < walmart_rest; ++i) {
+    add("Walmart", other_product(), other_region(), 50);
+  }
+
+  // Background: everything else, avoiding the planted stores/patterns. The
+  // small Target share keeps Target a multi-product store without letting
+  // (Target, ?, ?) outrank (Target, bicycles, ?) in marginal value.
+  uint64_t background = spec.total_rows - spec.target_bicycles -
+                        spec.comforters_ma3 - spec.walmart_total;
+  for (uint64_t i = 0; i < background; ++i) {
+    std::string store =
+        rng.Bernoulli(0.02) ? "Target" : other_store();
+    std::string product = other_product();
+    std::string region = other_region();
+    add(store, product, region, 40);
+  }
+
+  return table;
+}
+
+}  // namespace smartdd

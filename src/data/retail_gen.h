@@ -1,0 +1,36 @@
+#ifndef SMARTDD_DATA_RETAIL_GEN_H_
+#define SMARTDD_DATA_RETAIL_GEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// Configuration for the department-store table of the paper's running
+/// example (Tables 1-3): columns Store, Product, Region plus a Sales
+/// measure. The defaults plant exactly the patterns the paper reports:
+///   (Target, bicycles, ?)     200 tuples
+///   (?, comforters, MA-3)     600 tuples
+///   (Walmart, ?, ?)          1000 tuples, containing
+///       (Walmart, cookies, ?) 200, (Walmart, ?, CA-1) 150,
+///       (Walmart, ?, WA-5)    130
+/// with the remaining tuples spread thinly so no spurious pattern outranks
+/// the planted ones.
+struct RetailSpec {
+  uint64_t total_rows = 6000;
+  uint64_t target_bicycles = 200;
+  uint64_t comforters_ma3 = 600;
+  uint64_t walmart_total = 1000;
+  uint64_t walmart_cookies = 200;
+  uint64_t walmart_ca1 = 150;
+  uint64_t walmart_wa5 = 130;
+  uint64_t seed = 17;
+};
+
+/// Generates the retail table. Deterministic for a given spec.
+Table GenerateRetailTable(const RetailSpec& spec = {});
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_DATA_RETAIL_GEN_H_

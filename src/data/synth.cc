@@ -1,0 +1,44 @@
+#include "data/synth.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+
+Table GenerateSyntheticTable(const SynthSpec& spec) {
+  const size_t num_cols = spec.cardinalities.size();
+  SMARTDD_CHECK(num_cols > 0);
+  std::vector<std::string> names;
+  for (size_t c = 0; c < num_cols; ++c) names.push_back(StrFormat("c%zu", c));
+  Table table(names);
+  if (spec.with_measure) table.AddMeasureColumn("value");
+
+  Rng rng(spec.seed);
+  std::vector<Rng::ZipfTable> zipfs;
+  for (size_t c = 0; c < num_cols; ++c) {
+    double s = c < spec.zipf.size() ? spec.zipf[c] : 1.0;
+    zipfs.emplace_back(spec.cardinalities[c], s);
+    for (uint32_t v = 0; v < spec.cardinalities[c]; ++v) {
+      table.EncodeValue(c, StrFormat("v%u", v));
+    }
+  }
+
+  std::vector<uint32_t> codes(num_cols);
+  for (uint64_t r = 0; r < spec.rows; ++r) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      codes[c] = static_cast<uint32_t>(zipfs[c].Sample(rng));
+    }
+    if (spec.with_measure) {
+      double value = rng.UniformDouble() * 100.0;
+      table.AppendRow(codes, std::vector<double>{value});
+    } else {
+      table.AppendRow(codes);
+    }
+  }
+  return table;
+}
+
+}  // namespace smartdd

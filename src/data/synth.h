@@ -1,0 +1,28 @@
+#ifndef SMARTDD_DATA_SYNTH_H_
+#define SMARTDD_DATA_SYNTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// Fully parameterized synthetic table generator, used by the scaling
+/// benchmark (§5.2.3) and by randomized property tests.
+struct SynthSpec {
+  uint64_t rows = 1000;
+  /// Distinct values per column (one entry per column).
+  std::vector<uint32_t> cardinalities = {5, 5, 5};
+  /// Zipf exponent per column; missing entries default to 1.0.
+  std::vector<double> zipf = {};
+  uint64_t seed = 11;
+  /// Adds a "value" measure column drawn uniformly from [0, 100).
+  bool with_measure = false;
+};
+
+Table GenerateSyntheticTable(const SynthSpec& spec);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_DATA_SYNTH_H_

@@ -1,0 +1,69 @@
+#ifndef SMARTDD_EXPLORE_PREFETCHER_H_
+#define SMARTDD_EXPLORE_PREFETCHER_H_
+
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+
+namespace smartdd {
+
+/// Runs sample pre-fetching work (paper §4.3: "while the user is busy
+/// reading the current rule-list ... start making a pass through the table
+/// in the background"). In kBackground mode the task runs on a worker
+/// thread; callers must Wait() before touching shared state again (the
+/// ExplorationSession does this on the next interaction).
+class Prefetcher {
+ public:
+  enum class Mode { kDisabled, kSynchronous, kBackground };
+
+  explicit Prefetcher(Mode mode) : mode_(mode) {}
+  ~Prefetcher() { WaitInternal(); }
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  Mode mode() const { return mode_; }
+
+  /// Schedules `fn`. Awaits any in-flight task first. In kSynchronous mode
+  /// runs inline; in kDisabled mode does nothing.
+  void Schedule(std::function<Status()> fn) {
+    WaitInternal();
+    switch (mode_) {
+      case Mode::kDisabled:
+        break;
+      case Mode::kSynchronous:
+        last_status_ = fn();
+        break;
+      case Mode::kBackground:
+        worker_ = std::thread([this, fn = std::move(fn)]() {
+          Status s = fn();
+          std::lock_guard<std::mutex> lock(mu_);
+          last_status_ = std::move(s);
+        });
+        break;
+    }
+  }
+
+  /// Blocks until idle; returns the status of the last completed task.
+  Status Wait() {
+    WaitInternal();
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_status_;
+  }
+
+ private:
+  void WaitInternal() {
+    if (worker_.joinable()) worker_.join();
+  }
+
+  Mode mode_;
+  std::thread worker_;
+  std::mutex mu_;
+  Status last_status_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_EXPLORE_PREFETCHER_H_

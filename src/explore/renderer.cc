@@ -1,0 +1,108 @@
+#include "explore/renderer.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "rules/rule_format.h"
+
+namespace smartdd {
+
+namespace {
+
+std::string FormatMass(double mass, bool exact, double ci, bool show_ci) {
+  std::string s;
+  if (!exact) s += "~";
+  s += FormatDouble(mass, 10);
+  if (show_ci && !exact && ci > 0) {
+    s += " ±" + FormatDouble(ci, 3);
+  }
+  return s;
+}
+
+std::string RenderGrid(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  std::vector<size_t> width(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += PadRight(row[c], width[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MassLabel(const RenderOptions& options,
+                      const std::optional<std::string>& measure) {
+  if (!options.mass_label.empty()) return options.mass_label;
+  if (measure) return "Sum(" + *measure + ")";
+  return "Count";
+}
+
+std::vector<std::string> HeaderRow(const Table& prototype,
+                                   const RenderOptions& options,
+                                   const std::string& mass_label) {
+  std::vector<std::string> header;
+  for (const auto& name : prototype.schema().names()) header.push_back(name);
+  header.push_back(mass_label);
+  if (options.show_marginal) header.push_back("M" + mass_label);
+  if (options.show_weight) header.push_back("Weight");
+  return header;
+}
+
+}  // namespace
+
+std::string RenderSession(const ExplorationSession& session,
+                          const RenderOptions& options) {
+  const Table& proto = session.prototype();
+  std::string mass_label = MassLabel(options, session.measure_column());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(HeaderRow(proto, options, mass_label));
+
+  for (int id : session.DisplayOrder()) {
+    const ExplorationNode& node = session.node(id);
+    std::vector<std::string> cells = RuleCells(node.rule, proto);
+    std::string indent;
+    for (int d = 0; d < node.depth; ++d) indent += options.depth_marker;
+    cells[0] = indent + cells[0];
+    cells.push_back(FormatMass(node.mass, node.exact, node.ci_half_width,
+                               options.show_confidence));
+    if (options.show_marginal) {
+      cells.push_back(id == session.root()
+                          ? "-"
+                          : FormatMass(node.marginal_mass, node.exact, 0,
+                                       false));
+    }
+    if (options.show_weight) {
+      cells.push_back(FormatDouble(node.weight, 6));
+    }
+    rows.push_back(std::move(cells));
+  }
+  return RenderGrid(rows);
+}
+
+std::string RenderRuleList(const Table& prototype,
+                           const std::vector<ScoredRule>& rules,
+                           const RenderOptions& options) {
+  std::string mass_label = MassLabel(options, std::nullopt);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(HeaderRow(prototype, options, mass_label));
+  for (const auto& sr : rules) {
+    std::vector<std::string> cells = RuleCells(sr.rule, prototype);
+    cells.push_back(FormatMass(sr.mass, /*exact=*/true, 0, false));
+    if (options.show_marginal) {
+      cells.push_back(FormatMass(sr.marginal_mass, true, 0, false));
+    }
+    if (options.show_weight) cells.push_back(FormatDouble(sr.weight, 6));
+    rows.push_back(std::move(cells));
+  }
+  return RenderGrid(rows);
+}
+
+}  // namespace smartdd

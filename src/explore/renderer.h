@@ -1,0 +1,40 @@
+#ifndef SMARTDD_EXPLORE_RENDERER_H_
+#define SMARTDD_EXPLORE_RENDERER_H_
+
+#include <string>
+
+#include "explore/session.h"
+
+namespace smartdd {
+
+/// Rendering options for the ASCII rule-table output.
+struct RenderOptions {
+  /// Prefix repeated per tree depth in the first column (the paper's
+  /// tables indent expanded rules with ". ").
+  std::string depth_marker = ". ";
+  /// Show the Weight column (the paper's tables do).
+  bool show_weight = true;
+  /// Show 95% confidence intervals next to estimated counts.
+  bool show_confidence = false;
+  /// Show the MCount/MSum column (paper §2.1: "it would be a simple
+  /// extension to display MCount in another column").
+  bool show_marginal = false;
+  /// Label of the mass column ("Count" or e.g. "Sum(Sales)"). When empty,
+  /// RenderSession derives it from the session's measure selection.
+  std::string mass_label;
+};
+
+/// Renders the session's displayed tree as an aligned ASCII table in the
+/// style of the paper's Tables 1-3 / Figures 1-4.
+std::string RenderSession(const ExplorationSession& session,
+                          const RenderOptions& options = {});
+
+/// Renders a flat rule list (e.g. a DrillDownResponse) against a table's
+/// dictionaries, one row per rule plus a header.
+std::string RenderRuleList(const Table& prototype,
+                           const std::vector<ScoredRule>& rules,
+                           const RenderOptions& options = {});
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_EXPLORE_RENDERER_H_

@@ -1,0 +1,287 @@
+#include "explore/session.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/string_util.h"
+#include "rules/rule_ops.h"
+#include "sampling/minss_guidance.h"
+
+namespace smartdd {
+
+namespace {
+
+ExplorationNode MakeRoot(size_t num_columns, double total_mass) {
+  ExplorationNode root;
+  root.rule = Rule::Trivial(num_columns);
+  root.weight = 0;
+  root.mass = total_mass;
+  root.exact = true;
+  root.parent = -1;
+  root.depth = 0;
+  return root;
+}
+
+}  // namespace
+
+ExplorationSession::ExplorationSession(const Table& table,
+                                       const WeightFunction& weight,
+                                       SessionOptions options)
+    : weight_(&weight),
+      options_(std::move(options)),
+      table_(&table),
+      prototype_(Table::EmptyLike(table)),
+      prefetcher_(options_.prefetch) {
+  SMARTDD_CHECK(!options_.use_sampling)
+      << "sampling mode requires the ScanSource constructor";
+  nodes_.push_back(
+      MakeRoot(table.num_columns(), static_cast<double>(table.num_rows())));
+}
+
+ExplorationSession::ExplorationSession(const ScanSource& source,
+                                       const WeightFunction& weight,
+                                       SessionOptions options)
+    : weight_(&weight),
+      options_(std::move(options)),
+      source_(&source),
+      prototype_(source.MakeEmptyTable()),
+      prefetcher_(options_.prefetch) {
+  if (options_.use_sampling) {
+    sampler_ = std::make_unique<SampleHandler>(source, options_.sampler);
+  }
+  nodes_.push_back(MakeRoot(source.schema().num_columns(),
+                            static_cast<double>(source.num_rows())));
+}
+
+Result<DrillDownResponse> ExplorationSession::RunDrillDown(
+    const Rule& base, std::optional<size_t> star_column) {
+  DrillDownRequest request;
+  request.base = base;
+  request.star_column = star_column;
+  request.k = options_.k;
+  request.max_weight = options_.max_weight;
+  request.pruning = options_.pruning;
+
+  // Switches a view to the session's Sum measure if one is configured.
+  auto apply_measure = [this](TableView& view) -> Status {
+    if (!options_.measure_column) return Status::OK();
+    SMARTDD_ASSIGN_OR_RETURN(
+        size_t m, view.table().FindMeasure(*options_.measure_column));
+    view.SelectMeasure(m);
+    return Status::OK();
+  };
+
+  if (table_ != nullptr) {
+    TableView view(*table_);
+    SMARTDD_RETURN_IF_ERROR(apply_measure(view));
+    return SmartDrillDown(view, *weight_, request);
+  }
+
+  SMARTDD_CHECK(source_ != nullptr);
+  if (sampler_ != nullptr) {
+    SMARTDD_ASSIGN_OR_RETURN(SampleRequest sample,
+                             sampler_->GetSampleFor(base));
+    TableView view(sample.table);
+    SMARTDD_RETURN_IF_ERROR(apply_measure(view));
+    SMARTDD_ASSIGN_OR_RETURN(DrillDownResponse response,
+                             SmartDrillDown(view, *weight_, request));
+    // Scale sample masses to full-table estimates; attach CI info via the
+    // caller (which knows the sample size).
+    const double n_sample = static_cast<double>(sample.table.num_rows());
+    for (auto& r : response.rules) {
+      r.marginal_mass *= sample.scale;
+      r.mass *= sample.scale;
+    }
+    response.base_mass *= sample.scale;
+    // Stash the sampling context for CI computation in ExpandInternal.
+    // (Encodes (scale, sample_rows) in stats fields? No — recompute there.)
+    // We return scale via a field on the response:
+    response.sample_scale = sample.scale;
+    response.sample_rows = static_cast<uint64_t>(n_sample);
+    return response;
+  }
+
+  // Scan-source without sampling: materialize the covered tuples once.
+  Table materialized = source_->MakeEmptyTable();
+  Status s = source_->Scan(
+      [&](uint64_t, const uint32_t* codes, const double* measures) {
+        if (base.Covers(codes)) {
+          materialized.AppendRow(
+              std::span<const uint32_t>(codes, materialized.num_columns()),
+              std::span<const double>(measures,
+                                      measures ? materialized.num_measures()
+                                               : 0));
+        }
+        return true;
+      });
+  SMARTDD_RETURN_IF_ERROR(s);
+  TableView view(materialized);
+  SMARTDD_RETURN_IF_ERROR(apply_measure(view));
+  return SmartDrillDown(view, *weight_, request);
+}
+
+Result<std::vector<int>> ExplorationSession::ExpandInternal(
+    int node_id, std::optional<size_t> star_column) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size()) ||
+      !nodes_[node_id].alive) {
+    return Status::InvalidArgument("no such display node");
+  }
+  // Re-expanding first rolls up the old children.
+  if (!nodes_[node_id].children.empty()) {
+    SMARTDD_RETURN_IF_ERROR(Collapse(node_id));
+  }
+  // Join any background prefetch before using the sampler.
+  SMARTDD_RETURN_IF_ERROR(prefetcher_.Wait());
+
+  SMARTDD_ASSIGN_OR_RETURN(
+      DrillDownResponse response,
+      RunDrillDown(nodes_[node_id].rule, star_column));
+
+  std::vector<int> child_ids;
+  const bool sampled = response.sample_rows > 0;
+  for (const auto& sr : response.rules) {
+    ExplorationNode child;
+    child.rule = sr.rule;
+    child.weight = sr.weight;
+    child.mass = sr.mass;
+    child.marginal_mass = sr.marginal_mass;
+    child.exact = !sampled;
+    if (sampled && response.sample_scale > 0) {
+      // Binomial CI on the covered-count fraction; for Sum aggregation this
+      // is an approximation (treats per-tuple mass as homogeneous).
+      child.ci_half_width = CountConfidenceHalfWidth(
+          sr.mass / response.sample_scale,
+          static_cast<double>(response.sample_rows), response.sample_scale);
+      child.exact = response.sample_scale <= 1.0;
+    }
+    child.parent = node_id;
+    child.depth = nodes_[node_id].depth + 1;
+    int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(child));
+    nodes_[node_id].children.push_back(id);
+    child_ids.push_back(id);
+  }
+  // The drill-down also re-measured the expanded rule itself (its slice
+  // mass); adopt it — this is how the root learns its Sum total.
+  nodes_[node_id].mass = response.base_mass;
+  nodes_[node_id].exact = !sampled;
+  AfterExpansion();
+  return child_ids;
+}
+
+Result<std::vector<int>> ExplorationSession::Expand(int node_id) {
+  return ExpandInternal(node_id, std::nullopt);
+}
+
+Result<std::vector<int>> ExplorationSession::ExpandStar(int node_id,
+                                                        size_t column) {
+  return ExpandInternal(node_id, column);
+}
+
+void ExplorationSession::KillSubtree(int node_id) {
+  for (int child : nodes_[node_id].children) {
+    KillSubtree(child);
+    nodes_[child].alive = false;
+  }
+  nodes_[node_id].children.clear();
+}
+
+Status ExplorationSession::Collapse(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size()) ||
+      !nodes_[node_id].alive) {
+    return Status::InvalidArgument("no such display node");
+  }
+  KillSubtree(node_id);
+  if (sampler_ != nullptr) sampler_->SetDisplayedTree(BuildDisplayTree());
+  return Status::OK();
+}
+
+bool ExplorationSession::IsExpanded(int node_id) const {
+  return node_id >= 0 && node_id < static_cast<int>(nodes_.size()) &&
+         nodes_[node_id].alive && !nodes_[node_id].children.empty();
+}
+
+std::vector<int> ExplorationSession::DisplayOrder() const {
+  std::vector<int> order;
+  std::function<void(int)> walk = [&](int id) {
+    order.push_back(id);
+    for (int c : nodes_[id].children) {
+      if (nodes_[c].alive) walk(c);
+    }
+  };
+  walk(0);
+  return order;
+}
+
+DisplayTree ExplorationSession::BuildDisplayTree() const {
+  DisplayTree tree;
+  // Map alive nodes to dense indices, root first (pre-order).
+  std::vector<int> order = DisplayOrder();
+  std::vector<int> dense(nodes_.size(), -1);
+  for (size_t i = 0; i < order.size(); ++i) dense[order[i]] = static_cast<int>(i);
+  for (int id : order) {
+    DisplayTree::Node n;
+    n.rule = nodes_[id].rule;
+    n.estimated_mass = nodes_[id].mass;
+    n.parent = nodes_[id].parent >= 0 ? dense[nodes_[id].parent] : -1;
+    for (int c : nodes_[id].children) {
+      if (nodes_[c].alive) n.children.push_back(dense[c]);
+    }
+    n.expand_probability = 0;  // uniform-over-leaves default in the handler
+    tree.nodes.push_back(std::move(n));
+  }
+  return tree;
+}
+
+void ExplorationSession::AfterExpansion() {
+  if (sampler_ == nullptr) return;
+  sampler_->SetDisplayedTree(BuildDisplayTree());
+  if (options_.prefetch != Prefetcher::Mode::kDisabled) {
+    SampleHandler* handler = sampler_.get();
+    prefetcher_.Schedule([handler]() { return handler->Prefetch(); });
+  }
+}
+
+Status ExplorationSession::RefreshExactCounts() {
+  SMARTDD_RETURN_IF_ERROR(prefetcher_.Wait());
+  std::vector<int> order = DisplayOrder();
+  std::vector<Rule> rules;
+  for (int id : order) rules.push_back(nodes_[id].rule);
+
+  std::optional<size_t> measure;
+  if (options_.measure_column) {
+    SMARTDD_ASSIGN_OR_RETURN(
+        size_t m, prototype_.FindMeasure(*options_.measure_column));
+    measure = m;
+  }
+
+  std::vector<double> masses;
+  if (table_ != nullptr) {
+    TableView view(*table_);
+    if (measure) view.SelectMeasure(*measure);
+    for (const Rule& r : rules) masses.push_back(RuleMass(view, r));
+  } else if (sampler_ != nullptr) {
+    SMARTDD_ASSIGN_OR_RETURN(masses, sampler_->ExactMasses(rules, measure));
+  } else {
+    masses.assign(rules.size(), 0.0);
+    Status s = source_->Scan(
+        [&](uint64_t, const uint32_t* codes, const double* measures) {
+          double m = measure ? measures[*measure] : 1.0;
+          for (size_t i = 0; i < rules.size(); ++i) {
+            if (rules[i].Covers(codes)) masses[i] += m;
+          }
+          return true;
+        });
+    SMARTDD_RETURN_IF_ERROR(s);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    nodes_[order[i]].mass = masses[i];
+    nodes_[order[i]].exact = true;
+    nodes_[order[i]].ci_half_width = 0;
+  }
+  return Status::OK();
+}
+
+Status ExplorationSession::WaitForPrefetch() { return prefetcher_.Wait(); }
+
+}  // namespace smartdd

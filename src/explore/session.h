@@ -1,0 +1,127 @@
+#ifndef SMARTDD_EXPLORE_SESSION_H_
+#define SMARTDD_EXPLORE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/drilldown.h"
+#include "explore/prefetcher.h"
+#include "sampling/sample_handler.h"
+#include "storage/scan_source.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// Session configuration.
+struct SessionOptions {
+  /// Rules revealed per drill-down (the paper's k; its UI default is 3).
+  size_t k = 3;
+  /// mw cap; infinity derives it from the weight function.
+  double max_weight = std::numeric_limits<double>::infinity();
+  PruningMode pruning = PruningMode::kFull;
+  /// Route drill-downs through the SampleHandler instead of scanning the
+  /// table directly. Mandatory for sources that do not fit in memory.
+  bool use_sampling = false;
+  SampleHandlerOptions sampler;
+  /// Pre-fetch samples for likely next drill-downs after each expansion.
+  Prefetcher::Mode prefetch = Prefetcher::Mode::kDisabled;
+  /// Rank and display by Sum over this measure column instead of Count
+  /// (paper §6.3). Must name a measure column of the table/source.
+  std::optional<std::string> measure_column;
+};
+
+/// One displayed rule in the exploration tree.
+struct ExplorationNode {
+  Rule rule{0};
+  double weight = 0;
+  /// Displayed Count/Sum; estimated (scaled) in sampling mode.
+  double mass = 0;
+  /// MCount/MSum within the sibling rule list (paper §2.1; 0 for the root).
+  double marginal_mass = 0;
+  /// Whether `mass` is exact or a sample-based estimate.
+  bool exact = true;
+  /// 95% confidence half-width of the estimate (0 when exact).
+  double ci_half_width = 0;
+  int parent = -1;
+  std::vector<int> children;
+  int depth = 0;
+  bool alive = true;
+};
+
+/// Stateful smart drill-down exploration over a table (paper §2.3's
+/// interaction model): a tree of rules rooted at the trivial rule, where
+/// the user expands rules, expands stars, and collapses (rolls up).
+class ExplorationSession {
+ public:
+  /// In-memory mode: exact drill-downs over `table`.
+  /// `table` and `weight` must outlive the session.
+  ExplorationSession(const Table& table, const WeightFunction& weight,
+                     SessionOptions options = {});
+
+  /// Scan-source mode: drill-downs run on SampleHandler samples when
+  /// options.use_sampling is set (otherwise a one-off materialization scan
+  /// would be required; sampling is strongly recommended for disk sources).
+  ExplorationSession(const ScanSource& source, const WeightFunction& weight,
+                     SessionOptions options = {});
+
+  /// Root node id (the trivial rule).
+  int root() const { return 0; }
+
+  /// Smart drill-down on a displayed rule; returns ids of the new children.
+  /// Expanding an already-expanded node collapses it first (the paper's
+  /// toggle behaviour is split: see Collapse).
+  Result<std::vector<int>> Expand(int node_id);
+
+  /// Star drill-down: expand forcing instantiation of `column`.
+  Result<std::vector<int>> ExpandStar(int node_id, size_t column);
+
+  /// Roll up: removes the node's descendants from the display.
+  Status Collapse(int node_id);
+
+  bool IsExpanded(int node_id) const;
+
+  const ExplorationNode& node(int id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Displayed nodes in render order (pre-order walk of alive nodes).
+  std::vector<int> DisplayOrder() const;
+
+  /// Replaces estimated counts of displayed rules with exact counts
+  /// computed in one pass (the §4.3 background-refresh behaviour).
+  Status RefreshExactCounts();
+
+  /// Waits for any in-flight background prefetch (exposed for tests).
+  Status WaitForPrefetch();
+
+  const Table& prototype() const { return prototype_; }
+  const SampleHandler* sampler() const { return sampler_.get(); }
+  const std::optional<std::string>& measure_column() const {
+    return options_.measure_column;
+  }
+
+ private:
+  Result<DrillDownResponse> RunDrillDown(const Rule& base,
+                                         std::optional<size_t> star_column);
+  Result<std::vector<int>> ExpandInternal(int node_id,
+                                          std::optional<size_t> star_column);
+  void KillSubtree(int node_id);
+  DisplayTree BuildDisplayTree() const;
+  void AfterExpansion();
+
+  const WeightFunction* weight_;
+  SessionOptions options_;
+  // Exactly one of table_/source_ is set.
+  const Table* table_ = nullptr;
+  const ScanSource* source_ = nullptr;
+  Table prototype_;  // schema + shared dictionaries for rendering/parsing
+  std::unique_ptr<SampleHandler> sampler_;
+  Prefetcher prefetcher_;
+  std::vector<ExplorationNode> nodes_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_EXPLORE_SESSION_H_

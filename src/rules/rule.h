@@ -1,0 +1,86 @@
+#ifndef SMARTDD_RULES_RULE_H_
+#define SMARTDD_RULES_RULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace smartdd {
+
+/// The wildcard value: matches every value in a column (the paper's `?`).
+inline constexpr uint32_t kStar = 0xFFFFFFFFu;
+
+/// A rule is a tuple over the table's columns where each position is either
+/// a dictionary code or the `?` wildcard (kStar). A rule *covers* a tuple if
+/// every non-star position matches the tuple (paper §2.1).
+class Rule {
+ public:
+  /// Constructs the trivial rule (all stars) over `num_columns` columns.
+  explicit Rule(size_t num_columns)
+      : values_(num_columns, kStar) {}
+
+  /// Constructs a rule from explicit per-column values.
+  explicit Rule(std::vector<uint32_t> values) : values_(std::move(values)) {}
+
+  static Rule Trivial(size_t num_columns) { return Rule(num_columns); }
+
+  size_t num_columns() const { return values_.size(); }
+
+  uint32_t value(size_t col) const { return values_[col]; }
+  bool is_star(size_t col) const { return values_[col] == kStar; }
+
+  void set_value(size_t col, uint32_t code) {
+    SMARTDD_DCHECK(col < values_.size());
+    values_[col] = code;
+  }
+  void clear_value(size_t col) { values_[col] = kStar; }
+
+  /// Number of non-star positions (the paper's Size of a rule).
+  size_t size() const {
+    size_t s = 0;
+    for (uint32_t v : values_) s += (v != kStar);
+    return s;
+  }
+
+  bool is_trivial() const { return size() == 0; }
+
+  /// Indices of the instantiated (non-star) columns, ascending.
+  std::vector<size_t> InstantiatedColumns() const {
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < values_.size(); ++c) {
+      if (values_[c] != kStar) cols.push_back(c);
+    }
+    return cols;
+  }
+
+  /// True if this rule covers the tuple `codes` (one code per column).
+  bool Covers(const uint32_t* codes) const {
+    for (size_t c = 0; c < values_.size(); ++c) {
+      if (values_[c] != kStar && values_[c] != codes[c]) return false;
+    }
+    return true;
+  }
+
+  const std::vector<uint32_t>& values() const { return values_; }
+
+  bool operator==(const Rule& other) const { return values_ == other.values_; }
+  bool operator!=(const Rule& other) const { return !(*this == other); }
+
+  uint64_t Hash() const { return HashCodes(values_); }
+
+ private:
+  std::vector<uint32_t> values_;
+};
+
+/// Hash functor for using Rule in unordered containers.
+struct RuleHash {
+  size_t operator()(const Rule& r) const {
+    return static_cast<size_t>(r.Hash());
+  }
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_RULES_RULE_H_

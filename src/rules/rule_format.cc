@@ -1,0 +1,45 @@
+#include "rules/rule_format.h"
+
+#include "common/string_util.h"
+
+namespace smartdd {
+
+std::vector<std::string> RuleCells(const Rule& rule, const Table& table) {
+  std::vector<std::string> cells;
+  cells.reserve(rule.num_columns());
+  for (size_t c = 0; c < rule.num_columns(); ++c) {
+    if (rule.is_star(c)) {
+      cells.push_back("?");
+    } else {
+      cells.push_back(table.dictionary(c).ValueOf(rule.value(c)));
+    }
+  }
+  return cells;
+}
+
+std::string RuleToString(const Rule& rule, const Table& table) {
+  return "(" + Join(RuleCells(rule, table), ", ") + ")";
+}
+
+Result<Rule> ParseRule(const std::vector<std::string>& cells,
+                       const Table& table) {
+  if (cells.size() != table.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("rule has %zu cells, table has %zu columns", cells.size(),
+                  table.num_columns()));
+  }
+  Rule rule(cells.size());
+  for (size_t c = 0; c < cells.size(); ++c) {
+    if (cells[c] == "?" || cells[c] == "*") continue;
+    auto code = table.dictionary(c).Find(cells[c]);
+    if (!code) {
+      return Status::NotFound(StrFormat("value '%s' not found in column '%s'",
+                                        cells[c].c_str(),
+                                        table.schema().name(c).c_str()));
+    }
+    rule.set_value(c, *code);
+  }
+  return rule;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,26 @@
+#ifndef SMARTDD_RULES_RULE_FORMAT_H_
+#define SMARTDD_RULES_RULE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// Decodes the cells of a rule against a table's dictionaries; stars render
+/// as "?".
+std::vector<std::string> RuleCells(const Rule& rule, const Table& table);
+
+/// One-line rendering, e.g. "(Walmart, ?, CA-1)".
+std::string RuleToString(const Rule& rule, const Table& table);
+
+/// Parses a rule from cell strings ("?" or "*" = star). Each non-star value
+/// must exist in the corresponding column dictionary.
+Result<Rule> ParseRule(const std::vector<std::string>& cells,
+                       const Table& table);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_RULES_RULE_FORMAT_H_

@@ -1,0 +1,55 @@
+#ifndef SMARTDD_RULES_RULE_OPS_H_
+#define SMARTDD_RULES_RULE_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/rule.h"
+#include "storage/table_view.h"
+
+namespace smartdd {
+
+/// True if `general` is a sub-rule of `specific` (paper §2.1): `general` has
+/// stars wherever it differs, so every tuple covered by `specific` is covered
+/// by `general`. Non-strict: every rule is a sub-rule of itself.
+/// Example: (a, ?) is a sub-rule of (a, b).
+bool IsSubRuleOf(const Rule& general, const Rule& specific);
+
+/// True if `specific` is a super-rule of `general` (the inverse relation).
+inline bool IsSuperRuleOf(const Rule& specific, const Rule& general) {
+  return IsSubRuleOf(general, specific);
+}
+
+/// Merges two rules into the least specific common super-rule. Fails if the
+/// rules conflict (both instantiate a column with different values).
+Result<Rule> MergeRules(const Rule& a, const Rule& b);
+
+/// True if rule `r` covers the `i`-th row of the view.
+inline bool RuleCoversRow(const Rule& r, const TableView& view, uint64_t i) {
+  for (size_t c = 0; c < r.num_columns(); ++c) {
+    uint32_t v = r.value(c);
+    if (v != kStar && v != view.code(c, i)) return false;
+  }
+  return true;
+}
+
+/// Total mass (Count, or Sum of the selected measure) of tuples covered by
+/// `r` in the view. This is the paper's Count(r) / Sum(r).
+double RuleMass(const TableView& view, const Rule& r);
+
+/// Row ids (into the underlying table) of view rows covered by `r`.
+std::vector<uint32_t> FilterRows(const TableView& view, const Rule& r);
+
+/// A subset view of `view` restricted to rows covered by `r`.
+TableView FilterView(const TableView& view, const Rule& r);
+
+/// Selectivity ratio S(r1, r2) from paper §4.1: the fraction of r1-covered
+/// mass that is also covered by r2, for r1 a sub-rule of r2 (0 otherwise; 0
+/// when r1 covers nothing). Used by the sample-allocation problem.
+double SelectivityRatio(const TableView& view, const Rule& general,
+                        const Rule& specific);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_RULES_RULE_OPS_H_

@@ -1,0 +1,411 @@
+#include "sampling/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+
+namespace {
+
+std::vector<double> ComputeEss(const AllocationProblem& p,
+                               const std::vector<uint64_t>& n) {
+  std::vector<double> ess(p.num_nodes(), 0.0);
+  for (size_t i = 0; i < p.num_nodes(); ++i) {
+    for (const auto& [j, s] : p.contributions[i]) {
+      ess[i] += static_cast<double>(n[j]) * s;
+    }
+  }
+  return ess;
+}
+
+}  // namespace
+
+AllocationProblem MakeTreeAllocationProblem(
+    const std::vector<int>& parent, const std::vector<double>& selectivity,
+    const std::vector<double>& probability, double memory_capacity,
+    double min_sample_size) {
+  SMARTDD_CHECK(parent.size() == selectivity.size());
+  SMARTDD_CHECK(parent.size() == probability.size());
+  AllocationProblem p;
+  p.probability = probability;
+  p.contributions.resize(parent.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    p.contributions[i].emplace_back(i, 1.0);
+    if (parent[i] >= 0 && selectivity[i] > 0) {
+      p.contributions[i].emplace_back(static_cast<size_t>(parent[i]),
+                                      selectivity[i]);
+    }
+  }
+  p.memory_capacity = memory_capacity;
+  p.min_sample_size = min_sample_size;
+  return p;
+}
+
+double EvaluateAllocation(const AllocationProblem& p,
+                          const std::vector<uint64_t>& n) {
+  SMARTDD_CHECK(n.size() == p.num_nodes());
+  std::vector<double> ess = ComputeEss(p, n);
+  double value = 0;
+  for (size_t i = 0; i < p.num_nodes(); ++i) {
+    if (p.probability[i] > 0 && ess[i] >= p.min_sample_size) {
+      value += p.probability[i];
+    }
+  }
+  return value;
+}
+
+double EvaluateAllocationHinge(const AllocationProblem& p,
+                               const std::vector<uint64_t>& n) {
+  SMARTDD_CHECK(n.size() == p.num_nodes());
+  std::vector<double> ess = ComputeEss(p, n);
+  double value = 0;
+  for (size_t i = 0; i < p.num_nodes(); ++i) {
+    if (p.probability[i] > 0 && p.min_sample_size > 0) {
+      value += p.probability[i] * std::min(1.0, ess[i] / p.min_sample_size);
+    }
+  }
+  return value;
+}
+
+// --- §4.1 Pareto/DP solver ---------------------------------------------
+
+namespace {
+
+/// One locally-optimal configuration of a parent group: parent sample size
+/// plus explicit top-ups for a subset of children.
+struct GroupPoint {
+  uint64_t cost = 0;    // parent n + sum of child top-ups
+  double value = 0;     // served probability
+  uint64_t parent_n = 0;
+  std::vector<std::pair<size_t, uint64_t>> child_n;  // (node, n)
+};
+
+/// Drops dominated (cost, value) points; keeps points sorted by cost.
+std::vector<GroupPoint> ParetoPrune(std::vector<GroupPoint> points) {
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.value > b.value;
+  });
+  std::vector<GroupPoint> out;
+  double best_value = -1;
+  for (auto& pt : points) {
+    if (pt.value > best_value) {
+      best_value = pt.value;
+      out.push_back(std::move(pt));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AllocationResult> SolveAllocationDp(const AllocationProblem& p) {
+  const size_t n_nodes = p.num_nodes();
+  const double minss = p.min_sample_size;
+  const uint64_t capacity = static_cast<uint64_t>(p.memory_capacity);
+
+  // Recover the tree shape and verify the restricted contribution model.
+  std::vector<int> parent(n_nodes, -1);
+  std::vector<double> sel(n_nodes, 0.0);
+  for (size_t i = 0; i < n_nodes; ++i) {
+    bool has_self = false;
+    for (const auto& [j, s] : p.contributions[i]) {
+      if (j == i) {
+        if (s != 1.0) {
+          return Status::InvalidArgument(
+              "DP solver requires self-contribution ratio 1");
+        }
+        has_self = true;
+      } else {
+        if (parent[i] != -1) {
+          return Status::InvalidArgument(
+              "DP solver requires the tree-restricted model (at most one "
+              "non-self contributor per node)");
+        }
+        parent[i] = static_cast<int>(j);
+        sel[i] = s;
+      }
+    }
+    if (!has_self) {
+      return Status::InvalidArgument("node missing self-contribution");
+    }
+  }
+
+  // Group leaves (probability > 0) under their parents. Leaves without a
+  // parent form singleton groups with a virtual parent of -1.
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n_nodes; ++i) {
+    if (p.probability[i] > 0) groups[parent[i]].push_back(i);
+  }
+
+  // Enumerate locally optimal points per group.
+  std::vector<std::vector<GroupPoint>> group_points;
+  for (const auto& [par, children] : groups) {
+    std::vector<GroupPoint> points;
+    // Candidate parent sample sizes: 0 and the critical values minSS/S_i at
+    // which each child becomes free (cost is piecewise-linear in parent_n,
+    // so optima sit on these breakpoints).
+    std::vector<uint64_t> parent_candidates = {0};
+    if (par >= 0) {
+      for (size_t child : children) {
+        if (sel[child] > 0) {
+          double crit = minss / sel[child];
+          uint64_t v = static_cast<uint64_t>(std::ceil(crit));
+          if (v <= capacity) parent_candidates.push_back(v);
+        }
+      }
+    }
+    std::sort(parent_candidates.begin(), parent_candidates.end());
+    parent_candidates.erase(
+        std::unique(parent_candidates.begin(), parent_candidates.end()),
+        parent_candidates.end());
+
+    const size_t d = children.size();
+    SMARTDD_CHECK(d < 20) << "too many children in one group";
+    for (uint64_t pn : parent_candidates) {
+      // Children already served by the parent's sample alone.
+      std::vector<size_t> free_children;
+      std::vector<size_t> paying;  // need a top-up to be served
+      double free_value = 0;
+      for (size_t child : children) {
+        double from_parent = par >= 0 ? pn * sel[child] : 0.0;
+        if (from_parent >= minss) {
+          free_children.push_back(child);
+          free_value += p.probability[child];
+        } else {
+          paying.push_back(child);
+        }
+      }
+      // All subsets of paying children to top up.
+      const uint32_t limit = 1u << paying.size();
+      for (uint32_t mask = 0; mask < limit; ++mask) {
+        GroupPoint pt;
+        pt.parent_n = pn;
+        pt.cost = pn;
+        pt.value = free_value;
+        bool feasible = true;
+        for (size_t b = 0; b < paying.size(); ++b) {
+          if (!(mask & (1u << b))) continue;
+          size_t child = paying[b];
+          double from_parent = par >= 0 ? pn * sel[child] : 0.0;
+          uint64_t topup =
+              static_cast<uint64_t>(std::ceil(minss - from_parent));
+          pt.cost += topup;
+          if (pt.cost > capacity) {
+            feasible = false;
+            break;
+          }
+          pt.value += p.probability[child];
+          pt.child_n.emplace_back(child, topup);
+        }
+        if (feasible && pt.cost <= capacity) points.push_back(std::move(pt));
+      }
+    }
+    group_points.push_back(ParetoPrune(std::move(points)));
+  }
+
+  // Knapsack-style DP over memory (the paper's A[i+1][j] recurrence).
+  const size_t cap = static_cast<size_t>(capacity);
+  std::vector<double> best(cap + 1, 0.0);
+  std::vector<std::vector<int>> choice(group_points.size(),
+                                       std::vector<int>(cap + 1, -1));
+  for (size_t g = 0; g < group_points.size(); ++g) {
+    std::vector<double> next = best;
+    for (size_t j = 0; j <= cap; ++j) {
+      for (size_t pi = 0; pi < group_points[g].size(); ++pi) {
+        const GroupPoint& pt = group_points[g][pi];
+        if (pt.cost > j) continue;
+        double v = best[j - pt.cost] + pt.value;
+        if (v > next[j]) {
+          next[j] = v;
+          choice[g][j] = static_cast<int>(pi);
+        }
+      }
+    }
+    best = std::move(next);
+  }
+
+  // Backtrack.
+  AllocationResult result;
+  result.sample_size.assign(n_nodes, 0);
+  size_t j = cap;
+  // The DP table is monotone in j; start from full capacity.
+  std::vector<int> picked(group_points.size(), -1);
+  for (size_t g = group_points.size(); g-- > 0;) {
+    int pi = choice[g][j];
+    picked[g] = pi;
+    if (pi >= 0) {
+      j -= static_cast<size_t>(group_points[g][pi].cost);
+    }
+  }
+  size_t gi = 0;
+  for (const auto& [par, children] : groups) {
+    int pi = picked[gi];
+    if (pi >= 0) {
+      const GroupPoint& pt = group_points[gi][static_cast<size_t>(pi)];
+      if (par >= 0) {
+        result.sample_size[static_cast<size_t>(par)] =
+            std::max(result.sample_size[static_cast<size_t>(par)],
+                     pt.parent_n);
+      }
+      for (const auto& [child, n] : pt.child_n) {
+        result.sample_size[child] = std::max(result.sample_size[child], n);
+      }
+    }
+    ++gi;
+  }
+  result.objective = EvaluateAllocation(p, result.sample_size);
+  return result;
+}
+
+// --- §4.2 convex solver --------------------------------------------------
+
+namespace {
+
+/// Euclidean projection onto {x >= 0, sum x <= M} (Duchi et al. style).
+void ProjectOntoBudget(std::vector<double>& x, double m) {
+  for (double& v : x) v = std::max(0.0, v);
+  double total = 0;
+  for (double v : x) total += v;
+  if (total <= m) return;
+  // Project onto the simplex {x >= 0, sum x = M}.
+  std::vector<double> sorted = x;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumulative = 0;
+  double theta = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    cumulative += sorted[i];
+    double t = (cumulative - m) / static_cast<double>(i + 1);
+    if (sorted[i] - t > 0) {
+      theta = t;
+    } else {
+      break;
+    }
+  }
+  for (double& v : x) v = std::max(0.0, v - theta);
+}
+
+}  // namespace
+
+AllocationResult SolveAllocationConvex(const AllocationProblem& p,
+                                       int iterations) {
+  const size_t n_nodes = p.num_nodes();
+  const double minss = p.min_sample_size;
+  std::vector<double> x(n_nodes, 0.0);
+
+  // Reverse index: which leaves does node j feed, and with what ratio.
+  std::vector<std::vector<std::pair<size_t, double>>> feeds(n_nodes);
+  for (size_t i = 0; i < n_nodes; ++i) {
+    if (p.probability[i] <= 0) continue;
+    for (const auto& [j, s] : p.contributions[i]) {
+      feeds[j].emplace_back(i, s);
+    }
+  }
+
+  const double lr0 = p.memory_capacity > 0 ? p.memory_capacity / 4.0 : 1.0;
+  std::vector<double> grad(n_nodes);
+  for (int it = 0; it < iterations; ++it) {
+    // Subgradient of sum_i p_i * min(1, ess_i/minSS).
+    std::vector<double> ess(n_nodes, 0.0);
+    for (size_t i = 0; i < n_nodes; ++i) {
+      for (const auto& [j, s] : p.contributions[i]) ess[i] += x[j] * s;
+    }
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t j = 0; j < n_nodes; ++j) {
+      for (const auto& [leaf, s] : feeds[j]) {
+        if (ess[leaf] < minss) {
+          grad[j] += p.probability[leaf] * s / minss;
+        }
+      }
+    }
+    // Normalized subgradient step with 1/sqrt(t) decay: step *length* is
+    // independent of the objective's (tiny) gradient scale, so the iterate
+    // can traverse the whole budget box within the iteration budget.
+    double norm = 0;
+    for (double g : grad) norm += g * g;
+    norm = std::sqrt(norm);
+    if (norm == 0) continue;  // all leaves served; any point here is optimal
+    double lr = lr0 / std::sqrt(static_cast<double>(it + 1));
+    for (size_t j = 0; j < n_nodes; ++j) x[j] += lr * grad[j] / norm;
+    ProjectOntoBudget(x, p.memory_capacity);
+  }
+
+  AllocationResult result;
+  result.sample_size.resize(n_nodes);
+  // Round *up* to integers (the paper: "round them up ... increases the
+  // memory usage by at most |U|"), then trim back under the capacity.
+  uint64_t total = 0;
+  for (size_t j = 0; j < n_nodes; ++j) {
+    result.sample_size[j] = static_cast<uint64_t>(std::ceil(x[j] - 1e-9));
+    total += result.sample_size[j];
+  }
+  uint64_t capacity = static_cast<uint64_t>(p.memory_capacity);
+  while (total > capacity) {
+    size_t largest = 0;
+    for (size_t j = 1; j < n_nodes; ++j) {
+      if (result.sample_size[j] > result.sample_size[largest]) largest = j;
+    }
+    if (result.sample_size[largest] == 0) break;
+    --result.sample_size[largest];
+    --total;
+  }
+  result.objective = EvaluateAllocation(p, result.sample_size);
+  return result;
+}
+
+AllocationResult SolveAllocationUniform(const AllocationProblem& p) {
+  AllocationResult result;
+  result.sample_size.assign(p.num_nodes(), 0);
+  std::vector<size_t> leaves;
+  for (size_t i = 0; i < p.num_nodes(); ++i) {
+    if (p.probability[i] > 0) leaves.push_back(i);
+  }
+  if (!leaves.empty()) {
+    uint64_t share = static_cast<uint64_t>(p.memory_capacity) /
+                     static_cast<uint64_t>(leaves.size());
+    share = std::min<uint64_t>(share,
+                               static_cast<uint64_t>(p.min_sample_size));
+    for (size_t i : leaves) result.sample_size[i] = share;
+  }
+  result.objective = EvaluateAllocation(p, result.sample_size);
+  return result;
+}
+
+AllocationResult SolveAllocationBruteForce(const AllocationProblem& p,
+                                           uint64_t granularity) {
+  SMARTDD_CHECK(granularity > 0);
+  const size_t n_nodes = p.num_nodes();
+  SMARTDD_CHECK(n_nodes <= 6) << "brute force limited to tiny instances";
+  const uint64_t capacity = static_cast<uint64_t>(p.memory_capacity);
+
+  AllocationResult best;
+  best.sample_size.assign(n_nodes, 0);
+  best.objective = EvaluateAllocation(p, best.sample_size);
+
+  std::vector<uint64_t> current(n_nodes, 0);
+  std::function<void(size_t, uint64_t)> recurse = [&](size_t i,
+                                                      uint64_t used) {
+    if (i == n_nodes) {
+      double v = EvaluateAllocation(p, current);
+      if (v > best.objective) {
+        best.objective = v;
+        best.sample_size = current;
+      }
+      return;
+    }
+    for (uint64_t n = 0; used + n <= capacity; n += granularity) {
+      current[i] = n;
+      recurse(i + 1, used + n);
+    }
+    current[i] = 0;
+  };
+  recurse(0, 0);
+  return best;
+}
+
+}  // namespace smartdd

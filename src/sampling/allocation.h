@@ -1,0 +1,81 @@
+#ifndef SMARTDD_SAMPLING_ALLOCATION_H_
+#define SMARTDD_SAMPLING_ALLOCATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartdd {
+
+/// The memory-allocation problem of paper §4.1 (Problem 5): given the tree
+/// of displayed rules, decide how many sampled tuples n_r to keep per rule
+/// so that the next drill-down can be answered from memory with maximum
+/// probability.
+///
+/// ess(i) = sum over contributors (j, S) of n_j * S — the expected number of
+/// sample tuples usable for node i. A leaf i is "served" when
+/// ess(i) >= min_sample_size; the objective is
+///   maximize sum over leaves i of probability[i] * I[ess(i) >= minSS]
+///   subject to sum_i n_i <= memory_capacity.
+struct AllocationProblem {
+  /// Per node: probability that the user expands this node next (0 for
+  /// internal/expanded nodes).
+  std::vector<double> probability;
+  /// Per node i: contributors (j, S(j, i)). By convention every node
+  /// contributes to itself with ratio 1 — include (i, 1.0) explicitly.
+  std::vector<std::vector<std::pair<size_t, double>>> contributions;
+  double memory_capacity = 0;   ///< M, in tuples
+  double min_sample_size = 0;   ///< minSS
+
+  size_t num_nodes() const { return probability.size(); }
+};
+
+/// Builds the tree-restricted instance of §4.1: node i's ess receives
+/// contributions only from itself (ratio 1) and its parent
+/// (ratio selectivity[i] = S(parent_i, i)). parent[i] < 0 marks the root.
+AllocationProblem MakeTreeAllocationProblem(
+    const std::vector<int>& parent, const std::vector<double>& selectivity,
+    const std::vector<double>& probability, double memory_capacity,
+    double min_sample_size);
+
+struct AllocationResult {
+  std::vector<uint64_t> sample_size;  ///< n_r per node
+  double objective = 0;               ///< expected served probability
+};
+
+/// Exact objective of an allocation (step objective of Problem 5).
+double EvaluateAllocation(const AllocationProblem& problem,
+                          const std::vector<uint64_t>& sample_size);
+
+/// Hinge-loss objective of Problem 6: sum p_i * min(1, ess_i / minSS).
+double EvaluateAllocationHinge(const AllocationProblem& problem,
+                               const std::vector<uint64_t>& sample_size);
+
+/// §4.1 Pareto/DP solver. Requires the tree-restricted contribution shape
+/// (each node: itself + optionally its parent). Enumerates, per parent
+/// group, the locally-Pareto-optimal (memory cost, probability) points over
+/// the 3-way child classification, then combines groups with a knapsack-
+/// style DP over memory. Exact for the tree-restricted model (up to the
+/// integer discretization of the memory axis).
+Result<AllocationResult> SolveAllocationDp(const AllocationProblem& problem);
+
+/// §4.2 convex relaxation: maximizes the hinge objective by projected
+/// gradient ascent over {n >= 0, sum n <= M} (exact Euclidean projection),
+/// then rounds to integers. Handles arbitrary contribution structure.
+AllocationResult SolveAllocationConvex(const AllocationProblem& problem,
+                                       int iterations = 400);
+
+/// Baseline: splits memory uniformly across nodes with positive probability
+/// (leaves), one equal share each, capped at minSS per node.
+AllocationResult SolveAllocationUniform(const AllocationProblem& problem);
+
+/// Exhaustive grid search over multiples of `granularity` — ground truth
+/// for tiny test instances.
+AllocationResult SolveAllocationBruteForce(const AllocationProblem& problem,
+                                           uint64_t granularity);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_SAMPLING_ALLOCATION_H_

@@ -1,0 +1,43 @@
+#include "sampling/knapsack.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace smartdd {
+
+KnapsackResult SolveKnapsack(const std::vector<uint64_t>& weights,
+                             const std::vector<double>& values,
+                             uint64_t capacity) {
+  SMARTDD_CHECK(weights.size() == values.size());
+  const size_t n = weights.size();
+  const size_t cap = static_cast<size_t>(capacity);
+
+  // dp[i][j] = max value using items [0, i) with capacity j. Full 2-D table
+  // for unambiguous reconstruction; instances here are small.
+  std::vector<std::vector<double>> dp(n + 1,
+                                      std::vector<double>(cap + 1, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= cap; ++j) {
+      dp[i + 1][j] = dp[i][j];
+      if (weights[i] <= j) {
+        double v = dp[i][j - weights[i]] + values[i];
+        if (v > dp[i + 1][j]) dp[i + 1][j] = v;
+      }
+    }
+  }
+
+  KnapsackResult result;
+  result.best_value = dp[n][cap];
+  result.chosen.assign(n, false);
+  size_t j = cap;
+  for (size_t i = n; i-- > 0;) {
+    if (dp[i + 1][j] != dp[i][j]) {
+      result.chosen[i] = true;
+      j -= static_cast<size_t>(weights[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace smartdd

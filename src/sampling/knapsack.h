@@ -1,0 +1,26 @@
+#ifndef SMARTDD_SAMPLING_KNAPSACK_H_
+#define SMARTDD_SAMPLING_KNAPSACK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace smartdd {
+
+/// Exact 0/1 knapsack (DP over capacity). Companion to the Lemma 4
+/// NP-hardness proof: the paper reduces knapsack to the sample-allocation
+/// problem; tests/allocation_test.cc builds that reduction and checks that
+/// the allocation solvers recover knapsack answers.
+struct KnapsackResult {
+  double best_value = 0;
+  std::vector<bool> chosen;
+};
+
+/// weights[i] and `capacity` are integers; values are arbitrary
+/// non-negative doubles. O(n * capacity) time and memory.
+KnapsackResult SolveKnapsack(const std::vector<uint64_t>& weights,
+                             const std::vector<double>& values,
+                             uint64_t capacity);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_SAMPLING_KNAPSACK_H_

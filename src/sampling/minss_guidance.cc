@@ -1,0 +1,33 @@
+#include "sampling/minss_guidance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace smartdd {
+
+double MinSampleSizeForFraction(double covered_fraction, double rho) {
+  SMARTDD_CHECK(covered_fraction > 0 && covered_fraction <= 1);
+  SMARTDD_CHECK(rho > 0);
+  return rho * (1.0 - covered_fraction) / covered_fraction;
+}
+
+double RecommendMinSampleSize(size_t num_columns,
+                              uint32_t min_dictionary_size, double rho) {
+  SMARTDD_CHECK(num_columns > 0);
+  SMARTDD_CHECK(min_dictionary_size > 0);
+  double x = 1.0 / (static_cast<double>(num_columns) *
+                    static_cast<double>(min_dictionary_size));
+  return MinSampleSizeForFraction(x, rho);
+}
+
+double CountConfidenceHalfWidth(double sample_mass, double sample_size,
+                                double scale, double z) {
+  if (sample_size <= 0 || sample_mass <= 0) return 0;
+  double p = std::min(1.0, sample_mass / sample_size);
+  double sd = std::sqrt(sample_mass * (1.0 - p));
+  return z * scale * sd;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,33 @@
+#ifndef SMARTDD_SAMPLING_MINSS_GUIDANCE_H_
+#define SMARTDD_SAMPLING_MINSS_GUIDANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smartdd {
+
+/// Parameter guidance for minSS (paper §4.2, "Setting minSS").
+///
+/// To estimate the count of a rule covering an x-fraction of the table from
+/// a sample of size |Ts| with low relative error, one needs
+/// |Ts| >> rho * (1-x)/x for an accuracy constant rho.
+double MinSampleSizeForFraction(double covered_fraction, double rho);
+
+/// The Size-weighting bound: the top rule covers at least a
+/// 1/(num_columns * min_dictionary_size) fraction of the table, so
+/// minSS should exceed rho * num_columns * min_dictionary_size.
+/// (Paper example: |T|=10000, |c|=5, |C|=10 -> minSS >> 50.)
+double RecommendMinSampleSize(size_t num_columns,
+                              uint32_t min_dictionary_size, double rho);
+
+/// Half-width of the normal-approximation confidence interval for a count
+/// estimated from a uniform sample: the rule covered `sample_mass` of
+/// `sample_size` sampled tuples, each standing for `scale` table tuples.
+/// Estimate = scale * sample_mass; returned half-width is
+/// z * scale * sqrt(sample_mass * (1 - sample_mass/sample_size)).
+double CountConfidenceHalfWidth(double sample_mass, double sample_size,
+                                double scale, double z = 1.96);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_SAMPLING_MINSS_GUIDANCE_H_

@@ -1,0 +1,374 @@
+#include "sampling/sample_handler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "rules/rule_ops.h"
+#include "sampling/reservoir.h"
+
+namespace smartdd {
+
+SampleHandler::SampleHandler(const ScanSource& source,
+                             SampleHandlerOptions options)
+    : source_(&source), options_(options) {
+  SMARTDD_CHECK(options_.min_sample_size <= options_.memory_capacity)
+      << "minSS cannot exceed memory capacity M";
+}
+
+uint64_t SampleHandler::memory_used() const {
+  uint64_t total = 0;
+  for (const auto& s : samples_) total += s->memory_tuples();
+  return total;
+}
+
+std::optional<double> SampleHandler::KnownExactMass(const Rule& rule) const {
+  for (const auto& [r, m] : exact_masses_) {
+    if (r == rule) return m;
+  }
+  return std::nullopt;
+}
+
+Result<SampleRequest> SampleHandler::TryFind(const Rule& rule) {
+  for (const auto& s : samples_) {
+    if (s->filter() == rule &&
+        (s->size() >= options_.min_sample_size ||
+         // A sample holding *all* covered tuples (scale 1) is complete even
+         // if smaller than minSS: the rule simply covers few tuples.
+         s->scale() <= 1.0)) {
+      SampleRequest req;
+      req.table = s->Materialize();
+      req.scale = s->scale();
+      req.mechanism = SampleMechanism::kFind;
+      ++finds_;
+      return req;
+    }
+  }
+  return Status::NotFound("no exact-filter sample of sufficient size");
+}
+
+Result<SampleRequest> SampleHandler::TryCombine(const Rule& rule) {
+  // Gather all samples whose filter is a (non-strict) sub-rule of `rule`:
+  // every tuple covered by `rule` is covered by those filters, so each such
+  // sample may contain usable tuples.
+  std::vector<const Sample*> sources;
+  for (const auto& s : samples_) {
+    if (IsSubRuleOf(s->filter(), rule)) sources.push_back(s.get());
+  }
+  if (sources.empty()) {
+    return Status::NotFound("no sub-rule samples to combine");
+  }
+
+  // A tuple covered by `rule` appears in sample s with probability
+  // 1/scale(s) (independent samples); the union's inclusion probability is
+  // 1 - prod(1 - 1/scale_s), giving the Horvitz-Thompson scaling. This
+  // reduces to the paper's N_s for a single source sample.
+  double miss_prob = 1.0;
+  for (const Sample* s : sources) {
+    double p = s->scale() > 0 ? std::min(1.0, 1.0 / s->scale()) : 1.0;
+    miss_prob *= (1.0 - p);
+  }
+  double include_prob = 1.0 - miss_prob;
+  if (include_prob <= 0) {
+    return Status::NotFound("combined samples have zero inclusion mass");
+  }
+
+  Table table = source_->MakeEmptyTable();
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint32_t> codes(table.num_columns());
+  std::vector<double> measures(table.num_measures());
+  for (const Sample* s : sources) {
+    for (size_t slot = 0; slot < s->size(); ++slot) {
+      s->GetRow(slot, codes.data());
+      if (!rule.Covers(codes.data())) continue;
+      if (!seen.insert(s->row_id(slot)).second) continue;
+      s->GetMeasures(slot, measures.data());
+      table.AppendRow(codes, measures);
+    }
+  }
+
+  // Was the union complete (some source held *all* covered tuples)?
+  bool complete = false;
+  for (const Sample* s : sources) {
+    if (s->scale() <= 1.0) complete = true;
+  }
+  if (table.num_rows() < options_.min_sample_size && !complete) {
+    return Status::NotFound("combined sub-rule samples below minSS");
+  }
+
+  SampleRequest req;
+  req.table = std::move(table);
+  req.scale = complete ? 1.0 : 1.0 / include_prob;
+  req.mechanism = SampleMechanism::kCombine;
+  ++combines_;
+  return req;
+}
+
+void SampleHandler::PlanAllocation(const Rule& extra,
+                                   std::vector<Rule>* rules,
+                                   std::vector<uint64_t>* capacities) const {
+  rules->clear();
+  capacities->clear();
+
+  const uint64_t m = options_.memory_capacity;
+  const uint64_t minss = options_.min_sample_size;
+
+  if (!tree_) {
+    uint64_t cap = std::max<uint64_t>(
+        minss, static_cast<uint64_t>(options_.create_capacity_fraction *
+                                     static_cast<double>(m)));
+    rules->push_back(extra);
+    capacities->push_back(std::min(cap, m));
+    return;
+  }
+
+  const DisplayTree& tree = *tree_;
+  const size_t n = tree.nodes.size();
+
+  // Selectivity S(parent, child) = mass(child)/mass(parent); probabilities
+  // default to uniform over leaves when unset.
+  std::vector<int> parent(n);
+  std::vector<double> sel(n, 0.0);
+  std::vector<double> prob(n, 0.0);
+  double prob_total = 0;
+  size_t leaf_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    parent[i] = tree.nodes[i].parent;
+    if (parent[i] >= 0) {
+      double pm = tree.nodes[static_cast<size_t>(parent[i])].estimated_mass;
+      sel[i] = pm > 0 ? tree.nodes[i].estimated_mass / pm : 0.0;
+      sel[i] = std::clamp(sel[i], 0.0, 1.0);
+    }
+    if (tree.nodes[i].children.empty() && i != 0) {
+      ++leaf_count;
+      prob[i] = tree.nodes[i].expand_probability;
+      prob_total += prob[i];
+    }
+  }
+  if (prob_total <= 0 && leaf_count > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (tree.nodes[i].children.empty() && i != 0) {
+        prob[i] = 1.0 / static_cast<double>(leaf_count);
+      }
+    }
+  } else if (prob_total > 0) {
+    for (auto& pv : prob) pv /= prob_total;
+  }
+
+  AllocationProblem problem = MakeTreeAllocationProblem(
+      parent, sel, prob, static_cast<double>(m), static_cast<double>(minss));
+
+  AllocationResult alloc;
+  switch (options_.allocation) {
+    case AllocationStrategy::kParetoDp: {
+      auto r = SolveAllocationDp(problem);
+      if (r.ok()) {
+        alloc = std::move(r).value();
+      } else {
+        alloc = SolveAllocationConvex(problem);
+      }
+      break;
+    }
+    case AllocationStrategy::kConvex:
+      alloc = SolveAllocationConvex(problem);
+      break;
+    case AllocationStrategy::kUniform:
+      alloc = SolveAllocationUniform(problem);
+      break;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (alloc.sample_size[i] > 0) {
+      rules->push_back(tree.nodes[i].rule);
+      capacities->push_back(alloc.sample_size[i]);
+    }
+  }
+
+  // Guarantee the requested rule a sample of at least minSS.
+  bool extra_present = false;
+  for (size_t i = 0; i < rules->size(); ++i) {
+    if ((*rules)[i] == extra) {
+      (*capacities)[i] = std::max<uint64_t>((*capacities)[i], minss);
+      extra_present = true;
+    }
+  }
+  if (!extra_present) {
+    rules->push_back(extra);
+    capacities->push_back(minss);
+  }
+
+  // Enforce the memory cap: shrink the largest allocations first, never
+  // below minSS for the requested rule.
+  uint64_t total = 0;
+  for (uint64_t c : *capacities) total += c;
+  while (total > m) {
+    size_t largest = 0;
+    for (size_t i = 1; i < capacities->size(); ++i) {
+      if ((*capacities)[i] > (*capacities)[largest]) largest = i;
+    }
+    uint64_t reduce = std::min<uint64_t>(total - m, (*capacities)[largest]);
+    if ((*rules)[largest] == extra) {
+      uint64_t floor_cap = std::min<uint64_t>(minss, m);
+      uint64_t room = (*capacities)[largest] > floor_cap
+                          ? (*capacities)[largest] - floor_cap
+                          : 0;
+      reduce = std::min(reduce, room);
+      if (reduce == 0) {
+        // Shrink others instead.
+        bool shrunk = false;
+        for (size_t i = 0; i < capacities->size() && total > m; ++i) {
+          if (i == largest) continue;
+          uint64_t cut = std::min<uint64_t>((*capacities)[i], total - m);
+          (*capacities)[i] -= cut;
+          total -= cut;
+          if (cut > 0) shrunk = true;
+        }
+        if (!shrunk) break;
+        continue;
+      }
+    }
+    (*capacities)[largest] -= reduce;
+    total -= reduce;
+    if (reduce == 0) break;
+  }
+  // Drop empty allocations.
+  std::vector<Rule> rr;
+  std::vector<uint64_t> cc;
+  for (size_t i = 0; i < rules->size(); ++i) {
+    if ((*capacities)[i] > 0) {
+      rr.push_back((*rules)[i]);
+      cc.push_back((*capacities)[i]);
+    }
+  }
+  *rules = std::move(rr);
+  *capacities = std::move(cc);
+}
+
+Result<std::vector<double>> SampleHandler::CreateSamples(
+    const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities) {
+  SMARTDD_CHECK(rules.size() == capacities.size());
+  Table prototype = source_->MakeEmptyTable();
+
+  struct Builder {
+    std::unique_ptr<Sample> sample;
+    ReservoirSampler reservoir;
+    double mass = 0;
+  };
+  std::vector<Builder> builders;
+  builders.reserve(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    builders.push_back(Builder{
+        std::make_unique<Sample>(rules[i], prototype),
+        ReservoirSampler(static_cast<size_t>(capacities[i]),
+                         options_.seed + (++seed_counter_) * 0x9E37ULL),
+        0.0});
+  }
+
+  Status scan_status = source_->Scan(
+      [&](uint64_t row, const uint32_t* codes, const double* measures) {
+        for (auto& b : builders) {
+          if (!b.sample->filter().Covers(codes)) continue;
+          b.mass += 1.0;  // tuple count; measures ride along in the sample
+          auto placement = b.reservoir.Offer();
+          if (!placement.accept) continue;
+          if (placement.slot < b.sample->size()) {
+            b.sample->ReplaceAt(placement.slot, row, codes, measures);
+          } else {
+            b.sample->Add(row, codes, measures);
+          }
+        }
+        return true;
+      });
+  SMARTDD_RETURN_IF_ERROR(scan_status);
+  ++scans_;
+  ++creates_;
+
+  // Finalize scales; replace the sample store wholesale (the allocation
+  // already covers every displayed rule, so older samples are stale).
+  std::vector<double> masses;
+  samples_.clear();
+  exact_masses_.clear();
+  for (auto& b : builders) {
+    double mass = b.mass;
+    masses.push_back(mass);
+    exact_masses_.emplace_back(b.sample->filter(), mass);
+    size_t size = b.sample->size();
+    b.sample->set_source_mass(mass);
+    b.sample->set_scale(size > 0 ? mass / static_cast<double>(size) : 1.0);
+    samples_.push_back(std::move(b.sample));
+  }
+  SMARTDD_DCHECK(memory_used() <= options_.memory_capacity);
+  return masses;
+}
+
+Result<SampleRequest> SampleHandler::GetSampleFor(const Rule& rule) {
+  auto find = TryFind(rule);
+  if (find.ok()) return find;
+
+  auto combine = TryCombine(rule);
+  if (combine.ok()) return combine;
+
+  std::vector<Rule> rules;
+  std::vector<uint64_t> capacities;
+  PlanAllocation(rule, &rules, &capacities);
+  SMARTDD_ASSIGN_OR_RETURN(std::vector<double> masses,
+                           CreateSamples(rules, capacities));
+  (void)masses;
+
+  // The requested rule now has a fresh sample.
+  auto again = TryFind(rule);
+  if (again.ok()) {
+    again.value().mechanism = SampleMechanism::kCreate;
+    --finds_;  // attribute to Create, not Find
+    return again;
+  }
+  return again.status();
+}
+
+void SampleHandler::SetDisplayedTree(DisplayTree tree) {
+  tree_ = std::move(tree);
+}
+
+Status SampleHandler::Prefetch() {
+  if (!tree_) return Status::OK();
+  // Plan for the most likely leaf (allocation covers all of them anyway).
+  const DisplayTree& tree = *tree_;
+  int best_leaf = -1;
+  double best_p = -1;
+  for (size_t i = 1; i < tree.nodes.size(); ++i) {
+    if (!tree.nodes[i].children.empty()) continue;
+    double pv = tree.nodes[i].expand_probability;
+    if (pv > best_p) {
+      best_p = pv;
+      best_leaf = static_cast<int>(i);
+    }
+  }
+  Rule target = best_leaf >= 0 ? tree.nodes[static_cast<size_t>(best_leaf)].rule
+                               : tree.nodes[0].rule;
+  std::vector<Rule> rules;
+  std::vector<uint64_t> capacities;
+  PlanAllocation(target, &rules, &capacities);
+  auto masses = CreateSamples(rules, capacities);
+  return masses.ok() ? Status::OK() : masses.status();
+}
+
+Result<std::vector<double>> SampleHandler::ExactMasses(
+    const std::vector<Rule>& rules, std::optional<size_t> measure) {
+  if (measure && *measure >= source_->num_measures()) {
+    return Status::InvalidArgument("measure index out of range");
+  }
+  std::vector<double> masses(rules.size(), 0.0);
+  Status s = source_->Scan(
+      [&](uint64_t, const uint32_t* codes, const double* measures) {
+        double m = measure ? measures[*measure] : 1.0;
+        for (size_t i = 0; i < rules.size(); ++i) {
+          if (rules[i].Covers(codes)) masses[i] += m;
+        }
+        return true;
+      });
+  SMARTDD_RETURN_IF_ERROR(s);
+  ++scans_;
+  return masses;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,137 @@
+#ifndef SMARTDD_SAMPLING_SAMPLE_HANDLER_H_
+#define SMARTDD_SAMPLING_SAMPLE_HANDLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/rule.h"
+#include "sampling/allocation.h"
+#include "sampling/sample.h"
+#include "storage/scan_source.h"
+
+namespace smartdd {
+
+/// Which allocation solver the handler uses when planning a Create pass.
+enum class AllocationStrategy { kParetoDp, kConvex, kUniform };
+
+/// How a sample request was satisfied (paper §4.3).
+enum class SampleMechanism {
+  kFind,     ///< an existing sample with exactly this filter sufficed
+  kCombine,  ///< assembled from sub-rule samples already in memory
+  kCreate,   ///< required a full pass over the source
+};
+
+struct SampleHandlerOptions {
+  /// M: total tuples the handler may hold across all samples.
+  uint64_t memory_capacity = 50000;
+  /// minSS: minimum tuples a returned sample must contain (unless the rule
+  /// covers fewer tuples in the entire source).
+  uint64_t min_sample_size = 5000;
+  /// Fraction of M a bare Create (no displayed tree yet) allocates to the
+  /// requested rule, never below min_sample_size.
+  double create_capacity_fraction = 0.25;
+  AllocationStrategy allocation = AllocationStrategy::kParetoDp;
+  uint64_t seed = 42;
+};
+
+/// The rule tree currently displayed by the UI, used to plan sample
+/// allocation (paper §4.1) and pre-fetching. Node 0 must be the root.
+struct DisplayTree {
+  struct Node {
+    Rule rule{0};
+    /// Estimated mass (Count/Sum) of the rule; used to derive selectivity
+    /// ratios S(parent, child) = mass(child) / mass(parent).
+    double estimated_mass = 0;
+    int parent = -1;
+    std::vector<int> children;
+    /// Probability the user expands this node next (only meaningful for
+    /// leaves; pass 0 elsewhere). If all zeros, leaves get uniform weight.
+    double expand_probability = 0;
+  };
+  std::vector<Node> nodes;
+};
+
+/// A materialized answer to "give me a sample for rule r".
+struct SampleRequest {
+  Table table;          ///< full-width sampled tuples, all covered by r
+  double scale = 1.0;   ///< full-table mass ~= scale * mass-on-table
+  SampleMechanism mechanism = SampleMechanism::kFind;
+};
+
+/// Creates, maintains, retrieves, and evicts in-memory samples of a
+/// scan-only source in response to drill-down interactions (paper §4.3).
+///
+/// Request flow: Find (exact-filter sample big enough) -> Combine (union of
+/// sub-rule samples, Horvitz-Thompson scaled, de-duplicated by row id) ->
+/// Create (one pass over the source, multi-reservoir: realizes the §4.1
+/// allocation for every displayed rule, refreshes exact counts, and
+/// respects the memory cap M).
+class SampleHandler {
+ public:
+  /// `source` must outlive the handler.
+  SampleHandler(const ScanSource& source, SampleHandlerOptions options);
+
+  /// Returns a sample of tuples covered by `rule` with at least minSS rows
+  /// when the rule covers that many in the source.
+  Result<SampleRequest> GetSampleFor(const Rule& rule);
+
+  /// Declares the currently displayed rule tree. Subsequent Create passes
+  /// allocate memory across its nodes; Prefetch() runs such a pass
+  /// immediately (the §4.3 pre-fetching optimization).
+  void SetDisplayedTree(DisplayTree tree);
+
+  /// Eagerly runs a Create pass sized by the allocation solver so that
+  /// likely next drill-downs become Find/Combine hits. No-op without a
+  /// displayed tree.
+  Status Prefetch();
+
+  /// Exact masses of `rules` computed in one pass over the source: tuple
+  /// counts, or sums over measure column `measure` when given.
+  Result<std::vector<double>> ExactMasses(
+      const std::vector<Rule>& rules,
+      std::optional<size_t> measure = std::nullopt);
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Tuples currently held across all samples.
+  uint64_t memory_used() const;
+  size_t num_samples() const { return samples_.size(); }
+  /// Full passes over the source triggered by this handler.
+  uint64_t scans_performed() const { return scans_; }
+  uint64_t find_hits() const { return finds_; }
+  uint64_t combine_hits() const { return combines_; }
+  uint64_t creates() const { return creates_; }
+
+  /// Exact mass of a displayed rule if a Create pass measured it.
+  std::optional<double> KnownExactMass(const Rule& rule) const;
+
+ private:
+  /// Runs one pass building reservoir samples of the given capacities for
+  /// the given rules; returns exact per-rule masses.
+  Result<std::vector<double>> CreateSamples(
+      const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities);
+
+  Result<SampleRequest> TryFind(const Rule& rule);
+  Result<SampleRequest> TryCombine(const Rule& rule);
+
+  /// Allocation plan for the displayed tree (+ `extra` rule if not in it).
+  void PlanAllocation(const Rule& extra, std::vector<Rule>* rules,
+                      std::vector<uint64_t>* capacities) const;
+
+  const ScanSource* source_;
+  SampleHandlerOptions options_;
+  std::vector<std::unique_ptr<Sample>> samples_;
+  std::optional<DisplayTree> tree_;
+  std::vector<std::pair<Rule, double>> exact_masses_;
+  uint64_t scans_ = 0;
+  uint64_t finds_ = 0;
+  uint64_t combines_ = 0;
+  uint64_t creates_ = 0;
+  uint64_t seed_counter_ = 0;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_SAMPLING_SAMPLE_HANDLER_H_

@@ -1,0 +1,91 @@
+#include "storage/bucketize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace smartdd {
+
+Bucketizer::Bucketizer(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  labels_.reserve(boundaries_.size() - 1);
+  for (size_t i = 0; i + 1 < boundaries_.size(); ++i) {
+    bool last = (i + 2 == boundaries_.size());
+    labels_.push_back(StrFormat("[%s, %s%c", FormatDouble(boundaries_[i]).c_str(),
+                                FormatDouble(boundaries_[i + 1]).c_str(),
+                                last ? ']' : ')'));
+  }
+}
+
+Result<Bucketizer> Bucketizer::EqualWidth(const std::vector<double>& values,
+                                          size_t num_buckets) {
+  if (values.empty()) return Status::InvalidArgument("no values to bucketize");
+  if (num_buckets == 0) return Status::InvalidArgument("num_buckets must be > 0");
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  double mn = *mn_it;
+  double mx = *mx_it;
+  if (mn == mx) {
+    // Degenerate: one bucket covering the single value.
+    return Bucketizer({mn, mx + 1});
+  }
+  std::vector<double> bounds;
+  bounds.reserve(num_buckets + 1);
+  double width = (mx - mn) / static_cast<double>(num_buckets);
+  for (size_t i = 0; i <= num_buckets; ++i) {
+    bounds.push_back(mn + width * static_cast<double>(i));
+  }
+  bounds.back() = mx;  // avoid floating drift on the top edge
+  return Bucketizer(std::move(bounds));
+}
+
+Result<Bucketizer> Bucketizer::EqualDepth(const std::vector<double>& values,
+                                          size_t num_buckets) {
+  if (values.empty()) return Status::InvalidArgument("no values to bucketize");
+  if (num_buckets == 0) return Status::InvalidArgument("num_buckets must be > 0");
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> bounds;
+  bounds.push_back(sorted.front());
+  for (size_t i = 1; i < num_buckets; ++i) {
+    size_t idx = (i * sorted.size()) / num_buckets;
+    double b = sorted[idx];
+    if (b > bounds.back()) bounds.push_back(b);
+  }
+  if (sorted.back() > bounds.back()) {
+    bounds.push_back(sorted.back());
+  } else {
+    // All values identical (or collapse to one boundary).
+    bounds.push_back(bounds.back() + 1);
+  }
+  return Bucketizer(std::move(bounds));
+}
+
+Result<Bucketizer> Bucketizer::FromBoundaries(std::vector<double> boundaries) {
+  if (boundaries.size() < 2) {
+    return Status::InvalidArgument("need at least two boundaries");
+  }
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    if (boundaries[i] <= boundaries[i - 1]) {
+      return Status::InvalidArgument("boundaries must be strictly increasing");
+    }
+  }
+  return Bucketizer(std::move(boundaries));
+}
+
+size_t Bucketizer::BucketOf(double v) const {
+  // upper_bound over interior boundaries; clamp to valid range.
+  auto it = std::upper_bound(boundaries_.begin() + 1, boundaries_.end() - 1, v);
+  size_t idx = static_cast<size_t>(it - (boundaries_.begin() + 1));
+  return idx;
+}
+
+std::vector<std::string> Bucketizer::Apply(
+    const std::vector<double>& values) const {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(LabelFor(v));
+  return out;
+}
+
+}  // namespace smartdd

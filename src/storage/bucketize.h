@@ -1,0 +1,55 @@
+#ifndef SMARTDD_STORAGE_BUCKETIZE_H_
+#define SMARTDD_STORAGE_BUCKETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartdd {
+
+/// Maps continuous numeric values to categorical bucket labels, so numeric
+/// attributes participate in drill-down (paper §6.2: "bucketize a numerical
+/// attribute and treat the bucket id as a categorical attribute").
+class Bucketizer {
+ public:
+  /// Equal-width buckets spanning [min(values), max(values)].
+  static Result<Bucketizer> EqualWidth(const std::vector<double>& values,
+                                       size_t num_buckets);
+
+  /// Equal-depth (quantile) buckets: each bucket receives roughly the same
+  /// number of input values. Duplicate boundaries are merged, so the result
+  /// may have fewer than `num_buckets` buckets on skewed data.
+  static Result<Bucketizer> EqualDepth(const std::vector<double>& values,
+                                       size_t num_buckets);
+
+  /// Explicit boundaries b0 < b1 < ... < bk: bucket i is [b_i, b_{i+1})
+  /// (last bucket closed). Values outside are clamped to the end buckets.
+  static Result<Bucketizer> FromBoundaries(std::vector<double> boundaries);
+
+  /// Index of the bucket containing `v`.
+  size_t BucketOf(double v) const;
+
+  /// Human-readable label of bucket `i`, e.g. "[18, 25)".
+  const std::string& LabelOf(size_t i) const { return labels_[i]; }
+
+  /// Label of the bucket containing `v`.
+  const std::string& LabelFor(double v) const { return labels_[BucketOf(v)]; }
+
+  size_t num_buckets() const { return labels_.size(); }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Applies the bucketizer to a column of values, producing labels ready to
+  /// feed into Table::AppendRowValues.
+  std::vector<std::string> Apply(const std::vector<double>& values) const;
+
+ private:
+  Bucketizer(std::vector<double> boundaries);
+
+  std::vector<double> boundaries_;  // size = num_buckets + 1
+  std::vector<std::string> labels_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_BUCKETIZE_H_

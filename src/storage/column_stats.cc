@@ -1,0 +1,62 @@
+#include "storage/column_stats.h"
+
+namespace smartdd {
+
+std::vector<ColumnStats> ComputeTableStats(const TableView& view) {
+  const size_t num_cols = view.num_columns();
+  std::vector<ColumnStats> stats(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    stats[c].dictionary_size = view.table().dictionary(c).size();
+    stats[c].mass_per_code.assign(stats[c].dictionary_size, 0.0);
+  }
+  double total_mass = 0;
+  const uint64_t n = view.num_rows();
+  for (uint64_t i = 0; i < n; ++i) {
+    double m = view.mass(i);
+    total_mass += m;
+    for (size_t c = 0; c < num_cols; ++c) {
+      stats[c].mass_per_code[view.code(c, i)] += m;
+    }
+  }
+  for (size_t c = 0; c < num_cols; ++c) {
+    auto& s = stats[c];
+    for (uint32_t code = 0; code < s.mass_per_code.size(); ++code) {
+      double m = s.mass_per_code[code];
+      if (m > 0) ++s.observed_distinct;
+      if (m > s.most_frequent_mass) {
+        s.most_frequent_mass = m;
+        s.most_frequent_code = code;
+      }
+    }
+    s.max_frequency_fraction =
+        total_mass > 0 ? s.most_frequent_mass / total_mass : 0.0;
+  }
+  return stats;
+}
+
+ColumnStats ComputeColumnStats(const TableView& view, size_t col) {
+  // Single-column variant; kept separate to avoid scanning all columns.
+  ColumnStats s;
+  s.dictionary_size = view.table().dictionary(col).size();
+  s.mass_per_code.assign(s.dictionary_size, 0.0);
+  double total_mass = 0;
+  const uint64_t n = view.num_rows();
+  for (uint64_t i = 0; i < n; ++i) {
+    double m = view.mass(i);
+    total_mass += m;
+    s.mass_per_code[view.code(col, i)] += m;
+  }
+  for (uint32_t code = 0; code < s.mass_per_code.size(); ++code) {
+    double m = s.mass_per_code[code];
+    if (m > 0) ++s.observed_distinct;
+    if (m > s.most_frequent_mass) {
+      s.most_frequent_mass = m;
+      s.most_frequent_code = code;
+    }
+  }
+  s.max_frequency_fraction =
+      total_mass > 0 ? s.most_frequent_mass / total_mass : 0.0;
+  return s;
+}
+
+}  // namespace smartdd

@@ -1,0 +1,37 @@
+#ifndef SMARTDD_STORAGE_COLUMN_STATS_H_
+#define SMARTDD_STORAGE_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table_view.h"
+
+namespace smartdd {
+
+/// Frequency statistics of one categorical column over a TableView. Used by
+/// the Bits weighting function (dictionary cardinality), the minSS guidance
+/// of §4.2, and the parametric-weight analysis of §6.1.
+struct ColumnStats {
+  /// Total mass per dictionary code (indexed by code; zero-mass codes are
+  /// codes that exist in the dictionary but not in the view).
+  std::vector<double> mass_per_code;
+  /// Codes observed in the view (mass > 0).
+  uint32_t observed_distinct = 0;
+  /// Dictionary cardinality (|c| in the paper).
+  uint32_t dictionary_size = 0;
+  /// Code with the largest mass and that mass.
+  uint32_t most_frequent_code = 0;
+  double most_frequent_mass = 0;
+  /// most_frequent_mass / total view mass (f_c in §6.1); 0 for empty views.
+  double max_frequency_fraction = 0;
+};
+
+/// Computes stats for one column.
+ColumnStats ComputeColumnStats(const TableView& view, size_t col);
+
+/// Computes stats for every column in one pass over the view.
+std::vector<ColumnStats> ComputeTableStats(const TableView& view);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_COLUMN_STATS_H_

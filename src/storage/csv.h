@@ -1,0 +1,46 @@
+#ifndef SMARTDD_STORAGE_CSV_H_
+#define SMARTDD_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// Options controlling CSV import.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names. If false, columns are named "col0"...
+  bool has_header = true;
+  /// Names (or, if no header, indices rendered as "col<i>") of columns to
+  /// load as numeric measure columns instead of categorical ones.
+  std::vector<std::string> measure_columns;
+  /// Stop after this many data rows (0 = no limit).
+  uint64_t max_rows = 0;
+  /// Cell value substituted for empty fields.
+  std::string empty_value = "?missing";
+};
+
+/// Parses one CSV record (handles RFC-4180 quoting: quoted fields, embedded
+/// delimiters/newlines inside quotes, "" escapes). `input` is the full file
+/// content; `pos` advances past the record. Returns false at end of input.
+bool ParseCsvRecord(const std::string& input, size_t* pos, char delimiter,
+                    std::vector<std::string>* fields);
+
+/// Loads a CSV file into an in-memory table.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Parses CSV from an in-memory string (same semantics as ReadCsvFile).
+Result<Table> ReadCsvString(const std::string& content,
+                            const CsvOptions& options = {});
+
+/// Writes a table (categorical columns then measure columns) as CSV.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_CSV_H_

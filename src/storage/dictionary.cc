@@ -1,0 +1,27 @@
+#include "storage/dictionary.h"
+
+#include "common/logging.h"
+
+namespace smartdd {
+
+uint32_t ValueDictionary::GetOrAdd(std::string_view value) {
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+std::optional<uint32_t> ValueDictionary::Find(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ValueDictionary::ValueOf(uint32_t code) const {
+  SMARTDD_CHECK(code < values_.size()) << "dictionary code out of range";
+  return values_[code];
+}
+
+}  // namespace smartdd

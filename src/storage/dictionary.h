@@ -1,0 +1,44 @@
+#ifndef SMARTDD_STORAGE_DICTIONARY_H_
+#define SMARTDD_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace smartdd {
+
+/// Per-column value dictionary: maps distinct cell strings to dense uint32
+/// codes. Rules and tuples both live in code space, so coverage checks are
+/// integer compares. Append-only; codes are stable once assigned.
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  /// Returns the code for `value`, inserting it if new.
+  uint32_t GetOrAdd(std::string_view value);
+
+  /// Returns the code for `value` if present.
+  std::optional<uint32_t> Find(std::string_view value) const;
+
+  /// Returns the string for `code`. Requires code < size().
+  const std::string& ValueOf(uint32_t code) const;
+
+  /// Number of distinct values.
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+  bool empty() const { return values_.empty(); }
+
+  /// All values in code order.
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_DICTIONARY_H_

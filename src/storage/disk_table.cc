@@ -1,0 +1,309 @@
+#include "storage/disk_table.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x54444453;  // "SDDT" little-endian
+constexpr uint32_t kVersion = 1;
+constexpr size_t kScanBufferBytes = 4 << 20;  // 4 MiB read buffer
+
+uint8_t WidthForDictSize(uint32_t dict_size) {
+  if (dict_size <= 0x100) return 1;
+  if (dict_size <= 0x10000) return 2;
+  return 4;
+}
+
+bool WritePod(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool WriteU32(std::FILE* f, uint32_t v) { return WritePod(f, &v, 4); }
+bool WriteU64(std::FILE* f, uint64_t v) { return WritePod(f, &v, 8); }
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  return WriteU32(f, static_cast<uint32_t>(s.size())) &&
+         WritePod(f, s.data(), s.size());
+}
+
+bool ReadPod(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+bool ReadU32(std::FILE* f, uint32_t* v) { return ReadPod(f, v, 4); }
+bool ReadU64(std::FILE* f, uint64_t* v) { return ReadPod(f, v, 8); }
+
+bool ReadString(std::FILE* f, std::string* s) {
+  uint32_t len;
+  if (!ReadU32(f, &len)) return false;
+  s->resize(len);
+  return len == 0 || ReadPod(f, s->data(), len);
+}
+
+/// Writes the header (everything before the row data) for a table shape.
+/// Returns the file offset where the u64 row count lives, or -1 on error.
+long WriteHeader(std::FILE* f, const Schema& schema,
+                 const std::vector<std::shared_ptr<ValueDictionary>>& dicts,
+                 const std::vector<std::string>& measure_names,
+                 uint64_t num_rows) {
+  if (!WriteU32(f, kMagic) || !WriteU32(f, kVersion)) return -1;
+  if (!WriteU32(f, static_cast<uint32_t>(schema.num_columns()))) return -1;
+  if (!WriteU32(f, static_cast<uint32_t>(measure_names.size()))) return -1;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (!WriteString(f, schema.name(c))) return -1;
+    uint8_t width = WidthForDictSize(dicts[c]->size());
+    if (!WritePod(f, &width, 1)) return -1;
+    if (!WriteU32(f, dicts[c]->size())) return -1;
+    for (const auto& v : dicts[c]->values()) {
+      if (!WriteString(f, v)) return -1;
+    }
+  }
+  for (const auto& m : measure_names) {
+    if (!WriteString(f, m)) return -1;
+  }
+  long row_count_offset = std::ftell(f);
+  if (row_count_offset < 0) return -1;
+  if (!WriteU64(f, num_rows)) return -1;
+  return row_count_offset;
+}
+
+void EncodeRow(const uint32_t* codes, const double* measures,
+               const std::vector<uint8_t>& widths, size_t num_measures,
+               uint8_t* out) {
+  size_t off = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    std::memcpy(out + off, &codes[c], widths[c]);
+    off += widths[c];
+  }
+  for (size_t m = 0; m < num_measures; ++m) {
+    std::memcpy(out + off, &measures[m], 8);
+    off += 8;
+  }
+}
+
+}  // namespace
+
+// --- DiskTable --------------------------------------------------------
+
+Status DiskTable::Write(const Table& table, const std::string& path) {
+  auto writer_or = DiskTableWriter::Create(table, path);
+  if (!writer_or.ok()) return writer_or.status();
+  auto writer = std::move(writer_or).value();
+  std::vector<uint32_t> codes(table.num_columns());
+  std::vector<double> measures(table.num_measures());
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    table.GetRow(r, codes.data());
+    for (size_t m = 0; m < table.num_measures(); ++m) {
+      measures[m] = table.measure(m, r);
+    }
+    SMARTDD_RETURN_IF_ERROR(writer->AppendRow(
+        codes.data(), measures.empty() ? nullptr : measures.data()));
+  }
+  return writer->Finish();
+}
+
+Result<std::shared_ptr<DiskTable>> DiskTable::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open disk table: " + path);
+  auto fail = [&](const std::string& msg) -> Status {
+    std::fclose(f);
+    return Status::IOError(msg + ": " + path);
+  };
+
+  uint32_t magic, version, num_cols, num_meas;
+  if (!ReadU32(f, &magic) || magic != kMagic) return fail("bad magic");
+  if (!ReadU32(f, &version) || version != kVersion) return fail("bad version");
+  if (!ReadU32(f, &num_cols)) return fail("truncated header");
+  if (!ReadU32(f, &num_meas)) return fail("truncated header");
+
+  auto t = std::shared_ptr<DiskTable>(new DiskTable());
+  t->path_ = path;
+  std::vector<std::string> names;
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    std::string name;
+    if (!ReadString(f, &name)) return fail("truncated column name");
+    names.push_back(std::move(name));
+    uint8_t width;
+    if (!ReadPod(f, &width, 1)) return fail("truncated width");
+    if (width != 1 && width != 2 && width != 4) return fail("bad cell width");
+    t->widths_.push_back(width);
+    uint32_t dict_size;
+    if (!ReadU32(f, &dict_size)) return fail("truncated dict size");
+    auto dict = std::make_shared<ValueDictionary>();
+    for (uint32_t i = 0; i < dict_size; ++i) {
+      std::string v;
+      if (!ReadString(f, &v)) return fail("truncated dict entry");
+      dict->GetOrAdd(v);
+    }
+    if (dict->size() != dict_size) return fail("duplicate dict entries");
+    t->dicts_.push_back(std::move(dict));
+  }
+  t->schema_ = Schema(std::move(names));
+  for (uint32_t m = 0; m < num_meas; ++m) {
+    std::string name;
+    if (!ReadString(f, &name)) return fail("truncated measure name");
+    t->measure_names_.push_back(std::move(name));
+  }
+  if (!ReadU64(f, &t->num_rows_)) return fail("truncated row count");
+  long off = std::ftell(f);
+  if (off < 0) return fail("ftell failed");
+  t->data_offset_ = static_cast<uint64_t>(off);
+  t->row_bytes_ = 0;
+  for (uint8_t w : t->widths_) t->row_bytes_ += w;
+  t->row_bytes_ += 8 * t->measure_names_.size();
+  std::fclose(f);
+  return t;
+}
+
+Status DiskTable::Scan(const ScanCallback& fn) const {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open disk table: " + path_);
+  if (std::fseek(f, static_cast<long>(data_offset_), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek failed: " + path_);
+  }
+  const size_t num_cols = schema_.num_columns();
+  const size_t num_meas = measure_names_.size();
+  const size_t rows_per_block =
+      row_bytes_ == 0 ? 1 : std::max<size_t>(1, kScanBufferBytes / row_bytes_);
+  std::vector<uint8_t> buf(rows_per_block * row_bytes_);
+  std::vector<uint32_t> codes(num_cols);
+  std::vector<double> measures(num_meas);
+
+  uint64_t row = 0;
+  bool keep_going = true;
+  while (keep_going && row < num_rows_) {
+    uint64_t want = std::min<uint64_t>(rows_per_block, num_rows_ - row);
+    size_t got = std::fread(buf.data(), row_bytes_, want, f);
+    if (got != want) {
+      std::fclose(f);
+      return Status::IOError(
+          StrFormat("disk table truncated at row %llu",
+                    static_cast<unsigned long long>(row + got)));
+    }
+    const uint8_t* p = buf.data();
+    for (uint64_t i = 0; i < want; ++i) {
+      size_t off = 0;
+      for (size_t c = 0; c < num_cols; ++c) {
+        uint32_t code = 0;
+        std::memcpy(&code, p + off, widths_[c]);
+        codes[c] = code;
+        off += widths_[c];
+      }
+      for (size_t m = 0; m < num_meas; ++m) {
+        std::memcpy(&measures[m], p + off, 8);
+        off += 8;
+      }
+      if (!fn(row, codes.data(), num_meas ? measures.data() : nullptr)) {
+        keep_going = false;
+        break;
+      }
+      ++row;
+      p += row_bytes_;
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Table DiskTable::MakeEmptyTable() const {
+  Table t(schema_.names());
+  // Rebuild a Table whose dictionaries are the shared ones from this file.
+  // Table::EmptyLike only works Table->Table, so reconstruct manually: add
+  // values in code order so codes line up, via a prototype.
+  Table proto(schema_.names());
+  for (size_t c = 0; c < dicts_.size(); ++c) {
+    for (const auto& v : dicts_[c]->values()) proto.EncodeValue(c, v);
+  }
+  for (const auto& m : measure_names_) proto.AddMeasureColumn(m);
+  return proto;
+}
+
+// --- DiskTableWriter ---------------------------------------------------
+
+Result<std::unique_ptr<DiskTableWriter>> DiskTableWriter::Create(
+    const Table& prototype, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot create disk table: " + path);
+
+  std::vector<std::shared_ptr<ValueDictionary>> dicts;
+  for (size_t c = 0; c < prototype.num_columns(); ++c) {
+    dicts.push_back(prototype.dictionary_ptr(c));
+  }
+  std::vector<std::string> measure_names;
+  for (size_t m = 0; m < prototype.num_measures(); ++m) {
+    measure_names.push_back(prototype.measure_name(m));
+  }
+  long row_count_offset =
+      WriteHeader(f, prototype.schema(), dicts, measure_names, 0);
+  if (row_count_offset < 0) {
+    std::fclose(f);
+    return Status::IOError("failed writing disk table header: " + path);
+  }
+
+  auto w = std::unique_ptr<DiskTableWriter>(new DiskTableWriter());
+  w->file_ = f;
+  w->path_ = path;
+  w->num_measures_ = measure_names.size();
+  w->row_count_offset_ = row_count_offset;
+  size_t row_bytes = 0;
+  for (size_t c = 0; c < prototype.num_columns(); ++c) {
+    uint8_t width = WidthForDictSize(prototype.dictionary(c).size());
+    w->widths_.push_back(width);
+    w->dict_sizes_.push_back(prototype.dictionary(c).size());
+    row_bytes += width;
+  }
+  row_bytes += 8 * w->num_measures_;
+  w->row_buf_.resize(row_bytes);
+  return w;
+}
+
+DiskTableWriter::~DiskTableWriter() {
+  if (file_ != nullptr && !finished_) {
+    SMARTDD_LOG(Warning) << "DiskTableWriter destroyed without Finish(): "
+                         << path_;
+    std::fclose(file_);
+  }
+}
+
+Status DiskTableWriter::AppendRow(const uint32_t* codes,
+                                  const double* measures) {
+  SMARTDD_CHECK(!finished_) << "AppendRow after Finish";
+  for (size_t c = 0; c < widths_.size(); ++c) {
+    if (codes[c] >= dict_sizes_[c]) {
+      return Status::InvalidArgument(StrFormat(
+          "code %u out of dictionary range %u in column %zu (dictionaries "
+          "must be final before DiskTableWriter::Create)",
+          codes[c], dict_sizes_[c], c));
+    }
+  }
+  EncodeRow(codes, measures, widths_, num_measures_, row_buf_.data());
+  if (std::fwrite(row_buf_.data(), 1, row_buf_.size(), file_) !=
+      row_buf_.size()) {
+    return Status::IOError("short write to disk table: " + path_);
+  }
+  ++rows_written_;
+  return Status::OK();
+}
+
+Status DiskTableWriter::Finish() {
+  SMARTDD_CHECK(!finished_) << "Finish called twice";
+  finished_ = true;
+  if (std::fseek(file_, row_count_offset_, SEEK_SET) != 0 ||
+      std::fwrite(&rows_written_, 8, 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::IOError("failed to patch row count: " + path_);
+  }
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("close failed: " + path_);
+  return Status::OK();
+}
+
+}  // namespace smartdd

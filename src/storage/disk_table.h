@@ -1,0 +1,134 @@
+#ifndef SMARTDD_STORAGE_DISK_TABLE_H_
+#define SMARTDD_STORAGE_DISK_TABLE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/scan_source.h"
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// File-backed, dictionary-encoded table. This is the "big table on disk"
+/// substrate of the paper's Section 4: reading it requires a full sequential
+/// pass, which is exactly what the SampleHandler tries to avoid.
+///
+/// Binary layout (little-endian):
+///   magic "SDDT" | version u32
+///   num_columns u32 | num_measures u32
+///   per column: name (u32 len + bytes), cell width u8 (1|2|4),
+///               dict size u32, dict entries (u32 len + bytes each)
+///   per measure: name (u32 len + bytes)
+///   num_rows u64
+///   row-major cell data: per row, each categorical cell in its column's
+///   width, then each measure as a double.
+///
+/// Cell width is the smallest of u8/u16/u32 that fits the column's
+/// dictionary, so a 68-column census table stores ~1 byte per cell.
+class DiskTable {
+ public:
+  /// Writes an in-memory table to `path`.
+  static Status Write(const Table& table, const std::string& path);
+
+  /// Opens an existing file; reads header + dictionaries, not the rows.
+  static Result<std::shared_ptr<DiskTable>> Open(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_measures() const { return measure_names_.size(); }
+  const std::vector<std::string>& measure_names() const {
+    return measure_names_;
+  }
+  const ValueDictionary& dictionary(size_t col) const { return *dicts_[col]; }
+
+  /// Bytes consumed by one row on disk.
+  size_t row_bytes() const { return row_bytes_; }
+
+  /// One buffered sequential pass over all rows.
+  Status Scan(const ScanCallback& fn) const;
+
+  /// Empty in-memory table sharing the dictionaries of this file.
+  Table MakeEmptyTable() const;
+
+ private:
+  DiskTable() = default;
+
+  std::string path_;
+  Schema schema_;
+  std::vector<std::shared_ptr<ValueDictionary>> dicts_;
+  std::vector<uint8_t> widths_;
+  std::vector<std::string> measure_names_;
+  uint64_t num_rows_ = 0;
+  uint64_t data_offset_ = 0;
+  size_t row_bytes_ = 0;
+};
+
+/// Streaming writer: declare schema + final dictionaries up front, then
+/// append rows one at a time without materializing the table in memory.
+/// Used by the census generator to produce multi-GB files.
+class DiskTableWriter {
+ public:
+  /// `prototype` supplies schema, dictionaries (must be final: codes may not
+  /// grow after creation), and measure column names; its rows are ignored.
+  static Result<std::unique_ptr<DiskTableWriter>> Create(
+      const Table& prototype, const std::string& path);
+
+  ~DiskTableWriter();
+
+  DiskTableWriter(const DiskTableWriter&) = delete;
+  DiskTableWriter& operator=(const DiskTableWriter&) = delete;
+
+  /// Appends one row. `codes` must have one entry per categorical column and
+  /// every code must be within the prototype dictionary; `measures` one per
+  /// measure column (may be nullptr if there are none).
+  Status AppendRow(const uint32_t* codes, const double* measures);
+
+  /// Patches the row count into the header and closes the file. Must be
+  /// called exactly once; no appends afterwards.
+  Status Finish();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  DiskTableWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<uint8_t> widths_;
+  std::vector<uint32_t> dict_sizes_;
+  size_t num_measures_ = 0;
+  uint64_t rows_written_ = 0;
+  long row_count_offset_ = 0;
+  std::vector<uint8_t> row_buf_;
+  bool finished_ = false;
+};
+
+/// ScanSource adapter over a DiskTable.
+class DiskScanSource : public ScanSource {
+ public:
+  explicit DiskScanSource(std::shared_ptr<DiskTable> table)
+      : table_(std::move(table)) {}
+
+  const Schema& schema() const override { return table_->schema(); }
+  uint64_t num_rows() const override { return table_->num_rows(); }
+  size_t num_measures() const override { return table_->num_measures(); }
+  Status Scan(const ScanCallback& fn) const override {
+    ++scan_count_;
+    return table_->Scan(fn);
+  }
+  Table MakeEmptyTable() const override { return table_->MakeEmptyTable(); }
+
+  const DiskTable& disk_table() const { return *table_; }
+
+ private:
+  std::shared_ptr<DiskTable> table_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_DISK_TABLE_H_

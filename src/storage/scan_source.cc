@@ -1,0 +1,22 @@
+#include "storage/scan_source.h"
+
+#include <vector>
+
+namespace smartdd {
+
+Status MemoryScanSource::Scan(const ScanCallback& fn) const {
+  const size_t num_cols = table_->num_columns();
+  const size_t num_meas = table_->num_measures();
+  std::vector<uint32_t> codes(num_cols);
+  std::vector<double> measures(num_meas);
+  const uint64_t n = table_->num_rows();
+  for (uint64_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_cols; ++c) codes[c] = table_->code(c, r);
+    for (size_t m = 0; m < num_meas; ++m) measures[m] = table_->measure(m, r);
+    if (!fn(r, codes.data(), num_meas ? measures.data() : nullptr)) break;
+  }
+  ++scan_count_;
+  return Status::OK();
+}
+
+}  // namespace smartdd

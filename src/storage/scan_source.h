@@ -1,0 +1,67 @@
+#ifndef SMARTDD_STORAGE_SCAN_SOURCE_H_
+#define SMARTDD_STORAGE_SCAN_SOURCE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// Callback invoked once per tuple during a sequential pass.
+/// `codes` has one entry per categorical column; `measures` has one entry per
+/// measure column (nullptr when the source has none). Return false to stop
+/// the scan early.
+using ScanCallback = std::function<bool(uint64_t row_id, const uint32_t* codes,
+                                        const double* measures)>;
+
+/// A table that can only be read by full sequential passes — the abstraction
+/// the SampleHandler is written against. The paper's setting is a table too
+/// large for memory where every Create costs a disk pass; implementations
+/// here are an in-memory table (tests, small data) and a file-backed
+/// DiskTable (large data).
+class ScanSource {
+ public:
+  virtual ~ScanSource() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual uint64_t num_rows() const = 0;
+  virtual size_t num_measures() const = 0;
+
+  /// Performs one sequential pass over all tuples.
+  virtual Status Scan(const ScanCallback& fn) const = 0;
+
+  /// Creates an empty in-memory Table sharing this source's dictionaries
+  /// (codes emitted by Scan are valid codes in the returned table).
+  virtual Table MakeEmptyTable() const = 0;
+
+  /// Number of completed Scan passes (for tests/benchmarks asserting how
+  /// often the "disk" was touched).
+  uint64_t scan_count() const { return scan_count_; }
+
+ protected:
+  mutable uint64_t scan_count_ = 0;
+};
+
+/// ScanSource over an in-memory Table.
+class MemoryScanSource : public ScanSource {
+ public:
+  /// Does not take ownership; `table` must outlive the source.
+  explicit MemoryScanSource(const Table& table) : table_(&table) {}
+
+  const Schema& schema() const override { return table_->schema(); }
+  uint64_t num_rows() const override { return table_->num_rows(); }
+  size_t num_measures() const override { return table_->num_measures(); }
+  Status Scan(const ScanCallback& fn) const override;
+  Table MakeEmptyTable() const override { return Table::EmptyLike(*table_); }
+
+  const Table& table() const { return *table_; }
+
+ private:
+  const Table* table_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_SCAN_SOURCE_H_

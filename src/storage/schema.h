@@ -1,0 +1,39 @@
+#ifndef SMARTDD_STORAGE_SCHEMA_H_
+#define SMARTDD_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smartdd {
+
+/// Describes the categorical (drillable) columns of a table. Numeric measure
+/// columns (used by the Sum aggregate) are tracked separately by Table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> column_names)
+      : names_(std::move(column_names)) {}
+
+  size_t num_columns() const { return names_.size(); }
+  const std::string& name(size_t col) const { return names_[col]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the column with the given name, if any.
+  std::optional<size_t> FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_SCHEMA_H_

@@ -1,0 +1,91 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+
+Table::Table(std::vector<std::string> column_names)
+    : schema_(std::move(column_names)) {
+  dicts_.reserve(schema_.num_columns());
+  cols_.resize(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    dicts_.push_back(std::make_shared<ValueDictionary>());
+  }
+}
+
+Table Table::EmptyLike(const Table& other) {
+  Table t(other.schema_.names());
+  t.dicts_ = other.dicts_;  // share code space
+  t.measure_names_ = other.measure_names_;
+  t.measures_.resize(t.measure_names_.size());
+  return t;
+}
+
+uint32_t Table::EncodeValue(size_t col, std::string_view value) {
+  SMARTDD_CHECK(col < dicts_.size());
+  return dicts_[col]->GetOrAdd(value);
+}
+
+void Table::AppendRow(std::span<const uint32_t> codes,
+                      std::span<const double> measures) {
+  SMARTDD_CHECK(codes.size() == cols_.size())
+      << "expected " << cols_.size() << " codes, got " << codes.size();
+  SMARTDD_CHECK(measures.size() == measures_.size())
+      << "expected " << measures_.size() << " measures, got "
+      << measures.size();
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(codes[c]);
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    measures_[m].push_back(measures[m]);
+  }
+  ++num_rows_;
+}
+
+Status Table::AppendRowValues(const std::vector<std::string>& values,
+                              std::span<const double> measures) {
+  if (values.size() != cols_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table has %zu columns", values.size(),
+                  cols_.size()));
+  }
+  std::vector<uint32_t> codes(values.size());
+  for (size_t c = 0; c < values.size(); ++c) {
+    codes[c] = EncodeValue(c, values[c]);
+  }
+  AppendRow(codes, measures);
+  return Status::OK();
+}
+
+void Table::AppendRowFrom(const Table& src, uint64_t row) {
+  SMARTDD_DCHECK(src.num_columns() == num_columns());
+  SMARTDD_DCHECK(row < src.num_rows());
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    SMARTDD_DCHECK(dicts_[c] == src.dicts_[c])
+        << "AppendRowFrom requires shared dictionaries";
+    cols_[c].push_back(src.cols_[c][row]);
+  }
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    measures_[m].push_back(src.measures_[m][row]);
+  }
+  ++num_rows_;
+}
+
+size_t Table::AddMeasureColumn(std::string name) {
+  SMARTDD_CHECK(num_rows_ == 0) << "add measure columns before appending rows";
+  measure_names_.push_back(std::move(name));
+  measures_.emplace_back();
+  return measure_names_.size() - 1;
+}
+
+Result<size_t> Table::FindMeasure(const std::string& name) const {
+  for (size_t m = 0; m < measure_names_.size(); ++m) {
+    if (measure_names_[m] == name) return m;
+  }
+  return Status::NotFound("no measure column named '" + name + "'");
+}
+
+void Table::GetRow(uint64_t row, uint32_t* out) const {
+  for (size_t c = 0; c < cols_.size(); ++c) out[c] = cols_[c][row];
+}
+
+}  // namespace smartdd

@@ -1,0 +1,97 @@
+#ifndef SMARTDD_STORAGE_TABLE_H_
+#define SMARTDD_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/schema.h"
+
+namespace smartdd {
+
+/// In-memory, dictionary-encoded, column-major table of categorical columns
+/// plus optional numeric measure columns (for Sum aggregation, paper §6.3).
+///
+/// Dictionaries are held by shared_ptr so that derived tables (samples,
+/// drill-down slices) share code space with their parent: a code means the
+/// same value in both.
+class Table {
+ public:
+  /// An empty zero-column table (useful as a default member; rebuild with a
+  /// real schema before use).
+  Table() : Table(std::vector<std::string>{}) {}
+
+  explicit Table(std::vector<std::string> column_names);
+
+  /// Creates an empty table sharing `other`'s schema, dictionaries, and
+  /// measure-column names. Used for samples and filtered slices.
+  static Table EmptyLike(const Table& other);
+
+  // --- Building -------------------------------------------------------
+
+  /// Encodes `value` in column `col`'s dictionary (get-or-add).
+  uint32_t EncodeValue(size_t col, std::string_view value);
+
+  /// Appends a row of pre-encoded codes (one per categorical column) and
+  /// measure values (one per measure column, may be empty if none).
+  void AppendRow(std::span<const uint32_t> codes,
+                 std::span<const double> measures = {});
+
+  /// Encodes and appends a row of raw string cell values.
+  Status AppendRowValues(const std::vector<std::string>& values,
+                         std::span<const double> measures = {});
+
+  /// Copies row `row` of `src` into this table. Requires shared dictionaries
+  /// (i.e., this was created via EmptyLike(src) or src itself).
+  void AppendRowFrom(const Table& src, uint64_t row);
+
+  /// Declares a measure column. Must be called before appending rows.
+  size_t AddMeasureColumn(std::string name);
+
+  // --- Access ---------------------------------------------------------
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  uint32_t code(size_t col, uint64_t row) const { return cols_[col][row]; }
+  const std::vector<uint32_t>& column(size_t col) const { return cols_[col]; }
+
+  const ValueDictionary& dictionary(size_t col) const { return *dicts_[col]; }
+  const std::shared_ptr<ValueDictionary>& dictionary_ptr(size_t col) const {
+    return dicts_[col];
+  }
+
+  /// The decoded string value of a cell.
+  const std::string& ValueAt(size_t col, uint64_t row) const {
+    return dicts_[col]->ValueOf(cols_[col][row]);
+  }
+
+  size_t num_measures() const { return measure_names_.size(); }
+  const std::string& measure_name(size_t m) const { return measure_names_[m]; }
+  double measure(size_t m, uint64_t row) const { return measures_[m][row]; }
+  const std::vector<double>& measure_column(size_t m) const {
+    return measures_[m];
+  }
+  Result<size_t> FindMeasure(const std::string& name) const;
+
+  /// Materializes the codes of row `row` into `out` (size num_columns()).
+  void GetRow(uint64_t row, uint32_t* out) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::shared_ptr<ValueDictionary>> dicts_;
+  std::vector<std::vector<uint32_t>> cols_;
+  std::vector<std::string> measure_names_;
+  std::vector<std::vector<double>> measures_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_TABLE_H_

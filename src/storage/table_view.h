@@ -1,0 +1,80 @@
+#ifndef SMARTDD_STORAGE_TABLE_VIEW_H_
+#define SMARTDD_STORAGE_TABLE_VIEW_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// A lightweight, non-owning view of (a subset of the rows of) a Table,
+/// optionally weighting each tuple by a measure column.
+///
+/// All smart-drill-down algorithms run over a TableView. The per-tuple
+/// "mass" is 1.0 for the Count aggregate or the measure value for the Sum
+/// aggregate (paper §6.3); Count/MCount and Sum/MSum are then the same code
+/// path.
+class TableView {
+ public:
+  /// View over all rows, Count aggregate.
+  explicit TableView(const Table& table) : table_(&table) {}
+
+  /// View over an explicit subset of row ids, Count aggregate.
+  TableView(const Table& table, std::vector<uint32_t> rows)
+      : table_(&table), rows_(std::move(rows)) {}
+
+  /// Switches the per-tuple mass to measure column `m` (Sum aggregate).
+  void SelectMeasure(size_t m) {
+    SMARTDD_CHECK(m < table_->num_measures());
+    measure_ = m;
+  }
+  void ClearMeasure() { measure_.reset(); }
+  bool has_measure() const { return measure_.has_value(); }
+  std::optional<size_t> measure_index() const { return measure_; }
+
+  const Table& table() const { return *table_; }
+  size_t num_columns() const { return table_->num_columns(); }
+
+  /// Number of rows visible through the view.
+  uint64_t num_rows() const {
+    return rows_ ? rows_->size() : table_->num_rows();
+  }
+
+  /// Whether this is a subset view (vs. the whole table).
+  bool is_subset() const { return rows_.has_value(); }
+
+  /// Table row id of the i-th view row.
+  uint32_t row_id(uint64_t i) const {
+    return rows_ ? (*rows_)[i] : static_cast<uint32_t>(i);
+  }
+
+  /// Code of column `col` in the i-th view row.
+  uint32_t code(size_t col, uint64_t i) const {
+    return table_->code(col, row_id(i));
+  }
+
+  /// Per-tuple mass: 1 (Count) or the selected measure value (Sum).
+  double mass(uint64_t i) const {
+    return measure_ ? table_->measure(*measure_, row_id(i)) : 1.0;
+  }
+
+  /// Total mass of the view (== num_rows() for Count).
+  double total_mass() const {
+    if (!measure_) return static_cast<double>(num_rows());
+    double total = 0;
+    for (uint64_t i = 0; i < num_rows(); ++i) total += mass(i);
+    return total;
+  }
+
+ private:
+  const Table* table_;
+  std::optional<std::vector<uint32_t>> rows_;
+  std::optional<size_t> measure_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_TABLE_VIEW_H_

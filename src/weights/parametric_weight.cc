@@ -1,0 +1,77 @@
+#include "weights/parametric_weight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace smartdd {
+
+ParametricWeight::ParametricWeight(std::vector<double> column_weights,
+                                   double alpha)
+    : weights_(std::move(column_weights)), alpha_(alpha) {
+  SMARTDD_CHECK(alpha_ >= 0) << "alpha must be non-negative";
+  for (double w : weights_) {
+    SMARTDD_CHECK(w >= 0) << "column weights must be non-negative";
+  }
+}
+
+double ParametricWeight::Weight(const Rule& rule) const {
+  SMARTDD_DCHECK(rule.num_columns() == weights_.size());
+  double base = 0;
+  for (size_t c = 0; c < rule.num_columns(); ++c) {
+    if (!rule.is_star(c)) base += weights_[c];
+  }
+  if (base == 0) return 0;
+  return std::pow(base, alpha_);
+}
+
+double ParametricWeight::MaxPossibleWeight(size_t num_columns) const {
+  double base = 0;
+  for (size_t c = 0; c < num_columns && c < weights_.size(); ++c) {
+    base += weights_[c];
+  }
+  if (base == 0) return 0;
+  return std::pow(base, alpha_);
+}
+
+ParametricAnalysis AnalyzeParametricWeight(
+    const std::vector<double>& column_weights, double alpha,
+    const std::vector<double>& max_freq_fraction) {
+  SMARTDD_CHECK(column_weights.size() == max_freq_fraction.size());
+  ParametricAnalysis out;
+  double sum_ln_f = 0;
+  double sum_w = 0;
+  for (size_t c = 0; c < column_weights.size(); ++c) {
+    double f = std::clamp(max_freq_fraction[c], 1e-12, 1.0);
+    double lf = std::log(f);
+    sum_ln_f += lf;
+    sum_w += column_weights[c];
+    if (column_weights[c] <= 0) {
+      out.selection_statistic.push_back(
+          -std::numeric_limits<double>::infinity());
+    } else {
+      out.selection_statistic.push_back(lf / column_weights[c]);
+    }
+  }
+  // s = -alpha / sum_c ln f_c  (sum_ln_f < 0 for non-degenerate columns).
+  double s = sum_ln_f < 0 ? -alpha / sum_ln_f : 1.0;
+  out.predicted_instantiation_fraction = std::clamp(s, 0.0, 1.0);
+  // Predicted top-rule weight: instantiating fraction s of weighted columns
+  // gives base s * sum_w, raised to alpha.
+  double base = out.predicted_instantiation_fraction * sum_w;
+  out.predicted_max_weight = base <= 0 ? 0 : std::pow(base, alpha);
+  return out;
+}
+
+double AlphaForInstantiationFraction(
+    double s, const std::vector<double>& max_freq_fraction) {
+  double sum_ln_f = 0;
+  for (double f : max_freq_fraction) {
+    sum_ln_f += std::log(std::clamp(f, 1e-12, 1.0));
+  }
+  return -s * sum_ln_f;
+}
+
+}  // namespace smartdd

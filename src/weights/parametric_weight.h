@@ -1,0 +1,59 @@
+#ifndef SMARTDD_WEIGHTS_PARAMETRIC_WEIGHT_H_
+#define SMARTDD_WEIGHTS_PARAMETRIC_WEIGHT_H_
+
+#include <vector>
+
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// The paper's generalized weighting family (§6.1):
+///   W(r) = ( sum_c o_{r,c} * w_c )^alpha
+/// where o_{r,c} is 1 iff r instantiates column c. Size is (all w_c = 1,
+/// alpha = 1); Bits is (w_c = ceil(log2|c|), alpha = 1). alpha > 1 rewards
+/// rules that instantiate several columns super-linearly.
+/// Requires w_c >= 0 and alpha >= 0 so the function stays monotonic.
+class ParametricWeight : public WeightFunction {
+ public:
+  ParametricWeight(std::vector<double> column_weights, double alpha);
+
+  double Weight(const Rule& rule) const override;
+  std::string name() const override { return "Parametric"; }
+  double MaxPossibleWeight(size_t num_columns) const override;
+
+  double alpha() const { return alpha_; }
+  const std::vector<double>& column_weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  double alpha_;
+};
+
+/// Analysis helpers reproducing the §6.1 KKT reasoning about which columns
+/// the top-scoring rule instantiates under the parametric family.
+/// `max_freq_fraction[c]` is f_c, the frequency fraction of the most common
+/// value in column c.
+struct ParametricAnalysis {
+  /// ln(f_c)/w_c per column — the KKT selection statistic; the top rule
+  /// prefers columns with the *largest* values (closest to 0, since logs are
+  /// negative). Columns with w_c == 0 get -infinity (never selected).
+  std::vector<double> selection_statistic;
+  /// Estimated weighted fraction of columns instantiated by the top rule:
+  /// -alpha / sum_c ln f_c (clamped to [0, 1]).
+  double predicted_instantiation_fraction = 0;
+  /// Estimated weight of the top rule (useful as an mw hint).
+  double predicted_max_weight = 0;
+};
+
+ParametricAnalysis AnalyzeParametricWeight(
+    const std::vector<double>& column_weights, double alpha,
+    const std::vector<double>& max_freq_fraction);
+
+/// The alpha that makes the predicted top rule instantiate fraction `s` of
+/// the (weighted) columns: alpha = -s * sum_c ln f_c (§6.1).
+double AlphaForInstantiationFraction(
+    double s, const std::vector<double>& max_freq_fraction);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_WEIGHTS_PARAMETRIC_WEIGHT_H_

@@ -1,0 +1,40 @@
+#ifndef SMARTDD_WEIGHTS_WEIGHT_FUNCTION_H_
+#define SMARTDD_WEIGHTS_WEIGHT_FUNCTION_H_
+
+#include <limits>
+#include <string>
+
+#include "rules/rule.h"
+
+namespace smartdd {
+
+/// Assigns a non-negative goodness score to a rule, independent of the data
+/// (paper §2.2). Implementations must be:
+///   * non-negative: W(r) >= 0 for all rules, and
+///   * monotonic:    if r1 is a sub-rule of r2 then W(r1) <= W(r2)
+///     (more specific rules never weigh less).
+/// These two properties are what the BRS pruning bounds and the greedy
+/// approximation guarantee rely on; tests/weights_test.cc property-checks
+/// every implementation shipped here.
+class WeightFunction {
+ public:
+  virtual ~WeightFunction() = default;
+
+  /// The weight of `rule`. Must be cheap; BRS evaluates it once per
+  /// candidate rule.
+  virtual double Weight(const Rule& rule) const = 0;
+
+  /// Human-readable name for logs and benchmark output.
+  virtual std::string name() const = 0;
+
+  /// An upper bound on Weight over all rules of the given width, used by
+  /// parameter guidance (§6.1). Defaults to +infinity when unknown.
+  virtual double MaxPossibleWeight(size_t num_columns) const {
+    (void)num_columns;
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_WEIGHTS_WEIGHT_FUNCTION_H_

@@ -1,0 +1,219 @@
+#include "sampling/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sampling/knapsack.h"
+
+namespace smartdd {
+namespace {
+
+// Simple 3-node tree: root (0) with two leaves (1, 2).
+AllocationProblem SmallTree(double p1, double p2, double s1, double s2,
+                            double m, double minss) {
+  return MakeTreeAllocationProblem({-1, 0, 0}, {0, s1, s2}, {0, p1, p2}, m,
+                                   minss);
+}
+
+TEST(EvaluateAllocationTest, CountsServedLeaves) {
+  AllocationProblem p = SmallTree(0.6, 0.4, 0.5, 0.5, 100, 50);
+  EXPECT_DOUBLE_EQ(EvaluateAllocation(p, {0, 50, 0}), 0.6);
+  EXPECT_DOUBLE_EQ(EvaluateAllocation(p, {0, 50, 50}), 1.0);
+  EXPECT_DOUBLE_EQ(EvaluateAllocation(p, {0, 0, 0}), 0.0);
+  // Parent sample contributes through selectivity: 100 * 0.5 = 50 >= minSS.
+  EXPECT_DOUBLE_EQ(EvaluateAllocation(p, {100, 0, 0}), 1.0);
+}
+
+TEST(EvaluateAllocationHingeTest, PartialCreditBelowMinSs) {
+  AllocationProblem p = SmallTree(1.0, 0.0, 0.0, 0.0, 100, 50);
+  EXPECT_DOUBLE_EQ(EvaluateAllocationHinge(p, {0, 25, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(EvaluateAllocationHinge(p, {0, 50, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(EvaluateAllocationHinge(p, {0, 100, 0}), 1.0);  // capped
+}
+
+TEST(DpSolverTest, UsesParentSharingWhenCheaper) {
+  // Selectivities 0.8: one parent sample of 63 serves both leaves
+  // (63*0.8 = 50.4 >= 50) cheaper than 2x50 separate samples.
+  AllocationProblem p = SmallTree(0.5, 0.5, 0.8, 0.8, 70, 50);
+  auto result = SolveAllocationDp(p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->objective, 1.0);
+  uint64_t total = 0;
+  for (uint64_t n : result->sample_size) total += n;
+  EXPECT_LE(total, 70u);
+  EXPECT_GE(result->sample_size[0], 63u);
+}
+
+TEST(DpSolverTest, PicksHighProbabilityLeafUnderPressure) {
+  // Memory for only one direct sample; leaf 1 has higher probability.
+  AllocationProblem p = SmallTree(0.9, 0.1, 0.0, 0.0, 60, 50);
+  auto result = SolveAllocationDp(p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->objective, 0.9);
+  EXPECT_GE(result->sample_size[1], 50u);
+  EXPECT_EQ(result->sample_size[2], 0u);
+}
+
+TEST(DpSolverTest, RespectsCapacity) {
+  AllocationProblem p = SmallTree(0.5, 0.5, 0.3, 0.3, 80, 50);
+  auto result = SolveAllocationDp(p);
+  ASSERT_TRUE(result.ok());
+  uint64_t total = 0;
+  for (uint64_t n : result->sample_size) total += n;
+  EXPECT_LE(total, 80u);
+}
+
+TEST(DpSolverTest, RejectsNonTreeContributions) {
+  AllocationProblem p;
+  p.probability = {0, 1.0};
+  p.contributions = {{{0, 1.0}}, {{1, 1.0}, {0, 0.5}, {0, 0.3}}};
+  p.memory_capacity = 100;
+  p.min_sample_size = 10;
+  EXPECT_FALSE(SolveAllocationDp(p).ok());
+}
+
+// DP must match exhaustive grid search on tiny random trees (it is exact
+// under the tree-restricted model).
+class DpVsBruteForceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpVsBruteForceTest, DpAtLeastAsGoodAsGrid) {
+  Rng rng(GetParam());
+  // Random tree: root + 3 leaves, random probabilities/selectivities.
+  double p1 = rng.UniformDouble();
+  double p2 = rng.UniformDouble();
+  double p3 = rng.UniformDouble();
+  double total = p1 + p2 + p3;
+  AllocationProblem p = MakeTreeAllocationProblem(
+      {-1, 0, 0, 0},
+      {0, rng.UniformDouble(), rng.UniformDouble(), rng.UniformDouble()},
+      {0, p1 / total, p2 / total, p3 / total},
+      /*memory_capacity=*/60, /*min_sample_size=*/20);
+
+  auto dp = SolveAllocationDp(p);
+  ASSERT_TRUE(dp.ok());
+  AllocationResult grid = SolveAllocationBruteForce(p, /*granularity=*/5);
+  EXPECT_GE(dp->objective + 1e-9, grid.objective)
+      << "DP lost to a coarse grid search";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpVsBruteForceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(ConvexSolverTest, RespectsConstraints) {
+  AllocationProblem p = SmallTree(0.5, 0.5, 0.5, 0.5, 100, 40);
+  AllocationResult r = SolveAllocationConvex(p);
+  uint64_t total = 0;
+  for (uint64_t n : r.sample_size) total += n;
+  EXPECT_LE(total, 100u);
+}
+
+TEST(ConvexSolverTest, ServesSingleLeafFully) {
+  AllocationProblem p = SmallTree(1.0, 0.0, 0.0, 0.0, 100, 40);
+  AllocationResult r = SolveAllocationConvex(p);
+  // Hinge objective is maximized by giving leaf 1 at least minSS.
+  EXPECT_DOUBLE_EQ(EvaluateAllocationHinge(p, r.sample_size), 1.0);
+}
+
+TEST(ConvexSolverTest, BeatsEmptyAllocation) {
+  AllocationProblem p = SmallTree(0.6, 0.4, 0.2, 0.7, 90, 30);
+  AllocationResult r = SolveAllocationConvex(p);
+  EXPECT_GT(EvaluateAllocationHinge(p, r.sample_size), 0.5);
+}
+
+TEST(UniformSolverTest, SplitsAcrossLeaves) {
+  AllocationProblem p = SmallTree(0.5, 0.5, 0.0, 0.0, 100, 40);
+  AllocationResult r = SolveAllocationUniform(p);
+  EXPECT_EQ(r.sample_size[1], 40u);  // capped at minSS
+  EXPECT_EQ(r.sample_size[2], 40u);
+  EXPECT_DOUBLE_EQ(r.objective, 1.0);
+}
+
+TEST(KnapsackTest, HandExample) {
+  // Items: (w=2,v=3), (w=3,v=4), (w=4,v=5), capacity 6 -> best 2+4 = v7? No:
+  // items 0+1 weight 5 value 7; item 2 alone value 5; items 0+2 weight 6
+  // value 8 <- best.
+  auto r = SolveKnapsack({2, 3, 4}, {3, 4, 5}, 6);
+  EXPECT_DOUBLE_EQ(r.best_value, 8.0);
+  EXPECT_TRUE(r.chosen[0]);
+  EXPECT_FALSE(r.chosen[1]);
+  EXPECT_TRUE(r.chosen[2]);
+}
+
+TEST(KnapsackTest, ZeroCapacity) {
+  auto r = SolveKnapsack({1, 2}, {10, 20}, 0);
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+  EXPECT_FALSE(r.chosen[0]);
+  EXPECT_FALSE(r.chosen[1]);
+}
+
+TEST(KnapsackTest, OverweightItemsSkipped) {
+  auto r = SolveKnapsack({100}, {42}, 10);
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+}
+
+// Lemma 4's NP-hardness reduction, in reverse: embed a knapsack instance
+// into a sample-allocation problem and check the DP solver's objective
+// matches the knapsack optimum (scaled).
+class KnapsackReductionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackReductionTest, AllocationSolvesEmbeddedKnapsack) {
+  Rng rng(GetParam());
+  const size_t m = 4;  // knapsack items
+  const double minss = 20;
+  std::vector<uint64_t> weights;
+  std::vector<double> values;
+  for (size_t i = 0; i < m; ++i) {
+    weights.push_back(2 + rng.UniformInt(10));   // in [2, 11]
+    values.push_back(1 + rng.UniformDouble());   // in [1, 2)
+  }
+  uint64_t budget = 12 + rng.UniformInt(10);
+
+  // Build the Lemma 4 tree: per item i a parent r_i with children
+  // (r_i1 forced cheap, r_i2 costing w_i extra through selectivity
+  // 1 - w_i/minss). Memory = m*minss + budget.
+  std::vector<int> parent = {-1};
+  std::vector<double> sel = {0};
+  std::vector<double> prob = {0};
+  double value_total = 0;
+  for (double v : values) value_total += v;
+  for (size_t i = 0; i < m; ++i) {
+    parent.push_back(0);           // r_i
+    sel.push_back(0);
+    prob.push_back(0);
+    int ri = static_cast<int>(parent.size()) - 1;
+    parent.push_back(ri);          // r_i1: free once parent holds minss
+    sel.push_back(1.0);
+    prob.push_back(2.0);           // large: always worth serving
+    parent.push_back(ri);          // r_i2: needs w_i extra tuples
+    sel.push_back(1.0 - static_cast<double>(weights[i]) / minss);
+    prob.push_back(values[i] / value_total);
+  }
+  AllocationProblem p = MakeTreeAllocationProblem(
+      parent, sel, prob, m * minss + static_cast<double>(budget), minss);
+
+  auto dp = SolveAllocationDp(p);
+  ASSERT_TRUE(dp.ok());
+  auto ks = SolveKnapsack(weights, values, budget);
+
+  // All m "cheap" children must be served (probability 2 each), plus the
+  // knapsack-optimal subset of expensive ones.
+  double expected = 2.0 * m + ks.best_value / value_total;
+  EXPECT_NEAR(dp->objective, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackReductionTest,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+TEST(MakeTreeProblemTest, BuildsSelfAndParentContributions) {
+  AllocationProblem p = MakeTreeAllocationProblem({-1, 0}, {0, 0.5},
+                                                  {0, 1.0}, 100, 10);
+  ASSERT_EQ(p.contributions[0].size(), 1u);
+  ASSERT_EQ(p.contributions[1].size(), 2u);
+  EXPECT_EQ(p.contributions[1][0].first, 1u);
+  EXPECT_DOUBLE_EQ(p.contributions[1][0].second, 1.0);
+  EXPECT_EQ(p.contributions[1][1].first, 0u);
+  EXPECT_DOUBLE_EQ(p.contributions[1][1].second, 0.5);
+}
+
+}  // namespace
+}  // namespace smartdd

@@ -1,0 +1,105 @@
+#include "storage/bucketize.h"
+
+#include <gtest/gtest.h>
+
+namespace smartdd {
+namespace {
+
+TEST(EqualWidthTest, SplitsRangeEvenly) {
+  auto b = Bucketizer::EqualWidth({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 5);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 5u);
+  EXPECT_EQ(b->BucketOf(0.0), 0u);
+  EXPECT_EQ(b->BucketOf(1.9), 0u);
+  EXPECT_EQ(b->BucketOf(2.0), 1u);
+  EXPECT_EQ(b->BucketOf(10.0), 4u);
+}
+
+TEST(EqualWidthTest, ClampsOutOfRangeValues) {
+  auto b = Bucketizer::EqualWidth({0, 10}, 2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->BucketOf(-100), 0u);
+  EXPECT_EQ(b->BucketOf(100), 1u);
+}
+
+TEST(EqualWidthTest, DegenerateSingleValue) {
+  auto b = Bucketizer::EqualWidth({5, 5, 5}, 4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 1u);
+  EXPECT_EQ(b->BucketOf(5), 0u);
+}
+
+TEST(EqualWidthTest, RejectsBadInputs) {
+  EXPECT_FALSE(Bucketizer::EqualWidth({}, 3).ok());
+  EXPECT_FALSE(Bucketizer::EqualWidth({1.0}, 0).ok());
+}
+
+TEST(EqualDepthTest, BalancedOnUniformData) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  auto b = Bucketizer::EqualDepth(values, 4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 4u);
+  // Each bucket should receive ~25 values.
+  std::vector<int> counts(4, 0);
+  for (double v : values) ++counts[b->BucketOf(v)];
+  for (int c : counts) EXPECT_NEAR(c, 25, 1);
+}
+
+TEST(EqualDepthTest, MergesDuplicateBoundaries) {
+  // 90% of mass on one value: fewer buckets come back.
+  std::vector<double> values(90, 1.0);
+  for (int i = 0; i < 10; ++i) values.push_back(100.0 + i);
+  auto b = Bucketizer::EqualDepth(values, 5);
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(b->num_buckets(), 5u);
+  EXPECT_GE(b->num_buckets(), 1u);
+}
+
+TEST(EqualDepthTest, AllIdenticalValues) {
+  auto b = Bucketizer::EqualDepth({3, 3, 3, 3}, 3);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 1u);
+}
+
+TEST(FromBoundariesTest, ValidatesMonotonicity) {
+  EXPECT_TRUE(Bucketizer::FromBoundaries({0, 1, 2}).ok());
+  EXPECT_FALSE(Bucketizer::FromBoundaries({0}).ok());
+  EXPECT_FALSE(Bucketizer::FromBoundaries({0, 0, 1}).ok());
+  EXPECT_FALSE(Bucketizer::FromBoundaries({2, 1}).ok());
+}
+
+TEST(FromBoundariesTest, HalfOpenIntervals) {
+  auto b = Bucketizer::FromBoundaries({0, 10, 20});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->BucketOf(9.99), 0u);
+  EXPECT_EQ(b->BucketOf(10), 1u);
+  EXPECT_EQ(b->BucketOf(20), 1u);  // last bucket closed
+}
+
+TEST(BucketizerTest, LabelsAreReadableRanges) {
+  auto b = Bucketizer::FromBoundaries({18, 25, 65});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->LabelOf(0), "[18, 25)");
+  EXPECT_EQ(b->LabelOf(1), "[25, 65]");
+  EXPECT_EQ(b->LabelFor(30), "[25, 65]");
+}
+
+TEST(BucketizerTest, ApplyProducesOneLabelPerValue) {
+  auto b = Bucketizer::FromBoundaries({0, 5, 10});
+  ASSERT_TRUE(b.ok());
+  auto labels = b->Apply({1, 7, 4});
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "[0, 5)");
+  EXPECT_EQ(labels[1], "[5, 10]");
+  EXPECT_EQ(labels[2], "[0, 5)");
+}
+
+TEST(BucketizerTest, BoundariesAccessor) {
+  auto b = Bucketizer::FromBoundaries({1, 2, 3});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->boundaries(), (std::vector<double>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace smartdd

@@ -1,0 +1,242 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/census_gen.h"
+#include "data/marketing_gen.h"
+#include "data/mcp_gen.h"
+#include "data/retail_gen.h"
+#include "data/synth.h"
+#include "rules/rule_ops.h"
+#include "storage/column_stats.h"
+#include "storage/disk_table.h"
+#include "tests/test_util.h"
+
+namespace smartdd {
+namespace {
+
+using ::smartdd::testing::R;
+
+TEST(RetailGenTest, PlantedPatternCountsAreExact) {
+  Table t = GenerateRetailTable();
+  TableView v(t);
+  EXPECT_EQ(t.num_rows(), 6000u);
+  EXPECT_DOUBLE_EQ(RuleMass(v, R(t, {"Target", "bicycles", "?"})), 200);
+  EXPECT_DOUBLE_EQ(RuleMass(v, R(t, {"?", "comforters", "MA-3"})), 600);
+  EXPECT_DOUBLE_EQ(RuleMass(v, R(t, {"Walmart", "?", "?"})), 1000);
+  EXPECT_DOUBLE_EQ(RuleMass(v, R(t, {"Walmart", "cookies", "?"})), 200);
+  EXPECT_DOUBLE_EQ(RuleMass(v, R(t, {"Walmart", "?", "CA-1"})), 150);
+  EXPECT_DOUBLE_EQ(RuleMass(v, R(t, {"Walmart", "?", "WA-5"})), 130);
+}
+
+TEST(RetailGenTest, HasSalesMeasure) {
+  Table t = GenerateRetailTable();
+  ASSERT_EQ(t.num_measures(), 1u);
+  EXPECT_EQ(t.measure_name(0), "Sales");
+  for (uint64_t r = 0; r < 100; ++r) {
+    EXPECT_GT(t.measure(0, r), 0.0);
+  }
+}
+
+TEST(RetailGenTest, DeterministicForSeed) {
+  Table a = GenerateRetailTable();
+  Table b = GenerateRetailTable();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (uint64_t r = 0; r < a.num_rows(); r += 97) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.ValueAt(c, r), b.ValueAt(c, r));
+    }
+  }
+}
+
+TEST(MarketingGenTest, ShapeMatchesPaperDataset) {
+  Table t = GenerateMarketingTable();
+  EXPECT_EQ(t.num_rows(), 9409u);
+  EXPECT_EQ(t.num_columns(), 14u);
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_LE(t.dictionary(c).size(), 10u)
+        << "column " << t.schema().name(c) << " too wide";
+    EXPECT_GE(t.dictionary(c).size(), 2u);
+  }
+}
+
+TEST(MarketingGenTest, SexMarginalsMatchFigure1Exactly) {
+  Table t = GenerateMarketingTable();
+  TableView v(t);
+  Rule female(t.num_columns());
+  female.set_value(1, *t.dictionary(1).Find("Female"));
+  Rule male(t.num_columns());
+  male.set_value(1, *t.dictionary(1).Find("Male"));
+  // 0.52269 * 9409 and 0.43310 * 9409 with exact-count assignment.
+  EXPECT_NEAR(RuleMass(v, female), 4918, 2);
+  EXPECT_NEAR(RuleMass(v, male), 4075, 2);
+}
+
+TEST(MarketingGenTest, CalibratedJointDistributions) {
+  Table t = GenerateMarketingTable();
+  TableView v(t);
+  // (Female, >10yrs): paper shape ~ a 2000-3000 tuple rule.
+  Rule f_time(t.num_columns());
+  f_time.set_value(1, *t.dictionary(1).Find("Female"));
+  f_time.set_value(6, *t.dictionary(6).Find(">10yrs"));
+  double fm = RuleMass(v, f_time);
+  EXPECT_GT(fm, 1900);
+  EXPECT_LT(fm, 3100);
+  // (Male, NeverMarried, >10yrs): the paper's ~980-count size-3 rule.
+  Rule m_never(t.num_columns());
+  m_never.set_value(1, *t.dictionary(1).Find("Male"));
+  m_never.set_value(2, *t.dictionary(2).Find("NeverMarried"));
+  m_never.set_value(6, *t.dictionary(6).Find(">10yrs"));
+  double mm = RuleMass(v, m_never);
+  EXPECT_GT(mm, 700);
+  EXPECT_LT(mm, 1800);
+}
+
+TEST(MarketingGenTest, ColumnTruncationKeepsPrefix) {
+  MarketingSpec spec;
+  spec.columns = 7;
+  Table t = GenerateMarketingTable(spec);
+  EXPECT_EQ(t.num_columns(), 7u);
+  EXPECT_EQ(t.schema().name(6), "TimeInBayArea");
+  EXPECT_EQ(t.num_rows(), 9409u);
+}
+
+TEST(MarketingGenTest, DeterministicForSeed) {
+  MarketingSpec spec;
+  spec.rows = 500;
+  Table a = GenerateMarketingTable(spec);
+  Table b = GenerateMarketingTable(spec);
+  for (uint64_t r = 0; r < a.num_rows(); r += 13) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.ValueAt(c, r), b.ValueAt(c, r));
+    }
+  }
+}
+
+TEST(CensusGenTest, ShapeAndDeterminism) {
+  CensusSpec spec;
+  spec.rows = 2000;
+  Table a = GenerateCensusTable(spec);
+  Table b = GenerateCensusTable(spec);
+  EXPECT_EQ(a.num_rows(), 2000u);
+  EXPECT_EQ(a.num_columns(), 68u);
+  for (uint64_t r = 0; r < a.num_rows(); r += 101) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.code(c, r), b.code(c, r));
+    }
+  }
+}
+
+TEST(CensusGenTest, CorrelatedColumnsCarryJointMass) {
+  CensusSpec spec;
+  spec.rows = 5000;
+  Table t = GenerateCensusTable(spec);
+  TableView v(t);
+  // Column 7 echoes column 6 80% of the time: the best (c6, c7) pair rule
+  // should cover far more than the independence baseline.
+  ColumnStats s6 = ComputeColumnStats(v, 6);
+  double best_pair = 0;
+  for (uint32_t v6 = 0; v6 < t.dictionary(6).size(); ++v6) {
+    for (uint32_t v7 = 0; v7 < t.dictionary(7).size(); ++v7) {
+      Rule r(t.num_columns());
+      r.set_value(6, v6);
+      r.set_value(7, v7);
+      best_pair = std::max(best_pair, RuleMass(v, r));
+    }
+  }
+  EXPECT_GT(best_pair, 0.5 * s6.most_frequent_mass)
+      << "correlation between columns 6 and 7 is too weak";
+}
+
+TEST(CensusGenTest, ColumnsUsedTruncates) {
+  CensusSpec spec;
+  spec.rows = 100;
+  spec.columns_used = 7;
+  Table t = GenerateCensusTable(spec);
+  EXPECT_EQ(t.num_columns(), 7u);
+}
+
+TEST(CensusGenTest, DiskGenerationMatchesMemoryGeneration) {
+  CensusSpec spec;
+  spec.rows = 1000;
+  spec.columns_used = 10;
+  Table mem = GenerateCensusTable(spec);
+
+  std::string path = ::testing::TempDir() + "/census_small.sddt";
+  ASSERT_TRUE(GenerateCensusDiskTable(spec, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ((*dt)->num_rows(), 1000u);
+
+  uint64_t mismatches = 0;
+  ASSERT_TRUE((*dt)
+                  ->Scan([&](uint64_t r, const uint32_t* codes,
+                             const double*) {
+                    for (size_t c = 0; c < 10; ++c) {
+                      if (codes[c] != mem.code(c, r)) ++mismatches;
+                    }
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(mismatches, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(McpGenTest, InstanceRespectsParameters) {
+  McpInstance inst = GenerateMcpInstance(50, 8, 0.2, 3);
+  EXPECT_EQ(inst.universe_size, 50u);
+  EXPECT_EQ(inst.subsets.size(), 8u);
+  size_t total = 0;
+  for (const auto& s : inst.subsets) total += s.size();
+  EXPECT_NEAR(total, 50 * 8 * 0.2, 30);
+}
+
+TEST(McpGenTest, TableEncodesMembership) {
+  McpInstance inst;
+  inst.universe_size = 3;
+  inst.subsets = {{0, 2}, {1}};
+  Table t = McpToTable(inst);
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.ValueAt(0, 0), "1");
+  EXPECT_EQ(t.ValueAt(1, 0), "0");
+  EXPECT_EQ(t.ValueAt(0, 1), "0");
+  EXPECT_EQ(t.ValueAt(1, 1), "1");
+  EXPECT_EQ(t.ValueAt(0, 2), "1");
+}
+
+TEST(McpGenTest, GreedyNeverBeatsBruteForce) {
+  for (uint64_t seed : {1, 2, 3}) {
+    McpInstance inst = GenerateMcpInstance(30, 6, 0.25, seed);
+    EXPECT_LE(GreedyMaxCoverage(inst, 3), BruteForceMaxCoverage(inst, 3));
+  }
+}
+
+TEST(SynthGenTest, RespectsCardinalitiesAndMeasure) {
+  SynthSpec spec;
+  spec.rows = 500;
+  spec.cardinalities = {2, 7};
+  spec.with_measure = true;
+  Table t = GenerateSyntheticTable(spec);
+  EXPECT_EQ(t.num_rows(), 500u);
+  EXPECT_EQ(t.dictionary(0).size(), 2u);
+  EXPECT_EQ(t.dictionary(1).size(), 7u);
+  ASSERT_EQ(t.num_measures(), 1u);
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(t.measure(0, r), 0.0);
+    EXPECT_LT(t.measure(0, r), 100.0);
+  }
+}
+
+TEST(SynthGenTest, ZipfSkewShowsInMarginals) {
+  SynthSpec spec;
+  spec.rows = 5000;
+  spec.cardinalities = {10};
+  spec.zipf = {1.5};
+  Table t = GenerateSyntheticTable(spec);
+  TableView v(t);
+  ColumnStats s = ComputeColumnStats(v, 0);
+  EXPECT_GT(s.max_frequency_fraction, 0.3);
+}
+
+}  // namespace
+}  // namespace smartdd

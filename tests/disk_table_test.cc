@@ -1,0 +1,234 @@
+#include "storage/disk_table.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "tests/test_util.h"
+
+namespace smartdd {
+namespace {
+
+using ::smartdd::testing::MakeTable;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Table ReadAll(const DiskTable& dt) {
+  Table out = dt.MakeEmptyTable();
+  Status s = dt.Scan([&](uint64_t, const uint32_t* codes,
+                         const double* measures) {
+    out.AppendRow(std::span<const uint32_t>(codes, out.num_columns()),
+                  std::span<const double>(measures,
+                                          measures ? out.num_measures() : 0));
+    return true;
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(DiskTableTest, WriteOpenRoundTripPreservesEverything) {
+  Table t = MakeTable({{"a", "x"}, {"b", "y"}, {"a", "y"}}, {"k1", "k2"});
+  std::string path = TempPath("roundtrip.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+  EXPECT_EQ((*dt)->num_rows(), 3u);
+  EXPECT_EQ((*dt)->schema().names(), t.schema().names());
+  EXPECT_EQ((*dt)->dictionary(0).values(), t.dictionary(0).values());
+
+  Table back = ReadAll(**dt);
+  ASSERT_EQ(back.num_rows(), 3u);
+  for (uint64_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(back.ValueAt(c, r), t.ValueAt(c, r));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableTest, MeasuresRoundTrip) {
+  Table t({"k"});
+  t.AddMeasureColumn("m");
+  ASSERT_TRUE(t.AppendRowValues({"a"}, std::vector<double>{1.25}).ok());
+  ASSERT_TRUE(t.AppendRowValues({"b"}, std::vector<double>{-7.5}).ok());
+  std::string path = TempPath("measures.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ((*dt)->num_measures(), 1u);
+  EXPECT_EQ((*dt)->measure_names()[0], "m");
+  Table back = ReadAll(**dt);
+  EXPECT_DOUBLE_EQ(back.measure(0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(back.measure(0, 1), -7.5);
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableTest, NarrowCellWidthForSmallDictionaries) {
+  Table t({"small"});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(t.AppendRowValues({StrFormat("v%d", i)}).ok());
+  }
+  std::string path = TempPath("narrow.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ((*dt)->row_bytes(), 1u);  // one u8 cell
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableTest, WideCellWidthBeyond256Values) {
+  Table t({"wide"});
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(t.AppendRowValues({StrFormat("v%d", i)}).ok());
+  }
+  std::string path = TempPath("wide.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ((*dt)->row_bytes(), 2u);  // u16 cell
+  Table back = ReadAll(**dt);
+  EXPECT_EQ(back.ValueAt(0, 299), "v299");
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableTest, OpenMissingFileFails) {
+  EXPECT_EQ(DiskTable::Open("/nonexistent/x.sddt").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(DiskTableTest, OpenRejectsGarbage) {
+  std::string path = TempPath("garbage.sddt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("not a disk table at all", 1, 23, f);
+  std::fclose(f);
+  EXPECT_FALSE(DiskTable::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableTest, ScanDetectsTruncatedData) {
+  Table t = MakeTable({{"a"}, {"b"}, {"c"}});
+  std::string path = TempPath("trunc.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  // Chop the last row's byte off.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 1), 0);
+  Status s = (*dt)->Scan([](uint64_t, const uint32_t*, const double*) {
+    return true;
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableTest, ScanEarlyStop) {
+  Table t = MakeTable({{"a"}, {"b"}, {"c"}, {"d"}});
+  std::string path = TempPath("early.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  int visited = 0;
+  ASSERT_TRUE((*dt)
+                  ->Scan([&](uint64_t, const uint32_t*, const double*) {
+                    return ++visited < 2;
+                  })
+                  .ok());
+  EXPECT_EQ(visited, 2);
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableWriterTest, RejectsOutOfDictionaryCodes) {
+  Table proto = MakeTable({{"a"}});
+  std::string path = TempPath("badcode.sddt");
+  auto w = DiskTableWriter::Create(proto, path);
+  ASSERT_TRUE(w.ok());
+  uint32_t bad_code = 99;
+  EXPECT_FALSE((*w)->AppendRow(&bad_code, nullptr).ok());
+  ASSERT_TRUE((*w)->Finish().ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskTableWriterTest, StreamingWriterPatchesRowCount) {
+  Table proto = MakeTable({{"a"}, {"b"}});
+  std::string path = TempPath("stream.sddt");
+  auto w = DiskTableWriter::Create(proto, path);
+  ASSERT_TRUE(w.ok());
+  uint32_t code0 = 0;
+  uint32_t code1 = 1;
+  ASSERT_TRUE((*w)->AppendRow(&code0, nullptr).ok());
+  ASSERT_TRUE((*w)->AppendRow(&code1, nullptr).ok());
+  ASSERT_TRUE((*w)->AppendRow(&code0, nullptr).ok());
+  EXPECT_EQ((*w)->rows_written(), 3u);
+  ASSERT_TRUE((*w)->Finish().ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ((*dt)->num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskScanSourceTest, CountsScans) {
+  Table t = MakeTable({{"a"}, {"b"}});
+  std::string path = TempPath("scans.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  DiskScanSource source(*dt);
+  EXPECT_EQ(source.scan_count(), 0u);
+  ASSERT_TRUE(source
+                  .Scan([](uint64_t, const uint32_t*, const double*) {
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(source.scan_count(), 1u);
+  EXPECT_EQ(source.num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskScanSourceTest, MakeEmptyTableSharesCodeSpace) {
+  Table t = MakeTable({{"a", "x"}, {"b", "y"}});
+  std::string path = TempPath("codespace.sddt");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto dt = DiskTable::Open(path);
+  ASSERT_TRUE(dt.ok());
+  Table empty = (*dt)->MakeEmptyTable();
+  // Codes emitted by Scan must be valid in the empty table.
+  ASSERT_TRUE((*dt)
+                  ->Scan([&](uint64_t r, const uint32_t* codes,
+                             const double*) {
+                    EXPECT_EQ(empty.dictionary(0).ValueOf(codes[0]),
+                              t.ValueAt(0, r));
+                    return true;
+                  })
+                  .ok());
+  std::remove(path.c_str());
+}
+
+TEST(MemoryScanSourceTest, ScansAllRowsWithMeasures) {
+  Table t({"k"});
+  t.AddMeasureColumn("m");
+  ASSERT_TRUE(t.AppendRowValues({"a"}, std::vector<double>{2.0}).ok());
+  ASSERT_TRUE(t.AppendRowValues({"b"}, std::vector<double>{3.0}).ok());
+  MemoryScanSource source(t);
+  double total = 0;
+  ASSERT_TRUE(source
+                  .Scan([&](uint64_t, const uint32_t*, const double* m) {
+                    total += m[0];
+                    return true;
+                  })
+                  .ok());
+  EXPECT_DOUBLE_EQ(total, 5.0);
+  EXPECT_EQ(source.scan_count(), 1u);
+}
+
+}  // namespace
+}  // namespace smartdd

@@ -1,0 +1,147 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smartdd {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should give different streams";
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(1);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(4);
+  double mean = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= 10000;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  Rng rng(8);
+  Rng::ZipfTable zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c / 20000.0, 0.25, 0.03);
+}
+
+TEST(ZipfTest, SkewedFrequenciesDecrease) {
+  Rng rng(9);
+  Rng::ZipfTable zipf(6, 1.2);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[zipf.Sample(rng)];
+  // First value dominates; counts should be (weakly) decreasing overall.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[0], 3 * counts[5]);
+}
+
+TEST(ZipfTest, SingleValueDomain) {
+  Rng rng(10);
+  Rng::ZipfTable zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyMoves) {
+  Rng rng(12);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 0;
+  uint64_t a = SplitMix64(s);
+  uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace smartdd

@@ -1,0 +1,186 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synth.h"
+#include "rules/rule_ops.h"
+#include "sampling/minss_guidance.h"
+#include "sampling/reservoir.h"
+#include "sampling/sample.h"
+#include "tests/test_util.h"
+
+namespace smartdd {
+namespace {
+
+using ::smartdd::testing::MakeTable;
+using ::smartdd::testing::R;
+
+TEST(ReservoirTest, KeepsEverythingBelowCapacity) {
+  ReservoirSampler rs(10, 1);
+  for (int i = 0; i < 5; ++i) {
+    auto p = rs.Offer();
+    EXPECT_TRUE(p.accept);
+    EXPECT_EQ(p.slot, static_cast<size_t>(i));
+  }
+  EXPECT_EQ(rs.size(), 5u);
+  EXPECT_EQ(rs.seen(), 5u);
+}
+
+TEST(ReservoirTest, CapacityNeverExceeded) {
+  ReservoirSampler rs(4, 2);
+  for (int i = 0; i < 100; ++i) {
+    auto p = rs.Offer();
+    if (p.accept) {
+      EXPECT_LT(p.slot, 4u);
+    }
+  }
+  EXPECT_EQ(rs.size(), 4u);
+  EXPECT_EQ(rs.seen(), 100u);
+}
+
+TEST(ReservoirTest, DeterministicForSeed) {
+  ReservoirSampler a(3, 7), b(3, 7);
+  for (int i = 0; i < 50; ++i) {
+    auto pa = a.Offer();
+    auto pb = b.Offer();
+    EXPECT_EQ(pa.accept, pb.accept);
+    EXPECT_EQ(pa.slot, pb.slot);
+  }
+}
+
+TEST(ReservoirTest, ApproximatelyUniformInclusion) {
+  // Each of 100 items should be retained with probability 10/100; average
+  // inclusion counts over many trials and check uniformity loosely.
+  const int n = 100, cap = 10, trials = 2000;
+  std::vector<int> kept(n, 0);
+  for (int trial = 0; trial < trials; ++trial) {
+    ReservoirSampler rs(cap, 1000 + trial);
+    std::vector<int> slots(cap, -1);
+    for (int i = 0; i < n; ++i) {
+      auto p = rs.Offer();
+      if (p.accept) slots[p.slot] = i;
+    }
+    for (int item : slots) {
+      if (item >= 0) ++kept[item];
+    }
+  }
+  double expected = trials * static_cast<double>(cap) / n;  // 200
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(kept[i], expected, expected * 0.35)
+        << "item " << i << " kept " << kept[i];
+  }
+}
+
+TEST(SampleTest, ElidesFilterColumns) {
+  Table t = MakeTable({{"a", "x", "q"}});
+  Rule filter = R(t, {"a", "?", "?"});
+  Sample s(filter, t);
+  EXPECT_EQ(s.stored_columns(), 2u);  // only columns 1, 2 stored
+}
+
+TEST(SampleTest, GetRowReconstructsFullTuple) {
+  Table t = MakeTable({{"a", "x", "q"}, {"a", "y", "r"}});
+  Rule filter = R(t, {"a", "?", "?"});
+  Sample s(filter, t);
+  uint32_t codes[3];
+  t.GetRow(1, codes);
+  s.Add(1, codes, nullptr);
+  uint32_t out[3];
+  s.GetRow(0, out);
+  EXPECT_EQ(out[0], t.code(0, 1));
+  EXPECT_EQ(out[1], t.code(1, 1));
+  EXPECT_EQ(out[2], t.code(2, 1));
+  EXPECT_EQ(s.row_id(0), 1u);
+}
+
+TEST(SampleTest, MaterializeRebuildsRows) {
+  Table t = MakeTable({{"a", "x"}, {"a", "y"}, {"b", "z"}});
+  Rule filter = R(t, {"a", "?"});
+  Sample s(filter, t);
+  uint32_t codes[2];
+  for (uint64_t r : {0ull, 1ull}) {
+    t.GetRow(r, codes);
+    s.Add(r, codes, nullptr);
+  }
+  Table m = s.Materialize();
+  ASSERT_EQ(m.num_rows(), 2u);
+  EXPECT_EQ(m.ValueAt(0, 0), "a");
+  EXPECT_EQ(m.ValueAt(1, 0), "x");
+  EXPECT_EQ(m.ValueAt(1, 1), "y");
+}
+
+TEST(SampleTest, ReplaceAtOverwritesSlot) {
+  Table t = MakeTable({{"a", "x"}, {"a", "y"}});
+  Sample s(R(t, {"a", "?"}), t);
+  uint32_t codes[2];
+  t.GetRow(0, codes);
+  s.Add(0, codes, nullptr);
+  t.GetRow(1, codes);
+  s.ReplaceAt(0, 1, codes, nullptr);
+  uint32_t out[2];
+  s.GetRow(0, out);
+  EXPECT_EQ(out[1], t.code(1, 1));
+  EXPECT_EQ(s.row_id(0), 1u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SampleTest, MeasuresStoredPerRow) {
+  Table t({"k"});
+  t.AddMeasureColumn("m");
+  ASSERT_TRUE(t.AppendRowValues({"a"}, std::vector<double>{4.5}).ok());
+  Sample s(Rule::Trivial(1), t);
+  uint32_t codes[1];
+  t.GetRow(0, codes);
+  double measures[1] = {4.5};
+  s.Add(0, codes, measures);
+  double out[1];
+  s.GetMeasures(0, out);
+  EXPECT_DOUBLE_EQ(out[0], 4.5);
+  Table m = s.Materialize();
+  EXPECT_DOUBLE_EQ(m.measure(0, 0), 4.5);
+}
+
+TEST(SampleTest, TrivialFilterStoresAllColumns) {
+  Table t = MakeTable({{"a", "x"}});
+  Sample s(Rule::Trivial(2), t);
+  EXPECT_EQ(s.stored_columns(), 2u);
+}
+
+TEST(MinSsGuidanceTest, FractionFormula) {
+  EXPECT_DOUBLE_EQ(MinSampleSizeForFraction(0.5, 10), 10.0);
+  EXPECT_DOUBLE_EQ(MinSampleSizeForFraction(0.1, 10), 90.0);
+  EXPECT_DOUBLE_EQ(MinSampleSizeForFraction(1.0, 10), 0.0);
+}
+
+TEST(MinSsGuidanceTest, PaperExample) {
+  // |C| = 10 columns, smallest column has 5 values, rho = 1:
+  // x = 1/50, minSS ~ rho * 49 ~ |C||c|.
+  double rec = RecommendMinSampleSize(10, 5, 1.0);
+  EXPECT_NEAR(rec, 49.0, 1e-9);
+}
+
+TEST(MinSsGuidanceTest, ScalesWithRho) {
+  EXPECT_DOUBLE_EQ(RecommendMinSampleSize(10, 5, 2.0),
+                   2 * RecommendMinSampleSize(10, 5, 1.0));
+}
+
+TEST(ConfidenceTest, WidthShrinksWithSampleSize) {
+  double small = CountConfidenceHalfWidth(50, 100, 10.0);
+  double large = CountConfidenceHalfWidth(500, 1000, 10.0);
+  // Relative width (vs estimate 500 and 5000) shrinks by ~sqrt(10).
+  EXPECT_GT(small / 500.0, large / 5000.0);
+}
+
+TEST(ConfidenceTest, ZeroForDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(CountConfidenceHalfWidth(0, 100, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(CountConfidenceHalfWidth(10, 0, 10.0), 0.0);
+}
+
+TEST(ConfidenceTest, FullCoverageHasZeroWidth) {
+  // Rule covering every sampled tuple: p = 1, no binomial variance.
+  EXPECT_DOUBLE_EQ(CountConfidenceHalfWidth(100, 100, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace smartdd

@@ -1,0 +1,182 @@
+#include "core/score.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synth.h"
+#include "rules/rule_ops.h"
+#include "tests/test_util.h"
+#include "weights/standard_weights.h"
+
+namespace smartdd {
+namespace {
+
+using ::smartdd::testing::MakeTable;
+using ::smartdd::testing::R;
+
+// The paper's Table 2 situation in miniature: verify MCount semantics by
+// hand. Table: 3 Walmart rows (one of them cookies), 2 Target/bicycles rows.
+class ScoreFixture : public ::testing::Test {
+ protected:
+  ScoreFixture()
+      : table_(MakeTable({{"Walmart", "cookies"},
+                          {"Walmart", "soap"},
+                          {"Walmart", "soap"},
+                          {"Target", "bicycles"},
+                          {"Target", "bicycles"}},
+                         {"Store", "Product"})),
+        view_(table_) {}
+
+  Table table_;
+  TableView view_;
+  SizeWeight weight_;
+};
+
+TEST_F(ScoreFixture, EvaluateComputesCountAndMarginalCount) {
+  std::vector<Rule> rules = {R(table_, {"Walmart", "cookies"}),
+                             R(table_, {"Walmart", "?"})};
+  RuleListEvaluation eval = EvaluateRuleList(view_, rules, weight_);
+  // Counts: rule 0 covers 1 tuple, rule 1 covers 3.
+  EXPECT_DOUBLE_EQ(eval.mass[0], 1.0);
+  EXPECT_DOUBLE_EQ(eval.mass[1], 3.0);
+  // MCounts: (Walmart, cookies) has weight 2 so it claims its tuple first;
+  // (Walmart, ?) gets the remaining 2.
+  EXPECT_DOUBLE_EQ(eval.marginal_mass[0], 1.0);
+  EXPECT_DOUBLE_EQ(eval.marginal_mass[1], 2.0);
+  // Score = 1*2 + 2*1.
+  EXPECT_DOUBLE_EQ(eval.total_score, 4.0);
+}
+
+TEST_F(ScoreFixture, AttributionFollowsWeightNotInputOrder) {
+  // Same rules in the other input order: outputs must be identical per rule.
+  std::vector<Rule> rules = {R(table_, {"Walmart", "?"}),
+                             R(table_, {"Walmart", "cookies"})};
+  RuleListEvaluation eval = EvaluateRuleList(view_, rules, weight_);
+  EXPECT_DOUBLE_EQ(eval.marginal_mass[0], 2.0);
+  EXPECT_DOUBLE_EQ(eval.marginal_mass[1], 1.0);
+  EXPECT_DOUBLE_EQ(eval.total_score, 4.0);
+}
+
+TEST_F(ScoreFixture, UncoveredTuplesContributeNothing) {
+  std::vector<Rule> rules = {R(table_, {"Target", "?"})};
+  RuleListEvaluation eval = EvaluateRuleList(view_, rules, weight_);
+  EXPECT_DOUBLE_EQ(eval.total_score, 2.0);  // 2 tuples * weight 1
+}
+
+TEST_F(ScoreFixture, EmptyRuleListScoresZero) {
+  RuleListEvaluation eval = EvaluateRuleList(view_, {}, weight_);
+  EXPECT_DOUBLE_EQ(eval.total_score, 0.0);
+}
+
+TEST_F(ScoreFixture, TrivialRuleClaimsEverythingAtZeroWeight) {
+  std::vector<Rule> rules = {Rule::Trivial(2), R(table_, {"Walmart", "?"})};
+  // Trivial rule has weight 0, Walmart weight 1: Walmart is evaluated first.
+  RuleListEvaluation eval = EvaluateRuleList(view_, rules, weight_);
+  EXPECT_DOUBLE_EQ(eval.marginal_mass[1], 3.0);
+  EXPECT_DOUBLE_EQ(eval.marginal_mass[0], 2.0);
+  EXPECT_DOUBLE_EQ(eval.total_score, 3.0);
+}
+
+TEST(OrderByWeightTest, DescendingAndStable) {
+  Table t = MakeTable({{"a", "b", "c"}});
+  SizeWeight w;
+  Rule r1 = R(t, {"a", "?", "?"});
+  Rule r2 = R(t, {"?", "b", "?"});
+  Rule r3 = R(t, {"a", "b", "?"});
+  std::vector<Rule> rules = {r1, r2, r3};
+  auto order = OrderByWeightDesc(rules, w);
+  EXPECT_EQ(order, (std::vector<size_t>{2, 0, 1}));  // size2 then ties stable
+}
+
+// Lemma 1 property: evaluating a list sorted by descending weight scores at
+// least as high as any other order of the same rules.
+TEST(Lemma1PropertyTest, SortedOrderDominatesRandomOrders) {
+  SynthSpec spec;
+  spec.rows = 300;
+  spec.cardinalities = {4, 4, 3};
+  spec.seed = 21;
+  Table t = GenerateSyntheticTable(spec);
+  TableView view(t);
+  SizeWeight weight;
+  Rng rng(22);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random list of 4 rules drawn from tuples.
+    std::vector<Rule> rules;
+    for (int i = 0; i < 4; ++i) {
+      uint64_t row = rng.UniformInt(t.num_rows());
+      Rule r(t.num_columns());
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        if (rng.Bernoulli(0.5)) r.set_value(c, t.code(c, row));
+      }
+      rules.push_back(r);
+    }
+    double in_order = ScoreRuleListInOrder(view, rules, weight);
+    auto order = OrderByWeightDesc(rules, weight);
+    std::vector<Rule> sorted;
+    for (size_t i : order) sorted.push_back(rules[i]);
+    double sorted_score = ScoreRuleListInOrder(view, sorted, weight);
+    ASSERT_GE(sorted_score + 1e-9, in_order)
+        << "Lemma 1 violated on trial " << trial;
+    // And the set-score equals the sorted-order score.
+    ASSERT_NEAR(ScoreRuleSet(view, rules, weight), sorted_score, 1e-9);
+  }
+}
+
+// Lemma 3 property: Score is submodular — the marginal gain of adding a
+// rule to a set is no larger when added to a superset.
+TEST(SubmodularityPropertyTest, MarginalGainsShrinkOnSupersets) {
+  SynthSpec spec;
+  spec.rows = 250;
+  spec.cardinalities = {3, 4, 3};
+  spec.seed = 31;
+  Table t = GenerateSyntheticTable(spec);
+  TableView view(t);
+  SizeWeight weight;
+  Rng rng(32);
+
+  auto random_rule = [&]() {
+    uint64_t row = rng.UniformInt(t.num_rows());
+    Rule r(t.num_columns());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      if (rng.Bernoulli(0.6)) r.set_value(c, t.code(c, row));
+    }
+    return r;
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Rule> small;
+    for (int i = 0; i < 2; ++i) small.push_back(random_rule());
+    std::vector<Rule> big = small;
+    for (int i = 0; i < 2; ++i) big.push_back(random_rule());
+    Rule s = random_rule();
+
+    auto with = [&](std::vector<Rule> set) {
+      set.push_back(s);
+      return ScoreRuleSet(view, set, weight);
+    };
+    double gain_small = with(small) - ScoreRuleSet(view, small, weight);
+    double gain_big = with(big) - ScoreRuleSet(view, big, weight);
+    ASSERT_GE(gain_small + 1e-9, gain_big)
+        << "submodularity violated on trial " << trial;
+  }
+}
+
+TEST(ScoreSumAggregateTest, UsesMeasureMass) {
+  Table t({"k"});
+  t.AddMeasureColumn("m");
+  ASSERT_TRUE(t.AppendRowValues({"a"}, std::vector<double>{10.0}).ok());
+  ASSERT_TRUE(t.AppendRowValues({"a"}, std::vector<double>{5.0}).ok());
+  ASSERT_TRUE(t.AppendRowValues({"b"}, std::vector<double>{1.0}).ok());
+  TableView v(t);
+  v.SelectMeasure(0);
+  SizeWeight w;
+  std::vector<Rule> rules = {R(t, {"a"})};
+  RuleListEvaluation eval = EvaluateRuleList(v, rules, w);
+  EXPECT_DOUBLE_EQ(eval.mass[0], 15.0);       // Sum(r)
+  EXPECT_DOUBLE_EQ(eval.marginal_mass[0], 15.0);  // MSum(r)
+  EXPECT_DOUBLE_EQ(eval.total_score, 15.0);
+}
+
+}  // namespace
+}  // namespace smartdd

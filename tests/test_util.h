@@ -1,0 +1,41 @@
+#ifndef SMARTDD_TESTS_TEST_UTIL_H_
+#define SMARTDD_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rules/rule.h"
+#include "rules/rule_format.h"
+#include "storage/table.h"
+
+namespace smartdd::testing {
+
+/// Builds a table from string rows; column names c0, c1, ...
+inline Table MakeTable(const std::vector<std::vector<std::string>>& rows,
+                       std::vector<std::string> names = {}) {
+  EXPECT_FALSE(rows.empty());
+  if (names.empty()) {
+    for (size_t c = 0; c < rows[0].size(); ++c) {
+      names.push_back("c" + std::to_string(c));
+    }
+  }
+  Table t(names);
+  for (const auto& row : rows) {
+    auto s = t.AppendRowValues(row);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return t;
+}
+
+/// Parses a rule from cells ("?" = star); dies on unknown values.
+inline Rule R(const Table& table, const std::vector<std::string>& cells) {
+  auto r = ParseRule(cells, table);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Rule(table.num_columns());
+}
+
+}  // namespace smartdd::testing
+
+#endif  // SMARTDD_TESTS_TEST_UTIL_H_
