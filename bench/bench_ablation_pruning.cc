@@ -22,6 +22,7 @@ void RunMode(const std::string& name, const TableView& view,
   MarginalSearchStats stats;
   for (uint64_t it = 0; it < iters; ++it) {
     BrsOptions options;
+    options.num_threads = Flags().threads;
     options.k = 4;
     options.max_weight = mw;
     options.pruning = mode;
@@ -41,7 +42,8 @@ void RunMode(const std::string& name, const TableView& view,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   const uint64_t iters = EnvU64("SMARTDD_BENCH_ITERS", 3);
 
   PrintExperimentHeader(

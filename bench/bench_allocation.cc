@@ -45,7 +45,8 @@ AllocationProblem RandomTree(Rng& rng, size_t num_leaf_groups,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   const uint64_t trials = EnvU64("SMARTDD_BENCH_ITERS", 20);
 
   PrintExperimentHeader(

@@ -8,13 +8,15 @@
 #include "explore/session.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 
   const Table& table = Marketing7();
   SizeWeight weight;
   SessionOptions options;
+  options.num_threads = smartdd::bench::Flags().threads;
   options.k = 4;
   options.max_weight = 5;
   ExplorationSession session(table, weight, options);

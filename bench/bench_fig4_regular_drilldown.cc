@@ -11,7 +11,8 @@
 #include "explore/renderer.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 
@@ -33,6 +34,7 @@ int main() {
 
   ColumnIndicatorWeight weight(age_col);
   BrsOptions options;
+  options.num_threads = smartdd::bench::Flags().threads;
   options.k = table.dictionary(age_col).size();
   options.max_weight = 1.0;
   options.max_rule_size = 1;

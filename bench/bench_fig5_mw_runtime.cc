@@ -40,7 +40,8 @@ void RunSeries(const std::string& name, const ScanSource& source,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   const uint64_t iters = EnvU64("SMARTDD_BENCH_ITERS", 3);
 
   PrintExperimentHeader(

@@ -9,7 +9,8 @@
 #include "explore/renderer.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 
@@ -30,6 +31,7 @@ int main() {
   std::printf("\n\n");
 
   BrsOptions options;
+  options.num_threads = smartdd::bench::Flags().threads;
   options.k = 4;
   options.max_weight = 20;
   auto result = RunBrs(view, weight, options);

@@ -8,7 +8,8 @@
 #include "explore/renderer.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 
@@ -22,6 +23,7 @@ int main() {
       "male/female-count rules, unlike Figure 1)");
 
   BrsOptions options;
+  options.num_threads = smartdd::bench::Flags().threads;
   options.k = 4;
   options.max_weight = 5;
   auto result = RunBrs(view, weight, options);

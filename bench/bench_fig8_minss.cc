@@ -56,6 +56,7 @@ std::vector<Rule> FullTableRules(const ScanSource& source,
   SMARTDD_CHECK(s.ok());
   TableView view(all);
   BrsOptions options;
+  options.num_threads = smartdd::bench::Flags().threads;
   options.k = 4;
   options.max_weight = mw;
   auto result = RunBrs(view, weight, options);
@@ -110,7 +111,8 @@ void RunSeries(SeriesContext& ctx, const std::vector<uint64_t>& minss_values,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   const uint64_t iters = EnvU64("SMARTDD_BENCH_ITERS", 5);
 
   PrintExperimentHeader(

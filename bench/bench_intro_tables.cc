@@ -11,13 +11,15 @@
 #include "tests/test_util.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 
   Table table = GenerateRetailTable();
   SizeWeight weight;
   SessionOptions options;
+  options.num_threads = smartdd::bench::Flags().threads;
   options.k = 3;
   options.max_weight = 5;
   ExplorationSession session(table, weight, options);

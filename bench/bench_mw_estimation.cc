@@ -25,6 +25,7 @@ void RunCase(const std::string& name, const TableView& view,
 
   // Reference: BRS with the worst-case cap.
   BrsOptions worst;
+  worst.num_threads = smartdd::bench::Flags().threads;
   worst.k = 4;
   timer.Restart();
   auto full = RunBrs(view, weight, worst);
@@ -34,6 +35,7 @@ void RunCase(const std::string& name, const TableView& view,
   for (const auto& r : full->rules) true_max = std::max(true_max, r.weight);
 
   BrsOptions capped;
+  capped.num_threads = smartdd::bench::Flags().threads;
   capped.k = 4;
   capped.max_weight = est->mw;
   timer.Restart();
@@ -52,7 +54,8 @@ void RunCase(const std::string& name, const TableView& view,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   PrintExperimentHeader(
       "mw estimation (§6.1)", "sample-estimated mw vs worst-case cap",
       "the 2x-sample estimate covers the true max selected weight, and BRS "

@@ -9,7 +9,8 @@
 #include "data/synth.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 

@@ -12,7 +12,8 @@
 #include "core/score.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 
@@ -48,6 +49,7 @@ int main() {
   }
 
   BrsOptions options;
+  options.num_threads = smartdd::bench::Flags().threads;
   options.k = k;
   options.max_weight = 5;
   auto smart = RunBrs(view, weight, options);

@@ -2,10 +2,97 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
 
 namespace smartdd::bench {
+
+namespace {
+
+struct SeriesRecord {
+  std::string series;
+  double x = 0;
+  double y = 0;
+  std::string x_name;
+  std::string y_name;
+};
+
+std::vector<SeriesRecord>& JsonRecords() {
+  static std::vector<SeriesRecord>* records = new std::vector<SeriesRecord>();
+  return *records;
+}
+
+}  // namespace
+
+BenchFlags& Flags() {
+  static BenchFlags* flags = new BenchFlags();
+  return *flags;
+}
+
+void ParseFlags(int argc, char** argv) {
+  BenchFlags& flags = Flags();
+  flags.threads = static_cast<size_t>(EnvU64("SMARTDD_THREADS", 0));
+  const char* json_env = std::getenv("SMARTDD_JSON");
+  if (json_env != nullptr && *json_env != '\0') flags.json_path = json_env;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags.threads = static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      flags.json_path = arg + 7;
+    }
+  }
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(FlushJson);
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void FlushJson() {
+  const std::string& path = Flags().json_path;
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for JSON output\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"threads\": %zu,\n  \"rows\": [\n",
+               Flags().threads);
+  const auto& records = JsonRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SeriesRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"series\": \"%s\", \"%s\": %.10g, "
+                 "\"%s\": %.10g}%s\n",
+                 JsonEscape(r.series).c_str(), JsonEscape(r.x_name).c_str(),
+                 r.x, JsonEscape(r.y_name).c_str(), r.y,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %zu JSON rows to %s\n", records.size(),
+               path.c_str());
+}
 
 uint64_t EnvU64(const char* name, uint64_t default_value) {
   const char* value = std::getenv(name);
@@ -73,6 +160,9 @@ void PrintSeriesRow(const std::string& series, double x, double y,
   std::printf("series=%-28s %s=%-10.4g %s=%.6g\n", series.c_str(),
               x_name.c_str(), x, y_name.c_str(), y);
   std::fflush(stdout);
+  if (!Flags().json_path.empty()) {
+    JsonRecords().push_back(SeriesRecord{series, x, y, x_name, y_name});
+  }
 }
 
 ExpansionMeasurement MeasureExpandEmpty(const ScanSource& source,
@@ -103,6 +193,7 @@ ExpansionMeasurement MeasureExpandEmpty(const ScanSource& source,
   BrsOptions brs;
   brs.k = k;
   brs.max_weight = mw;
+  brs.num_threads = Flags().threads;
   phase.Restart();
   auto result = RunBrs(view, weight, brs);
   SMARTDD_CHECK(result.ok()) << result.status().ToString();

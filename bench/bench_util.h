@@ -18,6 +18,29 @@ namespace smartdd::bench {
 /// Reads an unsigned integer from the environment, with default.
 uint64_t EnvU64(const char* name, uint64_t default_value);
 
+/// Common command-line flags shared by every benchmark binary.
+struct BenchFlags {
+  /// --threads=N (or SMARTDD_THREADS): threads for search passes.
+  /// 0 = all hardware threads.
+  size_t threads = 0;
+  /// --json=FILE (or SMARTDD_JSON): write every PrintSeriesRow record as
+  /// machine-readable JSON to FILE at exit.
+  std::string json_path;
+};
+BenchFlags& Flags();
+
+/// Parses --threads=N / --json=FILE (env fallbacks SMARTDD_THREADS /
+/// SMARTDD_JSON) into Flags(). Call first thing in main(); unknown
+/// arguments are left alone. Registers the JSON flush atexit.
+void ParseFlags(int argc, char** argv);
+
+/// Writes all recorded series rows to Flags().json_path (no-op when the
+/// flag is unset). Called automatically at exit after ParseFlags.
+void FlushJson();
+
+/// Minimal JSON escaping for string values.
+std::string JsonEscape(const std::string& s);
+
 /// The benchmark datasets, cached per process.
 ///
 /// Marketing: 9409 x 7 columns (the paper restricts qualitative experiments

@@ -12,7 +12,8 @@
 #include "sampling/sample_handler.h"
 #include "weights/standard_weights.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smartdd::bench::ParseFlags(argc, argv);
   using namespace smartdd;
   using namespace smartdd::bench;
 
@@ -49,6 +50,7 @@ int main() {
     if (!sample.ok()) return 1;
     TableView view(sample->table);
     BrsOptions brs;
+    brs.num_threads = Flags().threads;
     brs.k = 4;
     brs.max_weight = mw;
     WallTimer timer;

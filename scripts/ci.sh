@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Configure + build + test, exactly as CI runs it. Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

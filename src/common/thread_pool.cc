@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace smartdd {
+
+namespace {
+thread_local bool tls_inside_pool_job = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: benchmarks and tests may run searches from static
+  // teardown, and joining at exit buys nothing.
+  static ThreadPool* pool = new ThreadPool(
+      std::max(8u, std::thread::hardware_concurrency()) - 1);
+  return *pool;
+}
+
+size_t ThreadPool::EffectiveThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  while (true) {
+    uint64_t chunk = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job->num_chunks) break;
+    if (!job->failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job->fn)(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job->error_mu);
+        if (!job->error) job->error = std::current_exception();
+        job->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    job->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::UnqueueLocked(Job* job) {
+  auto it = std::find(pending_.begin(), pending_.end(), job);
+  if (it != pending_.end()) pending_.erase(it);
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&]() { return shutdown_ || !pending_.empty(); });
+      if (shutdown_) return;
+      job = pending_.front();  // FIFO: drain the oldest job first
+      ++job->active_workers;   // guarded by mu_: keeps `job` alive below
+    }
+    tls_inside_pool_job = true;
+    RunChunks(job);
+    tls_inside_pool_job = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job->active_workers;
+      // All chunks are claimed (RunChunks returned); retire the job so
+      // waiting workers move on to the next one instead of re-adopting it.
+      UnqueueLocked(job);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t num_chunks, size_t parallelism,
+                             const std::function<void(uint64_t)>& fn) {
+  if (num_chunks == 0) return;
+  // Serial request, nothing to fan out to, or a nested call from inside a
+  // worker (workers must not block on sub-jobs): run inline.
+  if (parallelism <= 1 || workers_.empty() || num_chunks == 1 ||
+      tls_inside_pool_job) {
+    for (uint64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(&job);
+  }
+  // Wake only as many workers as this job can use; the caller is one lane.
+  size_t helpers = std::min<size_t>(workers_.size(),
+                                    std::min<uint64_t>(parallelism - 1,
+                                                       num_chunks - 1));
+  if (helpers == workers_.size()) {
+    work_cv_.notify_all();
+  } else {
+    for (size_t i = 0; i < helpers; ++i) work_cv_.notify_one();
+  }
+
+  RunChunks(&job);
+
+  {
+    // All chunks are claimed; retire the job, then wait until every chunk
+    // ran AND no worker still holds a pointer to this stack frame.
+    // active_workers is mutated under mu_, so the predicate is race-free;
+    // `done` alone would let a straggler touch `job` after unwinding.
+    std::unique_lock<std::mutex> lock(mu_);
+    UnqueueLocked(&job);
+    done_cv_.wait(lock, [&]() {
+      return job.done.load(std::memory_order_acquire) >= job.num_chunks &&
+             job.active_workers == 0;
+    });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace smartdd

@@ -1,0 +1,89 @@
+#ifndef SMARTDD_COMMON_THREAD_POOL_H_
+#define SMARTDD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smartdd {
+
+/// A fixed pool of worker threads executing chunked parallel-for jobs.
+///
+/// The pool exists so that interactive search passes (best-marginal
+/// counting, scoring) can fan out over cores without paying thread spawn
+/// cost per pass. ParallelFor blocks the caller until every chunk has
+/// finished, and the calling thread itself works on chunks, so every
+/// caller always makes progress even with zero workers. Concurrent
+/// ParallelFor calls (multi-user sessions) are queued FIFO: workers drain
+/// the oldest job first, and each caller still drives its own job inline,
+/// so no call can starve.
+///
+/// Determinism contract: chunk *boundaries* are chosen by the caller and
+/// must not depend on the thread count. Workers pull chunk indices from an
+/// atomic counter, so the assignment of chunks to threads is racy — callers
+/// that accumulate floating-point state must accumulate per chunk and merge
+/// in chunk order afterwards. Under that discipline results are bit-identical
+/// for any thread count (see core/best_marginal.cc).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` background threads (0 is allowed: every
+  /// ParallelFor then runs inline on the caller).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Process-wide pool, created on first use. Sized to honor explicit
+  /// num_threads requests above the core count (differential tests run
+  /// 8-way even on small CI boxes; idle workers just sleep). Never
+  /// destroyed, so it is safe to use from static destructors.
+  static ThreadPool& Global();
+
+  /// Resolves a user-facing `num_threads` knob: 0 means "all hardware
+  /// threads", anything else is taken literally.
+  static size_t EffectiveThreads(size_t num_threads);
+
+  /// Runs fn(chunk) for every chunk in [0, num_chunks), waking at most
+  /// `parallelism - 1` workers to help the caller (best-effort cap:
+  /// spuriously woken workers may also join). Blocks until all chunks are
+  /// done. Exceptions thrown by fn are rethrown on the caller (first one
+  /// wins). Reentrant calls from inside a worker run inline.
+  void ParallelFor(uint64_t num_chunks, size_t parallelism,
+                   const std::function<void(uint64_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(uint64_t)>* fn = nullptr;
+    std::atomic<uint64_t> next{0};
+    uint64_t num_chunks = 0;
+    std::atomic<uint64_t> done{0};
+    int active_workers = 0;  // guarded by the pool's mu_
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Job* job);
+  /// Removes `job` from the pending queue if still enqueued (guarded by
+  /// mu_, which the caller must hold).
+  void UnqueueLocked(Job* job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for jobs
+  std::condition_variable done_cv_;   // callers wait here for completion
+  std::vector<Job*> pending_;         // FIFO of jobs with unclaimed chunks
+  bool shutdown_ = false;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_COMMON_THREAD_POOL_H_

@@ -1,21 +1,18 @@
 #include "core/best_marginal.h"
 
 #include <algorithm>
+#include <cstring>
+#include <functional>
+#include <limits>
 #include <memory>
-#include <unordered_map>
 
-#include "common/hash.h"
+#include "common/flat_map.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace smartdd {
 
 namespace {
-
-struct VecHash {
-  size_t operator()(const std::vector<uint32_t>& v) const {
-    return static_cast<size_t>(HashCodes(v));
-  }
-};
 
 /// Per-candidate counters. `excluded` marks rules whose weight exceeds mw
 /// or whose upper bound fell below the threshold H before they were
@@ -30,21 +27,64 @@ struct Entry {
   bool excluded = false;
 };
 
-using Vals = std::vector<uint32_t>;
 using Cols = std::vector<uint32_t>;
-using ValsMap = std::unordered_map<Vals, Entry, VecHash>;
 
-/// All candidates sharing one set of instantiated columns.
-struct Group {
+/// The pass-1 scan splits the rows into contiguous "lanes", each summed
+/// sequentially in row order into its own accumulator, merged in lane
+/// order afterwards. Lane boundaries depend only on the data shape (row
+/// count and dictionary size) — never on the thread count — so the merged
+/// floats are bit-identical for any parallelism.
+/// kMinLaneRows bounds scheduling overhead on small views; kMaxLanes
+/// bounds the fan-out; kMaxLaneCells bounds the transient accumulator
+/// memory (lanes * dict cells, ~20 bytes each) so high-cardinality
+/// columns degrade toward fewer lanes instead of gigabytes of scratch.
+constexpr uint64_t kMinLaneRows = 16384;
+constexpr uint64_t kMaxLanes = 64;
+constexpr uint64_t kMaxLaneCells = uint64_t{1} << 22;  // ~80 MB of scratch
+
+/// Candidates per block in the counting passes. The threshold H is frozen
+/// at each block boundary: pruning decisions depend only on block layout
+/// (thread-count-independent), while the candidates inside one block count
+/// concurrently.
+constexpr size_t kCountBlock = 64;
+
+/// Stack capacity for hoisted per-candidate column pointers; rules wider
+/// than this take an unhoisted (still allocation-free) slow path.
+constexpr size_t kMaxHoistedArity = 64;
+
+/// All candidates sharing one set of instantiated columns (arity >= 2).
+/// Values are packed Key128s; the raw tuples live in `tuples`, strided by
+/// arity and parallel to the map's insertion order, because hashed
+/// (overflow-width) keys cannot be unpacked.
+struct CandidateGroup {
   Cols cols;
-  ValsMap entries;
+  TuplePacker packer;
+  FlatMap<Entry> map;
+  std::vector<uint32_t> tuples;
+
+  const uint32_t* tuple(size_t entry_index) const {
+    return tuples.data() + entry_index * cols.size();
+  }
 };
 
-/// Deterministic tie-break for equal marginal values: prefer higher weight,
-/// then lexicographically smaller rule values.
-bool RuleValuesLess(const Rule& a, const Rule& b) {
-  return a.values() < b.values();
-}
+/// Singleton (size-1) candidates for one column, dense by dictionary code.
+/// `counts[v] == 0` means value v never occurs in the view (no candidate).
+/// `codes` lists the occurring values ascending, so candidate generation
+/// iterates occurring values only instead of the whole dictionary (which
+/// matters for high-cardinality columns over narrow drill-down views).
+struct SingletonTable {
+  uint32_t col = 0;
+  std::vector<Entry> entries;
+  std::vector<uint32_t> counts;
+  std::vector<uint32_t> codes;
+};
+
+/// Row postings per dictionary code of one column, CSR layout: the rows
+/// covered by code v are rows[offsets[v] .. offsets[v+1]), in view order.
+struct Postings {
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> rows;
+};
 
 }  // namespace
 
@@ -55,18 +95,19 @@ struct MarginalRuleFinder::Impl {
   MarginalSearchStats& stats;
   const std::vector<double>& covered_weight;
 
-  std::vector<uint32_t> columns;  // search space, ascending
-  Rule base;                      // merged into candidates for weight eval
+  std::vector<uint32_t> columns;   // search space, ascending
+  std::vector<int32_t> col_dense;  // table column -> index in columns, or -1
+  std::vector<uint8_t> col_bits;   // per dense column: code bit width
+  Rule base;     // merged into candidates for weight eval
+  Rule scratch;  // reusable candidate rule: no per-candidate Rule allocs
+  bool base_stars_search_cols = true;  // base is all-stars on `columns`
 
-  /// Counted groups from every completed pass, keyed by column set.
-  std::unordered_map<Cols, ValsMap, VecHash> counted;
+  size_t threads;
 
-  /// Per allowed column: row postings per dictionary code, built during
-  /// pass 1. Candidate counting in later passes walks the postings of the
-  /// candidate's *rarest* value and verifies the remaining columns, so its
-  /// cost is sum over candidates of min singleton support — not
-  /// rows x groups (which explodes on wide tables).
-  std::unordered_map<uint32_t, std::vector<std::vector<uint32_t>>> postings;
+  std::vector<Postings> postings;        // per dense column
+  std::vector<SingletonTable> singles;   // per dense column
+  std::vector<CandidateGroup> counted;   // arity >= 2 groups, all passes
+  FlatMap<uint32_t> counted_index;       // ColsKey -> index into `counted`
 
   double best_marginal = 0;  // the paper's threshold H
   Rule best_rule{0};
@@ -81,7 +122,9 @@ struct MarginalRuleFinder::Impl {
         options(opts),
         stats(s),
         covered_weight(cw),
-        base(opts.base_rule ? *opts.base_rule : Rule(v.num_columns())) {
+        base(opts.base_rule ? *opts.base_rule : Rule(v.num_columns())),
+        scratch(0),
+        threads(ThreadPool::EffectiveThreads(opts.num_threads)) {
     SMARTDD_CHECK(base.num_columns() == view.num_columns());
     if (options.allowed_columns.empty()) {
       for (size_t c = 0; c < view.num_columns(); ++c) {
@@ -96,147 +139,377 @@ struct MarginalRuleFinder::Impl {
       columns.erase(std::unique(columns.begin(), columns.end()),
                     columns.end());
     }
+    col_dense.assign(view.num_columns(), -1);
+    col_bits.resize(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      col_dense[columns[i]] = static_cast<int32_t>(i);
+      col_bits[i] = CodeBitWidth(view.table().dictionary(columns[i]).size());
+    }
+    scratch = base;
+    for (uint32_t c : columns) {
+      base_stars_search_cols &= base.is_star(c);
+    }
   }
 
-  Rule FullRule(const Cols& cols, const Vals& vals) const {
+  // --- Keys -------------------------------------------------------------
+
+  /// Key for a set of columns: a bitmask over dense column indices when the
+  /// search space fits 128 columns (exact), else a two-lane hash.
+  Key128 ColsKey(const uint32_t* cols, size_t arity) const {
+    Key128 key;
+    if (columns.size() <= 128) {
+      for (size_t i = 0; i < arity; ++i) {
+        uint32_t d = static_cast<uint32_t>(col_dense[cols[i]]);
+        if (d < 64) {
+          key.lo |= uint64_t{1} << d;
+        } else {
+          key.hi |= uint64_t{1} << (d - 64);
+        }
+      }
+    } else {
+      key.lo = HashCodes(cols, arity);
+      key.hi = HashMix64(key.lo ^ 0x94D049BB133111EBULL);
+    }
+    return key;
+  }
+
+  /// Pointer to the view's selected measure column (nullptr for Count):
+  /// hot loops resolve the table row once and index this directly instead
+  /// of paying view.mass()'s second row_id resolution per tuple.
+  const double* MassColumn() const {
+    if (!view.has_measure()) return nullptr;
+    return view.table().measure_column(*view.measure_index()).data();
+  }
+
+  TuplePacker MakePacker(const Cols& cols) const {
+    std::vector<uint8_t> bits(cols.size());
+    for (size_t i = 0; i < cols.size(); ++i) {
+      bits[i] = col_bits[col_dense[cols[i]]];
+    }
+    return TuplePacker(bits);
+  }
+
+  // --- Weight via the scratch rule -------------------------------------
+
+  /// W(base merged with cols=vals), evaluated against the reusable scratch
+  /// rule: zero allocations per candidate.
+  double EffectiveWeight(const Cols& cols, const uint32_t* vals) {
+    scratch.set_values(cols, std::span<const uint32_t>(vals, cols.size()));
+    double w = weight.Weight(scratch);
+    if (base_stars_search_cols) {
+      scratch.clear_values(cols);
+    } else {
+      // A caller overlapped allowed_columns with the base rule's
+      // instantiated columns: restore the base values, not stars.
+      for (uint32_t c : cols) scratch.set_value(c, base.value(c));
+    }
+    return w;
+  }
+
+  Rule FullRule(const Cols& cols, const uint32_t* vals) const {
     Rule r = base;
     for (size_t i = 0; i < cols.size(); ++i) r.set_value(cols[i], vals[i]);
     return r;
   }
 
-  double EffectiveWeight(const Cols& cols, const Vals& vals) const {
-    return weight.Weight(FullRule(cols, vals));
+  /// Deterministic tie-break for equal marginal values: prefer higher
+  /// weight, then lexicographically smaller rule values. Total order, so
+  /// the winner is independent of candidate enumeration order.
+  bool BetterThanBest(double marginal, double w, const Cols& cols,
+                      const uint32_t* vals) const {
+    if (marginal > best_marginal) return true;
+    if (marginal < best_marginal || best_marginal <= 0) return false;
+    if (w != best_weight) return w > best_weight;
+    return FullRule(cols, vals).values() < best_rule.values();
   }
 
-  /// Pass 1: one scan counting every size-1 rule (lazily created) and
-  /// building the per-value row postings.
-  void CountSizeOne(std::vector<Group>& groups) {
-    const uint64_t n = view.num_rows();
-    for (uint32_t c : columns) {
-      postings[c].resize(view.table().dictionary(c).size());
+  void TakeBest(double marginal, double w, double mass, const Cols& cols,
+                const uint32_t* vals) {
+    best_marginal = marginal;
+    best_rule = FullRule(cols, vals);
+    best_weight = w;
+    best_mass = mass;
+  }
+
+  /// Dispatches fn(chunk) over [0, num_chunks): inline when serial (never
+  /// touching the process pool), on the shared pool otherwise. Chunk
+  /// boundaries are the caller's and never depend on `threads`.
+  void RunChunked(uint64_t num_chunks,
+                  const std::function<void(uint64_t)>& fn) {
+    if (threads <= 1) {
+      for (uint64_t c = 0; c < num_chunks; ++c) fn(c);
+    } else {
+      ThreadPool::Global().ParallelFor(num_chunks, threads, fn);
     }
-    Vals key(1);
-    for (auto& g : groups) {
-      const uint32_t c = g.cols[0];
-      auto& posts = postings[c];
-      for (uint64_t t = 0; t < n; ++t) {
-        uint32_t code = view.code(c, t);
-        key[0] = code;
-        auto [it, inserted] = g.entries.try_emplace(key);
-        Entry* e = &it->second;
-        if (inserted) {
-          e->weight = EffectiveWeight(g.cols, key);
-          e->excluded = e->weight > options.max_weight;
-          ++stats.candidates_generated;
-          if (!e->excluded) ++stats.candidates_counted;
+  }
+
+  // --- Pass 1 -----------------------------------------------------------
+
+  /// One scan per column counting every size-1 rule and building the
+  /// per-value CSR postings. Parallel over fixed row chunks with per-chunk
+  /// accumulators merged in chunk order, so sums are bit-identical to the
+  /// single-thread run.
+  void CountSizeOne() {
+    const uint64_t n = view.num_rows();
+    const bool subset = view.is_subset();
+    const double* mass_col = MassColumn();
+
+    postings.resize(columns.size());
+    singles.resize(columns.size());
+
+    // Reused per-lane scratch (sized per column below).
+    std::vector<uint32_t> lane_counts;
+    std::vector<double> lane_mass;
+    std::vector<double> lane_marginal;
+
+    for (size_t ci = 0; ci < columns.size(); ++ci) {
+      const uint32_t c = columns[ci];
+      const size_t dict = view.table().dictionary(c).size();
+      const uint32_t* col = view.table().column(c).data();
+      SingletonTable& st = singles[ci];
+      st.col = c;
+      st.entries.assign(dict, Entry{});
+      st.counts.assign(dict, 0u);
+
+      // Lane layout for this column (data-shape-dependent only).
+      const uint64_t num_lanes = std::max<uint64_t>(
+          1, std::min({(n + kMinLaneRows - 1) / kMinLaneRows, kMaxLanes,
+                       kMaxLaneCells / std::max<uint64_t>(1, dict)}));
+      const uint64_t lane_rows = (n + num_lanes - 1) / num_lanes;
+      auto lane_bounds = [&](uint64_t lane) {
+        return std::pair<uint64_t, uint64_t>(
+            lane * lane_rows, std::min(n, (lane + 1) * lane_rows));
+      };
+
+      lane_counts.assign(num_lanes * dict, 0u);
+      lane_mass.assign(num_lanes * dict, 0.0);
+
+      // Phase A: per-lane occurrence counts and mass sums.
+      RunChunked(num_lanes, [&](uint64_t lane) {
+        const auto [lo, hi] = lane_bounds(lane);
+        uint32_t* counts = lane_counts.data() + lane * dict;
+        double* mass = lane_mass.data() + lane * dict;
+        for (uint64_t t = lo; t < hi; ++t) {
+          const uint32_t row =
+              subset ? view.row_id(t) : static_cast<uint32_t>(t);
+          const uint32_t code = col[row];
+          ++counts[code];
+          mass[code] += mass_col ? mass_col[row] : 1.0;
         }
-        posts[code].push_back(static_cast<uint32_t>(t));
-        if (e->excluded) continue;
-        const double m = view.mass(t);
-        e->mass += m;
-        e->marginal += m * std::max(0.0, e->weight - covered_weight[t]);
+      });
+
+      // Merge in lane order; lay out CSR offsets.
+      Postings& ps = postings[ci];
+      ps.offsets.assign(dict + 1, 0u);
+      for (size_t v = 0; v < dict; ++v) {
+        uint32_t total = 0;
+        double mass = 0;
+        for (uint64_t k = 0; k < num_lanes; ++k) {
+          total += lane_counts[k * dict + v];
+          mass += lane_mass[k * dict + v];
+        }
+        st.counts[v] = total;
+        st.entries[v].mass = mass;
+        ps.offsets[v + 1] = ps.offsets[v] + total;
+        if (total > 0) st.codes.push_back(static_cast<uint32_t>(v));
+      }
+      ps.rows.resize(n);
+
+      // Weights for the codes that occur (serial: WeightFunction is not
+      // required to be thread-safe, and this is O(dict), not O(rows)).
+      Cols one_col{c};
+      uint32_t one_val[1];
+      for (uint32_t v : st.codes) {
+        Entry& e = st.entries[v];
+        one_val[0] = v;
+        e.weight = EffectiveWeight(one_col, one_val);
+        e.excluded = e.weight > options.max_weight;
+        ++stats.candidates_generated;
+        if (e.excluded) {
+          e.mass = 0;  // match the lazy path: excluded rules are not counted
+        } else {
+          ++stats.candidates_counted;
+        }
+      }
+
+      // Turn per-lane counts into per-lane write cursors (exclusive
+      // prefix over lanes per code, offset by the CSR base).
+      for (size_t v = 0; v < dict; ++v) {
+        uint32_t cursor = ps.offsets[v];
+        for (uint64_t k = 0; k < num_lanes; ++k) {
+          uint32_t cnt = lane_counts[k * dict + v];
+          lane_counts[k * dict + v] = cursor;
+          cursor += cnt;
+        }
+      }
+
+      // Phase B: scatter rows into the postings (lane-ordered, so each
+      // code's posting list stays in ascending view-row order) and
+      // accumulate the marginal sums per lane.
+      lane_marginal.assign(num_lanes * dict, 0.0);
+      RunChunked(num_lanes, [&](uint64_t lane) {
+        const auto [lo, hi] = lane_bounds(lane);
+        uint32_t* cursors = lane_counts.data() + lane * dict;
+        double* marginal = lane_marginal.data() + lane * dict;
+        for (uint64_t t = lo; t < hi; ++t) {
+          const uint32_t row =
+              subset ? view.row_id(t) : static_cast<uint32_t>(t);
+          const uint32_t code = col[row];
+          ps.rows[cursors[code]++] = static_cast<uint32_t>(t);
+          const Entry& e = st.entries[code];
+          if (e.excluded) continue;
+          const double m = mass_col ? mass_col[row] : 1.0;
+          marginal[code] += m * std::max(0.0, e.weight - covered_weight[t]);
+        }
+      });
+      for (size_t v = 0; v < dict; ++v) {
+        if (st.counts[v] == 0 || st.entries[v].excluded) continue;
+        double marginal = 0;
+        for (uint64_t k = 0; k < num_lanes; ++k) {
+          marginal += lane_marginal[k * dict + v];
+        }
+        st.entries[v].marginal = marginal;
       }
       stats.tuple_visits += n;
     }
     ++stats.passes;
   }
 
-  /// Singleton mass lookup (for picking the rarest posting list).
-  double SingletonMass(uint32_t col, uint32_t val) const {
-    auto cit = counted.find(Cols{col});
-    if (cit == counted.end()) return 0;
-    auto eit = cit->second.find(Vals{val});
-    if (eit == cit->second.end()) return 0;
-    return eit->second.mass;
-  }
+  // --- Counting passes (arity >= 2) -------------------------------------
 
-  /// Passes 2+: verify each candidate against the postings of its rarest
-  /// instantiated value. Candidates are processed in decreasing order of
-  /// their generation-time upper bound, and the threshold H is advanced
-  /// after every candidate — so once a strong candidate is counted, the
-  /// long tail of weaker ones is skipped without touching any tuple (the
-  /// paper's threshold rule, applied eagerly within the pass).
-  void CountCandidates(std::vector<Group>& groups) {
-    struct Item {
-      Group* group;
-      const Vals* vals;
-      Entry* entry;
-    };
-    std::vector<Item> items;
-    for (auto& g : groups) {
-      for (auto& [vals, e] : g.entries) {
-        if (!e.excluded) items.push_back(Item{&g, &vals, &e});
+  /// Counts one candidate by walking the postings of its rarest
+  /// instantiated value and verifying the remaining columns against the
+  /// column arrays. Returns the rows visited. Writes only to `e` — safe to
+  /// run concurrently across distinct candidates.
+  uint64_t CountOneCandidate(const CandidateGroup& g, const uint32_t* vals,
+                             Entry& e) const {
+    const size_t arity = g.cols.size();
+    // Walk the shortest posting list: selected by occurrence *count* (the
+    // actual rows visited), not mass — under Sum a huge-support value can
+    // have near-zero mass.
+    size_t rare_i = 0;
+    uint32_t rare_count = std::numeric_limits<uint32_t>::max();
+    for (size_t i = 0; i < arity; ++i) {
+      uint32_t cnt = singles[col_dense[g.cols[i]]].counts[vals[i]];
+      if (cnt < rare_count) {
+        rare_count = cnt;
+        rare_i = i;
       }
     }
-    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
-      return a.entry->bound > b.entry->bound;
-    });
+    const Postings& ps = postings[col_dense[g.cols[rare_i]]];
+    const uint32_t* row_begin = ps.rows.data() + ps.offsets[vals[rare_i]];
+    const uint32_t* row_end = ps.rows.data() + ps.offsets[vals[rare_i] + 1];
 
-    const bool prune = options.pruning == PruningMode::kFull;
-    double h = best_marginal;
-    for (const Item& item : items) {
-      Entry& e = *item.entry;
-      if (prune && (e.bound < h || e.bound <= 0)) {
-        e.excluded = true;  // tombstone: super-rules prune through it
-        ++stats.candidates_pruned;
-        continue;
-      }
-      const Cols& cols = item.group->cols;
-      const Vals& vals = *item.vals;
-      const size_t arity = cols.size();
-      size_t rare_i = 0;
-      double rare_mass = std::numeric_limits<double>::infinity();
+    const bool subset = view.is_subset();
+    const double* mass_col = MassColumn();
+    const Table& table = view.table();
+
+    const uint32_t* cols_data[kMaxHoistedArity];
+    uint32_t want[kMaxHoistedArity];
+    size_t preds = 0;
+    const bool hoisted = arity <= kMaxHoistedArity;
+    if (hoisted) {
       for (size_t i = 0; i < arity; ++i) {
-        double m = SingletonMass(cols[i], vals[i]);
-        if (m < rare_mass) {
-          rare_mass = m;
-          rare_i = i;
-        }
+        if (i == rare_i) continue;
+        cols_data[preds] = table.column(g.cols[i]).data();
+        want[preds] = vals[i];
+        ++preds;
       }
-      const auto& rows = postings.at(cols[rare_i])[vals[rare_i]];
-      for (uint32_t t : rows) {
-        bool covered = true;
-        for (size_t i = 0; i < arity; ++i) {
-          if (i == rare_i) continue;
-          if (view.code(cols[i], t) != vals[i]) {
+    }
+
+    double mass = 0;
+    double marginal = 0;
+    for (const uint32_t* p = row_begin; p != row_end; ++p) {
+      const uint32_t t = *p;
+      const uint32_t row = subset ? view.row_id(t) : t;
+      bool covered = true;
+      if (hoisted) {
+        for (size_t i = 0; i < preds; ++i) {
+          if (cols_data[i][row] != want[i]) {
             covered = false;
             break;
           }
         }
-        if (!covered) continue;
-        const double m = view.mass(t);
-        e.mass += m;
-        e.marginal += m * std::max(0.0, e.weight - covered_weight[t]);
+      } else {
+        for (size_t i = 0; i < arity; ++i) {
+          if (i == rare_i) continue;
+          if (table.column(g.cols[i])[row] != vals[i]) {
+            covered = false;
+            break;
+          }
+        }
       }
-      stats.tuple_visits += rows.size();
-      ++stats.candidates_counted;
-      if (e.marginal > h) h = e.marginal;
+      if (!covered) continue;
+      const double m = mass_col ? mass_col[row] : 1.0;
+      mass += m;
+      marginal += m * std::max(0.0, e.weight - covered_weight[t]);
+    }
+    e.mass += mass;
+    e.marginal += marginal;
+    return static_cast<uint64_t>(row_end - row_begin);
+  }
+
+  /// Passes 2+: candidates are processed in decreasing order of their
+  /// generation-time upper bound, in fixed-size blocks. The threshold H is
+  /// frozen at each block boundary: the long tail of weak candidates is
+  /// still skipped without touching a tuple (the paper's threshold rule,
+  /// applied per block), while the candidates inside a block count on all
+  /// threads. Because the block layout and H-updates are independent of
+  /// the thread count, stats and results are bit-identical to serial.
+  void CountCandidates(std::vector<CandidateGroup>& groups) {
+    struct Item {
+      CandidateGroup* group;
+      uint32_t index;  // entry index within the group's map
+      uint64_t visits = 0;
+      bool skip = false;
+    };
+    std::vector<Item> items;
+    for (auto& g : groups) {
+      for (uint32_t i = 0; i < g.map.size(); ++i) {
+        if (!g.map.entry(i).second.excluded) {
+          items.push_back(Item{&g, i, 0, false});
+        }
+      }
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item& a, const Item& b) {
+                       return a.group->map.entry(a.index).second.bound >
+                              b.group->map.entry(b.index).second.bound;
+                     });
+
+    const bool prune = options.pruning == PruningMode::kFull;
+    double h = best_marginal;
+    for (size_t block = 0; block < items.size(); block += kCountBlock) {
+      const size_t block_end = std::min(items.size(), block + kCountBlock);
+      // Pruning decisions against the frozen H, in order.
+      for (size_t i = block; i < block_end; ++i) {
+        Entry& e = items[i].group->map.entry(items[i].index).second;
+        if (prune && (e.bound < h || e.bound <= 0)) {
+          e.excluded = true;  // tombstone: super-rules prune through it
+          items[i].skip = true;
+          ++stats.candidates_pruned;
+        }
+      }
+      RunChunked(block_end - block, [&](uint64_t k) {
+        Item& item = items[block + k];
+        if (item.skip) return;
+        Entry& e = item.group->map.entry(item.index).second;
+        item.visits = CountOneCandidate(
+            *item.group, item.group->tuple(item.index), e);
+      });
+      // Merge in item order; advance H for the next block.
+      for (size_t i = block; i < block_end; ++i) {
+        if (items[i].skip) continue;
+        const Entry& e = items[i].group->map.entry(items[i].index).second;
+        stats.tuple_visits += items[i].visits;
+        ++stats.candidates_counted;
+        if (e.marginal > h) h = e.marginal;
+      }
     }
     ++stats.passes;
   }
 
-  /// Folds a finished pass into the candidate store; updates the threshold
-  /// H / current best rule.
-  void AbsorbPass(std::vector<Group>& groups) {
-    for (auto& g : groups) {
-      for (const auto& [vals, e] : g.entries) {
-        if (e.excluded || e.marginal <= 0) continue;
-        bool better = e.marginal > best_marginal;
-        if (!better && e.marginal == best_marginal && best_marginal > 0) {
-          Rule r = FullRule(g.cols, vals);
-          better = e.weight > best_weight ||
-                   (e.weight == best_weight && RuleValuesLess(r, best_rule));
-        }
-        if (better) {
-          best_marginal = e.marginal;
-          best_rule = FullRule(g.cols, vals);
-          best_weight = e.weight;
-          best_mass = e.mass;
-        }
-      }
-      counted[g.cols] = std::move(g.entries);
-    }
-  }
+  // --- Absorbing finished passes ----------------------------------------
 
   /// Upper bound on the marginal value of any super-rule of a counted rule
   /// (paper §3.5): Marginal(r') + Mass(r') * (mw - W(r')).
@@ -244,96 +517,188 @@ struct MarginalRuleFinder::Impl {
     return e.marginal + e.mass * (options.max_weight - e.weight);
   }
 
-  /// Generates size-(j) candidate groups by extending the size-(j-1) column
-  /// sets in `prev_cols` (whose entries now live in `counted`). Each
+  void ConsiderBest(const Entry& e, const Cols& cols, const uint32_t* vals) {
+    if (e.excluded || e.marginal <= 0) return;
+    if (e.marginal > best_marginal ||
+        BetterThanBest(e.marginal, e.weight, cols, vals)) {
+      TakeBest(e.marginal, e.weight, e.mass, cols, vals);
+    }
+  }
+
+  void AbsorbSingles() {
+    Cols one_col(1);
+    uint32_t one_val[1];
+    for (const SingletonTable& st : singles) {
+      one_col[0] = st.col;
+      for (uint32_t v : st.codes) {
+        one_val[0] = v;
+        ConsiderBest(st.entries[v], one_col, one_val);
+      }
+    }
+  }
+
+  /// Folds a counted pass into the store; returns the indices the pass's
+  /// groups now occupy in `counted` (the next pass extends exactly these).
+  std::vector<uint32_t> AbsorbGroups(std::vector<CandidateGroup>& groups) {
+    std::vector<uint32_t> ids;
+    ids.reserve(groups.size());
+    for (auto& g : groups) {
+      for (size_t i = 0; i < g.map.size(); ++i) {
+        ConsiderBest(g.map.entry(i).second, g.cols, g.tuple(i));
+      }
+      uint32_t id = static_cast<uint32_t>(counted.size());
+      auto [slot, inserted] =
+          counted_index.FindOrInsert(ColsKey(g.cols.data(), g.cols.size()));
+      SMARTDD_DCHECK(inserted);
+      *slot = id;
+      counted.push_back(std::move(g));
+      ids.push_back(id);
+    }
+    return ids;
+  }
+
+  // --- Candidate generation ---------------------------------------------
+
+  /// Looks up the counted entry of an arbitrary sub-rule (any arity >= 1).
+  /// Returns nullptr when the sub-rule was never counted.
+  const Entry* FindCounted(const uint32_t* cols, const uint32_t* vals,
+                           size_t arity) const {
+    if (arity == 1) {
+      const SingletonTable& st = singles[col_dense[cols[0]]];
+      if (st.counts[vals[0]] == 0) return nullptr;
+      return &st.entries[vals[0]];
+    }
+    const uint32_t* slot = counted_index.Find(ColsKey(cols, arity));
+    if (slot == nullptr) return nullptr;
+    const CandidateGroup& g = counted[*slot];
+    return g.map.Find(g.packer.Pack(vals, arity));
+  }
+
+  /// Extends one parent (cols/vals/entry) with every later column's
+  /// surviving singletons, appending candidates into `out`.
+  void ExtendParent(const Cols& pcols, const uint32_t* pvals,
+                    const Entry& parent, bool prune,
+                    FlatMap<uint32_t>& group_index,
+                    std::vector<CandidateGroup>& out, Cols& cand_cols,
+                    std::vector<uint32_t>& cand_vals, Cols& sub_cols,
+                    std::vector<uint32_t>& sub_vals) {
+    if (parent.excluded || parent.mass <= 0) return;
+    // Cheap parent-level cut: no super-rule of this parent can beat H.
+    if (prune && SuperRuleBound(parent) < best_marginal) return;
+
+    const size_t parity = pcols.size();
+    cand_cols.assign(pcols.begin(), pcols.end());
+    cand_cols.push_back(0);
+    cand_vals.assign(pvals, pvals + parity);
+    cand_vals.push_back(0);
+
+    for (size_t ci = 0; ci < columns.size(); ++ci) {
+      const uint32_t c = columns[ci];
+      if (c <= pcols.back()) continue;
+      const SingletonTable& st = singles[ci];
+      cand_cols[parity] = c;
+      for (uint32_t v1 : st.codes) {
+        const Entry& e1 = st.entries[v1];
+        if (e1.excluded || e1.mass <= 0) continue;
+        ++stats.candidates_generated;
+
+        cand_vals[parity] = v1;
+
+        double w = EffectiveWeight(cand_cols, cand_vals.data());
+        if (w > options.max_weight) continue;  // weight cap (mw)
+
+        // Upper-bound test against every counted immediate sub-rule. A
+        // missing / excluded / zero-mass sub-rule proves the candidate is
+        // itself zero-mass or already dominated, so drop it.
+        bool pruned = false;
+        double bound = std::numeric_limits<double>::infinity();
+        const size_t arity = cand_cols.size();
+        for (size_t drop = 0; drop < arity; ++drop) {
+          sub_cols.clear();
+          sub_vals.clear();
+          for (size_t i = 0; i < arity; ++i) {
+            if (i == drop) continue;
+            sub_cols.push_back(cand_cols[i]);
+            sub_vals.push_back(cand_vals[i]);
+          }
+          const Entry* sub =
+              FindCounted(sub_cols.data(), sub_vals.data(), arity - 1);
+          if (sub == nullptr || sub->excluded || sub->mass <= 0) {
+            pruned = true;
+            break;
+          }
+          bound = std::min(bound, SuperRuleBound(*sub));
+        }
+        if (!pruned && prune && (bound < best_marginal || bound <= 0)) {
+          pruned = true;
+        }
+        if (pruned) {
+          ++stats.candidates_pruned;
+          continue;
+        }
+
+        uint32_t gi;
+        auto [slot, inserted] =
+            group_index.FindOrInsert(ColsKey(cand_cols.data(), arity));
+        if (inserted) {
+          gi = static_cast<uint32_t>(out.size());
+          *slot = gi;
+          out.emplace_back();
+          out.back().cols = cand_cols;
+          out.back().packer = MakePacker(cand_cols);
+        } else {
+          gi = *slot;
+        }
+        CandidateGroup& g = out[gi];
+        auto [entry, fresh] =
+            g.map.FindOrInsert(g.packer.Pack(cand_vals.data(), arity));
+        if (fresh) {
+          entry->weight = w;
+          entry->bound = bound;
+          g.tuples.insert(g.tuples.end(), cand_vals.begin(), cand_vals.end());
+        }
+      }
+    }
+  }
+
+  /// Generates size-j candidate groups by extending the size-(j-1)
+  /// candidates (`prev_group_ids`, or the singletons when j == 2). Each
   /// candidate extends a parent with one column strictly after the parent's
   /// last column, so every candidate is generated exactly once from its
   /// prefix sub-rule.
-  std::vector<Group> GenerateCandidates(const std::vector<Cols>& prev_cols) {
+  std::vector<CandidateGroup> GenerateCandidates(
+      const std::vector<uint32_t>& prev_group_ids, bool from_singles) {
     const bool prune = options.pruning == PruningMode::kFull;
-    std::unordered_map<Cols, size_t, VecHash> group_index;
-    std::vector<Group> out;
+    FlatMap<uint32_t> group_index;
+    std::vector<CandidateGroup> out;
 
-    Cols cand_cols;
-    Vals cand_vals;
-    Cols sub_cols;
-    Vals sub_vals;
+    Cols cand_cols, sub_cols, pcols(1);
+    std::vector<uint32_t> cand_vals, sub_vals;
+    uint32_t pvals[1];
 
-    for (const auto& pcols : prev_cols) {
-      const auto& parents = counted.at(pcols);
-      for (const auto& [vals, parent] : parents) {
-        if (parent.excluded || parent.mass <= 0) continue;
-        // Cheap parent-level cut: no super-rule of this parent can beat H.
-        if (prune && SuperRuleBound(parent) < best_marginal) continue;
-        for (uint32_t c : columns) {
-          if (c <= pcols.back()) continue;
-          auto size1_it = counted.find(Cols{c});
-          if (size1_it == counted.end()) continue;
-          for (const auto& [v1, e1] : size1_it->second) {
-            if (e1.excluded || e1.mass <= 0) continue;
-            ++stats.candidates_generated;
-
-            cand_cols = pcols;
-            cand_cols.push_back(c);
-            cand_vals = vals;
-            cand_vals.push_back(v1[0]);
-
-            double w = EffectiveWeight(cand_cols, cand_vals);
-            if (w > options.max_weight) continue;  // weight cap (mw)
-
-            // Upper-bound test against every counted immediate sub-rule. A
-            // missing / excluded / zero-mass sub-rule proves the candidate
-            // is itself zero-mass or already dominated, so drop it.
-            bool pruned = false;
-            double bound = std::numeric_limits<double>::infinity();
-            for (size_t drop = 0; drop < cand_cols.size(); ++drop) {
-              sub_cols.clear();
-              sub_vals.clear();
-              for (size_t i = 0; i < cand_cols.size(); ++i) {
-                if (i == drop) continue;
-                sub_cols.push_back(cand_cols[i]);
-                sub_vals.push_back(cand_vals[i]);
-              }
-              auto cit = counted.find(sub_cols);
-              const Entry* sub = nullptr;
-              if (cit != counted.end()) {
-                auto eit = cit->second.find(sub_vals);
-                if (eit != cit->second.end()) sub = &eit->second;
-              }
-              if (sub == nullptr || sub->excluded || sub->mass <= 0) {
-                pruned = true;
-                break;
-              }
-              bound = std::min(bound, SuperRuleBound(*sub));
-            }
-            if (!pruned && prune && (bound < best_marginal || bound <= 0)) {
-              pruned = true;
-            }
-            if (pruned) {
-              ++stats.candidates_pruned;
-              continue;
-            }
-
-            size_t gi;
-            auto git = group_index.find(cand_cols);
-            if (git == group_index.end()) {
-              gi = out.size();
-              out.emplace_back();
-              out.back().cols = cand_cols;
-              group_index.emplace(cand_cols, gi);
-            } else {
-              gi = git->second;
-            }
-            Entry e;
-            e.weight = w;
-            e.bound = bound;
-            out[gi].entries.emplace(cand_vals, e);
-          }
+    if (from_singles) {
+      for (const SingletonTable& st : singles) {
+        pcols[0] = st.col;
+        for (uint32_t v : st.codes) {
+          pvals[0] = v;
+          ExtendParent(pcols, pvals, st.entries[v], prune, group_index, out,
+                       cand_cols, cand_vals, sub_cols, sub_vals);
+        }
+      }
+    } else {
+      for (uint32_t id : prev_group_ids) {
+        const CandidateGroup& g = counted[id];
+        for (size_t i = 0; i < g.map.size(); ++i) {
+          ExtendParent(g.cols, g.tuple(i), g.map.entry(i).second, prune,
+                       group_index, out, cand_cols, cand_vals, sub_cols,
+                       sub_vals);
         }
       }
     }
     return out;
   }
+
+  // --- Driver -----------------------------------------------------------
 
   Result<MarginalRuleResult> Run() {
     const size_t max_size = std::min(options.max_rule_size, columns.size());
@@ -342,25 +707,17 @@ struct MarginalRuleFinder::Impl {
     }
 
     // Pass 1: count all size-1 rules and build postings.
-    std::vector<Group> pass_groups;
-    for (uint32_t c : columns) {
-      Group g;
-      g.cols = {c};
-      pass_groups.push_back(std::move(g));
-    }
-    CountSizeOne(pass_groups);
-    std::vector<Cols> prev_cols;
-    for (const auto& g : pass_groups) prev_cols.push_back(g.cols);
-    AbsorbPass(pass_groups);
+    CountSizeOne();
+    AbsorbSingles();
 
     // Passes 2..max_size: a-priori-style candidate generation + counting.
+    std::vector<uint32_t> prev_ids;
     for (size_t j = 2; j <= max_size; ++j) {
-      std::vector<Group> next = GenerateCandidates(prev_cols);
+      std::vector<CandidateGroup> next =
+          GenerateCandidates(prev_ids, /*from_singles=*/j == 2);
       if (next.empty()) break;
       CountCandidates(next);
-      prev_cols.clear();
-      for (const auto& g : next) prev_cols.push_back(g.cols);
-      AbsorbPass(next);
+      prev_ids = AbsorbGroups(next);
     }
 
     if (best_marginal <= 0) {

@@ -33,6 +33,9 @@ struct MarginalSearchOptions {
   /// Base rule merged into every candidate before weight evaluation, so the
   /// weight of a drill-down result is the weight of the *full* super-rule.
   std::optional<Rule> base_rule;
+  /// Threads for the counting passes: 0 = all hardware threads, 1 = serial.
+  /// Results are bit-identical for every value (see best_marginal.cc).
+  size_t num_threads = 0;
 };
 
 /// Instrumentation for tests and the pruning-ablation benchmark.

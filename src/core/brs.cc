@@ -32,6 +32,7 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
   search.max_rule_size = options.max_rule_size;
   search.allowed_columns = options.allowed_columns;
   search.base_rule = options.base_rule;
+  search.num_threads = options.num_threads;
 
   MarginalRuleFinder finder(view, weight, search);
 

@@ -26,6 +26,9 @@ struct BrsOptions {
   /// `base_rule` into every candidate (see core/drilldown.h).
   std::vector<size_t> allowed_columns;
   std::optional<Rule> base_rule;
+  /// Threads for the marginal-search counting passes (0 = all hardware
+  /// threads). Results are bit-identical for every value.
+  size_t num_threads = 0;
   /// Anytime mode (§6.1: "keep adding rules ... displaying new rules as
   /// they are found"): invoked after each greedy pick; return false to stop
   /// early with the rules found so far.

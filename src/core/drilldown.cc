@@ -50,6 +50,7 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
   brs.max_rule_size = request.max_rule_size;
   brs.allowed_columns = allowed;
   brs.base_rule = base;
+  brs.num_threads = request.num_threads;
 
   // Star drill-down: weight rewrite W'(r) = 0 when r stars the clicked
   // column (§3.1), which also keeps W' monotonic.

@@ -23,6 +23,8 @@ struct DrillDownRequest {
   double max_weight = std::numeric_limits<double>::infinity();
   PruningMode pruning = PruningMode::kFull;
   size_t max_rule_size = std::numeric_limits<size_t>::max();
+  /// Threads for the underlying BRS search (0 = all hardware threads).
+  size_t num_threads = 0;
 };
 
 /// Result of a smart drill-down.

@@ -7,6 +7,27 @@
 
 namespace smartdd {
 
+namespace {
+
+std::vector<CompiledRule> CompileRules(const std::vector<Rule>& rules,
+                                       const Table& table) {
+  std::vector<CompiledRule> compiled(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    compiled[i].Compile(rules[i], table);
+  }
+  return compiled;
+}
+
+/// Pointer to the view's selected measure column (nullptr for Count): the
+/// evaluation loops below resolve the table row once and index this
+/// directly instead of paying view.mass()'s second row_id resolution.
+const double* MassColumn(const TableView& view) {
+  if (!view.has_measure()) return nullptr;
+  return view.table().measure_column(*view.measure_index()).data();
+}
+
+}  // namespace
+
 std::vector<size_t> OrderByWeightDesc(const std::vector<Rule>& rules,
                                       const WeightFunction& weight) {
   std::vector<double> w(rules.size());
@@ -30,14 +51,18 @@ RuleListEvaluation EvaluateRuleList(const TableView& view,
   for (size_t i = 0; i < rules.size(); ++i) {
     weights[i] = weight.Weight(rules[i]);
   }
+  std::vector<CompiledRule> compiled = CompileRules(rules, view.table());
 
   const uint64_t n = view.num_rows();
+  const bool subset = view.is_subset();
+  const double* mass_col = MassColumn(view);
   for (uint64_t t = 0; t < n; ++t) {
-    double m = view.mass(t);
+    const uint32_t row = subset ? view.row_id(t) : static_cast<uint32_t>(t);
+    const double m = mass_col ? mass_col[row] : 1.0;
     bool attributed = false;
     for (size_t oi = 0; oi < order.size(); ++oi) {
       size_t i = order[oi];
-      if (RuleCoversRow(rules[i], view, t)) {
+      if (compiled[i].Covers(row)) {
         out.mass[i] += m;
         if (!attributed) {
           out.marginal_mass[i] += m;
@@ -62,12 +87,16 @@ double ScoreRuleListInOrder(const TableView& view,
   for (size_t i = 0; i < rules.size(); ++i) {
     weights[i] = weight.Weight(rules[i]);
   }
+  std::vector<CompiledRule> compiled = CompileRules(rules, view.table());
   double score = 0;
   const uint64_t n = view.num_rows();
+  const bool subset = view.is_subset();
+  const double* mass_col = MassColumn(view);
   for (uint64_t t = 0; t < n; ++t) {
+    const uint32_t row = subset ? view.row_id(t) : static_cast<uint32_t>(t);
     for (size_t i = 0; i < rules.size(); ++i) {
-      if (RuleCoversRow(rules[i], view, t)) {
-        score += view.mass(t) * weights[i];
+      if (compiled[i].Covers(row)) {
+        score += (mass_col ? mass_col[row] : 1.0) * weights[i];
         break;  // first rule in *list order* claims the tuple
       }
     }

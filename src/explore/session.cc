@@ -61,6 +61,7 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   request.k = options_.k;
   request.max_weight = options_.max_weight;
   request.pruning = options_.pruning;
+  request.num_threads = options_.num_threads;
 
   // Switches a view to the session's Sum measure if one is configured.
   auto apply_measure = [this](TableView& view) -> Status {

@@ -31,6 +31,8 @@ struct SessionOptions {
   /// Rank and display by Sum over this measure column instead of Count
   /// (paper §6.3). Must name a measure column of the table/source.
   std::optional<std::string> measure_column;
+  /// Threads for drill-down searches (0 = all hardware threads).
+  size_t num_threads = 0;
 };
 
 /// One displayed rule in the exploration tree.

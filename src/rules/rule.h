@@ -2,6 +2,7 @@
 #define SMARTDD_RULES_RULE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
@@ -26,10 +27,12 @@ class Rule {
 
   static Rule Trivial(size_t num_columns) { return Rule(num_columns); }
 
-  size_t num_columns() const { return values_.size(); }
+  [[nodiscard]] size_t num_columns() const { return values_.size(); }
 
-  uint32_t value(size_t col) const { return values_[col]; }
-  bool is_star(size_t col) const { return values_[col] == kStar; }
+  [[nodiscard]] uint32_t value(size_t col) const { return values_[col]; }
+  [[nodiscard]] bool is_star(size_t col) const {
+    return values_[col] == kStar;
+  }
 
   void set_value(size_t col, uint32_t code) {
     SMARTDD_DCHECK(col < values_.size());
@@ -37,17 +40,32 @@ class Rule {
   }
   void clear_value(size_t col) { values_[col] = kStar; }
 
+  /// Batch assignment used by the best-marginal search's scratch rule: sets
+  /// `cols[i] = vals[i]` for every position in one call, so candidate
+  /// evaluation mutates one reusable rule instead of constructing a
+  /// full-width Rule (one heap allocation) per candidate.
+  void set_values(std::span<const uint32_t> cols,
+                  std::span<const uint32_t> vals) {
+    SMARTDD_DCHECK(cols.size() == vals.size());
+    for (size_t i = 0; i < cols.size(); ++i) values_[cols[i]] = vals[i];
+  }
+
+  /// Inverse of set_values: re-stars the given columns.
+  void clear_values(std::span<const uint32_t> cols) {
+    for (uint32_t c : cols) values_[c] = kStar;
+  }
+
   /// Number of non-star positions (the paper's Size of a rule).
-  size_t size() const {
+  [[nodiscard]] size_t size() const {
     size_t s = 0;
     for (uint32_t v : values_) s += (v != kStar);
     return s;
   }
 
-  bool is_trivial() const { return size() == 0; }
+  [[nodiscard]] bool is_trivial() const { return size() == 0; }
 
   /// Indices of the instantiated (non-star) columns, ascending.
-  std::vector<size_t> InstantiatedColumns() const {
+  [[nodiscard]] std::vector<size_t> InstantiatedColumns() const {
     std::vector<size_t> cols;
     for (size_t c = 0; c < values_.size(); ++c) {
       if (values_[c] != kStar) cols.push_back(c);
@@ -56,19 +74,21 @@ class Rule {
   }
 
   /// True if this rule covers the tuple `codes` (one code per column).
-  bool Covers(const uint32_t* codes) const {
+  [[nodiscard]] bool Covers(const uint32_t* codes) const {
     for (size_t c = 0; c < values_.size(); ++c) {
       if (values_[c] != kStar && values_[c] != codes[c]) return false;
     }
     return true;
   }
 
-  const std::vector<uint32_t>& values() const { return values_; }
+  [[nodiscard]] const std::vector<uint32_t>& values() const {
+    return values_;
+  }
 
   bool operator==(const Rule& other) const { return values_ == other.values_; }
   bool operator!=(const Rule& other) const { return !(*this == other); }
 
-  uint64_t Hash() const { return HashCodes(values_); }
+  [[nodiscard]] uint64_t Hash() const { return HashCodes(values_); }
 
  private:
   std::vector<uint32_t> values_;

@@ -25,14 +25,54 @@ inline bool IsSuperRuleOf(const Rule& specific, const Rule& general) {
 /// rules conflict (both instantiate a column with different values).
 Result<Rule> MergeRules(const Rule& a, const Rule& b);
 
-/// True if rule `r` covers the `i`-th row of the view.
+/// True if rule `r` covers the `i`-th row of the view. Column-major fast
+/// path: resolves the table row once and reads only the rule's non-star
+/// columns straight from the column arrays, instead of funneling every cell
+/// through view.code()'s per-cell row_id resolution.
 inline bool RuleCoversRow(const Rule& r, const TableView& view, uint64_t i) {
-  for (size_t c = 0; c < r.num_columns(); ++c) {
-    uint32_t v = r.value(c);
-    if (v != kStar && v != view.code(c, i)) return false;
+  const Table& table = view.table();
+  const uint32_t row = view.row_id(i);
+  const std::vector<uint32_t>& values = r.values();
+  for (size_t c = 0; c < values.size(); ++c) {
+    uint32_t v = values[c];
+    if (v != kStar && v != table.column(c)[row]) return false;
   }
   return true;
 }
+
+/// A rule compiled for repeated row checks: only the non-star columns,
+/// each as a (column data pointer, wanted code) predicate, so covering a
+/// row is a handful of array reads with no per-cell indirection and no
+/// wildcard scanning. The canonical column-major predicate — reuse this
+/// instead of re-deriving it (core/score.cc does; core/best_marginal.cc
+/// keeps a stack-array variant to stay allocation-free per candidate).
+/// The source table must outlive the compiled form.
+struct CompiledRule {
+  std::vector<const uint32_t*> cols;
+  std::vector<uint32_t> want;
+
+  CompiledRule() = default;
+  CompiledRule(const Rule& r, const Table& table) { Compile(r, table); }
+
+  void Compile(const Rule& r, const Table& table) {
+    cols.clear();
+    want.clear();
+    for (size_t c = 0; c < r.num_columns(); ++c) {
+      uint32_t v = r.value(c);
+      if (v == kStar) continue;
+      cols.push_back(table.column(c).data());
+      want.push_back(v);
+    }
+  }
+
+  /// `row` is a *table* row id (resolve view row ids once, outside).
+  [[nodiscard]] bool Covers(uint32_t row) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i][row] != want[i]) return false;
+    }
+    return true;
+  }
+};
 
 /// Total mass (Count, or Sum of the selected measure) of tuples covered by
 /// `r` in the view. This is the paper's Count(r) / Sum(r).

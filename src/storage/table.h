@@ -55,14 +55,20 @@ class Table {
 
   // --- Access ---------------------------------------------------------
 
-  const Schema& schema() const { return schema_; }
-  uint64_t num_rows() const { return num_rows_; }
-  size_t num_columns() const { return schema_.num_columns(); }
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] uint64_t num_rows() const { return num_rows_; }
+  [[nodiscard]] size_t num_columns() const { return schema_.num_columns(); }
 
-  uint32_t code(size_t col, uint64_t row) const { return cols_[col][row]; }
-  const std::vector<uint32_t>& column(size_t col) const { return cols_[col]; }
+  [[nodiscard]] uint32_t code(size_t col, uint64_t row) const {
+    return cols_[col][row];
+  }
+  [[nodiscard]] const std::vector<uint32_t>& column(size_t col) const {
+    return cols_[col];
+  }
 
-  const ValueDictionary& dictionary(size_t col) const { return *dicts_[col]; }
+  [[nodiscard]] const ValueDictionary& dictionary(size_t col) const {
+    return *dicts_[col];
+  }
   const std::shared_ptr<ValueDictionary>& dictionary_ptr(size_t col) const {
     return dicts_[col];
   }
@@ -72,9 +78,13 @@ class Table {
     return dicts_[col]->ValueOf(cols_[col][row]);
   }
 
-  size_t num_measures() const { return measure_names_.size(); }
-  const std::string& measure_name(size_t m) const { return measure_names_[m]; }
-  double measure(size_t m, uint64_t row) const { return measures_[m][row]; }
+  [[nodiscard]] size_t num_measures() const { return measure_names_.size(); }
+  [[nodiscard]] const std::string& measure_name(size_t m) const {
+    return measure_names_[m];
+  }
+  [[nodiscard]] double measure(size_t m, uint64_t row) const {
+    return measures_[m][row];
+  }
   const std::vector<double>& measure_column(size_t m) const {
     return measures_[m];
   }

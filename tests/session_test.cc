@@ -254,9 +254,15 @@ TEST_F(SamplingSessionTest, BackgroundPrefetchCompletesCleanly) {
   ASSERT_TRUE(children.ok());
   EXPECT_TRUE(session.WaitForPrefetch().ok());
   // The next expansion should not need a fresh scan (prefetch covered it).
+  // The expansion schedules its own follow-up background prefetch, which
+  // legitimately scans once; join it before reading the counters (they are
+  // not synchronized against the prefetch thread).
   uint64_t scans_before = session.sampler()->scans_performed();
+  uint64_t finds_before = session.sampler()->find_hits();
   ASSERT_TRUE(session.Expand((*children)[0]).ok());
-  EXPECT_EQ(session.sampler()->scans_performed(), scans_before);
+  EXPECT_TRUE(session.WaitForPrefetch().ok());
+  EXPECT_EQ(session.sampler()->find_hits(), finds_before + 1);
+  EXPECT_EQ(session.sampler()->scans_performed(), scans_before + 1);
 }
 
 TEST_F(SamplingSessionTest, StarExpansionOnSampledSession) {
