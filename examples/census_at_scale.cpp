@@ -75,9 +75,10 @@ int main() {
   }
 
   const SampleHandler* handler = session.sampler();
-  std::printf("\nSampleHandler stats: scans=%llu finds=%llu combines=%llu "
-              "creates=%llu memory=%llu tuples\n",
+  std::printf("\nSampleHandler stats: scans=%llu prefetch_scans=%llu "
+              "finds=%llu combines=%llu creates=%llu memory=%llu tuples\n",
               static_cast<unsigned long long>(handler->scans_performed()),
+              static_cast<unsigned long long>(handler->prefetch_scans()),
               static_cast<unsigned long long>(handler->find_hits()),
               static_cast<unsigned long long>(handler->combine_hits()),
               static_cast<unsigned long long>(handler->creates()),

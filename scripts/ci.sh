@@ -1,9 +1,33 @@
 #!/usr/bin/env bash
-# Configure + build + test, exactly as CI runs it. Usage: scripts/ci.sh
+# Configure + build + test, exactly as CI runs it.
+#
+# Usage: scripts/ci.sh [--tsan|--tsan-only]
+#   --tsan       additionally build with ThreadSanitizer and run the
+#                concurrency-sensitive suites (the two parallel differential
+#                suites plus the sampling/session tests that exercise the
+#                background prefetcher) under it
+#   --tsan-only  run only the ThreadSanitizer stage
+# SMARTDD_TSAN=1 is equivalent to --tsan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build
-ctest --output-on-failure -j "$(nproc)"
+MODE="${1:-}"
+if [[ "${SMARTDD_TSAN:-0}" == "1" && -z "$MODE" ]]; then
+  MODE="--tsan"
+fi
+
+if [[ "$MODE" != "--tsan-only" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)"
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
+
+if [[ "$MODE" == "--tsan" || "$MODE" == "--tsan-only" ]]; then
+  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1"
+  cmake --build build-tsan -j "$(nproc)" --target \
+    parallel_marginal_test parallel_sampling_test sample_handler_test \
+    session_test
+  (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R "$TSAN_TESTS")
+fi

@@ -14,6 +14,16 @@ uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+uint64_t DeriveSeed(uint64_t root, uint64_t stream) {
+  uint64_t s = root;
+  s = SplitMix64(s) ^ stream;
+  return SplitMix64(s);
+}
+
+uint64_t DeriveSeed(uint64_t root, uint64_t stream, uint64_t substream) {
+  return DeriveSeed(DeriveSeed(root, stream), substream);
+}
+
 namespace {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

@@ -63,6 +63,19 @@ class Rng {
 /// SplitMix64 step, used for seeding and hashing.
 uint64_t SplitMix64(uint64_t& state);
 
+/// Derives the seed of child stream `stream` from a root seed via two
+/// SplitMix64 avalanches (pure function; does not mutate anything). Unlike
+/// additive schemes such as `root + stream * constant`, nearby stream ids
+/// (0, 1, 2, ...) map to statistically independent seeds, so per-reservoir
+/// and per-chunk RNG streams decorrelate. Distinct streams of the same root
+/// can never collide (the root hash is XORed with the stream id before the
+/// final avalanche).
+uint64_t DeriveSeed(uint64_t root, uint64_t stream);
+
+/// Two-level stream split: DeriveSeed(DeriveSeed(root, stream), substream).
+/// Used for per-chunk sub-reservoir seeds inside a per-rule stream.
+uint64_t DeriveSeed(uint64_t root, uint64_t stream, uint64_t substream);
+
 }  // namespace smartdd
 
 #endif  // SMARTDD_COMMON_RANDOM_H_

@@ -47,6 +47,11 @@ ExplorationSession::ExplorationSession(const ScanSource& source,
       prototype_(source.MakeEmptyTable()),
       prefetcher_(options_.prefetch) {
   if (options_.use_sampling) {
+    // The sampler's scan passes share the session's thread knob unless it
+    // was configured separately.
+    if (options_.sampler.num_threads == 0) {
+      options_.sampler.num_threads = options_.num_threads;
+    }
     sampler_ = std::make_unique<SampleHandler>(source, options_.sampler);
   }
   nodes_.push_back(MakeRoot(source.schema().num_columns(),
@@ -127,12 +132,13 @@ Result<std::vector<int>> ExplorationSession::ExpandInternal(
       !nodes_[node_id].alive) {
     return Status::InvalidArgument("no such display node");
   }
+  // Join any background prefetch before touching the sampler — including
+  // the SetDisplayedTree inside Collapse below.
+  SMARTDD_RETURN_IF_ERROR(prefetcher_.Wait());
   // Re-expanding first rolls up the old children.
   if (!nodes_[node_id].children.empty()) {
     SMARTDD_RETURN_IF_ERROR(Collapse(node_id));
   }
-  // Join any background prefetch before using the sampler.
-  SMARTDD_RETURN_IF_ERROR(prefetcher_.Wait());
 
   SMARTDD_ASSIGN_OR_RETURN(
       DrillDownResponse response,
@@ -193,7 +199,13 @@ Status ExplorationSession::Collapse(int node_id) {
     return Status::InvalidArgument("no such display node");
   }
   KillSubtree(node_id);
-  if (sampler_ != nullptr) sampler_->SetDisplayedTree(BuildDisplayTree());
+  if (sampler_ != nullptr) {
+    // Serialize against an in-flight background prefetch before mutating
+    // the handler's displayed tree. The join is what matters here; a failed
+    // prefetch status still surfaces via WaitForPrefetch()/the next Expand.
+    (void)prefetcher_.Wait();
+    sampler_->SetDisplayedTree(BuildDisplayTree());
+  }
   return Status::OK();
 }
 

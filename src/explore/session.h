@@ -31,7 +31,10 @@ struct SessionOptions {
   /// Rank and display by Sum over this measure column instead of Count
   /// (paper §6.3). Must name a measure column of the table/source.
   std::optional<std::string> measure_column;
-  /// Threads for drill-down searches (0 = all hardware threads).
+  /// Threads for drill-down searches and for the sampling subsystem's
+  /// Create/ExactMasses scan passes (0 = all hardware threads). The sampler
+  /// inherits this value unless sampler.num_threads is set explicitly;
+  /// sampling results are bit-identical for every thread count.
   size_t num_threads = 0;
 };
 

@@ -36,6 +36,13 @@ class Sample {
   double source_mass() const { return source_mass_; }
   void set_source_mass(double mass) { source_mass_ = mass; }
 
+  /// True for samples derived from other in-memory samples (a materialized
+  /// Combine union) rather than drawn independently from the source. A
+  /// derived sample is a deterministic subset of its sources, so it must
+  /// not enter another Combine's Horvitz-Thompson independence product.
+  bool derived() const { return derived_; }
+  void set_derived(bool derived) { derived_ = derived; }
+
   size_t size() const { return row_ids_.size(); }
 
   /// Appends one covered tuple (full-width codes; only starred columns are
@@ -73,6 +80,7 @@ class Sample {
   size_t num_measures_;
   double scale_ = 1.0;
   double source_mass_ = 0;
+  bool derived_ = false;
   std::vector<uint32_t> codes_;     // row-major, star_cols_ per row
   std::vector<double> measures_;    // row-major, num_measures_ per row
   std::vector<uint64_t> row_ids_;

@@ -1,13 +1,80 @@
 #include "sampling/sample_handler.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "rules/rule_ops.h"
 #include "sampling/reservoir.h"
 
 namespace smartdd {
+
+namespace {
+
+/// Substream id of the stitch-merge RNG within a rule's seed stream; chunk
+/// sub-reservoirs use substreams 0..num_chunks-1, which stay far below this.
+constexpr uint64_t kMergeStream = ~uint64_t{0};
+
+/// A uniform without-replacement sample of `seen` population tuples — either
+/// one chunk's sub-reservoir or the fold of several.
+struct SubReservoir {
+  std::unique_ptr<Sample> sample;
+  uint64_t seen = 0;
+};
+
+/// Exact uniform stitch-merge of two reservoirs over disjoint populations
+/// (the two chunks' covered tuples): simulates drawing up to `capacity`
+/// tuples without replacement from the union, where each draw picks side A
+/// with probability proportional to its remaining population size and then
+/// takes a uniformly random unused element of that side's reservoir (valid
+/// because a reservoir is an exchangeable uniform subset of its
+/// population). All randomness comes from `rng`, and the fold runs in chunk
+/// order, so the result is independent of how chunks were scheduled across
+/// threads. `codes`/`measures` are caller scratch of full row width.
+SubReservoir MergeSubReservoirs(SubReservoir a, SubReservoir b,
+                                uint64_t capacity, const Rule& filter,
+                                const Table& prototype, Rng& rng,
+                                uint32_t* codes, double* measures) {
+  if (b.seen == 0) return a;
+  if (a.seen == 0) return b;
+
+  SubReservoir out;
+  out.seen = a.seen + b.seen;
+  out.sample = std::make_unique<Sample>(filter, prototype);
+
+  std::vector<uint32_t> remaining_a(a.sample->size());
+  std::vector<uint32_t> remaining_b(b.sample->size());
+  std::iota(remaining_a.begin(), remaining_a.end(), 0u);
+  std::iota(remaining_b.begin(), remaining_b.end(), 0u);
+  uint64_t pop_a = a.seen;
+  uint64_t pop_b = b.seen;
+  while (out.sample->size() < capacity && (pop_a > 0 || pop_b > 0)) {
+    bool from_a =
+        pop_b == 0 || (pop_a > 0 && rng.UniformInt(pop_a + pop_b) < pop_a);
+    std::vector<uint32_t>& remaining = from_a ? remaining_a : remaining_b;
+    if (remaining.empty()) {
+      // Unreachable when both inputs hold min(capacity, seen) tuples; guard
+      // so a short input can never wedge the loop.
+      (from_a ? pop_a : pop_b) = 0;
+      continue;
+    }
+    size_t j = static_cast<size_t>(rng.UniformInt(remaining.size()));
+    uint32_t slot = remaining[j];
+    remaining[j] = remaining.back();
+    remaining.pop_back();
+    const Sample& src = from_a ? *a.sample : *b.sample;
+    src.GetRow(slot, codes);
+    src.GetMeasures(slot, measures);
+    out.sample->Add(src.row_id(slot), codes, measures);
+    --(from_a ? pop_a : pop_b);
+  }
+  return out;
+}
+
+}  // namespace
 
 SampleHandler::SampleHandler(const ScanSource& source,
                              SampleHandlerOptions options)
@@ -29,6 +96,16 @@ std::optional<double> SampleHandler::KnownExactMass(const Rule& rule) const {
   return std::nullopt;
 }
 
+void SampleHandler::RecordExactMass(const Rule& rule, double mass) {
+  for (auto& [r, m] : exact_masses_) {
+    if (r == rule) {
+      m = mass;
+      return;
+    }
+  }
+  exact_masses_.emplace_back(rule, mass);
+}
+
 Result<SampleRequest> SampleHandler::TryFind(const Rule& rule) {
   for (const auto& s : samples_) {
     if (s->filter() == rule &&
@@ -40,7 +117,7 @@ Result<SampleRequest> SampleHandler::TryFind(const Rule& rule) {
       req.table = s->Materialize();
       req.scale = s->scale();
       req.mechanism = SampleMechanism::kFind;
-      ++finds_;
+      finds_.fetch_add(1, std::memory_order_relaxed);
       return req;
     }
   }
@@ -53,6 +130,11 @@ Result<SampleRequest> SampleHandler::TryCombine(const Rule& rule) {
   // sample may contain usable tuples.
   std::vector<const Sample*> sources;
   for (const auto& s : samples_) {
+    // Derived samples (materialized earlier unions) are deterministic
+    // subsets of independent samples that are still in the store; letting
+    // them into the product below would double-count their sources'
+    // inclusion probability and bias the scale low.
+    if (s->derived()) continue;
     if (IsSubRuleOf(s->filter(), rule)) sources.push_back(s.get());
   }
   if (sources.empty()) {
@@ -73,17 +155,20 @@ Result<SampleRequest> SampleHandler::TryCombine(const Rule& rule) {
     return Status::NotFound("combined samples have zero inclusion mass");
   }
 
-  Table table = source_->MakeEmptyTable();
+  // Assemble the de-duplicated union directly as a Sample so it can be kept
+  // for reuse after serving this request.
+  Table prototype = source_->MakeEmptyTable();
+  auto combined = std::make_unique<Sample>(rule, prototype);
   std::unordered_set<uint64_t> seen;
-  std::vector<uint32_t> codes(table.num_columns());
-  std::vector<double> measures(table.num_measures());
+  std::vector<uint32_t> codes(prototype.num_columns());
+  std::vector<double> measures(prototype.num_measures());
   for (const Sample* s : sources) {
     for (size_t slot = 0; slot < s->size(); ++slot) {
       s->GetRow(slot, codes.data());
       if (!rule.Covers(codes.data())) continue;
       if (!seen.insert(s->row_id(slot)).second) continue;
       s->GetMeasures(slot, measures.data());
-      table.AppendRow(codes, measures);
+      combined->Add(s->row_id(slot), codes.data(), measures.data());
     }
   }
 
@@ -92,15 +177,27 @@ Result<SampleRequest> SampleHandler::TryCombine(const Rule& rule) {
   for (const Sample* s : sources) {
     if (s->scale() <= 1.0) complete = true;
   }
-  if (table.num_rows() < options_.min_sample_size && !complete) {
+  if (combined->size() < options_.min_sample_size && !complete) {
     return Status::NotFound("combined sub-rule samples below minSS");
   }
 
+  double scale = complete ? 1.0 : 1.0 / include_prob;
+  combined->set_scale(scale);
+  combined->set_source_mass(scale * static_cast<double>(combined->size()));
+  combined->set_derived(true);
+
   SampleRequest req;
-  req.table = std::move(table);
-  req.scale = complete ? 1.0 : 1.0 / include_prob;
+  req.table = combined->Materialize();
+  req.scale = scale;
   req.mechanism = SampleMechanism::kCombine;
-  ++combines_;
+  combines_.fetch_add(1, std::memory_order_relaxed);
+
+  // Keep the Horvitz-Thompson union so a repeat request for this rule is a
+  // Find hit instead of another full rebuild — but only when it fits under
+  // the memory cap M alongside the samples it was derived from.
+  if (memory_used() + combined->memory_tuples() <= options_.memory_capacity) {
+    samples_.push_back(std::move(combined));
+  }
   return req;
 }
 
@@ -245,28 +342,62 @@ void SampleHandler::PlanAllocation(const Rule& extra,
 }
 
 Result<std::vector<double>> SampleHandler::CreateSamples(
-    const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities) {
+    const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities,
+    bool prefetch_pass) {
   SMARTDD_CHECK(rules.size() == capacities.size());
   Table prototype = source_->MakeEmptyTable();
+  const size_t nrules = rules.size();
 
-  struct Builder {
+  // Chunk layout and seeds are pure functions of (row count, handler seed,
+  // capacities, seed_counter_) — never of the thread count — so the
+  // stitched result is bit-identical however the chunks are scheduled.
+  uint64_t num_chunks = ScanSource::PlanChunks(source_->num_rows());
+  // Every chunk needs full-capacity sub-reservoirs for the merge to stay an
+  // exact uniform sample, so the pass transiently holds up to
+  // num_chunks * sum(capacities) tuples. Keep that within a small multiple
+  // of the configured cap M (a bound on capacities, not thread count, so
+  // determinism is unaffected).
+  constexpr uint64_t kTransientCapFactor = 8;
+  uint64_t total_capacity = 0;
+  for (uint64_t c : capacities) total_capacity += c;
+  if (total_capacity > 0) {
+    num_chunks = std::clamp<uint64_t>(
+        kTransientCapFactor * options_.memory_capacity / total_capacity, 1,
+        num_chunks);
+  }
+  const size_t parallelism = ThreadPool::EffectiveThreads(options_.num_threads);
+  std::vector<uint64_t> rule_seeds;
+  rule_seeds.reserve(nrules);
+  for (size_t i = 0; i < nrules; ++i) {
+    rule_seeds.push_back(DeriveSeed(options_.seed, ++seed_counter_));
+  }
+
+  // One builder per (chunk, rule): chunks never share mutable state, so the
+  // scan callback is data-race free by construction.
+  struct ChunkBuilder {
     std::unique_ptr<Sample> sample;
     ReservoirSampler reservoir;
     double mass = 0;
   };
-  std::vector<Builder> builders;
-  builders.reserve(rules.size());
-  for (size_t i = 0; i < rules.size(); ++i) {
-    builders.push_back(Builder{
-        std::make_unique<Sample>(rules[i], prototype),
-        ReservoirSampler(static_cast<size_t>(capacities[i]),
-                         options_.seed + (++seed_counter_) * 0x9E37ULL),
-        0.0});
+  std::vector<ChunkBuilder> builders;
+  builders.reserve(num_chunks * nrules);
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    for (size_t i = 0; i < nrules; ++i) {
+      builders.push_back(
+          ChunkBuilder{std::make_unique<Sample>(rules[i], prototype),
+                       ReservoirSampler(static_cast<size_t>(capacities[i]),
+                                        DeriveSeed(rule_seeds[i], c)),
+                       0.0});
+    }
   }
 
-  Status scan_status = source_->Scan(
-      [&](uint64_t row, const uint32_t* codes, const double* measures) {
-        for (auto& b : builders) {
+  Status scan_status = source_->ScanChunks(
+      num_chunks, parallelism,
+      [&](uint64_t chunk, uint64_t row, const uint32_t* codes,
+          const double* measures) {
+        ChunkBuilder* chunk_builders = &builders[chunk * nrules];
+        for (size_t i = 0; i < nrules; ++i) {
+          ChunkBuilder& b = chunk_builders[i];
           if (!b.sample->filter().Covers(codes)) continue;
           b.mass += 1.0;  // tuple count; measures ride along in the sample
           auto placement = b.reservoir.Offer();
@@ -280,22 +411,37 @@ Result<std::vector<double>> SampleHandler::CreateSamples(
         return true;
       });
   SMARTDD_RETURN_IF_ERROR(scan_status);
-  ++scans_;
-  ++creates_;
+  (prefetch_pass ? prefetch_scans_ : scans_)
+      .fetch_add(1, std::memory_order_relaxed);
+  creates_.fetch_add(1, std::memory_order_relaxed);
 
-  // Finalize scales; replace the sample store wholesale (the allocation
-  // already covers every displayed rule, so older samples are stale).
+  // Stitch the per-chunk sub-reservoirs back together in chunk order and
+  // replace the sample store wholesale (the allocation already covers every
+  // displayed rule, so older samples are stale).
+  std::vector<uint32_t> codes(prototype.num_columns());
+  std::vector<double> measures(prototype.num_measures());
   std::vector<double> masses;
   samples_.clear();
   exact_masses_.clear();
-  for (auto& b : builders) {
-    double mass = b.mass;
+  for (size_t i = 0; i < nrules; ++i) {
+    Rng merge_rng(DeriveSeed(rule_seeds[i], kMergeStream));
+    ChunkBuilder& first = builders[i];
+    SubReservoir acc{std::move(first.sample), first.reservoir.seen()};
+    double mass = first.mass;
+    for (uint64_t c = 1; c < num_chunks; ++c) {
+      ChunkBuilder& cb = builders[c * nrules + i];
+      mass += cb.mass;
+      acc = MergeSubReservoirs(
+          std::move(acc), SubReservoir{std::move(cb.sample), cb.reservoir.seen()},
+          capacities[i], rules[i], prototype, merge_rng, codes.data(),
+          measures.data());
+    }
     masses.push_back(mass);
-    exact_masses_.emplace_back(b.sample->filter(), mass);
-    size_t size = b.sample->size();
-    b.sample->set_source_mass(mass);
-    b.sample->set_scale(size > 0 ? mass / static_cast<double>(size) : 1.0);
-    samples_.push_back(std::move(b.sample));
+    exact_masses_.emplace_back(acc.sample->filter(), mass);
+    size_t size = acc.sample->size();
+    acc.sample->set_source_mass(mass);
+    acc.sample->set_scale(size > 0 ? mass / static_cast<double>(size) : 1.0);
+    samples_.push_back(std::move(acc.sample));
   }
   SMARTDD_DCHECK(memory_used() <= options_.memory_capacity);
   return masses;
@@ -311,15 +457,16 @@ Result<SampleRequest> SampleHandler::GetSampleFor(const Rule& rule) {
   std::vector<Rule> rules;
   std::vector<uint64_t> capacities;
   PlanAllocation(rule, &rules, &capacities);
-  SMARTDD_ASSIGN_OR_RETURN(std::vector<double> masses,
-                           CreateSamples(rules, capacities));
+  SMARTDD_ASSIGN_OR_RETURN(
+      std::vector<double> masses,
+      CreateSamples(rules, capacities, /*prefetch_pass=*/false));
   (void)masses;
 
   // The requested rule now has a fresh sample.
   auto again = TryFind(rule);
   if (again.ok()) {
     again.value().mechanism = SampleMechanism::kCreate;
-    --finds_;  // attribute to Create, not Find
+    finds_.fetch_sub(1, std::memory_order_relaxed);  // attribute to Create
     return again;
   }
   return again.status();
@@ -348,7 +495,7 @@ Status SampleHandler::Prefetch() {
   std::vector<Rule> rules;
   std::vector<uint64_t> capacities;
   PlanAllocation(target, &rules, &capacities);
-  auto masses = CreateSamples(rules, capacities);
+  auto masses = CreateSamples(rules, capacities, /*prefetch_pass=*/true);
   return masses.ok() ? Status::OK() : masses.status();
 }
 
@@ -357,17 +504,41 @@ Result<std::vector<double>> SampleHandler::ExactMasses(
   if (measure && *measure >= source_->num_measures()) {
     return Status::InvalidArgument("measure index out of range");
   }
-  std::vector<double> masses(rules.size(), 0.0);
-  Status s = source_->Scan(
-      [&](uint64_t, const uint32_t* codes, const double* measures) {
+  if (rules.empty()) return std::vector<double>{};  // don't pay a pass
+  const size_t nrules = rules.size();
+  const uint64_t num_chunks = ScanSource::PlanChunks(source_->num_rows());
+  const size_t parallelism = ThreadPool::EffectiveThreads(options_.num_threads);
+
+  // Per-chunk accumulators, padded to cache-line multiples so chunks do not
+  // false-share; merged in chunk order for thread-count-independent sums.
+  const size_t stride = ((nrules + 7) / 8) * 8;
+  std::vector<double> chunk_masses(num_chunks * stride, 0.0);
+  Status s = source_->ScanChunks(
+      num_chunks, parallelism,
+      [&](uint64_t chunk, uint64_t, const uint32_t* codes,
+          const double* measures) {
         double m = measure ? measures[*measure] : 1.0;
-        for (size_t i = 0; i < rules.size(); ++i) {
-          if (rules[i].Covers(codes)) masses[i] += m;
+        double* acc = &chunk_masses[chunk * stride];
+        for (size_t i = 0; i < nrules; ++i) {
+          if (rules[i].Covers(codes)) acc[i] += m;
         }
         return true;
       });
   SMARTDD_RETURN_IF_ERROR(s);
-  ++scans_;
+  scans_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<double> masses(nrules, 0.0);
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    for (size_t i = 0; i < nrules; ++i) {
+      masses[i] += chunk_masses[c * stride + i];
+    }
+  }
+  if (!measure) {
+    // The handler just paid a full pass for these counts; record them so
+    // KnownExactMass serves them from memory. Measure-mode sums are a
+    // different quantity and stay out of the count cache.
+    for (size_t i = 0; i < nrules; ++i) RecordExactMass(rules[i], masses[i]);
+  }
   return masses;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SMARTDD_SAMPLING_SAMPLE_HANDLER_H_
 #define SMARTDD_SAMPLING_SAMPLE_HANDLER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -34,6 +35,14 @@ struct SampleHandlerOptions {
   double create_capacity_fraction = 0.25;
   AllocationStrategy allocation = AllocationStrategy::kParetoDp;
   uint64_t seed = 42;
+  /// Threads for the Create/ExactMasses scan passes (0 = all hardware
+  /// threads). Results are bit-identical for every value: passes are
+  /// partitioned into chunks whose boundaries and RNG streams are pure
+  /// functions of the row count (ScanSource::PlanChunks) plus — for Create
+  /// passes — memory_capacity and the planned sample capacities (the
+  /// transient-memory bound), never of the thread count; per-chunk state is
+  /// merged in chunk order.
+  size_t num_threads = 0;
 };
 
 /// The rule tree currently displayed by the UI, used to plan sample
@@ -64,10 +73,23 @@ struct SampleRequest {
 /// scan-only source in response to drill-down interactions (paper §4.3).
 ///
 /// Request flow: Find (exact-filter sample big enough) -> Combine (union of
-/// sub-rule samples, Horvitz-Thompson scaled, de-duplicated by row id) ->
-/// Create (one pass over the source, multi-reservoir: realizes the §4.1
-/// allocation for every displayed rule, refreshes exact counts, and
-/// respects the memory cap M).
+/// sub-rule samples, Horvitz-Thompson scaled, de-duplicated by row id;
+/// the union is materialized as a stored sample when it fits under M, so a
+/// repeat request is a Find hit) -> Create (one chunked parallel pass over
+/// the source, multi-reservoir: realizes the §4.1 allocation for every
+/// displayed rule, refreshes exact counts, and respects the memory cap M).
+///
+/// The Create and ExactMasses passes fan out over the shared thread pool
+/// (SampleHandlerOptions::num_threads): each chunk feeds its own
+/// sub-reservoirs/accumulators from an independent SplitMix64-derived RNG
+/// stream, and the per-chunk states are stitched back deterministically in
+/// chunk order, so results are bit-identical for every thread count.
+///
+/// Mutating calls (GetSampleFor, Prefetch, ExactMasses, SetDisplayedTree)
+/// must be externally serialized — the ExplorationSession does this by
+/// joining the background prefetcher before touching the handler. The
+/// statistics counters are atomic and may be read at any time, including
+/// while a background prefetch pass is running.
 class SampleHandler {
  public:
   /// `source` must outlive the handler.
@@ -84,11 +106,13 @@ class SampleHandler {
 
   /// Eagerly runs a Create pass sized by the allocation solver so that
   /// likely next drill-downs become Find/Combine hits. No-op without a
-  /// displayed tree.
+  /// displayed tree. The pass is attributed to prefetch_scans(), not
+  /// scans_performed().
   Status Prefetch();
 
   /// Exact masses of `rules` computed in one pass over the source: tuple
-  /// counts, or sums over measure column `measure` when given.
+  /// counts, or sums over measure column `measure` when given. Count-mode
+  /// results are recorded so KnownExactMass() can serve them afterwards.
   Result<std::vector<double>> ExactMasses(
       const std::vector<Rule>& rules,
       std::optional<size_t> measure = std::nullopt);
@@ -98,20 +122,35 @@ class SampleHandler {
   /// Tuples currently held across all samples.
   uint64_t memory_used() const;
   size_t num_samples() const { return samples_.size(); }
-  /// Full passes over the source triggered by this handler.
-  uint64_t scans_performed() const { return scans_; }
-  uint64_t find_hits() const { return finds_; }
-  uint64_t combine_hits() const { return combines_; }
-  uint64_t creates() const { return creates_; }
+  /// Full passes over the source triggered by interactive (foreground)
+  /// requests: Create misses and ExactMasses calls. Pre-fetch passes are
+  /// counted separately in prefetch_scans().
+  uint64_t scans_performed() const {
+    return scans_.load(std::memory_order_relaxed);
+  }
+  /// Full passes run by Prefetch() (§4.3 background work that happens while
+  /// the user reads, so it is not an interactive cost).
+  uint64_t prefetch_scans() const {
+    return prefetch_scans_.load(std::memory_order_relaxed);
+  }
+  uint64_t find_hits() const { return finds_.load(std::memory_order_relaxed); }
+  uint64_t combine_hits() const {
+    return combines_.load(std::memory_order_relaxed);
+  }
+  /// Create passes, foreground and prefetch alike.
+  uint64_t creates() const { return creates_.load(std::memory_order_relaxed); }
 
-  /// Exact mass of a displayed rule if a Create pass measured it.
+  /// Exact mass of a rule if a Create or count-mode ExactMasses pass
+  /// measured it.
   std::optional<double> KnownExactMass(const Rule& rule) const;
 
  private:
-  /// Runs one pass building reservoir samples of the given capacities for
-  /// the given rules; returns exact per-rule masses.
+  /// Runs one chunked pass building reservoir samples of the given
+  /// capacities for the given rules; returns exact per-rule masses. When
+  /// `prefetch_pass` is set the pass is attributed to prefetch_scans().
   Result<std::vector<double>> CreateSamples(
-      const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities);
+      const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities,
+      bool prefetch_pass);
 
   Result<SampleRequest> TryFind(const Rule& rule);
   Result<SampleRequest> TryCombine(const Rule& rule);
@@ -120,15 +159,19 @@ class SampleHandler {
   void PlanAllocation(const Rule& extra, std::vector<Rule>* rules,
                       std::vector<uint64_t>* capacities) const;
 
+  /// Updates or appends `rule`'s entry in the exact-mass cache.
+  void RecordExactMass(const Rule& rule, double mass);
+
   const ScanSource* source_;
   SampleHandlerOptions options_;
   std::vector<std::unique_ptr<Sample>> samples_;
   std::optional<DisplayTree> tree_;
   std::vector<std::pair<Rule, double>> exact_masses_;
-  uint64_t scans_ = 0;
-  uint64_t finds_ = 0;
-  uint64_t combines_ = 0;
-  uint64_t creates_ = 0;
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> prefetch_scans_{0};
+  std::atomic<uint64_t> finds_{0};
+  std::atomic<uint64_t> combines_{0};
+  std::atomic<uint64_t> creates_{0};
   uint64_t seed_counter_ = 0;
 };
 

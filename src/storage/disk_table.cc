@@ -35,6 +35,16 @@ bool ReadPod(std::FILE* f, void* data, size_t n) {
   return std::fread(data, 1, n, f) == n;
 }
 
+/// 64-bit-safe absolute seek: chunked range scans of multi-GiB tables need
+/// byte offsets beyond what a `long` holds on LLP64 platforms.
+bool SeekTo(std::FILE* f, uint64_t offset) {
+#if defined(_WIN32)
+  return _fseeki64(f, static_cast<long long>(offset), SEEK_SET) == 0;
+#else
+  return fseeko(f, static_cast<off_t>(offset), SEEK_SET) == 0;
+#endif
+}
+
 bool ReadU32(std::FILE* f, uint32_t* v) { return ReadPod(f, v, 4); }
 bool ReadU64(std::FILE* f, uint64_t* v) { return ReadPod(f, v, 8); }
 
@@ -160,10 +170,13 @@ Result<std::shared_ptr<DiskTable>> DiskTable::Open(const std::string& path) {
   return t;
 }
 
-Status DiskTable::Scan(const ScanCallback& fn) const {
+Status DiskTable::ScanRange(uint64_t row_begin, uint64_t row_end,
+                            const ScanCallback& fn) const {
+  row_end = std::min(row_end, num_rows_);
+  if (row_begin >= row_end) return Status::OK();
   std::FILE* f = std::fopen(path_.c_str(), "rb");
   if (!f) return Status::IOError("cannot open disk table: " + path_);
-  if (std::fseek(f, static_cast<long>(data_offset_), SEEK_SET) != 0) {
+  if (!SeekTo(f, data_offset_ + row_begin * row_bytes_)) {
     std::fclose(f);
     return Status::IOError("seek failed: " + path_);
   }
@@ -175,10 +188,10 @@ Status DiskTable::Scan(const ScanCallback& fn) const {
   std::vector<uint32_t> codes(num_cols);
   std::vector<double> measures(num_meas);
 
-  uint64_t row = 0;
+  uint64_t row = row_begin;
   bool keep_going = true;
-  while (keep_going && row < num_rows_) {
-    uint64_t want = std::min<uint64_t>(rows_per_block, num_rows_ - row);
+  while (keep_going && row < row_end) {
+    uint64_t want = std::min<uint64_t>(rows_per_block, row_end - row);
     size_t got = std::fread(buf.data(), row_bytes_, want, f);
     if (got != want) {
       std::fclose(f);

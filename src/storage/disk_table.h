@@ -50,7 +50,15 @@ class DiskTable {
   size_t row_bytes() const { return row_bytes_; }
 
   /// One buffered sequential pass over all rows.
-  Status Scan(const ScanCallback& fn) const;
+  Status Scan(const ScanCallback& fn) const {
+    return ScanRange(0, num_rows_, fn);
+  }
+
+  /// Buffered sequential pass over rows [row_begin, row_end). Each call
+  /// opens its own file handle, so concurrent range scans (the chunked
+  /// parallel pass) are safe.
+  Status ScanRange(uint64_t row_begin, uint64_t row_end,
+                   const ScanCallback& fn) const;
 
   /// Empty in-memory table sharing the dictionaries of this file.
   Table MakeEmptyTable() const;
@@ -117,9 +125,9 @@ class DiskScanSource : public ScanSource {
   const Schema& schema() const override { return table_->schema(); }
   uint64_t num_rows() const override { return table_->num_rows(); }
   size_t num_measures() const override { return table_->num_measures(); }
-  Status Scan(const ScanCallback& fn) const override {
-    ++scan_count_;
-    return table_->Scan(fn);
+  Status ScanRange(uint64_t row_begin, uint64_t row_end,
+                   const ScanCallback& fn) const override {
+    return table_->ScanRange(row_begin, row_end, fn);
   }
   Table MakeEmptyTable() const override { return table_->MakeEmptyTable(); }
 

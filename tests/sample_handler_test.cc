@@ -174,6 +174,137 @@ TEST_F(SampleHandlerTest, ExactMassesMatchDirectComputation) {
   }
 }
 
+TEST_F(SampleHandlerTest, ExactMassesPopulateCountCache) {
+  // The handler paid a full pass for these counts; KnownExactMass must
+  // serve them afterwards without another scan.
+  SampleHandler handler(*source_, SmallOptions());
+  std::vector<Rule> rules = {Rule::Trivial(3), R(table_, {"v0", "?", "?"}),
+                             R(table_, {"?", "?", "v1"})};
+  auto masses = handler.ExactMasses(rules);
+  ASSERT_TRUE(masses.ok());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    auto known = handler.KnownExactMass(rules[i]);
+    ASSERT_TRUE(known.has_value()) << "rule " << i;
+    EXPECT_DOUBLE_EQ(*known, (*masses)[i]);
+  }
+  EXPECT_EQ(handler.scans_performed(), 1u);
+}
+
+TEST_F(SampleHandlerTest, MeasureModeExactMassesStayOutOfCountCache) {
+  SynthSpec spec;
+  spec.rows = 5000;
+  spec.cardinalities = {4, 3};
+  spec.seed = 55;
+  spec.with_measure = true;
+  Table table = GenerateSyntheticTable(spec);
+  MemoryScanSource source(table);
+  SampleHandlerOptions options;
+  options.memory_capacity = 2000;
+  options.min_sample_size = 500;
+  SampleHandler handler(source, options);
+
+  std::vector<Rule> rules = {Rule::Trivial(2), R(table, {"v0", "?"})};
+  // A measure-mode sum is a different quantity than a count: it must not
+  // enter the count cache, and it must not overwrite a cached count.
+  auto counts = handler.ExactMasses(rules);
+  ASSERT_TRUE(counts.ok());
+  auto sums = handler.ExactMasses(rules, 0);
+  ASSERT_TRUE(sums.ok());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    auto known = handler.KnownExactMass(rules[i]);
+    ASSERT_TRUE(known.has_value());
+    EXPECT_DOUBLE_EQ(*known, (*counts)[i]);
+  }
+
+  // Measure-mode alone must leave the cache empty.
+  SampleHandler fresh(source, options);
+  ASSERT_TRUE(fresh.ExactMasses(rules, 0).ok());
+  EXPECT_FALSE(fresh.KnownExactMass(rules[0]).has_value());
+  EXPECT_FALSE(fresh.KnownExactMass(rules[1]).has_value());
+}
+
+TEST_F(SampleHandlerTest, CombineResultIsMaterializedForReuse) {
+  // Room for the root sample AND the combined union: the union is stored,
+  // so the second request for the same rule is a Find hit instead of a
+  // fresh Horvitz-Thompson rebuild.
+  SampleHandlerOptions options;
+  options.memory_capacity = 40000;
+  options.min_sample_size = 200;
+  options.create_capacity_fraction = 0.5;  // 20000: the whole table
+  SampleHandler handler(*source_, options);
+  ASSERT_TRUE(handler.GetSampleFor(Rule::Trivial(3)).ok());
+  ASSERT_EQ(handler.num_samples(), 1u);
+
+  Rule rule = R(table_, {"v0", "?", "?"});
+  auto first = handler.GetSampleFor(rule);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->mechanism, SampleMechanism::kCombine);
+  EXPECT_EQ(handler.num_samples(), 2u);  // the union was kept
+  uint64_t scans_after = handler.scans_performed();
+
+  auto second = handler.GetSampleFor(rule);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->mechanism, SampleMechanism::kFind);
+  EXPECT_EQ(handler.find_hits(), 1u);
+  EXPECT_EQ(handler.combine_hits(), 1u);
+  EXPECT_EQ(handler.scans_performed(), scans_after);  // no rebuild pass
+  // The stored union serves exactly what the combine returned.
+  ASSERT_EQ(second->table.num_rows(), first->table.num_rows());
+  EXPECT_DOUBLE_EQ(second->scale, first->scale);
+}
+
+TEST_F(SampleHandlerTest, DerivedUnionsExcludedFromLaterCombines) {
+  // A stored union is a deterministic subset of its source samples: letting
+  // it back into a later Combine's Horvitz-Thompson product would inflate
+  // the inclusion probability and bias masses low. Two handlers with the
+  // same seed, one holding a materialized union and one not, must agree
+  // exactly on a deeper combine.
+  SampleHandlerOptions options;
+  options.memory_capacity = 12000;
+  options.min_sample_size = 200;
+  options.create_capacity_fraction = 0.25;  // 3000-row root sample, scale>1
+  SampleHandler with_union(*source_, options);
+  SampleHandler without_union(*source_, options);
+  ASSERT_TRUE(with_union.GetSampleFor(Rule::Trivial(3)).ok());
+  ASSERT_TRUE(without_union.GetSampleFor(Rule::Trivial(3)).ok());
+
+  Rule p = R(table_, {"v0", "?", "?"});
+  Rule q = R(table_, {"v0", "v0", "?"});
+  auto mid = with_union.GetSampleFor(p);
+  ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+  ASSERT_EQ(mid->mechanism, SampleMechanism::kCombine);
+  ASSERT_EQ(with_union.num_samples(), 2u);  // the union for p was stored
+
+  auto q_with = with_union.GetSampleFor(q);
+  auto q_without = without_union.GetSampleFor(q);
+  ASSERT_TRUE(q_with.ok()) << q_with.status().ToString();
+  ASSERT_TRUE(q_without.ok()) << q_without.status().ToString();
+  ASSERT_EQ(q_with->mechanism, SampleMechanism::kCombine);
+  ASSERT_EQ(q_without->mechanism, SampleMechanism::kCombine);
+  EXPECT_EQ(q_with->scale, q_without->scale);
+  EXPECT_EQ(q_with->table.num_rows(), q_without->table.num_rows());
+}
+
+TEST_F(SampleHandlerTest, CombineResultNotStoredWhenOverMemoryCap) {
+  // The root sample already fills M: the union must be served but not kept.
+  SampleHandlerOptions options;
+  options.memory_capacity = 20000;
+  options.min_sample_size = 200;
+  options.create_capacity_fraction = 1.0;
+  SampleHandler handler(*source_, options);
+  ASSERT_TRUE(handler.GetSampleFor(Rule::Trivial(3)).ok());
+
+  Rule rule = R(table_, {"v0", "?", "?"});
+  auto first = handler.GetSampleFor(rule);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->mechanism, SampleMechanism::kCombine);
+  EXPECT_EQ(handler.num_samples(), 1u);
+  EXPECT_LE(handler.memory_used(), options.memory_capacity);
+  auto second = handler.GetSampleFor(rule);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->mechanism, SampleMechanism::kCombine);
+}
+
 TEST_F(SampleHandlerTest, KnownExactMassAfterCreate) {
   SampleHandler handler(*source_, SmallOptions());
   ASSERT_TRUE(handler.GetSampleFor(Rule::Trivial(3)).ok());
