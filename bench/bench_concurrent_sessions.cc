@@ -1,0 +1,170 @@
+// Multi-user engine benchmark: N concurrent sessions (1 / 4 / 16) drive the
+// same deterministic exploration script through one shared
+// ExplorationEngine, each from its own thread — the paper's interactive
+// operator under multi-user load. Reports p50/p95 per-expansion latency and
+// aggregate expansion throughput per session count, and verifies that every
+// session's display tree is byte-identical to the single-session run (the
+// engine determinism contract). Aggregate throughput should rise with the
+// session count on a multi-core host: concurrent sessions fill the serial
+// gaps of each other's searches, and the pool's round-robin fairness keeps
+// latencies even.
+//
+// Env knobs: SMARTDD_CONC_ROWS (default 150000), SMARTDD_CONC_ITERS
+// (default 4 script iterations per session).
+//
+// Usage: bench_concurrent_sessions [--threads=N] [--json=FILE]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/synth.h"
+#include "explore/engine.h"
+#include "explore/session.h"
+#include "weights/standard_weights.h"
+
+namespace {
+
+using namespace smartdd;
+using namespace smartdd::bench;
+
+std::string Fingerprint(const ExplorationSession& session) {
+  std::string out;
+  char buf[96];
+  for (int id : session.DisplayOrder()) {
+    const ExplorationNode& n = session.node(id);
+    for (uint32_t v : n.rule.values()) {
+      std::snprintf(buf, sizeof(buf), "%u,", v);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "|%.17g|%.17g\n", n.mass, n.weight);
+    out += buf;
+  }
+  return out;
+}
+
+/// Runs the per-session script; appends one latency entry per expansion.
+void DriveSession(ExplorationSession& session, uint64_t iters,
+                  std::vector<double>* latencies_ms, std::string* fingerprint) {
+  for (uint64_t iter = 0; iter < iters; ++iter) {
+    WallTimer t;
+    auto children = session.Expand(session.root());
+    SMARTDD_CHECK(children.ok()) << children.status().ToString();
+    latencies_ms->push_back(t.ElapsedMillis());
+    if (!children->empty()) {
+      int child = (*children)[iter % children->size()];
+      t.Restart();
+      auto deeper = session.Expand(child);
+      SMARTDD_CHECK(deeper.ok()) << deeper.status().ToString();
+      latencies_ms->push_back(t.ElapsedMillis());
+    }
+  }
+  *fingerprint = Fingerprint(session);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseFlags(argc, argv);
+
+  const uint64_t rows = EnvU64("SMARTDD_CONC_ROWS", 150000);
+  const uint64_t iters = EnvU64("SMARTDD_CONC_ITERS", 4);
+
+  SynthSpec spec;
+  spec.rows = rows;
+  spec.cardinalities = {12, 8, 6, 5, 4, 3};
+  spec.zipf = {1.1, 0.8, 1.2, 0.6, 1.0, 0.4};
+  spec.seed = 2024;
+  Table table = GenerateSyntheticTable(spec);
+  SizeWeight weight;
+
+  PrintExperimentHeader(
+      "concurrent_sessions",
+      "Multi-user engine: sessions sharing one ExplorationEngine",
+      "aggregate expansion throughput rises with concurrent sessions while "
+      "per-session trees stay byte-identical to the serial run");
+  std::printf("rows=%llu, iters/session=%llu, hw threads=%u\n\n",
+              static_cast<unsigned long long>(rows),
+              static_cast<unsigned long long>(iters),
+              std::thread::hardware_concurrency());
+
+  std::string reference_fingerprint;
+  double single_session_throughput = 0;
+
+  for (size_t sessions : {size_t{1}, size_t{4}, size_t{16}}) {
+    ExplorationEngine engine(table, weight);
+
+    std::vector<std::vector<double>> latencies(sessions);
+    std::vector<std::string> fingerprints(sessions);
+    WallTimer wall;
+    {
+      std::vector<std::thread> threads;
+      for (size_t s = 0; s < sessions; ++s) {
+        threads.emplace_back([&, s]() {
+          SessionOptions options;
+          options.k = 3;
+          options.max_weight = 5;
+          options.num_threads = Flags().threads;
+          ExplorationSession session = engine.NewSession(options);
+          DriveSession(session, iters, &latencies[s], &fingerprints[s]);
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double wall_s = wall.ElapsedSeconds();
+
+    // Determinism: every session ran the same script on the same data, so
+    // every tree must be byte-identical — across sessions and across
+    // session counts.
+    for (size_t s = 0; s < sessions; ++s) {
+      SMARTDD_CHECK(fingerprints[s] == fingerprints[0])
+          << "session " << s << " diverged at " << sessions << " sessions";
+    }
+    if (reference_fingerprint.empty()) {
+      reference_fingerprint = fingerprints[0];
+    } else {
+      SMARTDD_CHECK(fingerprints[0] == reference_fingerprint)
+          << "concurrent trees diverged from the single-session run";
+    }
+
+    std::vector<double> all;
+    size_t expansions = 0;
+    for (const auto& lane : latencies) {
+      expansions += lane.size();
+      all.insert(all.end(), lane.begin(), lane.end());
+    }
+    const double p50 = Percentile(all, 0.50);
+    const double p95 = Percentile(all, 0.95);
+    const double throughput =
+        wall_s > 0 ? static_cast<double>(expansions) / wall_s : 0;
+    if (sessions == 1) single_session_throughput = throughput;
+    const double speedup = single_session_throughput > 0
+                               ? throughput / single_session_throughput
+                               : 0;
+
+    PrintSeriesRow("p50_latency_ms", static_cast<double>(sessions), p50,
+                   "sessions", "p50 expansion latency (ms)");
+    PrintSeriesRow("p95_latency_ms", static_cast<double>(sessions), p95,
+                   "sessions", "p95 expansion latency (ms)");
+    PrintSeriesRow("throughput", static_cast<double>(sessions), throughput,
+                   "sessions", "expansions/s");
+    PrintSeriesRow("speedup_vs_single", static_cast<double>(sessions), speedup,
+                   "sessions", "aggregate speedup");
+    std::printf("\n");
+  }
+
+  std::printf("identical-results check passed: all sessions byte-identical\n");
+  return 0;
+}

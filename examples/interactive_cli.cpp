@@ -10,15 +10,28 @@
 //   k <n>               change the number of rules per expansion
 //   exact               refresh displayed counts to exact values
 //   help, quit
+//
+// Multi-user mode:
+//   interactive_cli --sessions=N [file.csv]
+// drives N scripted explorers concurrently through ONE shared
+// ExplorationEngine — the engine/session split end to end: each session is
+// a cheap handle (tree state only) onto the shared table, thread pool, and
+// fair scheduler, and every session's tree is byte-identical to the same
+// script run alone.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/string_util.h"
 #include "data/retail_gen.h"
+#include "explore/engine.h"
 #include "explore/renderer.h"
 #include "explore/session.h"
 #include "storage/csv.h"
@@ -44,24 +57,101 @@ void Help() {
       "k <n> | exact | help | quit\n");
 }
 
+/// The scripted walk every demo session performs: expand the root, then
+/// drill into one child — rotating by session index, so sessions with the
+/// same index mod k produce byte-identical trees and the rest diverge.
+void RunScriptedSession(ExplorationSession& session, size_t index) {
+  auto children = session.Expand(session.root());
+  if (!children.ok() || children->empty()) return;
+  (void)session.Expand((*children)[index % children->size()]);
+}
+
+int RunMultiSessionDemo(const Table& table, size_t num_sessions) {
+  SizeWeight weight;
+  ExplorationEngine engine(table, weight);
+
+  std::printf(
+      "driving %zu concurrent sessions through one shared engine "
+      "(%llu rows, %zu columns)\n\n",
+      num_sessions, static_cast<unsigned long long>(table.num_rows()),
+      table.num_columns());
+
+  std::vector<std::string> rendered(num_sessions);
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    threads.emplace_back([&, s]() {
+      SessionOptions options;
+      options.k = 3;
+      ExplorationSession session = engine.NewSession(options);
+      RunScriptedSession(session, s);
+      rendered[s] = RenderSession(session);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Sessions running the same script (same rotation index mod k) must agree
+  // byte-for-byte; print each distinct tree once.
+  size_t shown = 0;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    bool duplicate = false;
+    for (size_t prev = 0; prev < s && !duplicate; ++prev) {
+      duplicate = rendered[prev] == rendered[s];
+    }
+    if (duplicate) continue;
+    std::printf("--- session %zu (and every session with the same script) "
+                "---\n%s\n",
+                s, rendered[s].c_str());
+    ++shown;
+  }
+  std::printf(
+      "%zu sessions produced %zu distinct trees (one per script variant); "
+      "sessions sharing a script agree byte-for-byte.\n",
+      num_sessions, shown);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  size_t num_sessions = 0;
+  const char* csv_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+      const char* value = argv[i] + 11;
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || *value == '-' || parsed == 0 ||
+          parsed > 1024) {
+        std::fprintf(stderr,
+                     "invalid --sessions=%s (expected an integer in 1..1024)\n",
+                     value);
+        return 2;
+      }
+      num_sessions = static_cast<size_t>(parsed);
+    } else {
+      csv_path = argv[i];
+    }
+  }
+
   Table table = [&]() {
-    if (argc > 1) {
-      auto loaded = ReadCsvFile(argv[1]);
+    if (csv_path != nullptr) {
+      auto loaded = ReadCsvFile(csv_path);
       if (loaded.ok()) return std::move(loaded).value();
       std::fprintf(stderr, "failed to load %s: %s — using built-in retail\n",
-                   argv[1], loaded.status().ToString().c_str());
+                   csv_path, loaded.status().ToString().c_str());
     }
     return GenerateRetailTable();
   }();
 
+  if (num_sessions > 0) {
+    return RunMultiSessionDemo(table, num_sessions);
+  }
+
   SizeWeight weight;
+  ExplorationEngine engine(table, weight);
   SessionOptions options;
   options.k = 3;
-  auto session_ptr =
-      std::make_unique<ExplorationSession>(table, weight, options);
+  std::optional<ExplorationSession> session_slot(engine.NewSession(options));
 
   std::printf("smartdd interactive explorer — %llu rows, %zu columns\n",
               static_cast<unsigned long long>(table.num_rows()),
@@ -72,11 +162,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   Help();
-  Render(*session_ptr);
+  Render(*session_slot);
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
-    ExplorationSession& session = *session_ptr;
+    ExplorationSession& session = *session_slot;
     std::istringstream in(line);
     std::string cmd;
     in >> cmd;
@@ -109,10 +199,11 @@ int main(int argc, char** argv) {
       size_t k;
       if (!(in >> k) || k == 0) { Help(); continue; }
       options.k = k;
-      session_ptr =
-          std::make_unique<ExplorationSession>(table, weight, options);
+      // Sessions are cheap handles: a fresh one resets the display without
+      // touching the shared engine.
+      session_slot.emplace(engine.NewSession(options));
       std::printf("k set to %zu (display reset)\n", k);
-      Render(*session_ptr);
+      Render(*session_slot);
     } else if (cmd == "exact") {
       Status s = session.RefreshExactCounts();
       if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());

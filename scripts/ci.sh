@@ -23,11 +23,11 @@ if [[ "$MODE" != "--tsan-only" ]]; then
 fi
 
 if [[ "$MODE" == "--tsan" || "$MODE" == "--tsan-only" ]]; then
-  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test"
+  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1"
   cmake --build build-tsan -j "$(nproc)" --target \
     parallel_marginal_test parallel_sampling_test sample_handler_test \
-    session_test
+    session_test concurrent_sessions_test task_scheduler_test
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R "$TSAN_TESTS")
 fi

@@ -1,0 +1,131 @@
+#include "common/task_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smartdd {
+
+TaskScheduler::TaskScheduler(size_t num_workers)
+    : max_workers_(std::max<size_t>(1, num_workers)) {}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+TaskScheduler& TaskScheduler::Shared() {
+  // Leaked on purpose: standalone prefetchers may be destroyed during static
+  // teardown, after a function-local static scheduler would have been.
+  static TaskScheduler* scheduler = new TaskScheduler(2);
+  return *scheduler;
+}
+
+TaskScheduler::Queue* TaskScheduler::FindLocked(QueueId id) {
+  for (auto& q : queues_) {
+    if (q->id == id) return q.get();
+  }
+  return nullptr;
+}
+
+TaskScheduler::Queue* TaskScheduler::PickRunnableLocked() {
+  const size_t n = queues_.size();
+  for (size_t k = 0; k < n; ++k) {
+    Queue* q = queues_[(rr_cursor_ + k) % n].get();
+    if (!q->running && !q->tasks.empty()) {
+      // Advance past the adopted queue so the next pick starts at its
+      // successor: strict round-robin across runnable queues.
+      rr_cursor_ = (rr_cursor_ + k + 1) % n;
+      return q;
+    }
+  }
+  return nullptr;
+}
+
+TaskScheduler::QueueId TaskScheduler::CreateQueue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto q = std::make_unique<Queue>();
+  q->id = next_id_++;
+  queues_.push_back(std::move(q));
+  return queues_.back()->id;
+}
+
+void TaskScheduler::DestroyQueue(QueueId id) {
+  if (id == kInvalidQueue) return;
+  (void)Drain(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i]->id == id) {
+      queues_.erase(queues_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (!queues_.empty()) rr_cursor_ %= queues_.size();
+}
+
+void TaskScheduler::Submit(QueueId id, std::function<Status()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Queue* q = FindLocked(id);
+    SMARTDD_CHECK(q != nullptr) << "Submit on unknown task queue " << id;
+    q->tasks.push_back(std::move(fn));
+    ++queued_or_running_;
+    // Lazy worker spawn: one thread per outstanding task until the cap.
+    if (workers_.size() < max_workers_ &&
+        workers_.size() < queued_or_running_) {
+      workers_.emplace_back([this]() { WorkerLoop(); });
+    }
+  }
+  work_cv_.notify_one();
+}
+
+Status TaskScheduler::Drain(QueueId id) {
+  if (id == kInvalidQueue) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  Queue* q = FindLocked(id);
+  if (q == nullptr) return Status::OK();
+  idle_cv_.wait(lock, [&]() { return q->tasks.empty() && !q->running; });
+  return q->last_status;
+}
+
+size_t TaskScheduler::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+size_t TaskScheduler::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_or_running_;
+}
+
+void TaskScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    Queue* q = nullptr;
+    work_cv_.wait(lock, [&]() {
+      if (shutdown_) return true;
+      q = PickRunnableLocked();
+      return q != nullptr;
+    });
+    if (shutdown_) return;
+    std::function<Status()> fn = std::move(q->tasks.front());
+    q->tasks.pop_front();
+    q->running = true;
+    lock.unlock();
+    Status s = fn();
+    lock.lock();
+    // `q` stays valid across the unlocked region: DestroyQueue drains the
+    // queue first, and the drain cannot finish while running is set.
+    q->running = false;
+    q->last_status = std::move(s);
+    --queued_or_running_;
+    idle_cv_.notify_all();
+    if (!q->tasks.empty()) work_cv_.notify_one();
+  }
+}
+
+}  // namespace smartdd

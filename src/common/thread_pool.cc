@@ -66,8 +66,12 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&]() { return shutdown_ || !pending_.empty(); });
       if (shutdown_) return;
-      job = pending_.front();  // FIFO: drain the oldest job first
-      ++job->active_workers;   // guarded by mu_: keeps `job` alive below
+      // Round-robin adoption across pending jobs: concurrent ParallelFor
+      // calls (multi-user sessions on the shared pool) split the workers
+      // fairly instead of all helpers piling onto the oldest job, so a
+      // large expansion cannot monopolize the helpers against a small one.
+      job = pending_[rr_next_++ % pending_.size()];
+      ++job->active_workers;  // guarded by mu_: keeps `job` alive below
     }
     tls_inside_pool_job = true;
     RunChunks(job);

@@ -18,9 +18,10 @@ namespace smartdd {
 /// cost per pass. ParallelFor blocks the caller until every chunk has
 /// finished, and the calling thread itself works on chunks, so every
 /// caller always makes progress even with zero workers. Concurrent
-/// ParallelFor calls (multi-user sessions) are queued FIFO: workers drain
-/// the oldest job first, and each caller still drives its own job inline,
-/// so no call can starve.
+/// ParallelFor calls (multi-user sessions) share the workers fairly:
+/// each freed worker adopts the next pending job round-robin, and each
+/// caller still drives its own job inline, so a big job cannot starve a
+/// small one and no call can stall.
 ///
 /// Determinism contract: chunk *boundaries* are chosen by the caller and
 /// must not depend on the thread count. Workers pull chunk indices from an
@@ -80,7 +81,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here for jobs
   std::condition_variable done_cv_;   // callers wait here for completion
-  std::vector<Job*> pending_;         // FIFO of jobs with unclaimed chunks
+  std::vector<Job*> pending_;         // jobs with unclaimed chunks
+  size_t rr_next_ = 0;                // round-robin cursor (guarded by mu_)
   bool shutdown_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include "common/flat_map.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "rules/rule_ops.h"
 
 namespace smartdd {
 
@@ -94,6 +95,9 @@ struct MarginalRuleFinder::Impl {
   const MarginalSearchOptions& options;
   MarginalSearchStats& stats;
   const std::vector<double>& covered_weight;
+  /// Deferred update fused into the first pass-1 region (see Find overload).
+  const CoveredUpdate* pending = nullptr;
+  std::vector<double>* mutable_covered = nullptr;
 
   std::vector<uint32_t> columns;   // search space, ascending
   std::vector<int32_t> col_dense;  // table column -> index in columns, or -1
@@ -284,9 +288,21 @@ struct MarginalRuleFinder::Impl {
       lane_counts.assign(num_lanes * dict, 0u);
       lane_mass.assign(num_lanes * dict, 0.0);
 
-      // Phase A: per-lane occurrence counts and mass sums.
+      // Phase A: per-lane occurrence counts and mass sums. On the first
+      // column, each lane first applies the deferred covered-weight update
+      // to its own rows — the pipelined fan-out: the update scan rides the
+      // same parallel region as the pass-1 counting scan, and every row is
+      // updated exactly once before Phase B (after the barrier) reads it.
+      const bool fuse_update = pending != nullptr && ci == 0;
       RunChunked(num_lanes, [&](uint64_t lane) {
         const auto [lo, hi] = lane_bounds(lane);
+        if (fuse_update) {
+          const double w = pending->weight;
+          double* cw = mutable_covered->data();
+          for (uint64_t t = lo; t < hi; ++t) {
+            if (cw[t] < w && RuleCoversRow(pending->rule, view, t)) cw[t] = w;
+          }
+        }
         uint32_t* counts = lane_counts.data() + lane * dict;
         double* mass = lane_mass.data() + lane * dict;
         for (uint64_t t = lo; t < hi; ++t) {
@@ -743,6 +759,18 @@ Result<MarginalRuleResult> MarginalRuleFinder::Find(
       << "covered_weight must have one entry per view row";
   stats_ = MarginalSearchStats{};
   Impl impl(*view_, *weight_, options_, stats_, covered_weight);
+  return impl.Run();
+}
+
+Result<MarginalRuleResult> MarginalRuleFinder::Find(
+    std::vector<double>& covered_weight, const CoveredUpdate& pending) {
+  SMARTDD_CHECK(covered_weight.size() == view_->num_rows())
+      << "covered_weight must have one entry per view row";
+  SMARTDD_CHECK(pending.rule.num_columns() == view_->num_columns());
+  stats_ = MarginalSearchStats{};
+  Impl impl(*view_, *weight_, options_, stats_, covered_weight);
+  impl.pending = &pending;
+  impl.mutable_covered = &covered_weight;
   return impl.Run();
 }
 

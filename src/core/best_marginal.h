@@ -55,6 +55,18 @@ struct MarginalSearchStats {
   }
 };
 
+/// A deferred covered-weight update from the previous greedy pick: before
+/// the next search reads covered_weight[t], every row covered by `rule`
+/// must have its entry raised to at least `weight`. Passing it into Find()
+/// lets the finder fuse this O(n) update into its own parallel pass-1
+/// region — the drill-down fan-out pipelining: step i's covered-weight
+/// update scan overlaps step i+1's counting scan instead of running as a
+/// separate serial pass between greedy steps.
+struct CoveredUpdate {
+  Rule rule{0};
+  double weight = 0;
+};
+
 /// Result of one best-marginal-rule search.
 struct MarginalRuleResult {
   Rule rule{0};      ///< full-width rule (base merged in)
@@ -82,6 +94,16 @@ class MarginalRuleFinder {
   /// highest-weight already-selected rule covering view row i (0 if none).
   /// Returns NotFound when no rule has positive marginal value.
   Result<MarginalRuleResult> Find(const std::vector<double>& covered_weight);
+
+  /// Like Find, but first applies `pending` to `covered_weight` inside the
+  /// search's first pass-1 parallel region (each row is updated exactly
+  /// once before any read, so the result is bit-identical to applying the
+  /// update serially before calling Find, for every thread count). When the
+  /// search bails out before scanning (empty view / empty search space),
+  /// `covered_weight` is left untouched — the NotFound ends the greedy loop
+  /// anyway.
+  Result<MarginalRuleResult> Find(std::vector<double>& covered_weight,
+                                  const CoveredUpdate& pending);
 
   /// Stats of the most recent Find call.
   const MarginalSearchStats& stats() const { return stats_; }

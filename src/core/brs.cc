@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/timer.h"
 #include "rules/rule_ops.h"
@@ -38,7 +40,12 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
 
   BrsResult result;
   std::vector<double> covered(view.num_rows(), 0.0);
-  std::vector<Rule> selected;
+
+  // Pipelined fan-out: the covered-weight update from step i is not applied
+  // eagerly — it is handed to step i+1's Find, which fuses the O(n) update
+  // scan into its own parallel pass-1 region. Nothing after the loop reads
+  // `covered`, so a final unapplied update is simply dropped.
+  std::optional<CoveredUpdate> pending;
 
   WallTimer budget_timer;
   for (size_t step = 0; step < options.k; ++step) {
@@ -46,7 +53,9 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
         budget_timer.ElapsedMillis() >= options.time_budget_ms) {
       break;  // anytime mode: report what we have so far
     }
-    auto found = finder.Find(covered);
+    auto found = pending ? finder.Find(covered, *pending)
+                         : finder.Find(std::as_const(covered));
+    pending.reset();
     result.stats.Accumulate(finder.stats());
     if (!found.ok()) {
       if (found.status().code() == StatusCode::kNotFound) break;
@@ -59,16 +68,8 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
     sr.weight = m.weight;
     sr.mass = m.mass;
     sr.marginal_value = m.marginal;
-    selected.push_back(m.rule);
     result.rules.push_back(sr);
-
-    // Update per-tuple covered weights for the next greedy step.
-    const uint64_t n = view.num_rows();
-    for (uint64_t i = 0; i < n; ++i) {
-      if (covered[i] < m.weight && RuleCoversRow(m.rule, view, i)) {
-        covered[i] = m.weight;
-      }
-    }
+    pending = CoveredUpdate{m.rule, m.weight};
 
     if (options.on_rule && !options.on_rule(sr, step)) break;
   }

@@ -1,0 +1,70 @@
+#include "explore/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "explore/session.h"
+
+namespace smartdd {
+
+ExplorationEngine::ExplorationEngine(const Table& table,
+                                     const WeightFunction& weight,
+                                     EngineOptions options)
+    : weight_(&weight),
+      options_(std::move(options)),
+      table_(&table),
+      prototype_(Table::EmptyLike(table)),
+      scheduler_(std::make_unique<TaskScheduler>(
+          std::max<size_t>(1, options_.scheduler_workers))) {
+  SMARTDD_CHECK(!options_.use_sampling)
+      << "sampling mode requires the ScanSource constructor";
+}
+
+ExplorationEngine::ExplorationEngine(const ScanSource& source,
+                                     const WeightFunction& weight,
+                                     EngineOptions options)
+    : weight_(&weight),
+      options_(std::move(options)),
+      source_(&source),
+      prototype_(source.MakeEmptyTable()),
+      scheduler_(std::make_unique<TaskScheduler>(
+          std::max<size_t>(1, options_.scheduler_workers))) {
+  if (options_.use_sampling) {
+    // The sampler's scan passes share the engine's thread knob unless it
+    // was configured separately.
+    if (options_.sampler.num_threads == 0) {
+      options_.sampler.num_threads = options_.num_threads;
+    }
+    sampler_ = std::make_unique<SampleHandler>(source, options_.sampler);
+  }
+}
+
+ExplorationEngine::~ExplorationEngine() {
+  SMARTDD_CHECK(live_sessions_.load(std::memory_order_relaxed) == 0)
+      << "sessions must not outlive their engine";
+}
+
+ExplorationSession ExplorationEngine::NewSession(SessionOptions options) {
+  return ExplorationSession(this, std::move(options));
+}
+
+ExplorationSession ExplorationEngine::NewSession() {
+  return NewSession(SessionOptions{});
+}
+
+uint64_t ExplorationEngine::RegisterSession() {
+  live_sessions_.fetch_add(1, std::memory_order_relaxed);
+  return scheduler_->CreateQueue();
+}
+
+void ExplorationEngine::UnregisterSession(uint64_t id) {
+  // Join any in-flight background work first; then the queue and the
+  // handler's per-session tree can go.
+  (void)scheduler_->Drain(id);
+  if (sampler_ != nullptr) sampler_->DropSession(id);
+  scheduler_->DestroyQueue(id);
+  live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace smartdd

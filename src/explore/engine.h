@@ -1,0 +1,120 @@
+#ifndef SMARTDD_EXPLORE_ENGINE_H_
+#define SMARTDD_EXPLORE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/task_scheduler.h"
+#include "sampling/sample_handler.h"
+#include "storage/scan_source.h"
+#include "storage/table.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+class ExplorationSession;
+struct SessionOptions;
+
+/// Engine-wide configuration (per dataset, not per user).
+struct EngineOptions {
+  /// Build the shared SampleHandler so sessions route drill-downs through
+  /// samples (scan-source engines only; mandatory for sources that do not
+  /// fit in memory).
+  bool use_sampling = false;
+  SampleHandlerOptions sampler;
+  /// Default thread knob for sessions and the sampler's scan passes when
+  /// theirs is left at 0 (0 = all hardware threads).
+  size_t num_threads = 0;
+  /// Cap on concurrently running background tasks (prefetch passes); the
+  /// scheduler spawns workers lazily, so engines whose sessions never
+  /// prefetch cost no threads.
+  size_t scheduler_workers = 2;
+};
+
+/// The shared, thread-safe half of the engine/session split: one
+/// ExplorationEngine per dataset owns everything immutable or internally
+/// synchronized — the Table or ScanSource, the prototype schema and
+/// dictionaries, the WeightFunction, the shared SampleHandler, and the fair
+/// TaskScheduler for background work — while each user holds a cheap
+/// ExplorationSession (tree state + options only) created via NewSession().
+///
+/// Concurrency contract: any number of sessions may run Expand / Collapse /
+/// RefreshExactCounts concurrently from their own threads. Exact-mode
+/// (in-memory Table) drill-downs are pure reads with deterministic
+/// chunk-merged parallel passes, so every session's results are
+/// bit-identical to the same interaction script run serially, regardless of
+/// thread count or session interleaving. Sampling-mode sessions share the
+/// handler's sample store (reader-writer locked, single-flight Create);
+/// their estimates depend on which samples are resident, hence on the
+/// interleaving, but each returned sample is always a valid uniform sample
+/// of its rule. The WeightFunction must be safe for concurrent const calls
+/// (the standard weights are stateless).
+///
+/// The engine is pinned in memory (non-copyable, non-movable): sessions
+/// hold raw back-pointers into it. Destroy all sessions before the engine.
+class ExplorationEngine {
+ public:
+  /// In-memory mode: exact drill-downs over `table`.
+  /// `table` and `weight` must outlive the engine.
+  ExplorationEngine(const Table& table, const WeightFunction& weight,
+                    EngineOptions options = {});
+
+  /// Scan-source mode: drill-downs run on shared SampleHandler samples when
+  /// options.use_sampling is set (otherwise each expansion pays a one-off
+  /// materialization scan; sampling is strongly recommended).
+  ExplorationEngine(const ScanSource& source, const WeightFunction& weight,
+                    EngineOptions options = {});
+
+  ~ExplorationEngine();
+
+  ExplorationEngine(const ExplorationEngine&) = delete;
+  ExplorationEngine& operator=(const ExplorationEngine&) = delete;
+
+  /// Creates a new exploration session bound to this engine. Sessions are
+  /// cheap (the display tree and options); create one per user/request
+  /// stream. The returned session must not outlive the engine.
+  ExplorationSession NewSession(SessionOptions options);
+  ExplorationSession NewSession();
+
+  /// Prototype table: schema + shared dictionaries for rendering/parsing.
+  const Table& prototype() const { return prototype_; }
+  const WeightFunction& weight() const { return *weight_; }
+  /// The in-memory table, or nullptr in scan-source mode.
+  const Table* table() const { return table_; }
+  /// The scan source, or nullptr in in-memory mode.
+  const ScanSource* source() const { return source_; }
+  /// The shared sample handler, or nullptr when sampling is off.
+  SampleHandler* sampler() const { return sampler_.get(); }
+  /// Fair background-task scheduler (one queue per session).
+  TaskScheduler& scheduler() const { return *scheduler_; }
+  const EngineOptions& options() const { return options_; }
+  /// Sessions currently bound to this engine.
+  size_t num_sessions() const {
+    return live_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ExplorationSession;
+
+  /// Binds a new session: allocates its scheduler queue and returns its id
+  /// (also the SampleHandler session key).
+  uint64_t RegisterSession();
+  /// Releases a session: drains its background tasks, drops its displayed
+  /// tree from the handler, and destroys its queue.
+  void UnregisterSession(uint64_t id);
+
+  const WeightFunction* weight_;
+  EngineOptions options_;
+  // Exactly one of table_/source_ is set.
+  const Table* table_ = nullptr;
+  const ScanSource* source_ = nullptr;
+  Table prototype_;
+  std::unique_ptr<SampleHandler> sampler_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  std::atomic<size_t> live_sessions_{0};
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_EXPLORE_ENGINE_H_

@@ -2,24 +2,35 @@
 #define SMARTDD_EXPLORE_PREFETCHER_H_
 
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <utility>
 
 #include "common/status.h"
+#include "common/task_scheduler.h"
 
 namespace smartdd {
 
 /// Runs sample pre-fetching work (paper §4.3: "while the user is busy
 /// reading the current rule-list ... start making a pass through the table
-/// in the background"). In kBackground mode the task runs on a worker
-/// thread; callers must Wait() before touching shared state again (the
-/// ExplorationSession does this on the next interaction).
+/// in the background"). In kBackground mode the task runs on a TaskScheduler
+/// queue — no thread is spawned per pass; the scheduler's fair round-robin
+/// lets many prefetchers (sessions) share a small worker set. Callers must
+/// Wait() before touching shared state again when that state is not itself
+/// thread-safe (the ExplorationSession drains its engine queue on the next
+/// interaction).
 class Prefetcher {
  public:
   enum class Mode { kDisabled, kSynchronous, kBackground };
 
-  explicit Prefetcher(Mode mode) : mode_(mode) {}
-  ~Prefetcher() { WaitInternal(); }
+  /// Uses the process-wide shared scheduler.
+  explicit Prefetcher(Mode mode) : Prefetcher(mode, &TaskScheduler::Shared()) {}
+
+  /// Uses `scheduler` (e.g. an engine's), which must outlive the prefetcher.
+  Prefetcher(Mode mode, TaskScheduler* scheduler)
+      : mode_(mode), scheduler_(scheduler) {
+    if (mode_ == Mode::kBackground) queue_ = scheduler_->CreateQueue();
+  }
+
+  ~Prefetcher() { scheduler_->DestroyQueue(queue_); }
 
   Prefetcher(const Prefetcher&) = delete;
   Prefetcher& operator=(const Prefetcher&) = delete;
@@ -29,7 +40,6 @@ class Prefetcher {
   /// Schedules `fn`. Awaits any in-flight task first. In kSynchronous mode
   /// runs inline; in kDisabled mode does nothing.
   void Schedule(std::function<Status()> fn) {
-    WaitInternal();
     switch (mode_) {
       case Mode::kDisabled:
         break;
@@ -37,30 +47,22 @@ class Prefetcher {
         last_status_ = fn();
         break;
       case Mode::kBackground:
-        worker_ = std::thread([this, fn = std::move(fn)]() {
-          Status s = fn();
-          std::lock_guard<std::mutex> lock(mu_);
-          last_status_ = std::move(s);
-        });
+        (void)scheduler_->Drain(queue_);
+        scheduler_->Submit(queue_, std::move(fn));
         break;
     }
   }
 
   /// Blocks until idle; returns the status of the last completed task.
   Status Wait() {
-    WaitInternal();
-    std::lock_guard<std::mutex> lock(mu_);
+    if (mode_ == Mode::kBackground) return scheduler_->Drain(queue_);
     return last_status_;
   }
 
  private:
-  void WaitInternal() {
-    if (worker_.joinable()) worker_.join();
-  }
-
   Mode mode_;
-  std::thread worker_;
-  std::mutex mu_;
+  TaskScheduler* scheduler_;
+  TaskScheduler::QueueId queue_ = TaskScheduler::kInvalidQueue;
   Status last_status_;
 };
 

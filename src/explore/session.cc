@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "common/string_util.h"
+#include "explore/engine.h"
 #include "rules/rule_ops.h"
 #include "sampling/minss_guidance.h"
 
@@ -22,40 +24,97 @@ ExplorationNode MakeRoot(size_t num_columns, double total_mass) {
   return root;
 }
 
+/// Engine configuration implied by a legacy two-arg session construction.
+EngineOptions EngineOptionsFrom(const SessionOptions& options) {
+  EngineOptions engine_options;
+  engine_options.use_sampling = options.use_sampling;
+  engine_options.sampler = options.sampler;
+  engine_options.num_threads = options.num_threads;
+  return engine_options;
+}
+
 }  // namespace
+
+void ExplorationSession::Bind(ExplorationEngine* engine,
+                              SessionOptions options) {
+  engine_ = engine;
+  options_ = std::move(options);
+  if (options_.num_threads == 0) {
+    options_.num_threads = engine_->options().num_threads;
+  }
+  id_ = engine_->RegisterSession();
+  double total_mass = engine_->table() != nullptr
+                          ? static_cast<double>(engine_->table()->num_rows())
+                          : static_cast<double>(engine_->source()->num_rows());
+  nodes_.push_back(MakeRoot(engine_->prototype().num_columns(), total_mass));
+}
+
+void ExplorationSession::Release() {
+  if (engine_ != nullptr && id_ != 0) {
+    engine_->UnregisterSession(id_);
+  }
+  id_ = 0;
+  engine_ = nullptr;
+  owned_engine_.reset();
+}
+
+ExplorationSession::ExplorationSession(ExplorationEngine* engine,
+                                       SessionOptions options) {
+  Bind(engine, std::move(options));
+}
 
 ExplorationSession::ExplorationSession(const Table& table,
                                        const WeightFunction& weight,
-                                       SessionOptions options)
-    : weight_(&weight),
-      options_(std::move(options)),
-      table_(&table),
-      prototype_(Table::EmptyLike(table)),
-      prefetcher_(options_.prefetch) {
-  SMARTDD_CHECK(!options_.use_sampling)
+                                       SessionOptions options) {
+  SMARTDD_CHECK(!options.use_sampling)
       << "sampling mode requires the ScanSource constructor";
-  nodes_.push_back(
-      MakeRoot(table.num_columns(), static_cast<double>(table.num_rows())));
+  owned_engine_ = std::make_unique<ExplorationEngine>(
+      table, weight, EngineOptionsFrom(options));
+  Bind(owned_engine_.get(), std::move(options));
 }
 
 ExplorationSession::ExplorationSession(const ScanSource& source,
                                        const WeightFunction& weight,
-                                       SessionOptions options)
-    : weight_(&weight),
-      options_(std::move(options)),
-      source_(&source),
-      prototype_(source.MakeEmptyTable()),
-      prefetcher_(options_.prefetch) {
-  if (options_.use_sampling) {
-    // The sampler's scan passes share the session's thread knob unless it
-    // was configured separately.
-    if (options_.sampler.num_threads == 0) {
-      options_.sampler.num_threads = options_.num_threads;
-    }
-    sampler_ = std::make_unique<SampleHandler>(source, options_.sampler);
-  }
-  nodes_.push_back(MakeRoot(source.schema().num_columns(),
-                            static_cast<double>(source.num_rows())));
+                                       SessionOptions options) {
+  owned_engine_ = std::make_unique<ExplorationEngine>(
+      source, weight, EngineOptionsFrom(options));
+  Bind(owned_engine_.get(), std::move(options));
+}
+
+ExplorationSession::~ExplorationSession() { Release(); }
+
+ExplorationSession::ExplorationSession(ExplorationSession&& other) noexcept
+    : owned_engine_(std::move(other.owned_engine_)),
+      engine_(other.engine_),
+      options_(std::move(other.options_)),
+      id_(other.id_),
+      sync_prefetch_status_(std::move(other.sync_prefetch_status_)),
+      nodes_(std::move(other.nodes_)) {
+  other.engine_ = nullptr;
+  other.id_ = 0;
+}
+
+ExplorationSession& ExplorationSession::operator=(
+    ExplorationSession&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  owned_engine_ = std::move(other.owned_engine_);
+  engine_ = other.engine_;
+  options_ = std::move(other.options_);
+  id_ = other.id_;
+  sync_prefetch_status_ = std::move(other.sync_prefetch_status_);
+  nodes_ = std::move(other.nodes_);
+  other.engine_ = nullptr;
+  other.id_ = 0;
+  return *this;
+}
+
+const Table& ExplorationSession::prototype() const {
+  return engine_->prototype();
+}
+
+const SampleHandler* ExplorationSession::sampler() const {
+  return engine_->sampler();
 }
 
 Result<DrillDownResponse> ExplorationSession::RunDrillDown(
@@ -68,6 +127,8 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   request.pruning = options_.pruning;
   request.num_threads = options_.num_threads;
 
+  const WeightFunction& weight = engine_->weight();
+
   // Switches a view to the session's Sum measure if one is configured.
   auto apply_measure = [this](TableView& view) -> Status {
     if (!options_.measure_column) return Status::OK();
@@ -77,20 +138,22 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
     return Status::OK();
   };
 
-  if (table_ != nullptr) {
-    TableView view(*table_);
+  if (engine_->table() != nullptr) {
+    TableView view(*engine_->table());
     SMARTDD_RETURN_IF_ERROR(apply_measure(view));
-    return SmartDrillDown(view, *weight_, request);
+    return SmartDrillDown(view, weight, request);
   }
 
-  SMARTDD_CHECK(source_ != nullptr);
-  if (sampler_ != nullptr) {
+  const ScanSource* source = engine_->source();
+  SMARTDD_CHECK(source != nullptr);
+  SampleHandler* sampler = engine_->sampler();
+  if (sampler != nullptr) {
     SMARTDD_ASSIGN_OR_RETURN(SampleRequest sample,
-                             sampler_->GetSampleFor(base));
+                             sampler->GetSampleFor(base, id_));
     TableView view(sample.table);
     SMARTDD_RETURN_IF_ERROR(apply_measure(view));
     SMARTDD_ASSIGN_OR_RETURN(DrillDownResponse response,
-                             SmartDrillDown(view, *weight_, request));
+                             SmartDrillDown(view, weight, request));
     // Scale sample masses to full-table estimates; attach CI info via the
     // caller (which knows the sample size).
     const double n_sample = static_cast<double>(sample.table.num_rows());
@@ -100,16 +163,14 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
     }
     response.base_mass *= sample.scale;
     // Stash the sampling context for CI computation in ExpandInternal.
-    // (Encodes (scale, sample_rows) in stats fields? No — recompute there.)
-    // We return scale via a field on the response:
     response.sample_scale = sample.scale;
     response.sample_rows = static_cast<uint64_t>(n_sample);
     return response;
   }
 
   // Scan-source without sampling: materialize the covered tuples once.
-  Table materialized = source_->MakeEmptyTable();
-  Status s = source_->Scan(
+  Table materialized = source->MakeEmptyTable();
+  Status s = source->Scan(
       [&](uint64_t, const uint32_t* codes, const double* measures) {
         if (base.Covers(codes)) {
           materialized.AppendRow(
@@ -123,7 +184,7 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   SMARTDD_RETURN_IF_ERROR(s);
   TableView view(materialized);
   SMARTDD_RETURN_IF_ERROR(apply_measure(view));
-  return SmartDrillDown(view, *weight_, request);
+  return SmartDrillDown(view, weight, request);
 }
 
 Result<std::vector<int>> ExplorationSession::ExpandInternal(
@@ -132,9 +193,11 @@ Result<std::vector<int>> ExplorationSession::ExpandInternal(
       !nodes_[node_id].alive) {
     return Status::InvalidArgument("no such display node");
   }
-  // Join any background prefetch before touching the sampler — including
-  // the SetDisplayedTree inside Collapse below.
-  SMARTDD_RETURN_IF_ERROR(prefetcher_.Wait());
+  // Join this session's background prefetch before the expansion: the
+  // handler is thread-safe, but the §4.3 contract is that the prefetch pass
+  // finishes "while the user reads", i.e. before the next interaction
+  // consults the sample store — and a failed prefetch must surface here.
+  SMARTDD_RETURN_IF_ERROR(WaitForPrefetch());
   // Re-expanding first rolls up the old children.
   if (!nodes_[node_id].children.empty()) {
     SMARTDD_RETURN_IF_ERROR(Collapse(node_id));
@@ -199,12 +262,13 @@ Status ExplorationSession::Collapse(int node_id) {
     return Status::InvalidArgument("no such display node");
   }
   KillSubtree(node_id);
-  if (sampler_ != nullptr) {
-    // Serialize against an in-flight background prefetch before mutating
-    // the handler's displayed tree. The join is what matters here; a failed
+  SampleHandler* sampler = engine_->sampler();
+  if (sampler != nullptr) {
+    // Join this session's in-flight background prefetch before declaring
+    // the new displayed tree. The join is what matters here; a failed
     // prefetch status still surfaces via WaitForPrefetch()/the next Expand.
-    (void)prefetcher_.Wait();
-    sampler_->SetDisplayedTree(BuildDisplayTree());
+    (void)engine_->scheduler().Drain(id_);
+    sampler->SetDisplayedTree(id_, BuildDisplayTree());
   }
   return Status::OK();
 }
@@ -247,16 +311,29 @@ DisplayTree ExplorationSession::BuildDisplayTree() const {
 }
 
 void ExplorationSession::AfterExpansion() {
-  if (sampler_ == nullptr) return;
-  sampler_->SetDisplayedTree(BuildDisplayTree());
-  if (options_.prefetch != Prefetcher::Mode::kDisabled) {
-    SampleHandler* handler = sampler_.get();
-    prefetcher_.Schedule([handler]() { return handler->Prefetch(); });
+  SampleHandler* sampler = engine_->sampler();
+  if (sampler == nullptr) return;
+  sampler->SetDisplayedTree(id_, BuildDisplayTree());
+  switch (options_.prefetch) {
+    case Prefetcher::Mode::kDisabled:
+      break;
+    case Prefetcher::Mode::kSynchronous:
+      sync_prefetch_status_ = sampler->Prefetch(id_);
+      break;
+    case Prefetcher::Mode::kBackground: {
+      // Engine-scheduled background task on this session's fair queue — no
+      // thread spawn per pass, and one session's prefetch backlog cannot
+      // starve another session's.
+      const uint64_t session = id_;
+      engine_->scheduler().Submit(
+          id_, [sampler, session]() { return sampler->Prefetch(session); });
+      break;
+    }
   }
 }
 
 Status ExplorationSession::RefreshExactCounts() {
-  SMARTDD_RETURN_IF_ERROR(prefetcher_.Wait());
+  SMARTDD_RETURN_IF_ERROR(WaitForPrefetch());
   std::vector<int> order = DisplayOrder();
   std::vector<Rule> rules;
   for (int id : order) rules.push_back(nodes_[id].rule);
@@ -264,20 +341,21 @@ Status ExplorationSession::RefreshExactCounts() {
   std::optional<size_t> measure;
   if (options_.measure_column) {
     SMARTDD_ASSIGN_OR_RETURN(
-        size_t m, prototype_.FindMeasure(*options_.measure_column));
+        size_t m, engine_->prototype().FindMeasure(*options_.measure_column));
     measure = m;
   }
 
   std::vector<double> masses;
-  if (table_ != nullptr) {
-    TableView view(*table_);
+  if (engine_->table() != nullptr) {
+    TableView view(*engine_->table());
     if (measure) view.SelectMeasure(*measure);
     for (const Rule& r : rules) masses.push_back(RuleMass(view, r));
-  } else if (sampler_ != nullptr) {
-    SMARTDD_ASSIGN_OR_RETURN(masses, sampler_->ExactMasses(rules, measure));
+  } else if (engine_->sampler() != nullptr) {
+    SMARTDD_ASSIGN_OR_RETURN(masses,
+                             engine_->sampler()->ExactMasses(rules, measure));
   } else {
     masses.assign(rules.size(), 0.0);
-    Status s = source_->Scan(
+    Status s = engine_->source()->Scan(
         [&](uint64_t, const uint32_t* codes, const double* measures) {
           double m = measure ? measures[*measure] : 1.0;
           for (size_t i = 0; i < rules.size(); ++i) {
@@ -295,6 +373,12 @@ Status ExplorationSession::RefreshExactCounts() {
   return Status::OK();
 }
 
-Status ExplorationSession::WaitForPrefetch() { return prefetcher_.Wait(); }
+Status ExplorationSession::WaitForPrefetch() {
+  Status drained = engine_->scheduler().Drain(id_);
+  if (options_.prefetch == Prefetcher::Mode::kSynchronous) {
+    return sync_prefetch_status_;
+  }
+  return drained;
+}
 
 }  // namespace smartdd

@@ -15,6 +15,8 @@
 
 namespace smartdd {
 
+class ExplorationEngine;
+
 /// Session configuration.
 struct SessionOptions {
   /// Rules revealed per drill-down (the paper's k; its UI default is 3).
@@ -24,17 +26,24 @@ struct SessionOptions {
   PruningMode pruning = PruningMode::kFull;
   /// Route drill-downs through the SampleHandler instead of scanning the
   /// table directly. Mandatory for sources that do not fit in memory.
+  /// Consulted by the legacy two-arg constructors only: sessions created
+  /// via ExplorationEngine::NewSession use the engine's sampler (or not)
+  /// regardless of this flag.
   bool use_sampling = false;
+  /// Legacy-constructor sampler configuration (see use_sampling).
   SampleHandlerOptions sampler;
   /// Pre-fetch samples for likely next drill-downs after each expansion.
+  /// Background prefetches run as engine-scheduled tasks on the session's
+  /// fair queue, not on a dedicated thread.
   Prefetcher::Mode prefetch = Prefetcher::Mode::kDisabled;
   /// Rank and display by Sum over this measure column instead of Count
   /// (paper §6.3). Must name a measure column of the table/source.
   std::optional<std::string> measure_column;
   /// Threads for drill-down searches and for the sampling subsystem's
-  /// Create/ExactMasses scan passes (0 = all hardware threads). The sampler
-  /// inherits this value unless sampler.num_threads is set explicitly;
-  /// sampling results are bit-identical for every thread count.
+  /// Create/ExactMasses scan passes (0 = the engine default, which itself
+  /// defaults to all hardware threads). The sampler inherits this value
+  /// unless sampler.num_threads is set explicitly; sampling results are
+  /// bit-identical for every thread count.
   size_t num_threads = 0;
 };
 
@@ -59,6 +68,17 @@ struct ExplorationNode {
 /// Stateful smart drill-down exploration over a table (paper §2.3's
 /// interaction model): a tree of rules rooted at the trivial rule, where
 /// the user expands rules, expands stars, and collapses (rolls up).
+///
+/// A session is a cheap per-user handle into a shared ExplorationEngine:
+/// it owns only the display tree and its options, and holds raw
+/// back-pointers into engine state — which is why it is move-only (an
+/// accidental copy would silently alias the tree) and must not outlive its
+/// engine. Create sessions with ExplorationEngine::NewSession; the legacy
+/// two-argument constructors below remain as thin shims that stand up a
+/// private single-session engine internally.
+///
+/// A session itself is not thread-safe (one user drives it); *different*
+/// sessions of one engine may run concurrently from different threads.
 class ExplorationSession {
  public:
   /// In-memory mode: exact drill-downs over `table`.
@@ -71,6 +91,15 @@ class ExplorationSession {
   /// would be required; sampling is strongly recommended for disk sources).
   ExplorationSession(const ScanSource& source, const WeightFunction& weight,
                      SessionOptions options = {});
+
+  ~ExplorationSession();
+
+  // Move-only: the session holds raw back-pointers into engine state, and
+  // a copy would alias the display tree and the scheduler queue.
+  ExplorationSession(const ExplorationSession&) = delete;
+  ExplorationSession& operator=(const ExplorationSession&) = delete;
+  ExplorationSession(ExplorationSession&& other) noexcept;
+  ExplorationSession& operator=(ExplorationSession&& other) noexcept;
 
   /// Root node id (the trivial rule).
   int root() const { return 0; }
@@ -101,13 +130,28 @@ class ExplorationSession {
   /// Waits for any in-flight background prefetch (exposed for tests).
   Status WaitForPrefetch();
 
-  const Table& prototype() const { return prototype_; }
-  const SampleHandler* sampler() const { return sampler_.get(); }
+  /// The engine this session explores through.
+  ExplorationEngine& engine() const { return *engine_; }
+  /// This session's id within the engine (its scheduler-queue and
+  /// sample-handler key).
+  uint64_t id() const { return id_; }
+
+  const Table& prototype() const;
+  const SampleHandler* sampler() const;
   const std::optional<std::string>& measure_column() const {
     return options_.measure_column;
   }
 
  private:
+  friend class ExplorationEngine;
+
+  /// NewSession path: binds to `engine` (not owned).
+  ExplorationSession(ExplorationEngine* engine, SessionOptions options);
+
+  void Bind(ExplorationEngine* engine, SessionOptions options);
+  /// Unbinds from the engine (drains background work); safe to call twice.
+  void Release();
+
   Result<DrillDownResponse> RunDrillDown(const Rule& base,
                                          std::optional<size_t> star_column);
   Result<std::vector<int>> ExpandInternal(int node_id,
@@ -116,14 +160,13 @@ class ExplorationSession {
   DisplayTree BuildDisplayTree() const;
   void AfterExpansion();
 
-  const WeightFunction* weight_;
+  /// Set only by the legacy constructors: the private single-session
+  /// engine the shim stands up. Must be declared before engine_.
+  std::unique_ptr<ExplorationEngine> owned_engine_;
+  ExplorationEngine* engine_ = nullptr;
   SessionOptions options_;
-  // Exactly one of table_/source_ is set.
-  const Table* table_ = nullptr;
-  const ScanSource* source_ = nullptr;
-  Table prototype_;  // schema + shared dictionaries for rendering/parsing
-  std::unique_ptr<SampleHandler> sampler_;
-  Prefetcher prefetcher_;
+  uint64_t id_ = 0;  // 0 = unbound (moved-from)
+  Status sync_prefetch_status_;
   std::vector<ExplorationNode> nodes_;
 };
 

@@ -83,30 +83,58 @@ SampleHandler::SampleHandler(const ScanSource& source,
       << "minSS cannot exceed memory capacity M";
 }
 
-uint64_t SampleHandler::memory_used() const {
+uint64_t SampleHandler::MemoryUsedLocked() const {
   uint64_t total = 0;
   for (const auto& s : samples_) total += s->memory_tuples();
   return total;
 }
 
+uint64_t SampleHandler::memory_used() const {
+  std::shared_lock<std::shared_mutex> lock(store_mu_);
+  return MemoryUsedLocked();
+}
+
+size_t SampleHandler::num_samples() const {
+  std::shared_lock<std::shared_mutex> lock(store_mu_);
+  return samples_.size();
+}
+
 std::optional<double> SampleHandler::KnownExactMass(const Rule& rule) const {
+  std::shared_lock<std::shared_mutex> lock(store_mu_);
   for (const auto& [r, m] : exact_masses_) {
     if (r == rule) return m;
   }
   return std::nullopt;
 }
 
-void SampleHandler::RecordExactMass(const Rule& rule, double mass) {
+void SampleHandler::RecordExactMassLocked(const Rule& rule, double mass) {
   for (auto& [r, m] : exact_masses_) {
     if (r == rule) {
       m = mass;
       return;
     }
   }
+  // The cache is an optimization over an immutable source, so entries never
+  // go stale — but a long-lived multi-session engine measures ever more
+  // rules, so bound it: evict oldest-first once full (deterministic, and
+  // keeps the linear probe above cheap).
+  constexpr size_t kExactMassCacheCap = 4096;
+  if (exact_masses_.size() >= kExactMassCacheCap) {
+    exact_masses_.erase(exact_masses_.begin());
+  }
   exact_masses_.emplace_back(rule, mass);
 }
 
+std::optional<DisplayTree> SampleHandler::TreeCopy(uint64_t session) const {
+  std::shared_lock<std::shared_mutex> lock(store_mu_);
+  for (const auto& [id, tree] : trees_) {
+    if (id == session) return tree;
+  }
+  return std::nullopt;
+}
+
 Result<SampleRequest> SampleHandler::TryFind(const Rule& rule) {
+  std::shared_lock<std::shared_mutex> lock(store_mu_);
   for (const auto& s : samples_) {
     if (s->filter() == rule &&
         (s->size() >= options_.min_sample_size ||
@@ -125,6 +153,10 @@ Result<SampleRequest> SampleHandler::TryFind(const Rule& rule) {
 }
 
 Result<SampleRequest> SampleHandler::TryCombine(const Rule& rule) {
+  // Exclusive: the union build reads many samples and may append the
+  // materialized result, and must not interleave with a concurrent pass's
+  // store swap.
+  std::unique_lock<std::shared_mutex> lock(store_mu_);
   // Gather all samples whose filter is a (non-strict) sub-rule of `rule`:
   // every tuple covered by `rule` is covered by those filters, so each such
   // sample may contain usable tuples.
@@ -195,13 +227,15 @@ Result<SampleRequest> SampleHandler::TryCombine(const Rule& rule) {
   // Keep the Horvitz-Thompson union so a repeat request for this rule is a
   // Find hit instead of another full rebuild — but only when it fits under
   // the memory cap M alongside the samples it was derived from.
-  if (memory_used() + combined->memory_tuples() <= options_.memory_capacity) {
+  if (MemoryUsedLocked() + combined->memory_tuples() <=
+      options_.memory_capacity) {
     samples_.push_back(std::move(combined));
   }
   return req;
 }
 
-void SampleHandler::PlanAllocation(const Rule& extra,
+void SampleHandler::PlanAllocation(const DisplayTree* tree_ptr,
+                                   const Rule& extra,
                                    std::vector<Rule>* rules,
                                    std::vector<uint64_t>* capacities) const {
   rules->clear();
@@ -210,7 +244,7 @@ void SampleHandler::PlanAllocation(const Rule& extra,
   const uint64_t m = options_.memory_capacity;
   const uint64_t minss = options_.min_sample_size;
 
-  if (!tree_) {
+  if (tree_ptr == nullptr) {
     uint64_t cap = std::max<uint64_t>(
         minss, static_cast<uint64_t>(options_.create_capacity_fraction *
                                      static_cast<double>(m)));
@@ -219,7 +253,7 @@ void SampleHandler::PlanAllocation(const Rule& extra,
     return;
   }
 
-  const DisplayTree& tree = *tree_;
+  const DisplayTree& tree = *tree_ptr;
   const size_t n = tree.nodes.size();
 
   // Selectivity S(parent, child) = mass(child)/mass(parent); probabilities
@@ -415,14 +449,11 @@ Result<std::vector<double>> SampleHandler::CreateSamples(
       .fetch_add(1, std::memory_order_relaxed);
   creates_.fetch_add(1, std::memory_order_relaxed);
 
-  // Stitch the per-chunk sub-reservoirs back together in chunk order and
-  // replace the sample store wholesale (the allocation already covers every
-  // displayed rule, so older samples are stale).
+  // Stitch the per-chunk sub-reservoirs back together in chunk order.
   std::vector<uint32_t> codes(prototype.num_columns());
   std::vector<double> measures(prototype.num_measures());
   std::vector<double> masses;
-  samples_.clear();
-  exact_masses_.clear();
+  std::vector<std::unique_ptr<Sample>> created;
   for (size_t i = 0; i < nrules; ++i) {
     Rng merge_rng(DeriveSeed(rule_seeds[i], kMergeStream));
     ChunkBuilder& first = builders[i];
@@ -437,33 +468,117 @@ Result<std::vector<double>> SampleHandler::CreateSamples(
           measures.data());
     }
     masses.push_back(mass);
-    exact_masses_.emplace_back(acc.sample->filter(), mass);
     size_t size = acc.sample->size();
     acc.sample->set_source_mass(mass);
     acc.sample->set_scale(size > 0 ? mass / static_cast<double>(size) : 1.0);
-    samples_.push_back(std::move(acc.sample));
+    created.push_back(std::move(acc.sample));
   }
-  SMARTDD_DCHECK(memory_used() <= options_.memory_capacity);
+
+  // Swap the store: this pass's samples supersede any same-filter samples,
+  // and other sessions' older samples are retained newest-pass-first while
+  // they still fit under the cap M (single-session behaviour is unchanged —
+  // its allocation covers every displayed rule, so leftovers are rare).
+  // Exact masses are a cache over an immutable source, so entries are
+  // upserted, never invalidated.
+  {
+    std::unique_lock<std::shared_mutex> lock(store_mu_);
+    std::vector<std::unique_ptr<Sample>> store;
+    store.reserve(created.size() + samples_.size());
+    uint64_t used = 0;
+    for (auto& s : created) {
+      used += s->memory_tuples();
+      store.push_back(std::move(s));
+    }
+    for (auto& old : samples_) {
+      bool superseded = false;
+      for (size_t i = 0; i < nrules && !superseded; ++i) {
+        superseded = old->filter() == rules[i];
+      }
+      if (superseded) continue;
+      if (used + old->memory_tuples() > options_.memory_capacity) continue;
+      used += old->memory_tuples();
+      store.push_back(std::move(old));
+    }
+    samples_ = std::move(store);
+    for (size_t i = 0; i < nrules; ++i) {
+      RecordExactMassLocked(rules[i], masses[i]);
+    }
+    SMARTDD_DCHECK(MemoryUsedLocked() <= options_.memory_capacity);
+  }
   return masses;
 }
 
-Result<SampleRequest> SampleHandler::GetSampleFor(const Rule& rule) {
-  auto find = TryFind(rule);
-  if (find.ok()) return find;
+bool SampleHandler::AcquireCreateFlight() {
+  std::unique_lock<std::mutex> flight(create_mu_);
+  if (!create_in_flight_) {
+    create_in_flight_ = true;
+    return true;
+  }
+  const uint64_t epoch = create_epoch_;
+  create_cv_.wait(flight, [&]() {
+    return create_epoch_ != epoch || !create_in_flight_;
+  });
+  if (!create_in_flight_) {
+    create_in_flight_ = true;
+    return true;
+  }
+  return false;  // a pass completed while we waited; re-check the store
+}
 
-  auto combine = TryCombine(rule);
-  if (combine.ok()) return combine;
+void SampleHandler::ReleaseCreateFlight() {
+  {
+    std::lock_guard<std::mutex> flight(create_mu_);
+    create_in_flight_ = false;
+    ++create_epoch_;
+  }
+  create_cv_.notify_all();
+}
+
+Result<SampleRequest> SampleHandler::GetSampleFor(const Rule& rule,
+                                                  uint64_t session) {
+  for (;;) {
+    auto find = TryFind(rule);
+    if (find.ok()) return find;
+
+    auto combine = TryCombine(rule);
+    if (combine.ok()) return combine;
+
+    // Single-flight Create: at most one pass over the source runs at a
+    // time. Arriving while another session's pass is in flight, wait for
+    // it and re-check Find/Combine — two sessions requesting the same
+    // rule's sample trigger one scan, not two.
+    if (AcquireCreateFlight()) break;
+  }
+
+  // Double-check under the flight: a pass that completed between our last
+  // store check and the acquisition may already hold this rule's sample
+  // (its store swap happens-before its flight release).
+  {
+    auto find = TryFind(rule);
+    if (find.ok()) {
+      ReleaseCreateFlight();
+      return find;
+    }
+    auto combine = TryCombine(rule);
+    if (combine.ok()) {
+      ReleaseCreateFlight();
+      return combine;
+    }
+  }
 
   std::vector<Rule> rules;
   std::vector<uint64_t> capacities;
-  PlanAllocation(rule, &rules, &capacities);
-  SMARTDD_ASSIGN_OR_RETURN(
-      std::vector<double> masses,
-      CreateSamples(rules, capacities, /*prefetch_pass=*/false));
-  (void)masses;
+  std::optional<DisplayTree> tree = TreeCopy(session);
+  PlanAllocation(tree ? &*tree : nullptr, rule, &rules, &capacities);
+  auto masses = CreateSamples(rules, capacities, /*prefetch_pass=*/false);
 
-  // The requested rule now has a fresh sample.
-  auto again = TryFind(rule);
+  // Serve the fresh sample *before* releasing the flight: once released,
+  // another session's pass may swap the store and evict it again, and this
+  // request must not bounce.
+  Result<SampleRequest> again = masses.ok()
+                                    ? TryFind(rule)
+                                    : Result<SampleRequest>(masses.status());
+  ReleaseCreateFlight();
   if (again.ok()) {
     again.value().mechanism = SampleMechanism::kCreate;
     finds_.fetch_sub(1, std::memory_order_relaxed);  // attribute to Create
@@ -472,14 +587,32 @@ Result<SampleRequest> SampleHandler::GetSampleFor(const Rule& rule) {
   return again.status();
 }
 
-void SampleHandler::SetDisplayedTree(DisplayTree tree) {
-  tree_ = std::move(tree);
+void SampleHandler::SetDisplayedTree(uint64_t session, DisplayTree tree) {
+  std::unique_lock<std::shared_mutex> lock(store_mu_);
+  for (auto& [id, t] : trees_) {
+    if (id == session) {
+      t = std::move(tree);
+      return;
+    }
+  }
+  trees_.emplace_back(session, std::move(tree));
 }
 
-Status SampleHandler::Prefetch() {
-  if (!tree_) return Status::OK();
+void SampleHandler::DropSession(uint64_t session) {
+  std::unique_lock<std::shared_mutex> lock(store_mu_);
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    if (trees_[i].first == session) {
+      trees_.erase(trees_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+Status SampleHandler::Prefetch(uint64_t session) {
+  std::optional<DisplayTree> tree_copy = TreeCopy(session);
+  if (!tree_copy) return Status::OK();
   // Plan for the most likely leaf (allocation covers all of them anyway).
-  const DisplayTree& tree = *tree_;
+  const DisplayTree& tree = *tree_copy;
   int best_leaf = -1;
   double best_p = -1;
   for (size_t i = 1; i < tree.nodes.size(); ++i) {
@@ -494,8 +627,13 @@ Status SampleHandler::Prefetch() {
                                : tree.nodes[0].rule;
   std::vector<Rule> rules;
   std::vector<uint64_t> capacities;
-  PlanAllocation(target, &rules, &capacities);
+  PlanAllocation(&tree, target, &rules, &capacities);
+  // Prefetch passes take the same single-flight as foreground Creates;
+  // waiting out a completed pass still runs ours (the tree may differ).
+  while (!AcquireCreateFlight()) {
+  }
   auto masses = CreateSamples(rules, capacities, /*prefetch_pass=*/true);
+  ReleaseCreateFlight();
   return masses.ok() ? Status::OK() : masses.status();
 }
 
@@ -537,7 +675,10 @@ Result<std::vector<double>> SampleHandler::ExactMasses(
     // The handler just paid a full pass for these counts; record them so
     // KnownExactMass serves them from memory. Measure-mode sums are a
     // different quantity and stay out of the count cache.
-    for (size_t i = 0; i < nrules; ++i) RecordExactMass(rules[i], masses[i]);
+    std::unique_lock<std::shared_mutex> lock(store_mu_);
+    for (size_t i = 0; i < nrules; ++i) {
+      RecordExactMassLocked(rules[i], masses[i]);
+    }
   }
   return masses;
 }

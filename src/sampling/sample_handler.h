@@ -2,8 +2,11 @@
 #define SMARTDD_SAMPLING_SAMPLE_HANDLER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -85,30 +88,49 @@ struct SampleRequest {
 /// stream, and the per-chunk states are stitched back deterministically in
 /// chunk order, so results are bit-identical for every thread count.
 ///
-/// Mutating calls (GetSampleFor, Prefetch, ExactMasses, SetDisplayedTree)
-/// must be externally serialized — the ExplorationSession does this by
-/// joining the background prefetcher before touching the handler. The
-/// statistics counters are atomic and may be read at any time, including
-/// while a background prefetch pass is running.
+/// Concurrency contract (engine/session split): one handler serves many
+/// concurrent sessions. The stored-sample map, the exact-mass cache, and
+/// the per-session displayed trees live behind a reader-writer lock: Find
+/// materializes under a shared lock, Combine and the post-pass store swap
+/// take the lock exclusively, and scan passes themselves run with no store
+/// lock held. Create passes are single-flight: at most one pass over the
+/// source runs at a time, and a session that misses while another session's
+/// pass is in flight waits for that pass and re-checks Find/Combine first —
+/// two sessions requesting the same rule's sample trigger one scan, not
+/// two. Per-session state is keyed by an opaque session id (sessions that
+/// never pass one share the default id 0, preserving the single-session
+/// behaviour). The statistics counters are atomic and may be read at any
+/// time, including while a background prefetch pass is running.
 class SampleHandler {
  public:
+  /// Session key used by the single-session convenience overloads.
+  static constexpr uint64_t kDefaultSession = 0;
+
   /// `source` must outlive the handler.
   SampleHandler(const ScanSource& source, SampleHandlerOptions options);
 
   /// Returns a sample of tuples covered by `rule` with at least minSS rows
-  /// when the rule covers that many in the source.
-  Result<SampleRequest> GetSampleFor(const Rule& rule);
+  /// when the rule covers that many in the source. `session` selects whose
+  /// displayed tree drives the allocation of a Create pass.
+  Result<SampleRequest> GetSampleFor(const Rule& rule,
+                                     uint64_t session = kDefaultSession);
 
-  /// Declares the currently displayed rule tree. Subsequent Create passes
-  /// allocate memory across its nodes; Prefetch() runs such a pass
-  /// immediately (the §4.3 pre-fetching optimization).
-  void SetDisplayedTree(DisplayTree tree);
+  /// Declares the rule tree `session` currently displays. Subsequent Create
+  /// passes for that session allocate memory across its nodes; Prefetch()
+  /// runs such a pass immediately (the §4.3 pre-fetching optimization).
+  void SetDisplayedTree(uint64_t session, DisplayTree tree);
+  void SetDisplayedTree(DisplayTree tree) {
+    SetDisplayedTree(kDefaultSession, std::move(tree));
+  }
 
   /// Eagerly runs a Create pass sized by the allocation solver so that
-  /// likely next drill-downs become Find/Combine hits. No-op without a
-  /// displayed tree. The pass is attributed to prefetch_scans(), not
-  /// scans_performed().
-  Status Prefetch();
+  /// `session`'s likely next drill-downs become Find/Combine hits. No-op
+  /// without a displayed tree for the session. The pass is attributed to
+  /// prefetch_scans(), not scans_performed().
+  Status Prefetch(uint64_t session = kDefaultSession);
+
+  /// Forgets `session`'s displayed tree (its samples stay until evicted).
+  void DropSession(uint64_t session);
 
   /// Exact masses of `rules` computed in one pass over the source: tuple
   /// counts, or sums over measure column `measure` when given. Count-mode
@@ -121,7 +143,7 @@ class SampleHandler {
 
   /// Tuples currently held across all samples.
   uint64_t memory_used() const;
-  size_t num_samples() const { return samples_.size(); }
+  size_t num_samples() const;
   /// Full passes over the source triggered by interactive (foreground)
   /// requests: Create misses and ExactMasses calls. Pre-fetch passes are
   /// counted separately in prefetch_scans().
@@ -148,6 +170,7 @@ class SampleHandler {
   /// Runs one chunked pass building reservoir samples of the given
   /// capacities for the given rules; returns exact per-rule masses. When
   /// `prefetch_pass` is set the pass is attributed to prefetch_scans().
+  /// Caller must hold the Create single-flight (create_in_flight_).
   Result<std::vector<double>> CreateSamples(
       const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities,
       bool prefetch_pass);
@@ -155,24 +178,47 @@ class SampleHandler {
   Result<SampleRequest> TryFind(const Rule& rule);
   Result<SampleRequest> TryCombine(const Rule& rule);
 
-  /// Allocation plan for the displayed tree (+ `extra` rule if not in it).
-  void PlanAllocation(const Rule& extra, std::vector<Rule>* rules,
+  /// Allocation plan for `tree` (+ `extra` rule if not in it); `tree` may
+  /// be nullptr (bare Create).
+  void PlanAllocation(const DisplayTree* tree, const Rule& extra,
+                      std::vector<Rule>* rules,
                       std::vector<uint64_t>* capacities) const;
 
+  /// Copy of `session`'s displayed tree, or nullopt. Takes store_mu_.
+  std::optional<DisplayTree> TreeCopy(uint64_t session) const;
+
   /// Updates or appends `rule`'s entry in the exact-mass cache.
-  void RecordExactMass(const Rule& rule, double mass);
+  /// Caller holds store_mu_ exclusively.
+  void RecordExactMassLocked(const Rule& rule, double mass);
+  uint64_t MemoryUsedLocked() const;
+
+  /// Blocks until this thread owns the Create single-flight. Returns false
+  /// when a pass completed while waiting (the caller should re-check
+  /// Find/Combine before trying again).
+  bool AcquireCreateFlight();
+  void ReleaseCreateFlight();
 
   const ScanSource* source_;
   SampleHandlerOptions options_;
+
+  /// Guards samples_, exact_masses_, and trees_.
+  mutable std::shared_mutex store_mu_;
   std::vector<std::unique_ptr<Sample>> samples_;
-  std::optional<DisplayTree> tree_;
+  std::vector<std::pair<uint64_t, DisplayTree>> trees_;
   std::vector<std::pair<Rule, double>> exact_masses_;
+
+  /// Single-flight Create pass (also serializes seed_counter_).
+  std::mutex create_mu_;
+  std::condition_variable create_cv_;
+  bool create_in_flight_ = false;
+  uint64_t create_epoch_ = 0;
+
   std::atomic<uint64_t> scans_{0};
   std::atomic<uint64_t> prefetch_scans_{0};
   std::atomic<uint64_t> finds_{0};
   std::atomic<uint64_t> combines_{0};
   std::atomic<uint64_t> creates_{0};
-  uint64_t seed_counter_ = 0;
+  uint64_t seed_counter_ = 0;  // guarded by the Create single-flight
 };
 
 }  // namespace smartdd

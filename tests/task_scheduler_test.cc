@@ -1,0 +1,177 @@
+#include "common/task_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smartdd {
+namespace {
+
+TEST(TaskSchedulerTest, RunsSubmittedTask) {
+  TaskScheduler scheduler(1);
+  auto q = scheduler.CreateQueue();
+  std::atomic<int> runs{0};
+  scheduler.Submit(q, [&]() {
+    ++runs;
+    return Status::OK();
+  });
+  EXPECT_TRUE(scheduler.Drain(q).ok());
+  EXPECT_EQ(runs.load(), 1);
+  scheduler.DestroyQueue(q);
+}
+
+TEST(TaskSchedulerTest, NoWorkersUntilFirstSubmit) {
+  TaskScheduler scheduler(4);
+  auto q = scheduler.CreateQueue();
+  EXPECT_EQ(scheduler.num_workers(), 0u);
+  scheduler.Submit(q, []() { return Status::OK(); });
+  EXPECT_GE(scheduler.num_workers(), 1u);
+  scheduler.DestroyQueue(q);
+}
+
+TEST(TaskSchedulerTest, DrainReturnsLastStatus) {
+  TaskScheduler scheduler(1);
+  auto q = scheduler.CreateQueue();
+  scheduler.Submit(q, []() { return Status::IOError("boom"); });
+  EXPECT_EQ(scheduler.Drain(q).code(), StatusCode::kIOError);
+  // A later OK task overwrites it.
+  scheduler.Submit(q, []() { return Status::OK(); });
+  EXPECT_TRUE(scheduler.Drain(q).ok());
+  scheduler.DestroyQueue(q);
+}
+
+TEST(TaskSchedulerTest, DrainOfInvalidOrUnknownQueueIsOk) {
+  TaskScheduler scheduler(1);
+  EXPECT_TRUE(scheduler.Drain(TaskScheduler::kInvalidQueue).ok());
+  EXPECT_TRUE(scheduler.Drain(12345).ok());
+  scheduler.DestroyQueue(TaskScheduler::kInvalidQueue);  // no-op
+}
+
+TEST(TaskSchedulerTest, QueueTasksRunInFifoOrder) {
+  TaskScheduler scheduler(4);  // even with several workers: one at a time
+  auto q = scheduler.CreateQueue();
+  std::mutex mu;
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    scheduler.Submit(q, [&, i]() {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(scheduler.Drain(q).ok());
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+  scheduler.DestroyQueue(q);
+}
+
+TEST(TaskSchedulerTest, RoundRobinDoesNotStarveSmallQueue) {
+  // One worker. While it is parked on a gate task, queue A floods 10 tasks
+  // and queue B submits a single one. Round-robin draining must interleave
+  // B's task near the front instead of behind A's whole backlog (FIFO
+  // submission order would run it last).
+  TaskScheduler scheduler(1);
+  auto gate_q = scheduler.CreateQueue();
+  auto a = scheduler.CreateQueue();
+  auto b = scheduler.CreateQueue();
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  scheduler.Submit(gate_q, [&]() {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&]() { return gate_open; });
+    return Status::OK();
+  });
+
+  std::mutex mu;
+  std::vector<char> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.Submit(a, [&]() {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back('A');
+      return Status::OK();
+    });
+  }
+  scheduler.Submit(b, [&]() {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back('B');
+    return Status::OK();
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  EXPECT_TRUE(scheduler.Drain(a).ok());
+  EXPECT_TRUE(scheduler.Drain(b).ok());
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(order.size(), 11u);
+  size_t b_pos = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 'B') b_pos = i;
+  }
+  EXPECT_LT(b_pos, 3u) << "queue B was starved behind queue A's backlog";
+}
+
+TEST(TaskSchedulerTest, DestroyQueueDrainsPendingTasks) {
+  TaskScheduler scheduler(2);
+  auto q = scheduler.CreateQueue();
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 8; ++i) {
+    scheduler.Submit(q, [&]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++runs;
+      return Status::OK();
+    });
+  }
+  scheduler.DestroyQueue(q);  // blocks until all 8 ran
+  EXPECT_EQ(runs.load(), 8);
+}
+
+TEST(TaskSchedulerTest, ConcurrentSubmittersOnSeparateQueues) {
+  TaskScheduler scheduler(4);
+  constexpr int kThreads = 8;
+  constexpr int kTasks = 50;
+  std::vector<TaskScheduler::QueueId> queues;
+  for (int t = 0; t < kThreads; ++t) queues.push_back(scheduler.CreateQueue());
+  std::atomic<int> runs{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kTasks; ++i) {
+        scheduler.Submit(queues[t], [&]() {
+          ++runs;
+          return Status::OK();
+        });
+      }
+      EXPECT_TRUE(scheduler.Drain(queues[t]).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(runs.load(), kThreads * kTasks);
+  EXPECT_EQ(scheduler.pending_tasks(), 0u);
+  for (auto q : queues) scheduler.DestroyQueue(q);
+}
+
+TEST(TaskSchedulerTest, SharedSchedulerIsUsable) {
+  auto q = TaskScheduler::Shared().CreateQueue();
+  std::atomic<bool> ran{false};
+  TaskScheduler::Shared().Submit(q, [&]() {
+    ran = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(TaskScheduler::Shared().Drain(q).ok());
+  EXPECT_TRUE(ran.load());
+  TaskScheduler::Shared().DestroyQueue(q);
+}
+
+}  // namespace
+}  // namespace smartdd
