@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
           options.k = 3;
           options.max_weight = 5;
           options.num_threads = Flags().threads;
-          ExplorationSession session = engine.NewSession(options);
+          ExplorationSession session = *engine.NewSession(options);
           DriveSession(session, iters, &latencies[s], &fingerprints[s]);
         });
       }

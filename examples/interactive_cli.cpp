@@ -2,7 +2,13 @@
 // CSV (or the built-in retail example), then explore with smart drill-down
 // commands. Reads from stdin; suitable for piping a script.
 //
-// Commands:
+// Every command is parsed by the service codec (api/codec.h) and executed
+// through the front-door ExplorationService, exactly as a network client
+// would — malformed input (non-numeric node ids, out-of-range columns,
+// unknown commands) comes back as a printed Status instead of being
+// swallowed or crashing.
+//
+// Commands (the CLI fills in the session token for you):
 //   show                render the current rule table (with node ids)
 //   expand <id>         smart drill-down on a displayed rule
 //   star <id> <column>  star drill-down on a column of a rule
@@ -11,24 +17,29 @@
 //   exact               refresh displayed counts to exact values
 //   help, quit
 //
+// Raw service mode:
+//   interactive_cli --serve [file.csv]
+// speaks the wire protocol verbatim: one request line in, one JSON response
+// line out (the canonical byte-stream integration surface; see README
+// "Service API"). Blank lines and '#' comments are skipped.
+//
 // Multi-user mode:
 //   interactive_cli --sessions=N [file.csv]
 // drives N scripted explorers concurrently through ONE shared
-// ExplorationEngine — the engine/session split end to end: each session is
-// a cheap handle (tree state only) onto the shared table, thread pool, and
-// fair scheduler, and every session's tree is byte-identical to the same
-// script run alone.
+// ExplorationEngine — the engine/session split end to end.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/codec.h"
+#include "api/render.h"
+#include "api/service.h"
 #include "common/string_util.h"
 #include "data/retail_gen.h"
 #include "explore/engine.h"
@@ -41,20 +52,15 @@ namespace {
 
 using namespace smartdd;
 
-void Render(const ExplorationSession& session) {
-  // Render with explicit node ids so commands can address rules.
-  const Table& proto = session.prototype();
-  std::printf("%4s | %s", "id", RenderSession(session).c_str());
-  std::printf("node ids in display order:");
-  for (int id : session.DisplayOrder()) std::printf(" %d", id);
-  std::printf("\n");
-  (void)proto;
-}
-
 void Help() {
   std::printf(
       "commands: show | expand <id> | star <id> <col> | collapse <id> | "
       "k <n> | exact | help | quit\n");
+}
+
+void PrintStatus(const Status& status) {
+  std::printf("error [%s]: %s\n", api::ErrorCodeName(status.code()),
+              status.message().c_str());
 }
 
 /// The scripted walk every demo session performs: expand the root, then
@@ -82,7 +88,7 @@ int RunMultiSessionDemo(const Table& table, size_t num_sessions) {
     threads.emplace_back([&, s]() {
       SessionOptions options;
       options.k = 3;
-      ExplorationSession session = engine.NewSession(options);
+      ExplorationSession session = *engine.NewSession(options);
       RunScriptedSession(session, s);
       rendered[s] = RenderSession(session);
     });
@@ -110,10 +116,116 @@ int RunMultiSessionDemo(const Table& table, size_t num_sessions) {
   return 0;
 }
 
+/// Raw wire mode: protocol lines on stdin, JSON lines on stdout.
+int RunServe(api::ExplorationService& service) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::printf("%s\n", service.ServeLine(line).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// Opens a session with drill-down width `k` and renders the initial
+/// (root-only) tree the open response ships; returns 0 on failure.
+uint64_t OpenSession(api::ExplorationService& service, size_t k) {
+  api::OpenRequest open;
+  open.k = k;
+  api::Response r = service.Execute(api::Request(open));
+  if (!r.status.ok()) {
+    PrintStatus(r.status);
+    return 0;
+  }
+  if (r.tree) std::printf("%s", api::RenderSnapshot(*r.tree).c_str());
+  return r.session.value_or(0);
+}
+
+int RunInteractive(api::ExplorationService& service, const Table& table) {
+  std::printf("smartdd interactive explorer — %llu rows, %zu columns\n",
+              static_cast<unsigned long long>(table.num_rows()),
+              table.num_columns());
+  std::printf("columns:");
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::printf(" %zu=%s", c, table.schema().name(c).c_str());
+  }
+  std::printf("\n");
+  Help();
+
+  size_t k = 3;
+  uint64_t token = OpenSession(service, k);
+  if (token == 0) return 1;
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      Help();
+      continue;
+    }
+    if (cmd == "k") {
+      size_t new_k;
+      if (!(in >> new_k) || new_k == 0) {
+        PrintStatus(Status::InvalidArgument("k must be a positive integer"));
+        continue;
+      }
+      // Sessions are cheap handles: close the old one, open a fresh one
+      // with the new width (resets the display, as the paper's UI does).
+      (void)service.Execute(api::Request(api::CloseRequest{token}));
+      k = new_k;
+      std::printf("k set to %zu (display reset)\n", k);
+      token = OpenSession(service, k);
+      if (token == 0) return 1;
+      continue;
+    }
+
+    // Rebuild the command as a protocol line, splicing the session token
+    // into session-addressed verbs only (open/ping take none), and let the
+    // codec do ALL input validation.
+    std::istringstream reparse(line);
+    std::string verb, rest;
+    reparse >> verb;
+    std::getline(reparse, rest);
+    const bool needs_token = verb == "expand" || verb == "star" ||
+                             verb == "collapse" || verb == "show" ||
+                             verb == "exact" || verb == "close";
+    std::string wire_line =
+        needs_token ? verb + " " + api::FormatToken(token) + rest : line;
+
+    auto request = api::ParseRequest(wire_line);
+    if (!request.ok()) {
+      PrintStatus(request.status());
+      continue;
+    }
+    api::Response response = service.Execute(*request);
+    if (!response.status.ok()) {
+      PrintStatus(response.status);
+      continue;
+    }
+    // A successful `open` at the prompt switches to the fresh session;
+    // release the abandoned one instead of leaking it until LRU pressure.
+    if (response.session && *response.session != token) {
+      (void)service.Execute(api::Request(api::CloseRequest{token}));
+      token = *response.session;
+    }
+    if (response.tree) {
+      std::printf("%s", api::RenderSnapshot(*response.tree).c_str());
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t num_sessions = 0;
+  bool serve = false;
   const char* csv_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
@@ -128,6 +240,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       num_sessions = static_cast<size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     } else {
       csv_path = argv[i];
     }
@@ -148,70 +262,19 @@ int main(int argc, char** argv) {
   }
 
   SizeWeight weight;
-  ExplorationEngine engine(table, weight);
-  SessionOptions options;
-  options.k = 3;
-  std::optional<ExplorationSession> session_slot(engine.NewSession(options));
-
-  std::printf("smartdd interactive explorer — %llu rows, %zu columns\n",
-              static_cast<unsigned long long>(table.num_rows()),
-              table.num_columns());
-  std::printf("columns:");
-  for (size_t c = 0; c < table.num_columns(); ++c) {
-    std::printf(" %zu=%s", c, table.schema().name(c).c_str());
+  auto engine = ExplorationEngine::Create(table, weight);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
   }
-  std::printf("\n");
-  Help();
-  Render(*session_slot);
+  api::ServiceOptions service_options;
+  // Deterministic tokens so sessions are scriptable byte-for-byte (the CI
+  // smoke replays scripts/service_smoke.txt against a golden transcript).
+  // Real deployments keep the entropy-seeded default.
+  service_options.token_seed = 0x5D177EEDULL;
+  api::ExplorationService service(service_options);
+  SMARTDD_CHECK(service.AddEngine("default", engine->get()).ok());
 
-  std::string line;
-  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
-    ExplorationSession& session = *session_slot;
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
-    if (cmd.empty()) continue;
-    if (cmd == "quit" || cmd == "exit") break;
-    if (cmd == "help") {
-      Help();
-    } else if (cmd == "show") {
-      Render(session);
-    } else if (cmd == "expand") {
-      int id;
-      if (!(in >> id)) { Help(); continue; }
-      auto r = session.Expand(id);
-      if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
-      else Render(session);
-    } else if (cmd == "star") {
-      int id;
-      size_t col;
-      if (!(in >> id >> col)) { Help(); continue; }
-      auto r = session.ExpandStar(id, col);
-      if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
-      else Render(session);
-    } else if (cmd == "collapse") {
-      int id;
-      if (!(in >> id)) { Help(); continue; }
-      Status s = session.Collapse(id);
-      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
-      else Render(session);
-    } else if (cmd == "k") {
-      size_t k;
-      if (!(in >> k) || k == 0) { Help(); continue; }
-      options.k = k;
-      // Sessions are cheap handles: a fresh one resets the display without
-      // touching the shared engine.
-      session_slot.emplace(engine.NewSession(options));
-      std::printf("k set to %zu (display reset)\n", k);
-      Render(*session_slot);
-    } else if (cmd == "exact") {
-      Status s = session.RefreshExactCounts();
-      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
-      else Render(session);
-    } else {
-      Help();
-    }
-  }
-  std::printf("bye\n");
-  return 0;
+  if (serve) return RunServe(service);
+  return RunInteractive(service, table);
 }

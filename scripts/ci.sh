@@ -20,14 +20,23 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
   (cd build && ctest --output-on-failure -j "$(nproc)")
+
+  # Service-protocol smoke: a scripted session's codec bytes in must
+  # reproduce the golden snapshot bytes out (the paper's retail walkthrough
+  # through the front-door ExplorationService; tokens are deterministic).
+  ./build/example_interactive_cli --serve < scripts/service_smoke.txt \
+    | diff - scripts/service_smoke.golden \
+    || { echo "service smoke: output diverged from scripts/service_smoke.golden"; exit 1; }
+  echo "service smoke: golden snapshot matched"
 fi
 
 if [[ "$MODE" == "--tsan" || "$MODE" == "--tsan-only" ]]; then
-  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test"
+  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1"
   cmake --build build-tsan -j "$(nproc)" --target \
     parallel_marginal_test parallel_sampling_test sample_handler_test \
-    session_test concurrent_sessions_test task_scheduler_test
+    session_test concurrent_sessions_test task_scheduler_test \
+    service_test codec_test
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R "$TSAN_TESTS")
 fi

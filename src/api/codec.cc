@@ -1,0 +1,307 @@
+#include "api/codec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace smartdd::api {
+
+namespace {
+
+/// Whitespace-splits a line into tokens (no empty tokens).
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Result<size_t> ParseSize(std::string_view text, const char* what) {
+  auto parsed = ParseInt64(text);
+  if (!parsed.ok() || *parsed < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: '%.*s' is not a non-negative integer", what,
+        static_cast<int>(text.size()), text.data()));
+  }
+  return static_cast<size_t>(*parsed);
+}
+
+Result<int> ParseNodeId(std::string_view text) {
+  auto parsed = ParseInt64(text);
+  if (!parsed.ok() || *parsed < std::numeric_limits<int>::min() ||
+      *parsed > std::numeric_limits<int>::max()) {
+    // Out-of-range values must fail here, not wrap: 2^32 truncated to int
+    // would silently address node 0.
+    return Status::InvalidArgument(
+        StrFormat("node id '%.*s' is not an integer",
+                  static_cast<int>(text.size()), text.data()));
+  }
+  return static_cast<int>(*parsed);
+}
+
+Result<uint64_t> SessionArg(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument(
+        StrFormat("%s requires a session token", tokens[0].c_str()));
+  }
+  return ParseToken(tokens[1]);
+}
+
+Status ArityError(const std::vector<std::string>& tokens, const char* usage) {
+  return Status::InvalidArgument(
+      StrFormat("%s: expected '%s'", tokens[0].c_str(), usage));
+}
+
+Result<Request> ParseOpen(const std::vector<std::string>& tokens) {
+  OpenRequest open;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& arg = tokens[i];
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("open: malformed argument '%s' (expected key=value)",
+                    arg.c_str()));
+    }
+    std::string key = arg.substr(0, eq);
+    std::string value = arg.substr(eq + 1);
+    if (key == "dataset") {
+      open.dataset = value;
+    } else if (key == "k") {
+      SMARTDD_ASSIGN_OR_RETURN(open.k, ParseSize(value, "open: k"));
+    } else if (key == "measure") {
+      open.measure = value;
+    } else if (key == "threads") {
+      SMARTDD_ASSIGN_OR_RETURN(open.num_threads,
+                               ParseSize(value, "open: threads"));
+    } else if (key == "mw") {
+      auto mw = ParseDouble(value);
+      if (!mw.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("open: mw '%s' is not a number", value.c_str()));
+      }
+      open.max_weight = *mw;
+    } else if (key == "prefetch") {
+      if (value == "on") {
+        open.prefetch = true;
+      } else if (value == "off") {
+        open.prefetch = false;
+      } else {
+        return Status::InvalidArgument(StrFormat(
+            "open: prefetch must be 'on' or 'off', got '%s'", value.c_str()));
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("open: unknown argument '%s'", key.c_str()));
+    }
+  }
+  return Request(std::move(open));
+}
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Full-precision, locale-independent double rendering: the byte-identity
+/// contract depends on every encoder producing the same bytes for the same
+/// bits. Integral values render without an exponent or trailing ".0".
+std::string Number(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatToken(uint64_t token) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(token));
+  return buf;
+}
+
+Result<uint64_t> ParseToken(std::string_view text) {
+  if (text.empty() || text.size() > 16) {
+    return Status::InvalidArgument(
+        StrFormat("'%.*s' is not a session token",
+                  static_cast<int>(text.size()), text.data()));
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("'%.*s' is not a session token (lowercase hex expected)",
+                    static_cast<int>(text.size()), text.data()));
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return Status::InvalidArgument("empty request");
+  }
+  std::vector<std::string> tokens = Tokenize(trimmed);
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "open") return ParseOpen(tokens);
+  if (cmd == "ping") {
+    if (tokens.size() != 1) return ArityError(tokens, "ping");
+    return Request(PingRequest{});
+  }
+  if (cmd == "expand") {
+    if (tokens.size() != 3) return ArityError(tokens, "expand <session> <node>");
+    ExpandRequest req;
+    SMARTDD_ASSIGN_OR_RETURN(req.session, SessionArg(tokens));
+    SMARTDD_ASSIGN_OR_RETURN(req.node, ParseNodeId(tokens[2]));
+    return Request(std::move(req));
+  }
+  if (cmd == "star") {
+    if (tokens.size() != 4) {
+      return ArityError(tokens, "star <session> <node> <column>");
+    }
+    ExpandRequest req;
+    SMARTDD_ASSIGN_OR_RETURN(req.session, SessionArg(tokens));
+    SMARTDD_ASSIGN_OR_RETURN(req.node, ParseNodeId(tokens[2]));
+    SMARTDD_ASSIGN_OR_RETURN(size_t column,
+                             ParseSize(tokens[3], "star: column"));
+    req.star_column = column;
+    return Request(std::move(req));
+  }
+  if (cmd == "collapse") {
+    if (tokens.size() != 3) {
+      return ArityError(tokens, "collapse <session> <node>");
+    }
+    CollapseRequest req;
+    SMARTDD_ASSIGN_OR_RETURN(req.session, SessionArg(tokens));
+    SMARTDD_ASSIGN_OR_RETURN(req.node, ParseNodeId(tokens[2]));
+    return Request(std::move(req));
+  }
+  if (cmd == "show" || cmd == "exact" || cmd == "close") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("%s: expected '%s <session>'", cmd.c_str(), cmd.c_str()));
+    }
+    uint64_t session;
+    SMARTDD_ASSIGN_OR_RETURN(session, SessionArg(tokens));
+    if (cmd == "show") return Request(ShowRequest{session});
+    if (cmd == "exact") return Request(RefreshRequest{session});
+    return Request(CloseRequest{session});
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown command '%s' (try: open expand star collapse show "
+                "exact close ping)",
+                cmd.c_str()));
+}
+
+std::string EncodeNode(const NodeView& node) {
+  std::string out = "{";
+  out += StrFormat("\"id\":%d,", node.id);
+  out += "\"label\":\"" + Escape(node.label) + "\",";
+  out += "\"cells\":[";
+  for (size_t i = 0; i < node.cells.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + Escape(node.cells[i]) + "\"";
+  }
+  out += "],";
+  out += "\"mass\":" + Number(node.mass) + ",";
+  out += "\"marginal_mass\":" + Number(node.marginal_mass) + ",";
+  out += "\"weight\":" + Number(node.weight) + ",";
+  out += "\"ci\":" + Number(node.ci_half_width) + ",";
+  out += node.exact ? "\"exact\":true," : "\"exact\":false,";
+  out += StrFormat("\"parent\":%d,\"depth\":%d,\"children\":[", node.parent,
+                   node.depth);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%d", node.children[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string EncodeTree(const TreeSnapshot& tree) {
+  std::string out = "{\"columns\":[";
+  for (size_t i = 0; i < tree.columns.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + Escape(tree.columns[i]) + "\"";
+  }
+  out += "],\"mass_label\":\"" + Escape(tree.mass_label) + "\",";
+  out += "\"nodes\":[";
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += EncodeNode(tree.nodes[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string EncodeResponse(const Response& response) {
+  if (!response.status.ok()) {
+    return StrFormat(
+        "{\"ok\":false,\"error\":{\"code\":\"%s\",\"message\":\"%s\"}}",
+        ErrorCodeName(response.status.code()),
+        Escape(response.status.message()).c_str());
+  }
+  std::string out = "{\"ok\":true";
+  if (response.session) {
+    out += ",\"session\":\"" + FormatToken(*response.session) + "\"";
+  }
+  if (response.tree) {
+    out += ",\"tree\":" + EncodeTree(*response.tree);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace smartdd::api

@@ -1,0 +1,60 @@
+#ifndef SMARTDD_API_CODEC_H_
+#define SMARTDD_API_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "api/dto.h"
+#include "common/result.h"
+
+namespace smartdd::api {
+
+/// The service's wire codec: one request per input line, one JSON object
+/// per response line. A scripted byte stream through ParseRequest /
+/// EncodeResponse is the canonical integration surface — the CLI, the CI
+/// smoke script, and the protocol-equivalence tests all speak exactly this.
+///
+/// Request grammar (tokens separated by ASCII whitespace; `<session>` is an
+/// opaque 16-hex-digit token issued by `open`):
+///
+///   open [dataset=<name>] [k=<n>] [measure=<col>] [mw=<x>]
+///        [threads=<n>] [prefetch=on|off]
+///   expand   <session> <node>
+///   star     <session> <node> <column>
+///   collapse <session> <node>
+///   show     <session>
+///   exact    <session>
+///   close    <session>
+///   ping
+///
+/// Responses (single line, no internal newlines):
+///
+///   {"ok":true,"session":"<token>","tree":{...}}   success
+///   {"ok":true}                                    success, no payload
+///   {"ok":false,"error":{"code":"<CODE>","message":"..."}}
+///
+/// Error codes are the stable names from ErrorCodeName. Malformed lines
+/// never crash the parser: every defect maps to an InvalidArgument Status
+/// naming the offending token.
+
+/// Parses one request line. Blank lines and lines starting with '#' return
+/// InvalidArgument("empty request") — callers typically skip them first.
+Result<Request> ParseRequest(std::string_view line);
+
+/// Encodes a response as one JSON line (no trailing newline).
+std::string EncodeResponse(const Response& response);
+
+/// Encodes the tree payload alone — the byte-comparable snapshot form used
+/// by the protocol-equivalence contract.
+std::string EncodeTree(const TreeSnapshot& tree);
+
+/// Encodes one node view (a JSON object; also the ProgressSink step form).
+std::string EncodeNode(const NodeView& node);
+
+/// Session tokens on the wire: fixed-width lowercase hex.
+std::string FormatToken(uint64_t token);
+Result<uint64_t> ParseToken(std::string_view text);
+
+}  // namespace smartdd::api
+
+#endif  // SMARTDD_API_CODEC_H_

@@ -1,0 +1,72 @@
+#include "api/dto.h"
+
+#include "core/score.h"
+#include "explore/session.h"
+#include "rules/rule_format.h"
+
+namespace smartdd::api {
+
+const char* ErrorCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kIOError:
+      return "IO_ERROR";
+    case StatusCode::kCapacityExceeded:
+      return "CAPACITY_EXCEEDED";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+TreeSnapshot SnapshotOf(const ExplorationSession& session) {
+  const Table& proto = session.prototype();
+  TreeSnapshot tree;
+  tree.columns = proto.schema().names();
+  tree.mass_label = session.measure_column()
+                        ? "Sum(" + *session.measure_column() + ")"
+                        : "Count";
+  for (int id : session.DisplayOrder()) {
+    const ExplorationNode& n = session.node(id);
+    NodeView v;
+    v.id = id;
+    v.cells = RuleCells(n.rule, proto);
+    v.label = RuleToString(n.rule, proto);
+    v.mass = n.mass;
+    v.marginal_mass = n.marginal_mass;
+    v.weight = n.weight;
+    v.ci_half_width = n.ci_half_width;
+    v.exact = n.exact;
+    v.parent = n.parent;
+    v.depth = n.depth;
+    for (int c : n.children) {
+      if (session.node(c).alive) v.children.push_back(c);
+    }
+    tree.nodes.push_back(std::move(v));
+  }
+  return tree;
+}
+
+NodeView StepNodeView(const ScoredRule& rule, const Table& prototype,
+                      bool exact) {
+  NodeView v;
+  v.id = -1;  // not yet placed in the tree
+  v.cells = RuleCells(rule.rule, prototype);
+  v.label = RuleToString(rule.rule, prototype);
+  v.mass = rule.mass;
+  v.marginal_mass = rule.marginal_mass;
+  v.weight = rule.weight;
+  v.exact = exact;
+  return v;
+}
+
+}  // namespace smartdd::api

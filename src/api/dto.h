@@ -1,0 +1,162 @@
+#ifndef SMARTDD_API_DTO_H_
+#define SMARTDD_API_DTO_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smartdd {
+
+class ExplorationSession;
+class Table;
+struct ScoredRule;
+
+/// Wire-level data transfer objects for the front-door ExplorationService:
+/// plain structs with every rule pre-rendered to string labels through the
+/// engine's prototype dictionaries, so thin clients (an HTTP/websocket
+/// front-end, a scripted byte stream) never touch Table, Rule, or any other
+/// engine internals. The codec (api/codec.h) maps these to and from bytes.
+namespace api {
+
+/// Stable wire name for a status code, e.g. "INVALID_ARGUMENT". These names
+/// are part of the protocol: clients may switch on them, so they never
+/// change meaning (new codes may be added).
+const char* ErrorCodeName(StatusCode code);
+
+/// `open` — create an addressable session against a named dataset.
+struct OpenRequest {
+  /// Engine to explore; empty selects the service's default engine.
+  std::string dataset;
+  /// Rules revealed per drill-down (the paper's k).
+  size_t k = 3;
+  /// mw cap; infinity derives it from the weight function.
+  double max_weight = std::numeric_limits<double>::infinity();
+  /// Rank and display by Sum over this measure column (empty = Count).
+  std::string measure;
+  /// Threads for this session's searches (0 = engine default).
+  size_t num_threads = 0;
+  /// Background sample prefetch after each expansion (sampling engines).
+  bool prefetch = false;
+};
+
+/// `expand` / `star` — smart drill-down on a displayed node.
+struct ExpandRequest {
+  uint64_t session = 0;
+  int node = 0;
+  /// Set for star drill-downs: the clicked `?` column.
+  std::optional<size_t> star_column;
+};
+
+/// `collapse` — roll up a node's subtree.
+struct CollapseRequest {
+  uint64_t session = 0;
+  int node = 0;
+};
+
+/// `show` — re-send the current tree without changing it.
+struct ShowRequest {
+  uint64_t session = 0;
+};
+
+/// `exact` — refresh displayed estimates to exact counts (§4.3).
+struct RefreshRequest {
+  uint64_t session = 0;
+};
+
+/// `close` — release the session (drains its background work).
+struct CloseRequest {
+  uint64_t session = 0;
+};
+
+/// `ping` — liveness probe.
+struct PingRequest {};
+
+using Request = std::variant<OpenRequest, ExpandRequest, CollapseRequest,
+                             ShowRequest, RefreshRequest, CloseRequest,
+                             PingRequest>;
+
+/// One displayed rule, fully rendered for a thin client.
+struct NodeView {
+  /// Stable node id within the session's tree; the handle expand/collapse
+  /// requests address.
+  int id = 0;
+  /// One-line rule rendering via the prototype dictionaries, stars as "?",
+  /// e.g. "(Walmart, ?, CA-1)".
+  std::string label;
+  /// Per-column cell values ("?" = star). Parseable back into the same rule
+  /// with ParseRule against the prototype — the round-trip contract.
+  std::vector<std::string> cells;
+  /// Displayed Count/Sum (estimated in sampling mode, see `exact`).
+  double mass = 0;
+  /// MCount/MSum within the sibling list (0 for the root).
+  double marginal_mass = 0;
+  double weight = 0;
+  /// 95% confidence half-width of the estimate (0 when exact).
+  double ci_half_width = 0;
+  bool exact = true;
+  int parent = -1;
+  int depth = 0;
+  std::vector<int> children;
+};
+
+/// The displayed tree in render (pre-)order, root first.
+struct TreeSnapshot {
+  /// Schema column names, in cell order.
+  std::vector<std::string> columns;
+  /// "Count" or "Sum(<measure>)".
+  std::string mass_label;
+  std::vector<NodeView> nodes;
+};
+
+/// Uniform response envelope: a Status (OK or a stable-coded error) plus
+/// whichever payload the request produces. `session` is set by open and
+/// echoed by session-addressed requests; `tree` is the resulting snapshot.
+struct Response {
+  Status status;
+  std::optional<uint64_t> session;
+  std::optional<TreeSnapshot> tree;
+};
+
+/// Streaming observer for step-wise expansion: the greedy BRS loop reports
+/// each of the k steps as it lands, so a front-end can paint rules while
+/// the search continues. This is what an HTTP/websocket layer attaches to.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  /// Called after greedy step `step` (0-based) of `k` with the freshly
+  /// selected rule (mass scaled to a full-table estimate in sampling mode;
+  /// id/parent/children are not yet assigned). Return false to cancel the
+  /// remaining steps — rules found so far still become children.
+  ///
+  /// Re-entrancy: OnStep runs inside the session's request critical
+  /// section. It must NOT call back into the ExplorationService for the
+  /// same session (that self-deadlocks on the session's serialization
+  /// lock) — push the step to the client and return; cancel by returning
+  /// false. OnDone runs outside that critical section and MAY issue
+  /// follow-up requests, including closing the session.
+  virtual bool OnStep(const NodeView& rule, size_t step, size_t k) = 0;
+  /// Called exactly once with the final outcome (the same Response a
+  /// synchronous Execute would have returned).
+  virtual void OnDone(const Response& response) = 0;
+};
+
+/// Renders a session's displayed tree into wire form. Exposed so embedders
+/// driving ExplorationSession directly can produce byte-identical snapshots
+/// to the service path (the protocol-equivalence contract).
+TreeSnapshot SnapshotOf(const ExplorationSession& session);
+
+/// Renders one freshly found step rule (no tree position yet) for
+/// ProgressSink streaming. `exact` is false when the rule's mass is a
+/// sampling estimate (its CI is only computed at tree placement).
+NodeView StepNodeView(const ScoredRule& rule, const Table& prototype,
+                      bool exact);
+
+}  // namespace api
+}  // namespace smartdd
+
+#endif  // SMARTDD_API_DTO_H_

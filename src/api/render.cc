@@ -1,0 +1,44 @@
+#include "api/render.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace smartdd::api {
+
+std::string RenderSnapshot(const TreeSnapshot& tree,
+                           const RenderOptions& options) {
+  std::string mass_label =
+      options.mass_label.empty() ? tree.mass_label : options.mass_label;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  header.push_back("id");
+  for (const auto& name : tree.columns) header.push_back(name);
+  header.push_back(mass_label);
+  if (options.show_marginal) header.push_back("M" + mass_label);
+  if (options.show_weight) header.push_back("Weight");
+  rows.push_back(std::move(header));
+
+  for (const NodeView& node : tree.nodes) {
+    std::vector<std::string> cells;
+    cells.push_back(StrFormat("%d", node.id));
+    std::string indent;
+    for (int d = 0; d < node.depth; ++d) indent += options.depth_marker;
+    for (size_t c = 0; c < node.cells.size(); ++c) {
+      cells.push_back(c == 0 ? indent + node.cells[c] : node.cells[c]);
+    }
+    cells.push_back(FormatMassCell(node.mass, node.exact, node.ci_half_width,
+                                   options.show_confidence));
+    if (options.show_marginal) {
+      cells.push_back(node.parent < 0
+                          ? "-"
+                          : FormatMassCell(node.marginal_mass, node.exact, 0,
+                                           false));
+    }
+    if (options.show_weight) cells.push_back(FormatDouble(node.weight, 6));
+    rows.push_back(std::move(cells));
+  }
+  return RenderAlignedGrid(rows);
+}
+
+}  // namespace smartdd::api

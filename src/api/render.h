@@ -1,0 +1,22 @@
+#ifndef SMARTDD_API_RENDER_H_
+#define SMARTDD_API_RENDER_H_
+
+#include <string>
+
+#include "api/dto.h"
+#include "explore/renderer.h"
+
+namespace smartdd::api {
+
+/// Renders a wire-form tree snapshot as the familiar aligned ASCII table,
+/// prefixed with a node-id column so clients can address rules in
+/// follow-up requests. Works entirely from the pre-rendered DTO — no Table
+/// or session needed, which is the point: this is what a thin client does
+/// with a service response. Lives in the api layer (not explore/) so the
+/// embedding layer never depends on the service DTOs above it.
+std::string RenderSnapshot(const TreeSnapshot& tree,
+                           const RenderOptions& options = {});
+
+}  // namespace smartdd::api
+
+#endif  // SMARTDD_API_RENDER_H_

@@ -1,0 +1,193 @@
+#include "api/service.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace smartdd::api {
+
+namespace {
+
+Response ErrorResponse(Status status) {
+  Response r;
+  r.status = std::move(status);
+  return r;
+}
+
+}  // namespace
+
+ExplorationService::ExplorationService(ServiceOptions options)
+    : registry_([&options]() {
+        SessionRegistry::Options r;
+        r.max_sessions = options.max_sessions;
+        r.idle_ttl_ms = options.idle_ttl_ms;
+        r.clock_ms = std::move(options.clock_ms);
+        r.token_seed = options.token_seed;
+        return r;
+      }()) {}
+
+Status ExplorationService::AddEngine(std::string name,
+                                     ExplorationEngine* engine) {
+  SMARTDD_CHECK(engine != nullptr);
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  if (engines_.count(name) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("dataset '%s' is already registered", name.c_str()));
+  }
+  if (engines_.empty()) default_dataset_ = name;
+  engines_.emplace(std::move(name), engine);
+  return Status::OK();
+}
+
+ExplorationEngine* ExplorationService::FindEngine(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  const std::string& name = dataset.empty() ? default_dataset_ : dataset;
+  auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : it->second;
+}
+
+Response ExplorationService::Open(const OpenRequest& request) {
+  ExplorationEngine* engine = FindEngine(request.dataset);
+  if (engine == nullptr) {
+    return ErrorResponse(Status::NotFound(
+        request.dataset.empty()
+            ? std::string("service has no engines registered")
+            : StrFormat("unknown dataset '%s'", request.dataset.c_str())));
+  }
+
+  SessionOptions options;
+  options.k = request.k;
+  options.max_weight = request.max_weight;
+  if (!request.measure.empty()) options.measure_column = request.measure;
+  options.num_threads = request.num_threads;
+  if (request.prefetch) options.prefetch = Prefetcher::Mode::kBackground;
+
+  auto session = engine->NewSession(std::move(options));
+  if (!session.ok()) return ErrorResponse(session.status());
+
+  // Snapshot before the registry takes ownership: the root-only initial
+  // tree ships in the open response, saving the client a show round-trip.
+  TreeSnapshot tree = SnapshotOf(*session);
+  auto token = registry_.Insert(std::move(session).value());
+  if (!token.ok()) return ErrorResponse(token.status());
+
+  Response r;
+  r.session = *token;
+  r.tree = std::move(tree);
+  return r;
+}
+
+Response ExplorationService::WithSnapshot(
+    uint64_t token, const std::function<Status(ExplorationSession&)>& fn) {
+  Response r;
+  r.status = registry_.With(token, [&](ExplorationSession& session) {
+    SMARTDD_RETURN_IF_ERROR(fn(session));
+    r.tree = SnapshotOf(session);
+    return Status::OK();
+  });
+  if (r.status.ok()) r.session = token;
+  return r;
+}
+
+Response ExplorationService::Expand(const ExpandRequest& request,
+                                    ProgressSink* sink) {
+  return WithSnapshot(request.session, [&](ExplorationSession& session) {
+    ExplorationSession::ExpandStepCallback on_step;
+    if (sink != nullptr) {
+      const Table* proto = &session.prototype();
+      const size_t k = session.options().k;
+      on_step = [sink, proto, k](const ScoredRule& rule, size_t step,
+                                 bool exact) {
+        return sink->OnStep(StepNodeView(rule, *proto, exact), step, k);
+      };
+    }
+    Result<std::vector<int>> children =
+        request.star_column
+            ? session.ExpandStar(request.node, *request.star_column, on_step)
+            : session.Expand(request.node, on_step);
+    return children.status();
+  });
+}
+
+Response ExplorationService::Collapse(const CollapseRequest& request) {
+  return WithSnapshot(request.session, [&](ExplorationSession& session) {
+    return session.Collapse(request.node);
+  });
+}
+
+Response ExplorationService::Show(const ShowRequest& request) {
+  return WithSnapshot(request.session,
+                      [](ExplorationSession&) { return Status::OK(); });
+}
+
+Response ExplorationService::Refresh(const RefreshRequest& request) {
+  return WithSnapshot(request.session, [](ExplorationSession& session) {
+    return session.RefreshExactCounts();
+  });
+}
+
+Response ExplorationService::CloseSession(const CloseRequest& request) {
+  Response r;
+  r.status = registry_.Close(request.session);
+  return r;
+}
+
+Response ExplorationService::Execute(const Request& request,
+                                     ProgressSink* sink) {
+  return std::visit(
+      [&](const auto& req) -> Response {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, OpenRequest>) {
+          return Open(req);
+        } else if constexpr (std::is_same_v<T, ExpandRequest>) {
+          return Expand(req, sink);
+        } else if constexpr (std::is_same_v<T, CollapseRequest>) {
+          return Collapse(req);
+        } else if constexpr (std::is_same_v<T, ShowRequest>) {
+          return Show(req);
+        } else if constexpr (std::is_same_v<T, RefreshRequest>) {
+          return Refresh(req);
+        } else if constexpr (std::is_same_v<T, CloseRequest>) {
+          return CloseSession(req);
+        } else {
+          return Response{};  // ping
+        }
+      },
+      request);
+}
+
+std::string ExplorationService::ServeLine(std::string_view line) {
+  auto request = ParseRequest(line);
+  if (!request.ok()) return EncodeResponse(ErrorResponse(request.status()));
+  return EncodeResponse(Execute(*request));
+}
+
+std::string ExplorationService::ServeScript(std::string_view script) {
+  std::string out;
+  size_t start = 0;
+  while (start <= script.size()) {
+    size_t end = script.find('\n', start);
+    if (end == std::string_view::npos) end = script.size();
+    std::string_view line = script.substr(start, end - start);
+    start = end + 1;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    out += ServeLine(line);
+    out += '\n';
+  }
+  return out;
+}
+
+Status ExplorationService::SubmitExpand(const ExpandRequest& request,
+                                        std::shared_ptr<ProgressSink> sink) {
+  SMARTDD_CHECK(sink != nullptr);
+  // The task re-resolves the session when a scheduler worker runs it; if
+  // the session was closed or evicted meanwhile, the sink hears NotFound.
+  return registry_.SubmitAsync(request.session, [this, request, sink]() {
+    Response response = Execute(Request(request), sink.get());
+    sink->OnDone(response);
+    return response.status;
+  });
+}
+
+}  // namespace smartdd::api

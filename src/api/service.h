@@ -1,0 +1,112 @@
+#ifndef SMARTDD_API_SERVICE_H_
+#define SMARTDD_API_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "api/codec.h"
+#include "api/dto.h"
+#include "api/session_registry.h"
+#include "explore/engine.h"
+
+namespace smartdd::api {
+
+/// Service-wide configuration.
+struct ServiceOptions {
+  /// Registry caps: see SessionRegistry::Options.
+  size_t max_sessions = 1024;
+  uint64_t idle_ttl_ms = 0;
+  /// Injectable clock for TTL tests (milliseconds, monotonic).
+  std::function<uint64_t()> clock_ms;
+  /// 0 = entropy-seeded session tokens (the safe default); fixed nonzero
+  /// seeds are for reproducible scripting only (see SessionRegistry).
+  uint64_t token_seed = 0;
+};
+
+/// The transport-agnostic front door to smart drill-down: an
+/// ExplorationService fronts one or more ExplorationEngines (one per
+/// dataset) and turns serializable requests into serializable responses —
+/// addressable sessions behind opaque tokens, every rule pre-rendered to
+/// strings, uniform Status-coded errors. A byte stream through
+/// ServeLine/ServeScript (the api/codec grammar) is the canonical
+/// integration surface; HTTP or websocket layers are thin adapters over
+/// Execute/SubmitExpand.
+///
+/// Threading: every method is safe to call from any number of transport
+/// threads. Requests addressing different sessions run in parallel;
+/// requests for one session serialize on its registry entry. Engines are
+/// borrowed, not owned, and must outlive the service.
+class ExplorationService {
+ public:
+  explicit ExplorationService(ServiceOptions options = {});
+
+  ExplorationService(const ExplorationService&) = delete;
+  ExplorationService& operator=(const ExplorationService&) = delete;
+
+  /// Registers `engine` as dataset `name`. The first engine added also
+  /// becomes the default (used by open requests with no dataset=). Returns
+  /// InvalidArgument for a duplicate name.
+  Status AddEngine(std::string name, ExplorationEngine* engine);
+
+  /// Executes one request synchronously. Never throws and never returns a
+  /// malformed envelope: errors come back as a non-OK status with a stable
+  /// wire code. `sink` (optional) streams the greedy steps of expand/star
+  /// requests; its OnDone is NOT called by the synchronous path — the
+  /// returned Response is the completion.
+  Response Execute(const Request& request, ProgressSink* sink = nullptr);
+
+  /// One request line in, one JSON response line out (no trailing
+  /// newline). Parse defects come back on the same channel as
+  /// INVALID_ARGUMENT responses.
+  std::string ServeLine(std::string_view line);
+
+  /// Runs a whole newline-separated script; returns one JSON line per
+  /// non-blank, non-comment ('#') input line.
+  std::string ServeScript(std::string_view script);
+
+  /// Step-streaming expansion riding the engine's fair TaskScheduler: the
+  /// expansion runs as a background task on a registry-owned per-session
+  /// queue (FIFO among this session's submitted expansions, round-robin
+  /// against other sessions' work; deliberately separate from the session's
+  /// prefetch queue, whose pending passes the expansion joins when it
+  /// runs), reporting each greedy step through `sink` and finishing with
+  /// sink->OnDone. This is the hook a websocket front-end attaches to.
+  /// Returns NotFound if the session does not exist; later failures reach
+  /// the sink.
+  Status SubmitExpand(const ExpandRequest& request,
+                      std::shared_ptr<ProgressSink> sink);
+
+  /// Evicts sessions idle past the TTL (also runs on every open).
+  size_t SweepIdle() { return registry_.SweepIdle(); }
+
+  /// Live sessions across all engines.
+  size_t num_sessions() const { return registry_.size(); }
+
+ private:
+  Response Open(const OpenRequest& request);
+  Response Expand(const ExpandRequest& request, ProgressSink* sink);
+  Response Collapse(const CollapseRequest& request);
+  Response Show(const ShowRequest& request);
+  Response Refresh(const RefreshRequest& request);
+  Response CloseSession(const CloseRequest& request);
+
+  /// Session-addressed boilerplate: runs `fn` under the registry entry
+  /// lock and wraps its snapshot in a Response echoing the token.
+  Response WithSnapshot(uint64_t token,
+                        const std::function<Status(ExplorationSession&)>& fn);
+
+  ExplorationEngine* FindEngine(const std::string& dataset);
+
+  std::mutex engines_mu_;
+  std::map<std::string, ExplorationEngine*> engines_;
+  std::string default_dataset_;
+  /// Last member on purpose: destroying the registry drains queued
+  /// SubmitExpand tasks, which may still Execute against the members above.
+  SessionRegistry registry_;
+};
+
+}  // namespace smartdd::api
+
+#endif  // SMARTDD_API_SERVICE_H_

@@ -1,0 +1,257 @@
+#include "api/session_registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <random>
+#include <utility>
+
+#include "common/random.h"
+#include "explore/engine.h"
+
+namespace smartdd::api {
+
+SessionRegistry::SessionRegistry() : SessionRegistry(Options{}) {}
+
+SessionRegistry::SessionRegistry(Options options)
+    : options_(std::move(options)), token_state_(options_.token_seed) {
+  SMARTDD_CHECK(options_.max_sessions >= 1)
+      << "SessionRegistry requires max_sessions >= 1";
+  if (token_state_ == 0) {
+    // Default: entropy-seeded token stream, so tokens are not predictable
+    // across (or within) deployments.
+    std::random_device rd;
+    token_state_ = (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+                   static_cast<uint64_t>(
+                       std::chrono::steady_clock::now().time_since_epoch()
+                           .count());
+    if (token_state_ == 0) token_state_ = 1;
+  }
+}
+
+SessionRegistry::~SessionRegistry() {
+  std::vector<uint64_t> tokens;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens.reserve(sessions_.size());
+    for (const auto& [token, entry] : sessions_) tokens.push_back(token);
+  }
+  for (uint64_t token : tokens) Evict(token);
+}
+
+uint64_t SessionRegistry::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Result<uint64_t> SessionRegistry::Insert(ExplorationSession session) {
+  SweepIdle();
+
+  auto entry = std::make_shared<Entry>();
+  entry->session =
+      std::make_unique<ExplorationSession>(std::move(session));
+  entry->last_used_ms.store(NowMs(), std::memory_order_relaxed);
+
+  // Make room and emplace. The cap check and the emplace share one
+  // critical section — concurrent opens re-loop rather than overshoot the
+  // hard cap — while evictions (which take the victim's entry lock) run
+  // outside it. Eviction prefers the least recently used session but never
+  // destroys one that is mid-request: an "idle" timestamp on a busy entry
+  // is just its request start time, and the most active client must not be
+  // the victim. A registry full of busy sessions refuses the open instead.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::vector<std::pair<uint64_t, uint64_t>> by_use;  // (last_used, token)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sessions_.size() < options_.max_sessions) {
+        uint64_t token;
+        do {
+          token = SplitMix64(token_state_);
+        } while (token == 0 || sessions_.count(token) != 0);
+        sessions_.emplace(token, std::move(entry));
+        return token;
+      }
+      by_use.reserve(sessions_.size());
+      for (const auto& [token, e] : sessions_) {
+        by_use.emplace_back(e->last_used_ms.load(std::memory_order_relaxed),
+                            token);
+      }
+    }
+    std::sort(by_use.begin(), by_use.end());
+    bool evicted = false;
+    for (const auto& [used, token] : by_use) {
+      if (TryEvictUnlessBusy(token, /*idle_deadline=*/nullptr)) {
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;
+  }
+  return Status::CapacityExceeded(
+      "session registry is full and every session is mid-request; retry "
+      "shortly or raise max_sessions");
+}
+
+Status SessionRegistry::With(
+    uint64_t token, const std::function<Status(ExplorationSession&)>& fn) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(token);
+    if (it != sessions_.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    return Status::NotFound("no such session (expired, closed, or never opened)");
+  }
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (entry->session == nullptr || entry->closing) {
+    return Status::NotFound("no such session (expired, closed, or never opened)");
+  }
+  entry->last_used_ms.store(NowMs(), std::memory_order_relaxed);
+  Status status = fn(*entry->session);
+  // Refresh on completion as well: a request that runs longer than the TTL
+  // must leave the session "just used", not sweep-bait.
+  entry->last_used_ms.store(NowMs(), std::memory_order_relaxed);
+  return status;
+}
+
+Status SessionRegistry::SubmitAsync(uint64_t token,
+                                    std::function<Status()> task) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(token);
+    if (it != sessions_.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    return Status::NotFound("no such session (expired, closed, or never opened)");
+  }
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (entry->closing || entry->session == nullptr) {
+    return Status::NotFound("no such session (expired, closed, or never opened)");
+  }
+  if (entry->async_queue == TaskScheduler::kInvalidQueue) {
+    entry->scheduler = &entry->session->engine().scheduler();
+    entry->async_queue = entry->scheduler->CreateQueue();
+  }
+  entry->last_used_ms.store(NowMs(), std::memory_order_relaxed);
+  entry->scheduler->Submit(entry->async_queue, std::move(task));
+  return Status::OK();
+}
+
+void SessionRegistry::TeardownEntry(Entry& entry, TaskScheduler* scheduler,
+                                    TaskScheduler::QueueId async_queue) {
+  // Teardown order matters — the entry is already unmapped and marked
+  // closing under its lock (so no SubmitAsync can enqueue and no With can
+  // serve it). (1) Drain-and-destroy the async queue with NO locks held:
+  // queued service tasks run now, miss the map, and report NotFound to
+  // their sinks instead of deadlocking on the entry lock. (2) Only then
+  // destroy the session, which drains its own prefetch queue via the
+  // Release() path.
+  if (scheduler != nullptr) scheduler->DestroyQueue(async_queue);
+  std::unique_ptr<ExplorationSession> dying;
+  {
+    std::lock_guard<std::mutex> entry_lock(entry.mu);
+    dying = std::move(entry.session);
+  }
+  dying.reset();
+}
+
+bool SessionRegistry::Evict(uint64_t token) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(token);
+    if (it == sessions_.end()) return false;
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  TaskScheduler* scheduler = nullptr;
+  TaskScheduler::QueueId async_queue = TaskScheduler::kInvalidQueue;
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    entry->closing = true;
+    scheduler = entry->scheduler;
+    async_queue = entry->async_queue;
+    entry->async_queue = TaskScheduler::kInvalidQueue;
+  }
+  TeardownEntry(*entry, scheduler, async_queue);
+  return true;
+}
+
+Status SessionRegistry::Close(uint64_t token) {
+  if (!Evict(token)) {
+    return Status::NotFound("no such session (expired, closed, or never opened)");
+  }
+  return Status::OK();
+}
+
+size_t SessionRegistry::SweepIdle() {
+  if (options_.idle_ttl_ms == 0) return 0;
+  const uint64_t now = NowMs();
+  std::vector<uint64_t> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [token, entry] : sessions_) {
+      uint64_t used = entry->last_used_ms.load(std::memory_order_relaxed);
+      if (now >= used && now - used >= options_.idle_ttl_ms) {
+        expired.push_back(token);
+      }
+    }
+  }
+  size_t evicted = 0;
+  for (uint64_t token : expired) {
+    if (TryEvictUnlessBusy(token, &now)) ++evicted;
+  }
+  return evicted;
+}
+
+bool SessionRegistry::TryEvictUnlessBusy(uint64_t token,
+                                         const uint64_t* idle_deadline_now) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(token);
+    if (it == sessions_.end()) return false;
+    entry = it->second;
+  }
+  TaskScheduler* scheduler = nullptr;
+  TaskScheduler::QueueId async_queue = TaskScheduler::kInvalidQueue;
+  {
+    // Non-blocking: an entry whose lock is held is mid-request — actively
+    // in use, never an eviction victim. With a deadline (TTL sweep), a
+    // session touched since the sweep snapshot also gets a second chance.
+    std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
+    if (!entry_lock.owns_lock()) return false;
+    if (idle_deadline_now != nullptr) {
+      uint64_t used = entry->last_used_ms.load(std::memory_order_relaxed);
+      if (*idle_deadline_now < used ||
+          *idle_deadline_now - used < options_.idle_ttl_ms) {
+        return false;
+      }
+    }
+    if (entry->session == nullptr || entry->closing) return false;
+    entry->closing = true;
+    scheduler = entry->scheduler;
+    async_queue = entry->async_queue;
+    entry->async_queue = TaskScheduler::kInvalidQueue;
+    // Unmap while still holding the entry lock so no new request can
+    // resolve the token for a session we just committed to destroying.
+    // (No lock-order cycle: With releases the map lock before taking the
+    // entry lock.)
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(token);
+  }
+  TeardownEntry(*entry, scheduler, async_queue);
+  return true;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace smartdd::api

@@ -1,0 +1,131 @@
+#ifndef SMARTDD_API_SESSION_REGISTRY_H_
+#define SMARTDD_API_SESSION_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/task_scheduler.h"
+#include "explore/session.h"
+
+namespace smartdd::api {
+
+/// Thread-safe table of addressable sessions: maps opaque uint64 tokens to
+/// live ExplorationSessions so stateless transports (one request per line /
+/// HTTP call) can resume a user's exploration. Owns the sessions; evicting
+/// or closing one destroys it, which drains its background work and frees
+/// its sampler/scheduler state through the session's existing Release()
+/// path — the registry adds no second teardown mechanism.
+///
+/// Concurrency: the map is mutex-guarded; each entry carries its own mutex
+/// serializing use of the (single-user, not thread-safe) session, so any
+/// number of transport threads may address different sessions in parallel
+/// while requests for one session queue up fairly behind its lock.
+class SessionRegistry {
+ public:
+  struct Options {
+    /// Hard cap on live sessions. Inserting beyond it evicts the least
+    /// recently used session that is not mid-request; if every session is
+    /// actively serving, Insert returns CapacityExceeded instead of
+    /// destroying in-use state. Must be >= 1.
+    size_t max_sessions = 1024;
+    /// Sessions idle longer than this are evicted by SweepIdle (also run
+    /// on every Insert). 0 disables TTL eviction.
+    uint64_t idle_ttl_ms = 0;
+    /// Injectable monotonic clock (milliseconds) for TTL tests; defaults
+    /// to std::chrono::steady_clock.
+    std::function<uint64_t()> clock_ms;
+    /// Stream seed for token generation. 0 (the default) draws the seed
+    /// from process entropy at construction, so token sequences differ per
+    /// process and are non-guessable. Set a fixed nonzero seed ONLY for
+    /// reproducible scripting (tests, the CI smoke golden) — deterministic
+    /// tokens let anyone address other users' sessions.
+    uint64_t token_seed = 0;
+  };
+
+  SessionRegistry();
+  explicit SessionRegistry(Options options);
+
+  /// Evicts every remaining session: drains their queued background work
+  /// (whose tasks may still call back into the registry's owner, so destroy
+  /// the registry before anything those tasks touch) and releases their
+  /// engine state.
+  ~SessionRegistry();
+
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  /// Takes ownership of `session` and returns its token. Runs a TTL sweep
+  /// first and then, if the registry is still full, evicts the least
+  /// recently used non-busy session; CapacityExceeded when every session
+  /// is mid-request.
+  Result<uint64_t> Insert(ExplorationSession session);
+
+  /// Runs `fn` with the session addressed by `token`, holding its entry
+  /// lock (requests for the same session serialize; different sessions run
+  /// in parallel). Returns NotFound for unknown/closed/evicted tokens,
+  /// otherwise whatever `fn` returns. Refreshes the idle clock.
+  Status With(uint64_t token, const std::function<Status(ExplorationSession&)>& fn);
+
+  /// Enqueues `task` on the session's background queue in the engine's fair
+  /// TaskScheduler (lazily created; FIFO per session, round-robin across
+  /// sessions). The task runs on a scheduler worker and typically
+  /// re-resolves the session via With(); it is kept OFF the session's
+  /// prefetch queue so a synchronous request that drains prefetches while
+  /// holding the entry lock can never deadlock against it. Returns NotFound
+  /// for unknown/closed tokens.
+  Status SubmitAsync(uint64_t token, std::function<Status()> task);
+
+  /// Closes and destroys the session, draining its queued background work
+  /// first (idempotent; NotFound if unknown).
+  Status Close(uint64_t token);
+
+  /// Evicts every session idle for at least idle_ttl_ms; returns how many.
+  /// No-op (returns 0) when TTL eviction is disabled.
+  size_t SweepIdle();
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    /// Serializes session use; also held while the session is torn down so
+    /// in-flight requests either finish first or observe the closed state.
+    std::mutex mu;
+    std::unique_ptr<ExplorationSession> session;
+    std::atomic<uint64_t> last_used_ms{0};
+    /// Service-work queue in the engine's scheduler (SubmitAsync), separate
+    /// from the session's internal prefetch queue. Guarded by mu.
+    TaskScheduler* scheduler = nullptr;
+    TaskScheduler::QueueId async_queue = TaskScheduler::kInvalidQueue;
+    /// Set under mu before the queue is destroyed, so no Submit can race
+    /// with teardown.
+    bool closing = false;
+  };
+
+  uint64_t NowMs() const;
+  /// Removes the entry from the map (if present) and destroys its session
+  /// outside the map lock; returns false for an unknown token.
+  bool Evict(uint64_t token);
+  /// Non-blocking eviction: succeeds only if the entry lock is free
+  /// (nobody is mid-request) and — when `idle_deadline_now` is non-null
+  /// (the TTL sweep) — the idle deadline still holds under that lock.
+  bool TryEvictUnlessBusy(uint64_t token, const uint64_t* idle_deadline_now);
+  /// Shared teardown tail for all eviction paths; the entry must already
+  /// be unmapped and marked closing.
+  void TeardownEntry(Entry& entry, TaskScheduler* scheduler,
+                     TaskScheduler::QueueId async_queue);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> sessions_;
+  uint64_t token_state_;
+};
+
+}  // namespace smartdd::api
+
+#endif  // SMARTDD_API_SESSION_REGISTRY_H_

@@ -6,6 +6,15 @@
 
 namespace smartdd {
 
+namespace {
+/// The queue whose task the current thread is executing, if any. Lets Drain
+/// detect self-drain: a task draining its own queue would otherwise wait for
+/// itself forever.
+thread_local const TaskScheduler* tls_running_scheduler = nullptr;
+thread_local TaskScheduler::QueueId tls_running_queue =
+    TaskScheduler::kInvalidQueue;
+}  // namespace
+
 TaskScheduler::TaskScheduler(size_t num_workers)
     : max_workers_(std::max<size_t>(1, num_workers)) {}
 
@@ -60,11 +69,20 @@ void TaskScheduler::DestroyQueue(QueueId id) {
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < queues_.size(); ++i) {
     if (queues_[i]->id == id) {
-      queues_.erase(queues_.begin() + static_cast<ptrdiff_t>(i));
-      break;
+      if (queues_[i]->running || !queues_[i]->tasks.empty()) {
+        // Drain returned early because we are inside this queue's own
+        // running task (self-destroy, e.g. a progress sink closing its
+        // session from OnDone). Erasing now would free the Queue the
+        // worker still writes to when the task returns — defer: the
+        // worker erases the queue once it falls idle, after running any
+        // remaining tasks.
+        queues_[i]->destroy_on_idle = true;
+        return;
+      }
+      EraseQueueLocked(id);
+      return;
     }
   }
-  if (!queues_.empty()) rr_cursor_ %= queues_.size();
 }
 
 void TaskScheduler::Submit(QueueId id, std::function<Status()> fn) {
@@ -88,6 +106,50 @@ Status TaskScheduler::Drain(QueueId id) {
   std::unique_lock<std::mutex> lock(mu_);
   Queue* q = FindLocked(id);
   if (q == nullptr) return Status::OK();
+  if (tls_running_scheduler == this && tls_running_queue == id) {
+    // Drain called from within a task of this very queue (e.g. a
+    // service-submitted expansion joining its session's prefetch). The
+    // queue is FIFO with at most one task in flight, so every earlier task
+    // has already completed; waiting would deadlock on ourselves. Report
+    // the previous task's status.
+    return q->last_status;
+  }
+  if (tls_running_scheduler == this) {
+    // Cross-queue drain from inside a task: the caller occupies one of a
+    // bounded set of workers, and no new workers spawn while it blocks — if
+    // every worker ended up here, the queues being waited on could never
+    // run (e.g. scheduler_workers=1, a service expansion task draining its
+    // session's pending prefetch). Instead of blocking, help: run the
+    // target queue's tasks inline, in their FIFO order, until it is empty.
+    while (!q->tasks.empty() || q->running) {
+      if (q->running || q->tasks.empty()) {
+        // A task of q runs on another worker (or q emptied meanwhile);
+        // wait for its completion notification and re-check.
+        idle_cv_.wait(lock);
+        continue;
+      }
+      std::function<Status()> fn = std::move(q->tasks.front());
+      q->tasks.pop_front();
+      q->running = true;
+      lock.unlock();
+      const QueueId outer = tls_running_queue;
+      tls_running_queue = id;
+      Status s = fn();
+      tls_running_queue = outer;
+      lock.lock();
+      q->running = false;
+      q->last_status = std::move(s);
+      --queued_or_running_;
+      idle_cv_.notify_all();
+    }
+    Status last = q->last_status;
+    if (q->destroy_on_idle) {
+      // An inline-run task self-destroyed the queue; honour the deferred
+      // erase here — WorkerLoop never sees this queue fall idle.
+      EraseQueueLocked(q->id);
+    }
+    return last;
+  }
   idle_cv_.wait(lock, [&]() { return q->tasks.empty() && !q->running; });
   return q->last_status;
 }
@@ -95,6 +157,11 @@ Status TaskScheduler::Drain(QueueId id) {
 size_t TaskScheduler::num_workers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return workers_.size();
+}
+
+size_t TaskScheduler::num_queues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_.size();
 }
 
 size_t TaskScheduler::pending_tasks() const {
@@ -116,16 +183,36 @@ void TaskScheduler::WorkerLoop() {
     q->tasks.pop_front();
     q->running = true;
     lock.unlock();
+    tls_running_scheduler = this;
+    tls_running_queue = q->id;
     Status s = fn();
+    tls_running_scheduler = nullptr;
+    tls_running_queue = kInvalidQueue;
     lock.lock();
     // `q` stays valid across the unlocked region: DestroyQueue drains the
-    // queue first, and the drain cannot finish while running is set.
+    // queue first, and a drain cannot finish while running is set — a
+    // self-destroy from inside the task only marks destroy_on_idle, which
+    // is honoured here.
     q->running = false;
     q->last_status = std::move(s);
     --queued_or_running_;
     idle_cv_.notify_all();
-    if (!q->tasks.empty()) work_cv_.notify_one();
+    if (!q->tasks.empty()) {
+      work_cv_.notify_one();
+    } else if (q->destroy_on_idle) {
+      EraseQueueLocked(q->id);
+    }
   }
+}
+
+void TaskScheduler::EraseQueueLocked(QueueId id) {
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i]->id == id) {
+      queues_.erase(queues_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (!queues_.empty()) rr_cursor_ %= queues_.size();
 }
 
 }  // namespace smartdd

@@ -63,11 +63,16 @@ class TaskScheduler {
   /// Blocks until queue `id` has no queued or running task; returns the
   /// status of the queue's most recently completed task (OK when none ran,
   /// or for kInvalidQueue / an unknown id). Must not race with a concurrent
-  /// DestroyQueue of the same id.
+  /// DestroyQueue of the same id. Re-entrant: when called from within a task
+  /// of queue `id` it returns immediately (FIFO + one-in-flight means every
+  /// earlier task already finished) instead of deadlocking on itself.
   Status Drain(QueueId id);
 
   /// Workers actually spawned so far (0 until the first Submit).
   size_t num_workers() const;
+
+  /// Live queues (deferred self-destroys count until actually erased).
+  size_t num_queues() const;
 
   /// Tasks queued or running across all queues.
   size_t pending_tasks() const;
@@ -77,6 +82,9 @@ class TaskScheduler {
     QueueId id = kInvalidQueue;
     std::deque<std::function<Status()>> tasks;
     bool running = false;
+    /// Set by DestroyQueue when called from inside this queue's own task:
+    /// the worker erases the queue once it has no running or queued task.
+    bool destroy_on_idle = false;
     Status last_status;
   };
 
@@ -85,6 +93,9 @@ class TaskScheduler {
   /// cursor. Returns nullptr when nothing is runnable. Caller holds mu_.
   Queue* PickRunnableLocked();
   Queue* FindLocked(QueueId id);
+  /// Erases queue `id` and repairs the round-robin cursor. Caller holds
+  /// mu_; the queue must have no running or queued task.
+  void EraseQueueLocked(QueueId id);
 
   const size_t max_workers_;
   mutable std::mutex mu_;

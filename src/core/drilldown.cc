@@ -51,6 +51,7 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
   brs.allowed_columns = allowed;
   brs.base_rule = base;
   brs.num_threads = request.num_threads;
+  brs.on_rule = request.on_step;
 
   // Star drill-down: weight rewrite W'(r) = 0 when r stars the clicked
   // column (§3.1), which also keeps W' monotonic.

@@ -1,6 +1,7 @@
 #ifndef SMARTDD_CORE_DRILLDOWN_H_
 #define SMARTDD_CORE_DRILLDOWN_H_
 
+#include <functional>
 #include <optional>
 
 #include "common/result.h"
@@ -25,6 +26,13 @@ struct DrillDownRequest {
   size_t max_rule_size = std::numeric_limits<size_t>::max();
   /// Threads for the underlying BRS search (0 = all hardware threads).
   size_t num_threads = 0;
+  /// Step streaming (§6.1 anytime mode as a service surface): invoked after
+  /// each of the k greedy BRS steps with the freshly selected full-width
+  /// rule and its 0-based step index. Return false to cancel the remaining
+  /// steps; the rules found so far are still returned. The rule's mass at
+  /// step time is exact over the working view (marginal_mass is only filled
+  /// in for the final response list).
+  std::function<bool(const ScoredRule& rule, size_t step)> on_step;
 };
 
 /// Result of a smart drill-down.

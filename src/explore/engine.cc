@@ -1,12 +1,55 @@
 #include "explore/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "explore/session.h"
 
 namespace smartdd {
+
+namespace {
+
+Status ValidateEngineOptions(const EngineOptions& options, bool in_memory) {
+  if (options.scheduler_workers == 0) {
+    return Status::InvalidArgument(
+        "scheduler_workers must be >= 1: with no scheduler workers, "
+        "background prefetch tasks would queue forever");
+  }
+  if (in_memory && options.use_sampling) {
+    return Status::InvalidArgument(
+        "sampling mode requires a ScanSource engine; in-memory tables are "
+        "drilled exactly");
+  }
+  if (options.use_sampling &&
+      options.sampler.memory_capacity < options.sampler.min_sample_size) {
+    return Status::InvalidArgument(StrFormat(
+        "sampler memory_capacity (%llu) is below min_sample_size (%llu); "
+        "no sample could ever be created",
+        static_cast<unsigned long long>(options.sampler.memory_capacity),
+        static_cast<unsigned long long>(options.sampler.min_sample_size)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExplorationEngine>> ExplorationEngine::Create(
+    const Table& table, const WeightFunction& weight, EngineOptions options) {
+  SMARTDD_RETURN_IF_ERROR(ValidateEngineOptions(options, /*in_memory=*/true));
+  return std::unique_ptr<ExplorationEngine>(
+      new ExplorationEngine(table, weight, std::move(options)));
+}
+
+Result<std::unique_ptr<ExplorationEngine>> ExplorationEngine::Create(
+    const ScanSource& source, const WeightFunction& weight,
+    EngineOptions options) {
+  SMARTDD_RETURN_IF_ERROR(ValidateEngineOptions(options, /*in_memory=*/false));
+  return std::unique_ptr<ExplorationEngine>(
+      new ExplorationEngine(source, weight, std::move(options)));
+}
 
 ExplorationEngine::ExplorationEngine(const Table& table,
                                      const WeightFunction& weight,
@@ -45,11 +88,40 @@ ExplorationEngine::~ExplorationEngine() {
       << "sessions must not outlive their engine";
 }
 
-ExplorationSession ExplorationEngine::NewSession(SessionOptions options) {
+Status ExplorationEngine::ValidateSessionOptions(
+    const SessionOptions& options) const {
+  if (options.k == 0) {
+    return Status::InvalidArgument(
+        "k must be >= 1: each drill-down reveals k rules");
+  }
+  if (std::isnan(options.max_weight) || options.max_weight <= 0) {
+    return Status::InvalidArgument(
+        "max_weight must be positive (infinity derives the cap from the "
+        "weight function)");
+  }
+  if (options.measure_column) {
+    auto measure = prototype_.FindMeasure(*options.measure_column);
+    if (!measure.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "measure_column '%s' does not name a measure column of the source",
+          options.measure_column->c_str()));
+    }
+  }
+  if (options.prefetch != Prefetcher::Mode::kDisabled && sampler_ == nullptr) {
+    return Status::InvalidArgument(
+        "prefetch requires a sampling engine (EngineOptions::use_sampling); "
+        "exact drill-downs have nothing to pre-fetch");
+  }
+  return Status::OK();
+}
+
+Result<ExplorationSession> ExplorationEngine::NewSession(
+    SessionOptions options) {
+  SMARTDD_RETURN_IF_ERROR(ValidateSessionOptions(options));
   return ExplorationSession(this, std::move(options));
 }
 
-ExplorationSession ExplorationEngine::NewSession() {
+Result<ExplorationSession> ExplorationEngine::NewSession() {
   return NewSession(SessionOptions{});
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/result.h"
 #include "common/task_scheduler.h"
 #include "sampling/sample_handler.h"
 #include "storage/scan_source.h"
@@ -55,14 +56,29 @@ struct EngineOptions {
 /// hold raw back-pointers into it. Destroy all sessions before the engine.
 class ExplorationEngine {
  public:
+  /// Validated construction (the service-layer path): rejects inconsistent
+  /// EngineOptions with a clear Status instead of dying or silently
+  /// misbehaving later — scheduler_workers == 0 (background prefetch would
+  /// never run), use_sampling on an in-memory table, or a sampler
+  /// memory_capacity below min_sample_size (every Create would starve).
+  static Result<std::unique_ptr<ExplorationEngine>> Create(
+      const Table& table, const WeightFunction& weight,
+      EngineOptions options = {});
+  static Result<std::unique_ptr<ExplorationEngine>> Create(
+      const ScanSource& source, const WeightFunction& weight,
+      EngineOptions options = {});
+
   /// In-memory mode: exact drill-downs over `table`.
   /// `table` and `weight` must outlive the engine.
+  /// Embedding-layer constructor: clamps instead of validating (it cannot
+  /// return a Status); prefer Create() which rejects bad options up front.
   ExplorationEngine(const Table& table, const WeightFunction& weight,
                     EngineOptions options = {});
 
   /// Scan-source mode: drill-downs run on shared SampleHandler samples when
   /// options.use_sampling is set (otherwise each expansion pays a one-off
-  /// materialization scan; sampling is strongly recommended).
+  /// materialization scan; sampling is strongly recommended). Embedding-layer
+  /// constructor; prefer Create() for validated construction.
   ExplorationEngine(const ScanSource& source, const WeightFunction& weight,
                     EngineOptions options = {});
 
@@ -71,11 +87,18 @@ class ExplorationEngine {
   ExplorationEngine(const ExplorationEngine&) = delete;
   ExplorationEngine& operator=(const ExplorationEngine&) = delete;
 
-  /// Creates a new exploration session bound to this engine. Sessions are
-  /// cheap (the display tree and options); create one per user/request
-  /// stream. The returned session must not outlive the engine.
-  ExplorationSession NewSession(SessionOptions options);
-  ExplorationSession NewSession();
+  /// Creates a new exploration session bound to this engine, validating the
+  /// options up front: k == 0, a non-positive or NaN max_weight, an unknown
+  /// measure_column, or prefetch on an engine without a sampler all return
+  /// InvalidArgument here instead of failing deep inside a later Expand.
+  /// Sessions are cheap (the display tree and options); create one per
+  /// user/request stream. The returned session must not outlive the engine.
+  Result<ExplorationSession> NewSession(SessionOptions options);
+  Result<ExplorationSession> NewSession();
+
+  /// Validation behind NewSession, exposed so front doors can reject a
+  /// request before touching the engine.
+  Status ValidateSessionOptions(const SessionOptions& options) const;
 
   /// Prototype table: schema + shared dictionaries for rendering/parsing.
   const Table& prototype() const { return prototype_; }

@@ -7,9 +7,7 @@
 
 namespace smartdd {
 
-namespace {
-
-std::string FormatMass(double mass, bool exact, double ci, bool show_ci) {
+std::string FormatMassCell(double mass, bool exact, double ci, bool show_ci) {
   std::string s;
   if (!exact) s += "~";
   s += FormatDouble(mass, 10);
@@ -19,7 +17,8 @@ std::string FormatMass(double mass, bool exact, double ci, bool show_ci) {
   return s;
 }
 
-std::string RenderGrid(const std::vector<std::vector<std::string>>& rows) {
+std::string RenderAlignedGrid(
+    const std::vector<std::vector<std::string>>& rows) {
   if (rows.empty()) return "";
   std::vector<size_t> width(rows[0].size(), 0);
   for (const auto& row : rows) {
@@ -37,6 +36,8 @@ std::string RenderGrid(const std::vector<std::vector<std::string>>& rows) {
   }
   return out;
 }
+
+namespace {
 
 std::string MassLabel(const RenderOptions& options,
                       const std::optional<std::string>& measure) {
@@ -71,12 +72,12 @@ std::string RenderSession(const ExplorationSession& session,
     std::string indent;
     for (int d = 0; d < node.depth; ++d) indent += options.depth_marker;
     cells[0] = indent + cells[0];
-    cells.push_back(FormatMass(node.mass, node.exact, node.ci_half_width,
+    cells.push_back(FormatMassCell(node.mass, node.exact, node.ci_half_width,
                                options.show_confidence));
     if (options.show_marginal) {
       cells.push_back(id == session.root()
                           ? "-"
-                          : FormatMass(node.marginal_mass, node.exact, 0,
+                          : FormatMassCell(node.marginal_mass, node.exact, 0,
                                        false));
     }
     if (options.show_weight) {
@@ -84,7 +85,7 @@ std::string RenderSession(const ExplorationSession& session,
     }
     rows.push_back(std::move(cells));
   }
-  return RenderGrid(rows);
+  return RenderAlignedGrid(rows);
 }
 
 std::string RenderRuleList(const Table& prototype,
@@ -95,14 +96,14 @@ std::string RenderRuleList(const Table& prototype,
   rows.push_back(HeaderRow(prototype, options, mass_label));
   for (const auto& sr : rules) {
     std::vector<std::string> cells = RuleCells(sr.rule, prototype);
-    cells.push_back(FormatMass(sr.mass, /*exact=*/true, 0, false));
+    cells.push_back(FormatMassCell(sr.mass, /*exact=*/true, 0, false));
     if (options.show_marginal) {
-      cells.push_back(FormatMass(sr.marginal_mass, true, 0, false));
+      cells.push_back(FormatMassCell(sr.marginal_mass, true, 0, false));
     }
     if (options.show_weight) cells.push_back(FormatDouble(sr.weight, 6));
     rows.push_back(std::move(cells));
   }
-  return RenderGrid(rows);
+  return RenderAlignedGrid(rows);
 }
 
 }  // namespace smartdd

@@ -29,6 +29,16 @@ struct RenderOptions {
 std::string RenderSession(const ExplorationSession& session,
                           const RenderOptions& options = {});
 
+/// Building blocks shared with the api-layer snapshot renderer
+/// (api/render.h), which must not be depended on from here — the service
+/// API sits on top of this layer, not under it.
+///
+/// Aligns rows into the " | "-separated ASCII grid all renderers emit.
+std::string RenderAlignedGrid(
+    const std::vector<std::vector<std::string>>& rows);
+/// Mass-cell formatting: "~" prefix for estimates, optional "±ci".
+std::string FormatMassCell(double mass, bool exact, double ci, bool show_ci);
+
 /// Renders a flat rule list (e.g. a DrillDownResponse) against a table's
 /// dictionaries, one row per rule plus a header.
 std::string RenderRuleList(const Table& prototype,

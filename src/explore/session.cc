@@ -118,7 +118,8 @@ const SampleHandler* ExplorationSession::sampler() const {
 }
 
 Result<DrillDownResponse> ExplorationSession::RunDrillDown(
-    const Rule& base, std::optional<size_t> star_column) {
+    const Rule& base, std::optional<size_t> star_column,
+    const ExpandStepCallback& on_step) {
   DrillDownRequest request;
   request.base = base;
   request.star_column = star_column;
@@ -126,6 +127,13 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   request.max_weight = options_.max_weight;
   request.pruning = options_.pruning;
   request.num_threads = options_.num_threads;
+  if (on_step) {
+    // Non-sampling paths search the full data: step masses are exact. The
+    // sampling branch below replaces this with a scale-aware wrapper.
+    request.on_step = [&on_step](const ScoredRule& r, size_t step) {
+      return on_step(r, step, /*exact=*/true);
+    };
+  }
 
   const WeightFunction& weight = engine_->weight();
 
@@ -152,6 +160,18 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
                              sampler->GetSampleFor(base, id_));
     TableView view(sample.table);
     SMARTDD_RETURN_IF_ERROR(apply_measure(view));
+    if (on_step) {
+      // Stream full-table estimates, not raw sample masses: the observer
+      // sees the same scale — and the same exactness — the final children
+      // will carry (a complete cover, scale <= 1, is exact).
+      const double scale = sample.scale;
+      request.on_step = [&on_step, scale](const ScoredRule& r, size_t step) {
+        ScoredRule scaled = r;
+        scaled.mass *= scale;
+        scaled.marginal_mass *= scale;
+        return on_step(scaled, step, /*exact=*/scale <= 1.0);
+      };
+    }
     SMARTDD_ASSIGN_OR_RETURN(DrillDownResponse response,
                              SmartDrillDown(view, weight, request));
     // Scale sample masses to full-table estimates; attach CI info via the
@@ -188,7 +208,8 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
 }
 
 Result<std::vector<int>> ExplorationSession::ExpandInternal(
-    int node_id, std::optional<size_t> star_column) {
+    int node_id, std::optional<size_t> star_column,
+    const ExpandStepCallback& on_step) {
   if (node_id < 0 || node_id >= static_cast<int>(nodes_.size()) ||
       !nodes_[node_id].alive) {
     return Status::InvalidArgument("no such display node");
@@ -205,7 +226,7 @@ Result<std::vector<int>> ExplorationSession::ExpandInternal(
 
   SMARTDD_ASSIGN_OR_RETURN(
       DrillDownResponse response,
-      RunDrillDown(nodes_[node_id].rule, star_column));
+      RunDrillDown(nodes_[node_id].rule, star_column, on_step));
 
   std::vector<int> child_ids;
   const bool sampled = response.sample_rows > 0;
@@ -239,13 +260,14 @@ Result<std::vector<int>> ExplorationSession::ExpandInternal(
   return child_ids;
 }
 
-Result<std::vector<int>> ExplorationSession::Expand(int node_id) {
-  return ExpandInternal(node_id, std::nullopt);
+Result<std::vector<int>> ExplorationSession::Expand(
+    int node_id, ExpandStepCallback on_step) {
+  return ExpandInternal(node_id, std::nullopt, on_step);
 }
 
-Result<std::vector<int>> ExplorationSession::ExpandStar(int node_id,
-                                                        size_t column) {
-  return ExpandInternal(node_id, column);
+Result<std::vector<int>> ExplorationSession::ExpandStar(
+    int node_id, size_t column, ExpandStepCallback on_step) {
+  return ExpandInternal(node_id, column, on_step);
 }
 
 void ExplorationSession::KillSubtree(int node_id) {

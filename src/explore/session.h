@@ -104,13 +104,25 @@ class ExplorationSession {
   /// Root node id (the trivial rule).
   int root() const { return 0; }
 
+  /// Step-streaming observer for an expansion: called after each of the k
+  /// greedy BRS steps with the freshly selected rule (masses already scaled
+  /// to full-table estimates in sampling mode), the 0-based step index, and
+  /// whether the mass is exact (false when it is a sampling estimate).
+  /// Return false to cancel the remaining steps — the rules found so far
+  /// still become children, so a front-end can stream partial results and
+  /// cut a slow expansion short.
+  using ExpandStepCallback =
+      std::function<bool(const ScoredRule& rule, size_t step, bool exact)>;
+
   /// Smart drill-down on a displayed rule; returns ids of the new children.
   /// Expanding an already-expanded node collapses it first (the paper's
   /// toggle behaviour is split: see Collapse).
-  Result<std::vector<int>> Expand(int node_id);
+  Result<std::vector<int>> Expand(int node_id,
+                                  ExpandStepCallback on_step = nullptr);
 
   /// Star drill-down: expand forcing instantiation of `column`.
-  Result<std::vector<int>> ExpandStar(int node_id, size_t column);
+  Result<std::vector<int>> ExpandStar(int node_id, size_t column,
+                                      ExpandStepCallback on_step = nullptr);
 
   /// Roll up: removes the node's descendants from the display.
   Status Collapse(int node_id);
@@ -138,6 +150,8 @@ class ExplorationSession {
 
   const Table& prototype() const;
   const SampleHandler* sampler() const;
+  /// The (validated, defaults-resolved) options this session runs with.
+  const SessionOptions& options() const { return options_; }
   const std::optional<std::string>& measure_column() const {
     return options_.measure_column;
   }
@@ -153,9 +167,11 @@ class ExplorationSession {
   void Release();
 
   Result<DrillDownResponse> RunDrillDown(const Rule& base,
-                                         std::optional<size_t> star_column);
+                                         std::optional<size_t> star_column,
+                                         const ExpandStepCallback& on_step);
   Result<std::vector<int>> ExpandInternal(int node_id,
-                                          std::optional<size_t> star_column);
+                                          std::optional<size_t> star_column,
+                                          const ExpandStepCallback& on_step);
   void KillSubtree(int node_id);
   DisplayTree BuildDisplayTree() const;
   void AfterExpansion();

@@ -11,7 +11,16 @@ std::vector<std::string> RuleCells(const Rule& rule, const Table& table) {
     if (rule.is_star(c)) {
       cells.push_back("?");
     } else {
-      cells.push_back(table.dictionary(c).ValueOf(rule.value(c)));
+      const std::string& value = table.dictionary(c).ValueOf(rule.value(c));
+      // Escape values that would read back as wildcards (or as escapes):
+      // the cells are the wire's parseable rule form, and a literal "?"
+      // in the data must not round-trip into a star.
+      if (value == "?" || value == "*" ||
+          (!value.empty() && value[0] == '\\')) {
+        cells.push_back("\\" + value);
+      } else {
+        cells.push_back(value);
+      }
     }
   }
   return cells;
@@ -31,7 +40,11 @@ Result<Rule> ParseRule(const std::vector<std::string>& cells,
   Rule rule(cells.size());
   for (size_t c = 0; c < cells.size(); ++c) {
     if (cells[c] == "?" || cells[c] == "*") continue;
-    auto code = table.dictionary(c).Find(cells[c]);
+    // Inverse of RuleCells's escaping: one leading backslash shields a
+    // literal "?", "*", or backslash-prefixed value.
+    std::string_view value = cells[c];
+    if (!value.empty() && value[0] == '\\') value.remove_prefix(1);
+    auto code = table.dictionary(c).Find(value);
     if (!code) {
       return Status::NotFound(StrFormat("value '%s' not found in column '%s'",
                                         cells[c].c_str(),

@@ -10,14 +10,18 @@
 namespace smartdd {
 
 /// Decodes the cells of a rule against a table's dictionaries; stars render
-/// as "?".
+/// as "?". Values that would read back as wildcards — a literal "?" or "*",
+/// or anything starting with a backslash — are escaped with one leading
+/// backslash, so RuleCells/ParseRule round-trip for every dictionary value
+/// (the service wire contract for api::NodeView cells).
 std::vector<std::string> RuleCells(const Rule& rule, const Table& table);
 
 /// One-line rendering, e.g. "(Walmart, ?, CA-1)".
 std::string RuleToString(const Rule& rule, const Table& table);
 
-/// Parses a rule from cell strings ("?" or "*" = star). Each non-star value
-/// must exist in the corresponding column dictionary.
+/// Parses a rule from cell strings ("?" or "*" = star; "\?" / "\*" / a
+/// backslash-prefixed cell = the literal value, see RuleCells). Each
+/// non-star value must exist in the corresponding column dictionary.
 Result<Rule> ParseRule(const std::vector<std::string>& cells,
                        const Table& table);
 

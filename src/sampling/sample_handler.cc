@@ -135,6 +135,10 @@ std::optional<DisplayTree> SampleHandler::TreeCopy(uint64_t session) const {
 
 Result<SampleRequest> SampleHandler::TryFind(const Rule& rule) {
   std::shared_lock<std::shared_mutex> lock(store_mu_);
+  return FindLocked(rule);
+}
+
+Result<SampleRequest> SampleHandler::FindLocked(const Rule& rule) {
   for (const auto& s : samples_) {
     if (s->filter() == rule &&
         (s->size() >= options_.min_sample_size ||
@@ -157,6 +161,12 @@ Result<SampleRequest> SampleHandler::TryCombine(const Rule& rule) {
   // materialized result, and must not interleave with a concurrent pass's
   // store swap.
   std::unique_lock<std::shared_mutex> lock(store_mu_);
+  // Re-check Find under this lock: a rival session's Create pass may have
+  // committed an exact-filter sample between the caller's TryFind and now,
+  // and that sample must win — serving a Horvitz-Thompson union that
+  // *contains* an acceptable exact-filter sample would return a different
+  // (noisier) estimate than the serial run for no benefit.
+  if (auto found = FindLocked(rule); found.ok()) return found;
   // Gather all samples whose filter is a (non-strict) sub-rule of `rule`:
   // every tuple covered by `rule` is covered by those filters, so each such
   // sample may contain usable tuples.

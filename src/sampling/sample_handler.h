@@ -176,6 +176,8 @@ class SampleHandler {
       bool prefetch_pass);
 
   Result<SampleRequest> TryFind(const Rule& rule);
+  /// TryFind's acceptance loop; caller holds store_mu_ (either mode).
+  Result<SampleRequest> FindLocked(const Rule& rule);
   Result<SampleRequest> TryCombine(const Rule& rule);
 
   /// Allocation plan for `tree` (+ `extra` rule if not in it); `tree` may

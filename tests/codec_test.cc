@@ -1,0 +1,148 @@
+#include "api/codec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smartdd::api {
+namespace {
+
+TEST(CodecTest, ParsesOpenWithArguments) {
+  auto r = ParseRequest("open dataset=retail k=5 measure=Sales mw=4.5 "
+                        "threads=2 prefetch=on");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& open = std::get<OpenRequest>(*r);
+  EXPECT_EQ(open.dataset, "retail");
+  EXPECT_EQ(open.k, 5u);
+  EXPECT_EQ(open.measure, "Sales");
+  EXPECT_DOUBLE_EQ(open.max_weight, 4.5);
+  EXPECT_EQ(open.num_threads, 2u);
+  EXPECT_TRUE(open.prefetch);
+}
+
+TEST(CodecTest, OpenDefaults) {
+  auto r = ParseRequest("open");
+  ASSERT_TRUE(r.ok());
+  const auto& open = std::get<OpenRequest>(*r);
+  EXPECT_TRUE(open.dataset.empty());
+  EXPECT_EQ(open.k, 3u);
+  EXPECT_FALSE(open.prefetch);
+  EXPECT_TRUE(std::isinf(open.max_weight));
+}
+
+TEST(CodecTest, ParsesSessionCommands) {
+  auto expand = ParseRequest("expand 00000000000000ff 4");
+  ASSERT_TRUE(expand.ok());
+  EXPECT_EQ(std::get<ExpandRequest>(*expand).session, 0xffu);
+  EXPECT_EQ(std::get<ExpandRequest>(*expand).node, 4);
+  EXPECT_FALSE(std::get<ExpandRequest>(*expand).star_column.has_value());
+
+  auto star = ParseRequest("star ff 0 2");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(std::get<ExpandRequest>(*star).star_column, 2u);
+
+  auto collapse = ParseRequest("  collapse  ff  1  ");
+  ASSERT_TRUE(collapse.ok());
+  EXPECT_EQ(std::get<CollapseRequest>(*collapse).node, 1);
+
+  EXPECT_TRUE(std::holds_alternative<ShowRequest>(*ParseRequest("show ff")));
+  EXPECT_TRUE(
+      std::holds_alternative<RefreshRequest>(*ParseRequest("exact ff")));
+  EXPECT_TRUE(std::holds_alternative<CloseRequest>(*ParseRequest("close ff")));
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*ParseRequest("ping")));
+}
+
+TEST(CodecTest, MalformedInputNeverCrashesAlwaysInvalidArgument) {
+  const char* bad[] = {
+      "",                        // empty
+      "   ",                     // blank
+      "# comment",               // comment
+      "frobnicate",              // unknown command
+      "expand",                  // missing everything
+      "expand ff",               // missing node
+      "expand ff abc",           // non-numeric node id
+      "expand ff 4294967296",    // 2^32: must not wrap to node 0
+      "expand ZZ 0",             // bad token
+      "expand ff 1 2",           // too many args
+      "star ff 0",               // missing column
+      "star ff 0 -1",            // negative column
+      "star ff 0 x",             // non-numeric column
+      "open k=abc",              // non-numeric k
+      "open k",                  // not key=value
+      "open =v",                 // empty key
+      "open prefetch=maybe",     // bad enum
+      "open wat=1",              // unknown key
+      "open mw=fast",            // non-numeric mw
+      "show",                    // missing session
+      "ping extra",              // arity
+  };
+  for (const char* line : bad) {
+    auto r = ParseRequest(line);
+    EXPECT_FALSE(r.ok()) << "accepted: " << line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(CodecTest, TokenRoundTrip) {
+  for (uint64_t token : {uint64_t{1}, uint64_t{0xdeadbeefULL},
+                         uint64_t{0xffffffffffffffffULL}}) {
+    auto parsed = ParseToken(FormatToken(token));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, token);
+  }
+  EXPECT_FALSE(ParseToken("").ok());
+  EXPECT_FALSE(ParseToken("12345678901234567").ok());  // 17 digits
+  EXPECT_FALSE(ParseToken("ABCD").ok());               // uppercase rejected
+}
+
+TEST(CodecTest, EncodesErrorWithStableCode) {
+  Response r;
+  r.status = Status::NotFound("gone \"away\"\n");
+  EXPECT_EQ(EncodeResponse(r),
+            "{\"ok\":false,\"error\":{\"code\":\"NOT_FOUND\","
+            "\"message\":\"gone \\\"away\\\"\\n\"}}");
+}
+
+TEST(CodecTest, ErrorCodeNamesAreStable) {
+  // These names are wire protocol; changing one breaks deployed clients.
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kIOError), "IO_ERROR");
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kCapacityExceeded),
+               "CAPACITY_EXCEEDED");
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(ErrorCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(CodecTest, EncodesTreeDeterministically) {
+  TreeSnapshot tree;
+  tree.columns = {"Store", "Product"};
+  tree.mass_label = "Count";
+  NodeView node;
+  node.id = 0;
+  node.label = "(?, ?)";
+  node.cells = {"?", "?"};
+  node.mass = 6000;
+  node.exact = true;
+  node.children = {1, 2};
+  tree.nodes.push_back(node);
+  EXPECT_EQ(EncodeTree(tree),
+            "{\"columns\":[\"Store\",\"Product\"],\"mass_label\":\"Count\","
+            "\"nodes\":[{\"id\":0,\"label\":\"(?, ?)\",\"cells\":"
+            "[\"?\",\"?\"],\"mass\":6000,\"marginal_mass\":0,\"weight\":0,"
+            "\"ci\":0,\"exact\":true,\"parent\":-1,\"depth\":0,"
+            "\"children\":[1,2]}]}");
+}
+
+TEST(CodecTest, FractionalMassesKeepFullPrecision) {
+  NodeView node;
+  node.mass = 0.1 + 0.2;  // 0.30000000000000004: %.17g must not round it
+  std::string encoded = EncodeNode(node);
+  EXPECT_NE(encoded.find("0.30000000000000004"), std::string::npos) << encoded;
+}
+
+}  // namespace
+}  // namespace smartdd::api

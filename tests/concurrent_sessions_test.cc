@@ -113,7 +113,7 @@ TEST(ConcurrentSessionsTest, SessionIsMoveOnly) {
   Table table = MakeTable();
   SizeWeight weight;
   ExplorationEngine engine(table, weight);
-  ExplorationSession a = engine.NewSession();
+  ExplorationSession a = *engine.NewSession();
   ASSERT_TRUE(a.Expand(a.root()).ok());
   std::string before = Fingerprint(a);
   ExplorationSession b = std::move(a);  // transfer, not alias
@@ -132,7 +132,7 @@ TEST(ConcurrentSessionsTest, SixteenSessionsMatchSerialRunsBitIdentically) {
   {
     ExplorationEngine engine(table, weight);
     for (int i = 0; i < kSessions; ++i) {
-      ExplorationSession session = engine.NewSession();
+      ExplorationSession session = *engine.NewSession();
       RunScript(session, i);
       if (::testing::Test::HasFatalFailure()) return;
       baseline[i] = Fingerprint(session);
@@ -146,7 +146,7 @@ TEST(ConcurrentSessionsTest, SixteenSessionsMatchSerialRunsBitIdentically) {
     std::vector<std::thread> threads;
     for (int i = 0; i < kSessions; ++i) {
       threads.emplace_back([&, i]() {
-        ExplorationSession session = engine.NewSession();
+        ExplorationSession session = *engine.NewSession();
         RunScript(session, i);
         concurrent[i] = Fingerprint(session);
       });
@@ -173,7 +173,7 @@ TEST(ConcurrentSessionsTest, ThreadKnobDoesNotChangeConcurrentResults) {
     threads.emplace_back([&, v]() {
       SessionOptions options;
       options.num_threads = v == 0 ? 1 : 8;
-      ExplorationSession session = engine.NewSession(options);
+      ExplorationSession session = *engine.NewSession(options);
       RunScript(session, 0);
       fingerprints[v] = Fingerprint(session);
     });
@@ -228,7 +228,7 @@ TEST_F(ConcurrentSamplingTest, ConcurrentSamplingSessionsStaySane) {
     threads.emplace_back([&, i]() {
       SessionOptions options;
       if (i % 2 == 0) options.prefetch = Prefetcher::Mode::kBackground;
-      ExplorationSession session = engine.NewSession(options);
+      ExplorationSession session = *engine.NewSession(options);
       auto children = session.Expand(session.root());
       ASSERT_TRUE(children.ok()) << children.status().ToString();
       ASSERT_FALSE(children->empty());
@@ -256,8 +256,8 @@ TEST_F(ConcurrentSamplingTest, PerSessionTreesDriveIndependentPrefetch) {
   ExplorationEngine engine(source_, weight_, SamplingOptions());
   SessionOptions options;
   options.prefetch = Prefetcher::Mode::kSynchronous;
-  ExplorationSession a = engine.NewSession(options);
-  ExplorationSession b = engine.NewSession(options);
+  ExplorationSession a = *engine.NewSession(options);
+  ExplorationSession b = *engine.NewSession(options);
 
   auto a_children = a.Expand(a.root());
   ASSERT_TRUE(a_children.ok()) << a_children.status().ToString();

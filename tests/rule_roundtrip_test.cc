@@ -1,0 +1,155 @@
+// Rule rendering round-trip contract: the cell labels a client sees —
+// RuleToString/RuleCells and the api::NodeView cells the service ships —
+// parse back to the same Rule for every column type, including bucketized
+// numeric columns whose labels contain commas and brackets ("[18, 25)").
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/dto.h"
+#include "data/retail_gen.h"
+#include "explore/engine.h"
+#include "explore/session.h"
+#include "rules/rule_format.h"
+#include "storage/bucketize.h"
+#include "tests/test_util.h"
+#include "weights/standard_weights.h"
+
+namespace smartdd {
+namespace {
+
+using ::smartdd::testing::MakeTable;
+
+/// Exhaustively round-trips every size-0/1/2 rule over the table's codes.
+void CheckAllSmallRules(const Table& table) {
+  const size_t n = table.num_columns();
+  auto check = [&](const Rule& rule) {
+    std::vector<std::string> cells = RuleCells(rule, table);
+    auto parsed = ParseRule(cells, table);
+    ASSERT_TRUE(parsed.ok())
+        << RuleToString(rule, table) << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, rule) << RuleToString(rule, table);
+  };
+  check(Rule::Trivial(n));
+  for (size_t c = 0; c < n; ++c) {
+    for (uint32_t v = 0; v < table.dictionary(c).size(); ++v) {
+      Rule rule(n);
+      rule.set_value(c, v);
+      check(rule);
+      for (size_t c2 = c + 1; c2 < n; ++c2) {
+        for (uint32_t v2 = 0; v2 < table.dictionary(c2).size(); ++v2) {
+          Rule two(n);
+          two.set_value(c, v);
+          two.set_value(c2, v2);
+          check(two);
+        }
+      }
+    }
+  }
+}
+
+TEST(RuleRoundTripTest, CategoricalColumns) {
+  CheckAllSmallRules(GenerateRetailTable());
+}
+
+TEST(RuleRoundTripTest, BucketizedNumericColumns) {
+  // Bucketize a numeric attribute (paper §6.2) and use the bucket labels as
+  // a categorical column; labels like "[18, 25)" must survive the trip.
+  std::vector<double> ages;
+  for (int i = 0; i < 100; ++i) ages.push_back(15 + (i * 7) % 60);
+  auto bucketizer = Bucketizer::EqualWidth(ages, 4);
+  ASSERT_TRUE(bucketizer.ok());
+  std::vector<std::string> age_labels = bucketizer->Apply(ages);
+
+  std::vector<double> incomes;
+  for (int i = 0; i < 100; ++i) incomes.push_back(10000 + (i * 997) % 90000);
+  auto income_buckets = Bucketizer::EqualDepth(incomes, 3);
+  ASSERT_TRUE(income_buckets.ok());
+  std::vector<std::string> income_labels = income_buckets->Apply(incomes);
+
+  Table table({"Age", "Income", "Segment"});
+  const char* segments[] = {"retail", "online", "b2b"};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRowValues(
+                        {age_labels[i], income_labels[i], segments[i % 3]})
+                    .ok());
+  }
+  CheckAllSmallRules(table);
+}
+
+TEST(RuleRoundTripTest, ValuesWithSeparatorsAndEscapes) {
+  // Adversarial dictionary values: embedded ", " (the Join separator),
+  // quotes, question marks as substrings, and unicode bytes. The cells
+  // vector (not the joined one-line label) is the parseable form.
+  Table table = MakeTable({
+      {"a, b", "x", "?!"},
+      {"c \"quoted\"", "y", "naïve"},
+      {"*star*", "z", "tab\tvalue"},
+  });
+  CheckAllSmallRules(table);
+}
+
+TEST(RuleRoundTripTest, LiteralWildcardValuesEscapeAndRoundTrip) {
+  // A dictionary value that IS "?" or "*" (or starts with a backslash)
+  // must not round-trip into a star: RuleCells escapes it and ParseRule
+  // strips the escape.
+  Table table = MakeTable({
+      {"?", "*", "\\?"},
+      {"plain", "y", "\\x"},
+  });
+  CheckAllSmallRules(table);
+
+  Rule literal_q(3);
+  literal_q.set_value(0, *table.dictionary(0).Find("?"));
+  std::vector<std::string> cells = RuleCells(literal_q, table);
+  EXPECT_EQ(cells[0], "\\?");
+  auto parsed = ParseRule(cells, table);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, literal_q);
+  EXPECT_FALSE(parsed->is_star(0));
+  // Bare "?" still parses as the wildcard.
+  auto star = ParseRule({"?", "?", "?"}, table);
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(star->is_trivial());
+}
+
+TEST(RuleRoundTripTest, NodeViewCellsParseBackToDisplayedRules) {
+  // The service-facing form: every NodeView the snapshot ships carries
+  // cells that parse back to exactly the displayed node's rule.
+  Table table = GenerateRetailTable();
+  SizeWeight weight;
+  ExplorationEngine engine(table, weight);
+  SessionOptions options;
+  options.k = 3;
+  options.max_weight = 5;
+  ExplorationSession session = *engine.NewSession(options);
+  auto children = session.Expand(session.root());
+  ASSERT_TRUE(children.ok());
+  ASSERT_FALSE(children->empty());
+  ASSERT_TRUE(session.Expand((*children)[0]).ok());
+
+  api::TreeSnapshot snapshot = api::SnapshotOf(session);
+  ASSERT_EQ(snapshot.nodes.size(), session.DisplayOrder().size());
+  for (size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const api::NodeView& view = snapshot.nodes[i];
+    auto parsed = ParseRule(view.cells, table);
+    ASSERT_TRUE(parsed.ok()) << view.label;
+    EXPECT_EQ(*parsed, session.node(view.id).rule) << view.label;
+    EXPECT_EQ(view.label, RuleToString(session.node(view.id).rule, table));
+  }
+}
+
+TEST(RuleRoundTripTest, StarAndQuestionMarkBothParseAsWildcard) {
+  Table table = GenerateRetailTable();
+  auto q = ParseRule({"?", "?", "?"}, table);
+  auto s = ParseRule({"*", "*", "*"}, table);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*q, *s);
+  EXPECT_TRUE(q->is_trivial());
+}
+
+}  // namespace
+}  // namespace smartdd
