@@ -21,13 +21,24 @@
 //   interactive_cli --serve [file.csv]
 // speaks the wire protocol verbatim: one request line in, one JSON response
 // line out (the canonical byte-stream integration surface; see README
-// "Service API"). Blank lines and '#' comments are skipped.
+// "Service API"). Blank lines and '#' comments are skipped. A script whose
+// final request is truncated at EOF exits nonzero with a Status message.
+//
+// HTTP mode:
+//   interactive_cli --http=PORT [file.csv]
+// serves the same protocol over the epoll HTTP server (README "HTTP API"):
+// POST /v1/* request bodies, SSE step streaming on /v1/expand/stream,
+// /healthz, and Prometheus /metrics. PORT 0 binds an ephemeral port; the
+// bound address is printed on startup. SIGINT/SIGTERM drain and exit.
 //
 // Multi-user mode:
 //   interactive_cli --sessions=N [file.csv]
 // drives N scripted explorers concurrently through ONE shared
 // ExplorationEngine — the engine/session split end to end.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -45,6 +56,8 @@
 #include "explore/engine.h"
 #include "explore/renderer.h"
 #include "explore/session.h"
+#include "net/exploration_http_adapter.h"
+#include "net/http_server.h"
 #include "storage/csv.h"
 #include "weights/standard_weights.h"
 
@@ -116,15 +129,70 @@ int RunMultiSessionDemo(const Table& table, size_t num_sessions) {
   return 0;
 }
 
-/// Raw wire mode: protocol lines on stdin, JSON lines on stdout.
+/// Raw wire mode: protocol lines on stdin, JSON lines on stdout. A script
+/// that ends mid-request — EOF before the final newline, the signature of a
+/// truncated pipe or a generator that died — is a malformed script: the
+/// defect is reported as a Status on both channels and the exit status is
+/// nonzero, so CI pipelines cannot mistake half a script for success.
 int RunServe(api::ExplorationService& service) {
   std::string line;
   while (std::getline(std::cin, line)) {
+    const bool truncated = std::cin.eof() && !line.empty();
+    if (truncated) {
+      Status status = Status::InvalidArgument(StrFormat(
+          "script ended mid-request: EOF before the newline terminating "
+          "'%.48s'",
+          line.c_str()));
+      api::Response response;
+      response.status = status;
+      std::printf("%s\n", api::EncodeResponse(response).c_str());
+      std::fflush(stdout);
+      std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
     std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     std::printf("%s\n", service.ServeLine(line).c_str());
     std::fflush(stdout);
   }
+  if (std::cin.bad()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 Status::IOError("error reading request script from stdin")
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// HTTP mode (--http=PORT): serves the full API over a real socket until
+/// SIGINT/SIGTERM, then drains in-flight expansions and exits. Port 0
+/// binds an ephemeral port; the bound address is printed either way, so
+/// scripts can scrape it.
+std::atomic<int> g_shutdown_signal{0};
+
+int RunHttp(api::ExplorationService& service, uint16_t port) {
+  net::ExplorationHttpAdapter adapter(&service);
+  net::HttpServerOptions options;
+  options.port = port;
+  net::HttpServer server(adapter.AsHandler(), options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "http: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on http://127.0.0.1:%u\n", unsigned{server.port()});
+  std::fflush(stdout);
+  std::signal(SIGINT, [](int sig) { g_shutdown_signal.store(sig); });
+  std::signal(SIGTERM, [](int sig) { g_shutdown_signal.store(sig); });
+  while (g_shutdown_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down (signal %d)\n", g_shutdown_signal.load());
+  std::fflush(stdout);
+  // Graceful: the server drains before the service (and its engines, which
+  // the destruction order below tears down after us) go away.
+  server.Shutdown();
   return 0;
 }
 
@@ -226,9 +294,24 @@ int RunInteractive(api::ExplorationService& service, const Table& table) {
 int main(int argc, char** argv) {
   size_t num_sessions = 0;
   bool serve = false;
+  bool http = false;
+  uint16_t http_port = 0;
   const char* csv_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+    if (std::strncmp(argv[i], "--http=", 7) == 0) {
+      const char* value = argv[i] + 7;
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || *value == '-' || parsed > 65535) {
+        std::fprintf(stderr,
+                     "invalid --http=%s (expected a port in 0..65535; 0 = "
+                     "ephemeral)\n",
+                     value);
+        return 2;
+      }
+      http = true;
+      http_port = static_cast<uint16_t>(parsed);
+    } else if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
       const char* value = argv[i] + 11;
       char* end = nullptr;
       unsigned long long parsed = std::strtoull(value, &end, 10);
@@ -275,6 +358,7 @@ int main(int argc, char** argv) {
   api::ExplorationService service(service_options);
   SMARTDD_CHECK(service.AddEngine("default", engine->get()).ok());
 
+  if (http) return RunHttp(service, http_port);
   if (serve) return RunServe(service);
   return RunInteractive(service, table);
 }

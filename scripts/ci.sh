@@ -28,15 +28,26 @@ if [[ "$MODE" != "--tsan-only" ]]; then
     | diff - scripts/service_smoke.golden \
     || { echo "service smoke: output diverged from scripts/service_smoke.golden"; exit 1; }
   echo "service smoke: golden snapshot matched"
+
+  # A script truncated at EOF mid-request must fail loudly, not stop
+  # silently (regression guard for the --serve wire mode).
+  if printf 'ping' | ./build/example_interactive_cli --serve >/dev/null 2>&1; then
+    echo "service smoke: truncated script was not rejected"; exit 1
+  fi
+  echo "service smoke: truncated script rejected with nonzero exit"
+
+  # HTTP smoke: real socket, curl transcript vs golden, SSE ordering,
+  # nonzero /metrics, graceful SIGTERM (see scripts/http_smoke.sh).
+  scripts/http_smoke.sh build
 fi
 
 if [[ "$MODE" == "--tsan" || "$MODE" == "--tsan-only" ]]; then
-  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test"
+  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1"
   cmake --build build-tsan -j "$(nproc)" --target \
     parallel_marginal_test parallel_sampling_test sample_handler_test \
     session_test concurrent_sessions_test task_scheduler_test \
-    service_test codec_test
+    service_test codec_test metrics_test http_server_test
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R "$TSAN_TESTS")
 fi

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# HTTP smoke: boot the example server on an ephemeral port, replay a
+# multi-session curl transcript (open/expand/SSE-stream/tree/collapse/
+# close over two interleaved sessions), token-substitute, and diff against
+# scripts/http_smoke.golden byte-for-byte. Then assert /metrics reports
+# nonzero request counters and that SIGTERM produces a graceful exit 0.
+#
+# Usage: scripts/http_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+BIN="$BUILD/example_interactive_cli"
+[[ -x "$BIN" ]] || { echo "http smoke: $BIN is not built"; exit 1; }
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$BIN" --http=0 >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's#^listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$WORK/server.log")
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "http smoke: server did not start"; cat "$WORK/server.log"; exit 1
+fi
+BASE="http://127.0.0.1:$PORT"
+CURL=(curl -sS --max-time 60)
+
+# The paper's retail walkthrough, as two interleaved HTTP sessions. Tokens
+# are deterministic (fixed seed in the example binary), but the transcript
+# still substitutes them so the golden is robust to seed changes.
+T1=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open" | sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p')
+T2=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open" | sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p')
+[[ -n "$T1" && -n "$T2" && "$T1" != "$T2" ]] || { echo "http smoke: open failed"; exit 1; }
+
+{
+  "${CURL[@]}" "$BASE/healthz"
+  "${CURL[@]}" -X POST --data "$T1 0" "$BASE/v1/expand"
+  # Session 2 expands the root as a live SSE stream (GET query form): every
+  # greedy step in order, then the final tree.
+  "${CURL[@]}" -N "$BASE/v1/expand/stream?session=$T2&node=0"
+  # Session 1 star-expands node 3 on column 1 as SSE (POST body form).
+  "${CURL[@]}" -N -X POST --data "$T1 3 1" "$BASE/v1/expand/stream"
+  "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/tree"
+  "${CURL[@]}" -X POST --data "$T1 0" "$BASE/v1/collapse"
+  "${CURL[@]}" -X POST --data "$T2" "$BASE/v1/tree"
+  "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/close"
+  "${CURL[@]}" -X POST --data "$T2" "$BASE/v1/close"
+  "${CURL[@]}" -X POST "$BASE/v1/ping"
+  # Defect paths keep their stable wire codes over HTTP.
+  "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/tree"
+  "${CURL[@]}" -X POST --data 'zz 0' "$BASE/v1/expand"
+} | sed -e "s/$T1/<T1>/g" -e "s/$T2/<T2>/g" >"$WORK/transcript"
+
+if ! diff "$WORK/transcript" scripts/http_smoke.golden; then
+  echo "http smoke: transcript diverged from scripts/http_smoke.golden"
+  exit 1
+fi
+
+# Live metrics: the request counter must be nonzero and sessions counted.
+"${CURL[@]}" "$BASE/metrics" >"$WORK/metrics"
+REQS=$(awk '$1 == "smartdd_http_requests_total" {print $2}' "$WORK/metrics")
+OPENED=$(awk '$1 == "smartdd_sessions_opened_total" {print $2}' "$WORK/metrics")
+if [[ -z "$REQS" || "$REQS" -lt 10 || -z "$OPENED" || "$OPENED" -lt 2 ]]; then
+  echo "http smoke: metrics not reporting (requests=$REQS opened=$OPENED)"
+  cat "$WORK/metrics"
+  exit 1
+fi
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$SERVER_PID"
+EXIT=0
+wait "$SERVER_PID" || EXIT=$?
+SERVER_PID=""
+if [[ "$EXIT" -ne 0 ]]; then
+  echo "http smoke: server exited $EXIT on SIGTERM"; cat "$WORK/server.log"; exit 1
+fi
+grep -q "shutting down" "$WORK/server.log" || {
+  echo "http smoke: no graceful shutdown message"; cat "$WORK/server.log"; exit 1
+}
+
+echo "http smoke: golden transcript matched; metrics live (requests=$REQS, sessions opened=$OPENED); graceful shutdown OK"

@@ -29,12 +29,27 @@ std::vector<std::string> Tokenize(std::string_view line) {
   return tokens;
 }
 
+/// Sanitized echo of an untrusted token for error messages: truncated to a
+/// fixed preview length and with non-printable bytes replaced, so garbage
+/// from a socket peer cannot balloon a response or corrupt a terminal.
+std::string Preview(std::string_view text) {
+  constexpr size_t kPreviewBytes = 48;
+  std::string out;
+  out.reserve(std::min(text.size(), kPreviewBytes) + 3);
+  for (size_t i = 0; i < text.size() && i < kPreviewBytes; ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    out += (c < 0x20 || c == 0x7f) ? '?' : static_cast<char>(c);
+  }
+  if (text.size() > kPreviewBytes) out += "...";
+  return out;
+}
+
 Result<size_t> ParseSize(std::string_view text, const char* what) {
   auto parsed = ParseInt64(text);
   if (!parsed.ok() || *parsed < 0) {
-    return Status::InvalidArgument(StrFormat(
-        "%s: '%.*s' is not a non-negative integer", what,
-        static_cast<int>(text.size()), text.data()));
+    return Status::InvalidArgument(
+        StrFormat("%s: '%s' is not a non-negative integer", what,
+                  Preview(text).c_str()));
   }
   return static_cast<size_t>(*parsed);
 }
@@ -45,9 +60,8 @@ Result<int> ParseNodeId(std::string_view text) {
       *parsed > std::numeric_limits<int>::max()) {
     // Out-of-range values must fail here, not wrap: 2^32 truncated to int
     // would silently address node 0.
-    return Status::InvalidArgument(
-        StrFormat("node id '%.*s' is not an integer",
-                  static_cast<int>(text.size()), text.data()));
+    return Status::InvalidArgument(StrFormat(
+        "node id '%s' is not an integer", Preview(text).c_str()));
   }
   return static_cast<int>(*parsed);
 }
@@ -55,14 +69,15 @@ Result<int> ParseNodeId(std::string_view text) {
 Result<uint64_t> SessionArg(const std::vector<std::string>& tokens) {
   if (tokens.size() < 2) {
     return Status::InvalidArgument(
-        StrFormat("%s requires a session token", tokens[0].c_str()));
+        StrFormat("%s requires a session token",
+                  Preview(tokens[0]).c_str()));
   }
   return ParseToken(tokens[1]);
 }
 
 Status ArityError(const std::vector<std::string>& tokens, const char* usage) {
   return Status::InvalidArgument(
-      StrFormat("%s: expected '%s'", tokens[0].c_str(), usage));
+      StrFormat("%s: expected '%s'", Preview(tokens[0]).c_str(), usage));
 }
 
 Result<Request> ParseOpen(const std::vector<std::string>& tokens) {
@@ -73,7 +88,7 @@ Result<Request> ParseOpen(const std::vector<std::string>& tokens) {
     if (eq == std::string::npos || eq == 0) {
       return Status::InvalidArgument(
           StrFormat("open: malformed argument '%s' (expected key=value)",
-                    arg.c_str()));
+                    Preview(arg).c_str()));
     }
     std::string key = arg.substr(0, eq);
     std::string value = arg.substr(eq + 1);
@@ -90,7 +105,8 @@ Result<Request> ParseOpen(const std::vector<std::string>& tokens) {
       auto mw = ParseDouble(value);
       if (!mw.ok()) {
         return Status::InvalidArgument(
-            StrFormat("open: mw '%s' is not a number", value.c_str()));
+            StrFormat("open: mw '%s' is not a number",
+                      Preview(value).c_str()));
       }
       open.max_weight = *mw;
     } else if (key == "prefetch") {
@@ -100,11 +116,12 @@ Result<Request> ParseOpen(const std::vector<std::string>& tokens) {
         open.prefetch = false;
       } else {
         return Status::InvalidArgument(StrFormat(
-            "open: prefetch must be 'on' or 'off', got '%s'", value.c_str()));
+            "open: prefetch must be 'on' or 'off', got '%s'",
+            Preview(value).c_str()));
       }
     } else {
       return Status::InvalidArgument(
-          StrFormat("open: unknown argument '%s'", key.c_str()));
+          StrFormat("open: unknown argument '%s'", Preview(key).c_str()));
     }
   }
   return Request(std::move(open));
@@ -167,8 +184,7 @@ std::string FormatToken(uint64_t token) {
 Result<uint64_t> ParseToken(std::string_view text) {
   if (text.empty() || text.size() > 16) {
     return Status::InvalidArgument(
-        StrFormat("'%.*s' is not a session token",
-                  static_cast<int>(text.size()), text.data()));
+        StrFormat("'%s' is not a session token", Preview(text).c_str()));
   }
   uint64_t value = 0;
   for (char c : text) {
@@ -179,15 +195,22 @@ Result<uint64_t> ParseToken(std::string_view text) {
       digit = c - 'a' + 10;
     } else {
       return Status::InvalidArgument(
-          StrFormat("'%.*s' is not a session token (lowercase hex expected)",
-                    static_cast<int>(text.size()), text.data()));
+          StrFormat("'%s' is not a session token (lowercase hex expected)",
+                    Preview(text).c_str()));
     }
     value = (value << 4) | static_cast<uint64_t>(digit);
   }
   return value;
 }
 
-Result<Request> ParseRequest(std::string_view line) {
+Result<Request> ParseRequest(std::string_view line, size_t max_line_bytes) {
+  if (line.size() > max_line_bytes) {
+    // Reject before tokenizing: an unbounded line from a socket peer must
+    // cost O(limit), not O(line), and must never be echoed back whole.
+    return Status::InvalidArgument(
+        StrFormat("request line of %zu bytes exceeds the %zu-byte limit",
+                  line.size(), max_line_bytes));
+  }
   std::string_view trimmed = Trim(line);
   if (trimmed.empty() || trimmed[0] == '#') {
     return Status::InvalidArgument("empty request");
@@ -231,7 +254,8 @@ Result<Request> ParseRequest(std::string_view line) {
   if (cmd == "show" || cmd == "exact" || cmd == "close") {
     if (tokens.size() != 2) {
       return Status::InvalidArgument(
-          StrFormat("%s: expected '%s <session>'", cmd.c_str(), cmd.c_str()));
+          StrFormat("%s: expected '%s <session>'", cmd.c_str(),
+                    cmd.c_str()));
     }
     uint64_t session;
     SMARTDD_ASSIGN_OR_RETURN(session, SessionArg(tokens));
@@ -242,7 +266,7 @@ Result<Request> ParseRequest(std::string_view line) {
   return Status::InvalidArgument(
       StrFormat("unknown command '%s' (try: open expand star collapse show "
                 "exact close ping)",
-                cmd.c_str()));
+                Preview(cmd).c_str()));
 }
 
 std::string EncodeNode(const NodeView& node) {

@@ -37,9 +37,20 @@ namespace smartdd::api {
 /// never crash the parser: every defect maps to an InvalidArgument Status
 /// naming the offending token.
 
+/// Default cap on request-line bytes. The parser serves untrusted socket
+/// peers, so a line is rejected up front when it exceeds the cap instead of
+/// being tokenized (and echoed back) at whatever size the peer chose.
+inline constexpr size_t kDefaultMaxRequestLineBytes = 8192;
+
 /// Parses one request line. Blank lines and lines starting with '#' return
 /// InvalidArgument("empty request") — callers typically skip them first.
-Result<Request> ParseRequest(std::string_view line);
+/// Lines longer than `max_line_bytes` are rejected with InvalidArgument;
+/// offending tokens echoed in any error message are truncated and stripped
+/// of non-printable bytes, so a hostile line can never smuggle its payload
+/// into a response.
+Result<Request> ParseRequest(
+    std::string_view line,
+    size_t max_line_bytes = kDefaultMaxRequestLineBytes);
 
 /// Encodes a response as one JSON line (no trailing newline).
 std::string EncodeResponse(const Response& response);

@@ -6,10 +6,38 @@
 #include <random>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "explore/engine.h"
 
 namespace smartdd::api {
+
+namespace {
+
+/// Process-wide session lifecycle counters (every registry reports into the
+/// same series; references are cached once, the registry is leaked-on-
+/// purpose, so these stay valid through static teardown).
+struct SessionCounters {
+  Counter& opened;
+  Counter& evicted;
+  Counter& closed;
+};
+
+SessionCounters& Counters() {
+  static SessionCounters* counters = new SessionCounters{
+      MetricsRegistry::Default().GetCounter(
+          "smartdd_sessions_opened_total",
+          "Sessions inserted into a session registry"),
+      MetricsRegistry::Default().GetCounter(
+          "smartdd_sessions_evicted_total",
+          "Sessions evicted by idle TTL or LRU capacity pressure"),
+      MetricsRegistry::Default().GetCounter(
+          "smartdd_sessions_closed_total",
+          "Sessions torn down by explicit close or registry shutdown")};
+  return *counters;
+}
+
+}  // namespace
 
 SessionRegistry::SessionRegistry() : SessionRegistry(Options{}) {}
 
@@ -72,6 +100,7 @@ Result<uint64_t> SessionRegistry::Insert(ExplorationSession session) {
           token = SplitMix64(token_state_);
         } while (token == 0 || sessions_.count(token) != 0);
         sessions_.emplace(token, std::move(entry));
+        Counters().opened.Inc();
         return token;
       }
       by_use.reserve(sessions_.size());
@@ -179,6 +208,7 @@ bool SessionRegistry::Evict(uint64_t token) {
     entry->async_queue = TaskScheduler::kInvalidQueue;
   }
   TeardownEntry(*entry, scheduler, async_queue);
+  Counters().closed.Inc();
   return true;
 }
 
@@ -246,6 +276,7 @@ bool SessionRegistry::TryEvictUnlessBusy(uint64_t token,
     sessions_.erase(token);
   }
   TeardownEntry(*entry, scheduler, async_queue);
+  Counters().evicted.Inc();
   return true;
 }
 

@@ -1,0 +1,161 @@
+#include "common/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+
+namespace {
+
+/// Prometheus sample value rendering: human-shaped (le="0.1", not
+/// le="0.10000000000000001") while keeping 15 significant digits, which
+/// round-trips every bound and sum we produce.
+std::string MetricNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return FormatDouble(v, 15);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SMARTDD_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // Lower-bound search; bounds ladders are short (tens of entries), so a
+  // linear scan beats binary search on branch prediction.
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  SMARTDD_CHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::CumulativeCount(size_t i) const {
+  SMARTDD_CHECK(i < bounds_.size());
+  uint64_t total = 0;
+  for (size_t b = 0; b <= i; ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> Histogram::LatencySeconds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+          1e-1, 2.5e-1, 5e-1, 1.0,  2.5,    5.0,  10.0, 25.0,   50.0,
+          100.0};
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instruments cached by objects destroyed during
+  // static teardown (shared schedulers, registries) must stay valid.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = Kind::kCounter;
+    family.help = std::string(help);
+    family.counter = std::make_unique<Counter>();
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  SMARTDD_CHECK(it->second.kind == Kind::kCounter)
+      << "metric '" << it->first << "' already registered with another kind";
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = Kind::kGauge;
+    family.help = std::string(help);
+    family.gauge = std::make_unique<Gauge>();
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  SMARTDD_CHECK(it->second.kind == Kind::kGauge)
+      << "metric '" << it->first << "' already registered with another kind";
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = Kind::kHistogram;
+    family.help = std::string(help);
+    family.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  SMARTDD_CHECK(it->second.kind == Kind::kHistogram)
+      << "metric '" << it->first << "' already registered with another kind";
+  return *it->second.histogram;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(family.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(family.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *family.histogram;
+        out += "# TYPE " + name + " histogram\n";
+        // One pass over the raw buckets: each bucket read once, running
+        // total accumulated, and the same total reused for +Inf/_count so
+        // the rendered series stays monotonic under concurrent Observes.
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          out += name + "_bucket{le=\"" + MetricNumber(h.bounds()[i]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.BucketCount(h.bounds().size());
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += name + "_sum " + MetricNumber(h.sum()) + "\n";
+        out += name + "_count " + std::to_string(cumulative) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+}  // namespace smartdd

@@ -1,0 +1,125 @@
+#ifndef SMARTDD_COMMON_METRICS_H_
+#define SMARTDD_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartdd {
+
+/// Lock-cheap operational metrics: a process-wide registry of named
+/// counters, gauges, and histograms, rendered in the Prometheus text
+/// exposition format by the HTTP server's GET /metrics. The hot path is a
+/// single relaxed atomic RMW per update — cheap enough to live inside the
+/// TaskScheduler worker loop and the epoll event loop; the registry mutex
+/// is only taken at registration and render time. Instruments are created
+/// once and never destroyed (components cache plain references), so
+/// updates from static-teardown stragglers stay safe.
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depth, open connections).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: each bucket counts
+/// observations <= its upper bound; +Inf is implicit). Bounds are fixed at
+/// registration, so Observe is branch-light and allocation-free.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; an empty list still tracks
+  /// sum/count (a +Inf-only histogram).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Raw (non-cumulative) hits in bucket i; i == bounds().size() is the
+  /// +Inf overflow bucket.
+  uint64_t BucketCount(size_t i) const;
+  /// Cumulative count of observations <= bounds()[i].
+  uint64_t CumulativeCount(size_t i) const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Latency bucket ladder used by the built-in instruments: 100us .. ~100s
+  /// in decade steps with 1-2.5-5 subdivisions.
+  static std::vector<double> LatencySeconds();
+
+ private:
+  std::vector<double> bounds_;
+  /// Non-cumulative per-bucket hits; bucket_[bounds_.size()] is the +Inf
+  /// overflow. Rendered cumulatively.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Named instrument registry. Get* registers on first use and returns the
+/// same instrument for the same name thereafter (the help text and bounds
+/// of the first registration win), so independent components may share one
+/// time series by naming it identically.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrument registers with.
+  /// Created on first use and intentionally leaked, so instruments cached
+  /// by objects destroyed during static teardown remain valid.
+  static MetricsRegistry& Default();
+
+  Counter& GetCounter(std::string_view name, std::string_view help);
+  Gauge& GetGauge(std::string_view name, std::string_view help);
+  Histogram& GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples), families
+  /// sorted by name. Counter/gauge values are live atomic reads; a
+  /// histogram's bucket/sum/count lines are each individually coherent but
+  /// not cut from one atomic snapshot (standard for lock-free collectors).
+  std::string RenderPrometheus() const;
+
+  /// Instrument count across all kinds (for tests).
+  size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  /// Ordered so RenderPrometheus output is deterministic.
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_COMMON_METRICS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 
 namespace smartdd {
 
@@ -13,6 +15,33 @@ namespace {
 thread_local const TaskScheduler* tls_running_scheduler = nullptr;
 thread_local TaskScheduler::QueueId tls_running_queue =
     TaskScheduler::kInvalidQueue;
+
+/// Process-wide scheduler instruments, aggregated across every
+/// TaskScheduler instance (per-engine schedulers, the shared singleton).
+struct SchedulerMetrics {
+  Gauge& queue_depth;
+  Histogram& task_seconds;
+};
+
+SchedulerMetrics& Metrics() {
+  static SchedulerMetrics* metrics = new SchedulerMetrics{
+      MetricsRegistry::Default().GetGauge(
+          "smartdd_scheduler_queue_depth",
+          "Background tasks queued or running across all task schedulers"),
+      MetricsRegistry::Default().GetHistogram(
+          "smartdd_scheduler_task_seconds",
+          "Run time of background tasks (prefetch passes, expansions)",
+          Histogram::LatencySeconds())};
+  return *metrics;
+}
+
+/// Runs one task with its latency observed.
+Status RunTimed(const std::function<Status()>& fn) {
+  WallTimer timer;
+  Status status = fn();
+  Metrics().task_seconds.Observe(timer.ElapsedSeconds());
+  return status;
+}
 }  // namespace
 
 TaskScheduler::TaskScheduler(size_t num_workers)
@@ -25,6 +54,11 @@ TaskScheduler::~TaskScheduler() {
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Tasks still queued at shutdown never run; return their depth so the
+  // process-wide gauge does not drift.
+  if (queued_or_running_ > 0) {
+    Metrics().queue_depth.Sub(static_cast<int64_t>(queued_or_running_));
+  }
 }
 
 TaskScheduler& TaskScheduler::Shared() {
@@ -92,6 +126,7 @@ void TaskScheduler::Submit(QueueId id, std::function<Status()> fn) {
     SMARTDD_CHECK(q != nullptr) << "Submit on unknown task queue " << id;
     q->tasks.push_back(std::move(fn));
     ++queued_or_running_;
+    Metrics().queue_depth.Add(1);
     // Lazy worker spawn: one thread per outstanding task until the cap.
     if (workers_.size() < max_workers_ &&
         workers_.size() < queued_or_running_) {
@@ -134,12 +169,13 @@ Status TaskScheduler::Drain(QueueId id) {
       lock.unlock();
       const QueueId outer = tls_running_queue;
       tls_running_queue = id;
-      Status s = fn();
+      Status s = RunTimed(fn);
       tls_running_queue = outer;
       lock.lock();
       q->running = false;
       q->last_status = std::move(s);
       --queued_or_running_;
+      Metrics().queue_depth.Sub(1);
       idle_cv_.notify_all();
     }
     Status last = q->last_status;
@@ -185,7 +221,7 @@ void TaskScheduler::WorkerLoop() {
     lock.unlock();
     tls_running_scheduler = this;
     tls_running_queue = q->id;
-    Status s = fn();
+    Status s = RunTimed(fn);
     tls_running_scheduler = nullptr;
     tls_running_queue = kInvalidQueue;
     lock.lock();
@@ -196,6 +232,7 @@ void TaskScheduler::WorkerLoop() {
     q->running = false;
     q->last_status = std::move(s);
     --queued_or_running_;
+    Metrics().queue_depth.Sub(1);
     idle_cv_.notify_all();
     if (!q->tasks.empty()) {
       work_cv_.notify_one();

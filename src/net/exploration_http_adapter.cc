@@ -1,0 +1,270 @@
+#include "net/exploration_http_adapter.h"
+
+#include <utility>
+#include <vector>
+
+#include "api/codec.h"
+#include "common/string_util.h"
+
+namespace smartdd::net {
+
+namespace {
+
+HttpResponse JsonResponse(int status, std::string body_line) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = std::move(body_line) + "\n";
+  return r;
+}
+
+HttpResponse CodecError(Status status) {
+  api::Response response;
+  int http = HttpStatusFor(status);
+  response.status = std::move(status);
+  return JsonResponse(http, api::EncodeResponse(response));
+}
+
+/// One SSE event: `event: <type>` + a single `data:` line (codec responses
+/// are newline-free by contract).
+std::string SseEvent(std::string_view type, std::string_view data) {
+  std::string out = "event: ";
+  out += type;
+  out += "\ndata: ";
+  out += data;
+  out += "\n\n";
+  return out;
+}
+
+/// Streams each greedy BRS step as an SSE `step` event and finishes with a
+/// `done` event carrying the same JSON envelope a synchronous expand would
+/// have returned. Write() returning false (slow client past the buffer
+/// cap, or a vanished connection) cancels the remaining steps — the engine
+/// worker moves on instead of blocking.
+class SseSink : public api::ProgressSink {
+ public:
+  explicit SseSink(std::shared_ptr<StreamWriter> stream)
+      : stream_(std::move(stream)) {}
+
+  bool OnStep(const api::NodeView& rule, size_t step, size_t k) override {
+    (void)k;
+    std::string id = StrFormat("id: %zu\n", step);
+    return stream_->Write(id + SseEvent("step", api::EncodeNode(rule)));
+  }
+
+  void OnDone(const api::Response& response) override {
+    stream_->Write(SseEvent("done", api::EncodeResponse(response)));
+    stream_->End();
+  }
+
+ private:
+  std::shared_ptr<StreamWriter> stream_;
+};
+
+/// Rejects bodies that try to smuggle extra codec lines: the HTTP surface
+/// is strictly one request per call.
+Result<std::string_view> SingleLineBody(const HttpRequest& request) {
+  std::string_view body = Trim(request.body);
+  if (body.find('\n') != std::string_view::npos ||
+      body.find('\r') != std::string_view::npos) {
+    return Status::InvalidArgument("request body must be a single line");
+  }
+  return body;
+}
+
+/// Minimal query-string accessor (no percent-decoding: tokens and node ids
+/// are plain [0-9a-f-] on this API).
+std::string QueryParam(std::string_view query, std::string_view name) {
+  for (std::string_view rest = query; !rest.empty();) {
+    size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      return std::string(pair.substr(eq + 1));
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kCapacityExceeded:
+      return 503;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+ExplorationHttpAdapter::ExplorationHttpAdapter(api::ExplorationService* service)
+    : service_(service) {
+  SMARTDD_CHECK(service_ != nullptr);
+}
+
+HttpHandler ExplorationHttpAdapter::AsHandler() {
+  return [this](const HttpRequest& request,
+                const std::shared_ptr<StreamWriter>& stream) {
+    return Handle(request, stream);
+  };
+}
+
+HttpResponse ExplorationHttpAdapter::ServeCodecLine(std::string_view verb,
+                                                    std::string_view body) {
+  std::string line(verb);
+  if (!body.empty()) {
+    line += ' ';
+    line += body;
+  }
+  auto request = api::ParseRequest(line);
+  if (!request.ok()) return CodecError(request.status());
+  api::Response response = service_->Execute(*request);
+  return JsonResponse(HttpStatusFor(response.status),
+                      api::EncodeResponse(response));
+}
+
+HttpResponse ExplorationHttpAdapter::ServeExpandStream(
+    const HttpRequest& request, const std::shared_ptr<StreamWriter>& stream) {
+  std::string args;
+  if (request.method == "POST") {
+    auto body = SingleLineBody(request);
+    if (!body.ok()) return CodecError(body.status());
+    args = std::string(*body);
+  } else {
+    args = QueryParam(request.query, "session");
+    std::string node = QueryParam(request.query, "node");
+    if (args.empty() || node.empty()) {
+      return CodecError(Status::InvalidArgument(
+          "expand stream requires session= and node= query parameters"));
+    }
+    args += ' ';
+    args += node;
+    std::string column = QueryParam(request.query, "column");
+    if (!column.empty()) {
+      args += ' ';
+      args += column;
+    }
+  }
+  // 2 tokens = smart expand, 3 = star expand; the codec validates both.
+  size_t tokens = 0;
+  for (const std::string& t : Split(args, ' ')) tokens += t.empty() ? 0 : 1;
+  auto parsed = api::ParseRequest(
+      std::string(tokens >= 3 ? "star " : "expand ") + args);
+  if (!parsed.ok()) return CodecError(parsed.status());
+  const auto* expand = std::get_if<api::ExpandRequest>(&*parsed);
+  if (expand == nullptr) {
+    return CodecError(Status::InvalidArgument("not an expand request"));
+  }
+
+  if (!stream->Begin(200, "text/event-stream")) {
+    return CodecError(Status::Internal("client disconnected"));
+  }
+  auto sink = std::make_shared<SseSink>(stream);
+  Status submitted = service_->SubmitExpand(*expand, sink);
+  if (!submitted.ok()) {
+    // The sink will never hear OnDone; finish the stream ourselves with
+    // the same envelope shape.
+    api::Response response;
+    response.status = submitted;
+    sink->OnDone(response);
+  }
+  return HttpResponse::Streaming();
+}
+
+HttpResponse ExplorationHttpAdapter::Handle(
+    const HttpRequest& request, const std::shared_ptr<StreamWriter>& stream) {
+  const std::string& path = request.path;
+
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      return JsonResponse(405, "{\"ok\":false,\"error\":{\"code\":"
+                               "\"INVALID_ARGUMENT\",\"message\":\"GET "
+                               "only\"}}");
+    }
+    HttpResponse r;
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = "ok\n";
+    return r;
+  }
+  if (path == "/metrics") {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = MetricsRegistry::Default().RenderPrometheus();
+    return r;
+  }
+  if (path == "/") {
+    HttpResponse r;
+    r.content_type = "text/plain; charset=utf-8";
+    r.body =
+        "smartdd HTTP API\n"
+        "  POST /v1/open          open k=.. [dataset=..] args\n"
+        "  POST /v1/expand        <session> <node>\n"
+        "  POST /v1/expandstar    <session> <node> <column>\n"
+        "  POST /v1/collapse      <session> <node>\n"
+        "  POST /v1/tree          <session>\n"
+        "  POST /v1/exact         <session>\n"
+        "  POST /v1/close         <session>\n"
+        "  GET|POST /v1/expand/stream   SSE greedy steps\n"
+        "  GET /healthz  GET /metrics\n";
+    return r;
+  }
+
+  if (path == "/v1/expand/stream") {
+    if (request.method != "GET" && request.method != "POST") {
+      HttpResponse r = CodecError(Status::InvalidArgument("use GET or POST"));
+      r.status = 405;
+      return r;
+    }
+    return ServeExpandStream(request, stream);
+  }
+  if (path == "/v1/ping") {
+    if (request.method != "GET" && request.method != "POST") {
+      HttpResponse r = CodecError(Status::InvalidArgument("use GET or POST"));
+      r.status = 405;
+      return r;
+    }
+    return ServeCodecLine("ping", "");
+  }
+
+  struct Route {
+    const char* path;
+    const char* verb;
+  };
+  static constexpr Route kRoutes[] = {
+      {"/v1/open", "open"},         {"/v1/expand", "expand"},
+      {"/v1/expandstar", "star"},   {"/v1/collapse", "collapse"},
+      {"/v1/tree", "show"},         {"/v1/exact", "exact"},
+      {"/v1/close", "close"},
+  };
+  for (const Route& route : kRoutes) {
+    if (path != route.path) continue;
+    if (request.method != "POST") {
+      HttpResponse r = CodecError(
+          Status::InvalidArgument(StrFormat("%s requires POST", route.path)));
+      r.status = 405;
+      return r;
+    }
+    auto body = SingleLineBody(request);
+    if (!body.ok()) return CodecError(body.status());
+    return ServeCodecLine(route.verb, *body);
+  }
+
+  return CodecError(
+      Status::NotFound(StrFormat("no route for '%s' (see GET /)",
+                                 request.path.c_str())));
+}
+
+}  // namespace smartdd::net

@@ -1,0 +1,71 @@
+#ifndef SMARTDD_NET_EXPLORATION_HTTP_ADAPTER_H_
+#define SMARTDD_NET_EXPLORATION_HTTP_ADAPTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "api/service.h"
+#include "net/http_server.h"
+
+namespace smartdd::net {
+
+/// The HTTP face of smart drill-down: a thin adapter mapping routes onto
+/// the transport-agnostic api::ExplorationService. Request bodies are
+/// api/codec argument lines (the verb comes from the path), responses are
+/// the codec's one-line JSON envelopes — so the HTTP surface is
+/// byte-identical to the scripted wire protocol and inherits its parser
+/// hardening.
+///
+/// Routes:
+///   POST /v1/open           body: open arguments (k=3 dataset=... ...)
+///   POST /v1/expand         body: <session> <node>
+///   POST /v1/expandstar     body: <session> <node> <column>
+///   POST /v1/collapse       body: <session> <node>
+///   POST /v1/tree           body: <session>          (codec `show`)
+///   POST /v1/exact          body: <session>
+///   POST /v1/close          body: <session>
+///   GET|POST /v1/ping
+///   GET|POST /v1/expand/stream   SSE: one `step` event per greedy BRS
+///        rule as it lands, then one `done` event with the full response.
+///        POST body: <session> <node> [<column>]; GET query:
+///        session=<token>&node=<id>[&column=<c>]. Rides
+///        ExplorationService::SubmitExpand — the expansion runs on the
+///        engine's fair scheduler and a slow client cancels it via stream
+///        backpressure instead of blocking an engine worker.
+///   GET /healthz            liveness probe
+///   GET /metrics            Prometheus text format (common/metrics)
+///   GET /                   human-readable endpoint index
+///
+/// HTTP status codes mirror the wire Status codes (400 InvalidArgument /
+/// OutOfRange, 404 NotFound, 503 CapacityExceeded, 501 Unimplemented,
+/// 500 IOError/Internal); the JSON body always carries the stable wire
+/// error code, so thin clients may ignore HTTP-level status entirely.
+///
+/// The service (and its engines) must outlive the adapter and the server.
+class ExplorationHttpAdapter {
+ public:
+  explicit ExplorationHttpAdapter(api::ExplorationService* service);
+
+  /// Binds this adapter as an HttpServer handler.
+  HttpHandler AsHandler();
+
+  /// The handler body (exposed for direct testing without sockets).
+  HttpResponse Handle(const HttpRequest& request,
+                      const std::shared_ptr<StreamWriter>& stream);
+
+ private:
+  /// Parses `verb + body-as-arguments` through the codec and executes it.
+  HttpResponse ServeCodecLine(std::string_view verb, std::string_view body);
+  HttpResponse ServeExpandStream(const HttpRequest& request,
+                                 const std::shared_ptr<StreamWriter>& stream);
+
+  api::ExplorationService* service_;
+};
+
+/// Maps a wire Status code onto the HTTP status the adapter answers with.
+int HttpStatusFor(const Status& status);
+
+}  // namespace smartdd::net
+
+#endif  // SMARTDD_NET_EXPLORATION_HTTP_ADAPTER_H_

@@ -1,0 +1,220 @@
+#include "net/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace smartdd::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Finds the end of the next line in `buffer` starting at 0. Returns npos
+/// when no full line is buffered yet; otherwise sets `*line` to the line
+/// content (CR/LF stripped — bare LF is tolerated, as curl-generated
+/// traffic is CRLF but hand-rolled test clients often are not) and returns
+/// the index one past the terminator.
+size_t NextLine(std::string_view buffer, std::string_view* line) {
+  size_t nl = buffer.find('\n');
+  if (nl == std::string_view::npos) return std::string_view::npos;
+  size_t end = nl;
+  if (end > 0 && buffer[end - 1] == '\r') --end;
+  *line = buffer.substr(0, end);
+  return nl + 1;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpParser::Reset() {
+  phase_ = Phase::kRequestLine;
+  started_ = false;
+  expects_continue_ = false;
+  header_bytes_ = 0;
+  content_length_ = 0;
+  request_ = HttpRequest{};
+  error_status_ = 0;
+  error_.clear();
+}
+
+HttpParser::State HttpParser::Fail(int status, std::string message) {
+  phase_ = Phase::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+  return State::kError;
+}
+
+HttpParser::State HttpParser::ParseRequestLine(std::string_view line) {
+  // METHOD SP target SP HTTP/1.x — anything else is a 400.
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size()) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+    request_.keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+    request_.keep_alive = false;
+  } else {
+    return Fail(505, "unsupported HTTP version");
+  }
+  size_t q = request_.target.find('?');
+  request_.path = request_.target.substr(0, q);
+  request_.query =
+      q == std::string::npos ? std::string() : request_.target.substr(q + 1);
+  phase_ = Phase::kHeaders;
+  return State::kNeedMore;
+}
+
+HttpParser::State HttpParser::ParseHeaderLine(std::string_view line) {
+  if (line.empty()) return FinishHeaders();
+  if (request_.headers.size() >= limits_.max_headers) {
+    return Fail(431, "too many headers");
+  }
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Fail(400, "malformed header line");
+  }
+  std::string name = ToLower(Trim(line.substr(0, colon)));
+  if (name.find(' ') != std::string::npos ||
+      name.find('\t') != std::string::npos) {
+    return Fail(400, "whitespace in header name");
+  }
+  request_.headers.emplace_back(std::move(name),
+                                std::string(Trim(line.substr(colon + 1))));
+  return State::kNeedMore;
+}
+
+HttpParser::State HttpParser::FinishHeaders() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    // Chunked *requests* are not worth the attack surface for a line-based
+    // API; chunked responses are the server's side of the protocol.
+    return Fail(501, "transfer-encoding request bodies are not supported");
+  }
+  if (const std::string* value = request_.FindHeader("content-length")) {
+    // Duplicate Content-Length headers are a request-smuggling vector: an
+    // intermediary framing by one copy and this server by another would
+    // desynchronize the keep-alive stream. Reject them (RFC 9112 §6.3).
+    size_t copies = 0;
+    for (const auto& [name, v] : request_.headers) {
+      if (name == "content-length") ++copies;
+    }
+    if (copies > 1) return Fail(400, "duplicate Content-Length");
+    auto parsed = ParseInt64(*value);
+    if (!parsed.ok() || *parsed < 0) {
+      return Fail(400, "malformed Content-Length");
+    }
+    if (static_cast<uint64_t>(*parsed) > limits_.max_body_bytes) {
+      return Fail(413, "request body exceeds the configured limit");
+    }
+    content_length_ = static_cast<size_t>(*parsed);
+  }
+  if (const std::string* expect = request_.FindHeader("expect")) {
+    if (ToLower(*expect) == "100-continue") {
+      expects_continue_ = content_length_ > 0;
+    } else {
+      return Fail(417, "unsupported Expect");
+    }
+  }
+  if (const std::string* value = request_.FindHeader("connection")) {
+    std::string token = ToLower(*value);
+    if (token.find("close") != std::string::npos) {
+      request_.keep_alive = false;
+    } else if (token.find("keep-alive") != std::string::npos) {
+      request_.keep_alive = true;
+    }
+  }
+  phase_ = Phase::kBody;
+  return State::kNeedMore;
+}
+
+HttpParser::State HttpParser::Consume(std::string* buffer) {
+  // Parse from a moving offset and erase once at the end: erasing the
+  // buffer per header line would memmove the (possibly megabyte) buffered
+  // body once per header — quadratic work on the event-loop thread.
+  size_t pos = 0;
+  State state = Run(*buffer, &pos);
+  if (pos > 0) buffer->erase(0, pos);
+  return state;
+}
+
+HttpParser::State HttpParser::Run(const std::string& buffer, size_t* pos) {
+  while (true) {
+    std::string_view rest = std::string_view(buffer).substr(*pos);
+    switch (phase_) {
+      case Phase::kDone:
+        return State::kDone;
+      case Phase::kError:
+        return State::kError;
+      case Phase::kRequestLine: {
+        if (!rest.empty()) started_ = true;
+        std::string_view line;
+        size_t consumed = NextLine(rest, &line);
+        if (consumed == std::string_view::npos) {
+          if (rest.size() > limits_.max_request_line_bytes) {
+            return Fail(414, "request line exceeds the configured limit");
+          }
+          return State::kNeedMore;
+        }
+        if (line.size() > limits_.max_request_line_bytes) {
+          return Fail(414, "request line exceeds the configured limit");
+        }
+        *pos += consumed;
+        // Tolerate leading blank lines between keep-alive requests
+        // (RFC 9112 §2.2 asks servers to skip at least one).
+        if (line.empty()) continue;
+        if (ParseRequestLine(line) == State::kError) return State::kError;
+        continue;
+      }
+      case Phase::kHeaders: {
+        std::string_view line;
+        size_t consumed = NextLine(rest, &line);
+        if (consumed == std::string_view::npos) {
+          if (rest.size() + header_bytes_ > limits_.max_header_bytes) {
+            return Fail(431, "header block exceeds the configured limit");
+          }
+          return State::kNeedMore;
+        }
+        header_bytes_ += consumed;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          return Fail(431, "header block exceeds the configured limit");
+        }
+        *pos += consumed;
+        if (ParseHeaderLine(line) == State::kError) return State::kError;
+        continue;
+      }
+      case Phase::kBody: {
+        if (rest.size() < content_length_) return State::kNeedMore;
+        request_.body = std::string(rest.substr(0, content_length_));
+        *pos += content_length_;
+        phase_ = Phase::kDone;
+        return State::kDone;
+      }
+    }
+  }
+}
+
+}  // namespace smartdd::net

@@ -1,0 +1,124 @@
+#ifndef SMARTDD_NET_HTTP_PARSER_H_
+#define SMARTDD_NET_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smartdd::net {
+
+/// Byte budgets for one request, enforced incrementally so a hostile peer
+/// can never make the server buffer unbounded input (the untrusted-bytes
+/// counterpart of the api/codec line-length cap).
+struct HttpLimits {
+  /// Request line (method + target + version), bytes before CRLF.
+  size_t max_request_line_bytes = 8192;
+  /// Whole header block, bytes.
+  size_t max_header_bytes = 16384;
+  /// Header count.
+  size_t max_headers = 64;
+  /// Content-Length bodies above this are rejected with 413. The default
+  /// tracks what the /v1 routes can actually accept — bodies are codec
+  /// argument lines capped at api::kDefaultMaxRequestLineBytes (8KB) — so
+  /// the server never buffers megabytes no route could use; raise it for
+  /// handlers with genuinely large payloads.
+  size_t max_body_bytes = 16384;
+
+  /// Total bytes the server will buffer from a connection before pausing
+  /// reads (TCP backpressure): everything one request may legally need,
+  /// plus slack for a pipelined follower's first lines.
+  size_t input_budget() const {
+    return max_request_line_bytes + max_header_bytes + max_body_bytes + 4096;
+  }
+};
+
+/// One parsed request. Header names are lowercased (HTTP headers are
+/// case-insensitive); values keep their bytes, trimmed of surrounding
+/// whitespace.
+struct HttpRequest {
+  std::string method;
+  /// Raw request target, plus its path/query split at the first '?'.
+  std::string target;
+  std::string path;
+  std::string query;
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close; "Connection:" overrides either way.
+  bool keep_alive = true;
+
+  /// First value of header `name` (lowercase), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Incremental HTTP/1.1 request parser: a small state machine fed from a
+/// connection's input buffer. Consume() eats as many bytes as it can and
+/// stops at kDone (one full request parsed — pipelined followers stay in
+/// the buffer for the next Reset()+Consume()), kNeedMore, or kError with an
+/// HTTP status code describing the defect (400 syntax, 413 body too large,
+/// 414 request line too long, 431 headers too large, 501 unsupported
+/// transfer encoding, 505 bad version).
+class HttpParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  explicit HttpParser(HttpLimits limits = {});
+
+  /// Parses from the front of `buffer`, erasing consumed bytes. Idempotent
+  /// after kDone/kError (returns the same state without consuming more).
+  State Consume(std::string* buffer);
+
+  /// Valid after kDone.
+  const HttpRequest& request() const { return request_; }
+  /// Valid after kError.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  /// True once any request byte has been consumed (an idle-timeout sweep
+  /// distinguishes a quiet keep-alive connection from a stalled request).
+  bool mid_request() const { return phase_ != Phase::kRequestLine || started_; }
+
+  /// One-shot: true if the request announced `Expect: 100-continue` and the
+  /// interim response has not been claimed yet. The server consults this
+  /// when a body is still outstanding and answers `100 Continue`, so
+  /// standard clients (curl sends the header for bodies over ~1KB) do not
+  /// stall out their expect timeout before transmitting.
+  bool TakeExpectContinue() {
+    bool take = expects_continue_;
+    expects_continue_ = false;
+    return take;
+  }
+
+  /// Forgets the parsed request and starts over on the next request
+  /// (keep-alive reuse).
+  void Reset();
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody, kDone, kError };
+
+  State Fail(int status, std::string message);
+  /// Consume's erase-free core: parses `buffer` from `*pos`, advancing it
+  /// past whatever was consumed.
+  State Run(const std::string& buffer, size_t* pos);
+  State ParseRequestLine(std::string_view line);
+  State ParseHeaderLine(std::string_view line);
+  /// Validates Content-Length/Transfer-Encoding once the blank line lands.
+  State FinishHeaders();
+
+  HttpLimits limits_;
+  Phase phase_ = Phase::kRequestLine;
+  bool started_ = false;
+  bool expects_continue_ = false;
+  size_t header_bytes_ = 0;
+  size_t content_length_ = 0;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+}  // namespace smartdd::net
+
+#endif  // SMARTDD_NET_HTTP_PARSER_H_

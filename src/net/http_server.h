@@ -1,0 +1,231 @@
+#ifndef SMARTDD_NET_HTTP_SERVER_H_
+#define SMARTDD_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/http_parser.h"
+
+namespace smartdd::net {
+
+class HttpServer;
+/// Shared state co-owned by the server and every live StreamWriter
+/// (in-flight accounting, event-loop wakeups, stream metrics), so a stream
+/// finishing after the server object is gone — an expansion that outlived
+/// the shutdown drain window — touches only memory it co-owns, never the
+/// destroyed server. Defined in http_server.cc.
+struct ServerCore;
+
+struct HttpServerOptions {
+  /// Address/port to listen on; port 0 binds an ephemeral port (read it
+  /// back from HttpServer::port() after Start()).
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+  /// Threads running request handlers. Engine-bound work (SubmitExpand)
+  /// rides the engine's own scheduler, so a handful is plenty.
+  size_t worker_threads = 4;
+  /// Accepted connections beyond this are answered 503 and closed.
+  size_t max_connections = 1024;
+  /// Requests dispatched-but-unfinished (including open SSE streams) beyond
+  /// this are shed with 503 instead of queued — bounded work, bounded queue.
+  size_t max_inflight_requests = 64;
+  /// Connections with a stalled request (slow loris) or no request at all
+  /// are closed after this long; 0 disables. Handling/streaming connections
+  /// are exempt — a long expansion is work, not idleness.
+  uint64_t idle_timeout_ms = 30000;
+  /// Per-connection cap on buffered unsent stream bytes. A slow SSE reader
+  /// that falls this far behind has its stream cancelled (the expansion's
+  /// ProgressSink sees false) rather than blocking an engine worker.
+  size_t max_stream_buffer_bytes = 256 * 1024;
+  /// How long Shutdown() waits for in-flight requests/streams to drain
+  /// before closing their connections anyway.
+  uint64_t drain_timeout_ms = 10000;
+  HttpLimits limits;
+};
+
+/// A buffered (non-streaming) response. `status` 0 is the streaming marker:
+/// the handler took ownership of the StreamWriter and the response is
+/// whatever it writes (see HttpResponse::Streaming()).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  /// Extra headers beyond Content-Type/Content-Length/Connection.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+
+  static HttpResponse Streaming() {
+    HttpResponse r;
+    r.status = 0;
+    return r;
+  }
+};
+
+/// Incremental response channel for streaming handlers (SSE). Thread-safe;
+/// writable from any thread (an engine worker inside a ProgressSink, long
+/// after the handler returned). Never blocks: bytes land in the
+/// connection's outbound buffer and the epoll loop flushes them as the
+/// client drains. Once the buffered backlog exceeds
+/// max_stream_buffer_bytes, the stream flips to cancelled — Write returns
+/// false (the caller should stop producing) and End() tears the connection
+/// down instead of waiting on a reader that is not reading.
+class StreamWriter {
+ public:
+  /// Opaque per-connection state, defined in http_server.cc.
+  struct Conn;
+
+  ~StreamWriter();
+
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  /// Sends the status line + headers (Transfer-Encoding: chunked on
+  /// HTTP/1.1). Must be called once, before Write. Returns false if the
+  /// client is already gone.
+  bool Begin(int status, std::string_view content_type);
+
+  /// Appends one chunk. Returns false once cancelled (buffer cap exceeded)
+  /// or the connection died; the caller should stop streaming.
+  bool Write(std::string_view data);
+
+  /// Terminates the stream (final chunk on HTTP/1.1) and completes the
+  /// request. Idempotent. Called by the destructor if forgotten, so an
+  /// abandoned stream can never leak the in-flight slot.
+  void End();
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  friend class HttpServer;
+  StreamWriter(std::shared_ptr<ServerCore> core, std::shared_ptr<Conn> conn,
+               bool chunked, bool keep_alive);
+
+  std::shared_ptr<ServerCore> core_;
+  std::shared_ptr<Conn> conn_;
+  const bool chunked_;
+  const bool keep_alive_;
+  std::atomic<bool> begun_{false};
+  std::atomic<bool> ended_{false};
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The request handler. Runs on a server worker thread. Return a buffered
+/// HttpResponse, or call stream->Begin(...) and return
+/// HttpResponse::Streaming() to produce the body incrementally (the stream
+/// may outlive the handler call; End() completes the request).
+using HttpHandler = std::function<HttpResponse(
+    const HttpRequest&, const std::shared_ptr<StreamWriter>&)>;
+
+/// A non-blocking, epoll-driven HTTP/1.1 server: one event-loop thread owns
+/// every socket (accept, read, parse, flush, timeouts) and a small worker
+/// pool runs handlers, so a slow client can never wedge the loop and a slow
+/// handler can never wedge other connections' I/O. Supports keep-alive with
+/// pipelining (responses serialize in request order — at most one request
+/// per connection is in flight), chunked streaming responses, bounded
+/// request parsing (see HttpLimits), connection/in-flight caps with 503
+/// load shedding, slow-loris idle timeouts, and graceful drain-then-close
+/// shutdown. Instrumented via common/metrics (smartdd_http_*).
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler, HttpServerOptions options = {});
+  /// Calls Shutdown() if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the event loop + workers. IOError on any
+  /// socket failure (port in use, bad address).
+  Status Start();
+
+  /// Graceful shutdown: closes the listener, answers further requests on
+  /// live connections with 503, waits up to drain_timeout_ms for in-flight
+  /// requests and streams to finish, then closes everything and joins.
+  /// Idempotent; safe to call from any thread except a handler.
+  void Shutdown();
+
+  /// The bound port (after Start()); useful with port 0.
+  uint16_t port() const { return port_; }
+
+  /// True between successful Start() and Shutdown().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Live accepted connections (for tests).
+  size_t open_connections() const;
+
+  /// Requests dispatched or streaming, not yet complete (for tests).
+  size_t inflight_requests() const;
+
+ private:
+  friend class StreamWriter;
+  using Conn = StreamWriter::Conn;
+
+  void EventLoop();
+  void WorkerLoop();
+  void AcceptAll();
+  void HandleIo(const std::shared_ptr<Conn>& conn, uint32_t events);
+  /// Parses buffered input and dispatches at most one request.
+  void Advance(const std::shared_ptr<Conn>& conn);
+  void DispatchRequest(const std::shared_ptr<Conn>& conn);
+  /// Serializes a buffered response for the current request into the
+  /// connection's outbound buffer and marks the request complete. Safe from
+  /// any thread.
+  void CompleteRequest(const std::shared_ptr<Conn>& conn,
+                       const HttpResponse& response, bool keep_alive);
+  /// Writes as much pending output as the socket accepts; arms EPOLLOUT
+  /// when it blocks. Event-loop thread only.
+  void FlushOut(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void SweepIdle(uint64_t now_ms);
+  /// True when any connection still has unsent bytes (event-loop thread).
+  bool AnyPendingOut();
+
+  const HttpHandler handler_;
+  const HttpServerOptions options_;
+  /// Co-owned by every StreamWriter; see ServerCore.
+  const std::shared_ptr<ServerCore> core_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex tasks_mu_;
+  std::condition_variable tasks_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool workers_stop_ = false;
+
+  /// Event-loop-thread-only connection table.
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> open_conns_{0};
+
+  // smartdd_http_* instruments (process-wide registry).
+  Counter& requests_total_;
+  Counter& shed_total_;
+  Counter& parse_errors_total_;
+  Counter& connections_total_;
+  Gauge& connections_open_;
+};
+
+}  // namespace smartdd::net
+
+#endif  // SMARTDD_NET_HTTP_SERVER_H_

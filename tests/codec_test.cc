@@ -144,5 +144,70 @@ TEST(CodecTest, FractionalMassesKeepFullPrecision) {
   EXPECT_NE(encoded.find("0.30000000000000004"), std::string::npos) << encoded;
 }
 
+// --- untrusted-bytes hardening (the parser fronts raw sockets) ----------
+
+TEST(CodecHardeningTest, RejectsRequestLinesOverTheLimit) {
+  std::string line = "expand " + std::string(kDefaultMaxRequestLineBytes, 'a');
+  auto r = ParseRequest(line);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("exceeds"), std::string::npos);
+  // The oversized payload must NOT be echoed back.
+  EXPECT_LT(r.status().message().size(), 256u);
+
+  // The cap is configurable per call site.
+  EXPECT_FALSE(ParseRequest("ping", /*max_line_bytes=*/3).ok());
+  EXPECT_TRUE(ParseRequest("ping", /*max_line_bytes=*/4).ok());
+}
+
+TEST(CodecHardeningTest, GarbageTokensAreTruncatedAndSanitizedInErrors) {
+  // A long hostile token inside an otherwise in-limit line: the error may
+  // only echo a short, printable preview.
+  std::string garbage(600, 'z');
+  garbage[1] = '\x01';
+  garbage[2] = '\x7f';
+  auto r = ParseRequest("expand " + garbage + " 0");
+  ASSERT_FALSE(r.ok());
+  const std::string& message = r.status().message();
+  EXPECT_LT(message.size(), 160u) << message;
+  EXPECT_NE(message.find("..."), std::string::npos) << message;
+  for (char c : message) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << message;
+  }
+
+  // Same discipline for unknown commands and malformed open arguments.
+  auto cmd = ParseRequest(std::string(500, 'q'));
+  ASSERT_FALSE(cmd.ok());
+  EXPECT_LT(cmd.status().message().size(), 160u);
+  auto open = ParseRequest("open " + std::string(400, '!'));
+  ASSERT_FALSE(open.ok());
+  EXPECT_LT(open.status().message().size(), 160u);
+}
+
+TEST(CodecHardeningTest, ControlCharactersAreEscapedInEncodedResponses) {
+  // Control bytes that reach a response (via labels or error messages) must
+  // come out as JSON escapes, never raw bytes that could split the
+  // one-line-per-response framing.
+  NodeView node;
+  node.label = "bad\nlabel\x01with\tctl";
+  node.cells = {"a\rb"};
+  std::string encoded = EncodeNode(node);
+  EXPECT_EQ(encoded.find('\n'), std::string::npos);
+  EXPECT_EQ(encoded.find('\r'), std::string::npos);
+  EXPECT_EQ(encoded.find('\x01'), std::string::npos);
+  EXPECT_NE(encoded.find("\\n"), std::string::npos);
+  EXPECT_NE(encoded.find("\\u0001"), std::string::npos);
+  EXPECT_NE(encoded.find("\\r"), std::string::npos);
+  EXPECT_NE(encoded.find("\\t"), std::string::npos);
+
+  Response response;
+  response.status =
+      Status::InvalidArgument("defect\twith \"quotes\" and\nnewline");
+  std::string line = EncodeResponse(response);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  EXPECT_NE(line.find("\\\"quotes\\\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\\n"), std::string::npos) << line;
+}
+
 }  // namespace
 }  // namespace smartdd::api
