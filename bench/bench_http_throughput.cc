@@ -8,7 +8,10 @@
 // versus over loopback HTTP — the epoll layer should add tens of
 // microseconds per request, not milliseconds (compare against
 // bench_service_throughput's codec-overhead probe for the full stack
-// decomposition: engine -> +codec/registry -> +socket).
+// decomposition: engine -> +codec/registry -> +socket). A final degraded
+// stage reruns the path under an injected fault schedule (dispatch
+// latency, tight in-flight cap, pre-expired deadlines) and reports
+// p50/p99 alongside the shed and partial-response rates.
 //
 // Env knobs: SMARTDD_HTTP_ROWS (default 150000), SMARTDD_HTTP_SESSIONS
 // (sessions per client thread, default 8).
@@ -30,6 +33,7 @@
 #include "api/codec.h"
 #include "api/service.h"
 #include "bench/bench_util.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "data/synth.h"
@@ -254,6 +258,107 @@ int main(int argc, char** argv) {
                    Percentile(all, 0.95), "clients",
                    "p95 expand latency over HTTP (ms)");
     std::printf("\n");
+  }
+
+  // --- Degraded-mode stage -----------------------------------------------
+  // The same serving path under chaos: every dispatch pays an injected
+  // latency fault (the in-memory engine has no disk to slow down, so the
+  // HTTP tier stands in for slow I/O), a deliberately tight in-flight cap
+  // provokes load shedding, and half the expands carry a pre-expired
+  // deadline so the degrade path (partial trees as 200s) is on the hot
+  // path. Reported: p50/p99 expand latency plus the shed and partial rates
+  // — the robustness counterpart to the clean-path numbers above.
+  {
+    const size_t clients = 8;
+    EngineOptions engine_options;
+    engine_options.num_threads = Flags().threads;
+    ExplorationEngine engine(table, weight, engine_options);
+    api::ExplorationService service;
+    SMARTDD_CHECK(service.AddEngine("bench", &engine).ok());
+    net::ExplorationHttpAdapter adapter(&service);
+    net::HttpServerOptions server_options;
+    server_options.max_inflight_requests = clients / 2;
+    net::HttpServer server(adapter.AsHandler(), server_options);
+    SMARTDD_CHECK(server.Start().ok());
+
+    FaultRegistry::Default().DisarmAll();
+    SMARTDD_CHECK(
+        FaultRegistry::Default().ArmFromSpec("http.dispatch=latency:2:0").ok());
+    const uint64_t fired_before =
+        FaultRegistry::Default().fired("http.dispatch");
+
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<size_t> responses(clients, 0);
+    std::vector<size_t> sheds(clients, 0);
+    std::vector<size_t> partials(clients, 0);
+    {
+      std::vector<std::thread> threads;
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c]() {
+          BenchClient client(server.port());
+          auto tally = [&](const std::string& body) {
+            ++responses[c];
+            if (body.find("CAPACITY_EXCEEDED") != std::string::npos) {
+              ++sheds[c];
+            }
+            if (body.find("\"partial\":true") != std::string::npos) {
+              ++partials[c];
+            }
+            return body;
+          };
+          for (uint64_t i = 0; i < sessions_per_client; ++i) {
+            std::string open = tally(client.Post("/v1/open", "k=3"));
+            size_t at = open.find("\"session\":\"");
+            if (at == std::string::npos) continue;  // shed; next session
+            std::string token = open.substr(at + 11, 16);
+            for (int node : {0, 1}) {
+              // Alternate an ample budget with a pre-expired one: the
+              // latter always degrades, keeping the partial path hot.
+              const char* deadline =
+                  ((i + static_cast<uint64_t>(node)) % 2 == 0)
+                      ? " deadline_ms=50"
+                      : " deadline_ms=0.0001";
+              WallTimer t;
+              tally(client.Post("/v1/expand", token + " " +
+                                                  std::to_string(node) +
+                                                  deadline));
+              latencies[c].push_back(t.ElapsedMillis());
+            }
+            tally(client.Post("/v1/close", token));
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    FaultRegistry::Default().DisarmAll();
+    server.Shutdown();
+    SMARTDD_CHECK(service.num_sessions() == 0) << "sessions leaked";
+
+    std::vector<double> all;
+    size_t total = 0, shed = 0, partial = 0;
+    for (size_t c = 0; c < clients; ++c) {
+      all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+      total += responses[c];
+      shed += sheds[c];
+      partial += partials[c];
+    }
+    const double denom = total > 0 ? static_cast<double>(total) : 1.0;
+    PrintSeriesRow("degraded_p50_expand_ms", static_cast<double>(clients),
+                   Percentile(all, 0.50), "clients",
+                   "p50 expand latency under fault schedule (ms)");
+    PrintSeriesRow("degraded_p99_expand_ms", static_cast<double>(clients),
+                   Percentile(all, 0.99), "clients",
+                   "p99 expand latency under fault schedule (ms)");
+    PrintSeriesRow("degraded_shed_rate", static_cast<double>(clients),
+                   static_cast<double>(shed) / denom, "clients",
+                   "fraction of responses shed with CAPACITY_EXCEEDED");
+    PrintSeriesRow("degraded_partial_rate", static_cast<double>(clients),
+                   static_cast<double>(partial) / denom, "clients",
+                   "fraction of responses degraded to partial trees");
+    std::printf("faults injected at http.dispatch: %llu\n\n",
+                static_cast<unsigned long long>(
+                    FaultRegistry::Default().fired("http.dispatch") -
+                    fired_before));
   }
 
   std::printf("http throughput bench done\n");

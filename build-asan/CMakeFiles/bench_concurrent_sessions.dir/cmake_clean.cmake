@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_sessions.dir/bench/bench_concurrent_sessions.cc.o"
+  "CMakeFiles/bench_concurrent_sessions.dir/bench/bench_concurrent_sessions.cc.o.d"
+  "bench_concurrent_sessions"
+  "bench_concurrent_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

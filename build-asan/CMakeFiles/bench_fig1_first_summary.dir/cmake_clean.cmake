@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_first_summary.dir/bench/bench_fig1_first_summary.cc.o"
+  "CMakeFiles/bench_fig1_first_summary.dir/bench/bench_fig1_first_summary.cc.o.d"
+  "bench_fig1_first_summary"
+  "bench_fig1_first_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_first_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

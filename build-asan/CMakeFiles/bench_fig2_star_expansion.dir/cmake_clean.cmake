@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_star_expansion.dir/bench/bench_fig2_star_expansion.cc.o"
+  "CMakeFiles/bench_fig2_star_expansion.dir/bench/bench_fig2_star_expansion.cc.o.d"
+  "bench_fig2_star_expansion"
+  "bench_fig2_star_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_star_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

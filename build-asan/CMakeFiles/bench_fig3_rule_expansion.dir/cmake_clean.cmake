@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rule_expansion.dir/bench/bench_fig3_rule_expansion.cc.o"
+  "CMakeFiles/bench_fig3_rule_expansion.dir/bench/bench_fig3_rule_expansion.cc.o.d"
+  "bench_fig3_rule_expansion"
+  "bench_fig3_rule_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rule_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

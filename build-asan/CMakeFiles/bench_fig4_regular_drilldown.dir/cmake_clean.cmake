@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_regular_drilldown.dir/bench/bench_fig4_regular_drilldown.cc.o"
+  "CMakeFiles/bench_fig4_regular_drilldown.dir/bench/bench_fig4_regular_drilldown.cc.o.d"
+  "bench_fig4_regular_drilldown"
+  "bench_fig4_regular_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_regular_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mw_runtime.dir/bench/bench_fig5_mw_runtime.cc.o"
+  "CMakeFiles/bench_fig5_mw_runtime.dir/bench/bench_fig5_mw_runtime.cc.o.d"
+  "bench_fig5_mw_runtime"
+  "bench_fig5_mw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

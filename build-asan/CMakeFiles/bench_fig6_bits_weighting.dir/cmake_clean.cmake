@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bits_weighting.dir/bench/bench_fig6_bits_weighting.cc.o"
+  "CMakeFiles/bench_fig6_bits_weighting.dir/bench/bench_fig6_bits_weighting.cc.o.d"
+  "bench_fig6_bits_weighting"
+  "bench_fig6_bits_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bits_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_size_minus_one.dir/bench/bench_fig7_size_minus_one.cc.o"
+  "CMakeFiles/bench_fig7_size_minus_one.dir/bench/bench_fig7_size_minus_one.cc.o.d"
+  "bench_fig7_size_minus_one"
+  "bench_fig7_size_minus_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_size_minus_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_size_minus_one.
+# This may be replaced when dependencies are built.

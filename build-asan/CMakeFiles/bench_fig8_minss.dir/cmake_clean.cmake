@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_minss.dir/bench/bench_fig8_minss.cc.o"
+  "CMakeFiles/bench_fig8_minss.dir/bench/bench_fig8_minss.cc.o.d"
+  "bench_fig8_minss"
+  "bench_fig8_minss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_minss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

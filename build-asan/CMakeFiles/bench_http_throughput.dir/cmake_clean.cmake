@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_http_throughput.dir/bench/bench_http_throughput.cc.o"
+  "CMakeFiles/bench_http_throughput.dir/bench/bench_http_throughput.cc.o.d"
+  "bench_http_throughput"
+  "bench_http_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_http_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_tables.dir/bench/bench_intro_tables.cc.o"
+  "CMakeFiles/bench_intro_tables.dir/bench/bench_intro_tables.cc.o.d"
+  "bench_intro_tables"
+  "bench_intro_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

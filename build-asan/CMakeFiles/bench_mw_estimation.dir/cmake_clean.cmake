@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mw_estimation.dir/bench/bench_mw_estimation.cc.o"
+  "CMakeFiles/bench_mw_estimation.dir/bench/bench_mw_estimation.cc.o.d"
+  "bench_mw_estimation"
+  "bench_mw_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mw_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_marginal.dir/bench/bench_parallel_marginal.cc.o"
+  "CMakeFiles/bench_parallel_marginal.dir/bench/bench_parallel_marginal.cc.o.d"
+  "bench_parallel_marginal"
+  "bench_parallel_marginal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_marginal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

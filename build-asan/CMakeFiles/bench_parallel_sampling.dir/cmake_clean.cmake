@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_sampling.dir/bench/bench_parallel_sampling.cc.o"
+  "CMakeFiles/bench_parallel_sampling.dir/bench/bench_parallel_sampling.cc.o.d"
+  "bench_parallel_sampling"
+  "bench_parallel_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smart_vs_traditional.dir/bench/bench_smart_vs_traditional.cc.o"
+  "CMakeFiles/bench_smart_vs_traditional.dir/bench/bench_smart_vs_traditional.cc.o.d"
+  "bench_smart_vs_traditional"
+  "bench_smart_vs_traditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smart_vs_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

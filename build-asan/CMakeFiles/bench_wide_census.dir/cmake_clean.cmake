@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wide_census.dir/bench/bench_wide_census.cc.o"
+  "CMakeFiles/bench_wide_census.dir/bench/bench_wide_census.cc.o.d"
+  "bench_wide_census"
+  "bench_wide_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wide_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

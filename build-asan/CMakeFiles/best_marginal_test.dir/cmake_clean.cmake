@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_marginal_test.dir/tests/best_marginal_test.cc.o"
+  "CMakeFiles/best_marginal_test.dir/tests/best_marginal_test.cc.o.d"
+  "best_marginal_test"
+  "best_marginal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_marginal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

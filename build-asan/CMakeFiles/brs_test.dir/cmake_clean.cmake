@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brs_test.dir/tests/brs_test.cc.o"
+  "CMakeFiles/brs_test.dir/tests/brs_test.cc.o.d"
+  "brs_test"
+  "brs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

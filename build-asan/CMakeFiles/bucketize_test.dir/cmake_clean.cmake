@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucketize_test.dir/tests/bucketize_test.cc.o"
+  "CMakeFiles/bucketize_test.dir/tests/bucketize_test.cc.o.d"
+  "bucketize_test"
+  "bucketize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucketize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

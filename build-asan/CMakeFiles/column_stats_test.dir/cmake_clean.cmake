@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_stats_test.dir/tests/column_stats_test.cc.o"
+  "CMakeFiles/column_stats_test.dir/tests/column_stats_test.cc.o.d"
+  "column_stats_test"
+  "column_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_sessions_test.dir/tests/concurrent_sessions_test.cc.o"
+  "CMakeFiles/concurrent_sessions_test.dir/tests/concurrent_sessions_test.cc.o.d"
+  "concurrent_sessions_test"
+  "concurrent_sessions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_sessions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_gen_test.dir/tests/data_gen_test.cc.o"
+  "CMakeFiles/data_gen_test.dir/tests/data_gen_test.cc.o.d"
+  "data_gen_test"
+  "data_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

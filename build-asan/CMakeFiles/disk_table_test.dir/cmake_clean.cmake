@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_table_test.dir/tests/disk_table_test.cc.o"
+  "CMakeFiles/disk_table_test.dir/tests/disk_table_test.cc.o.d"
+  "disk_table_test"
+  "disk_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

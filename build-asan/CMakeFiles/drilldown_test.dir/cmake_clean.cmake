@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drilldown_test.dir/tests/drilldown_test.cc.o"
+  "CMakeFiles/drilldown_test.dir/tests/drilldown_test.cc.o.d"
+  "drilldown_test"
+  "drilldown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drilldown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

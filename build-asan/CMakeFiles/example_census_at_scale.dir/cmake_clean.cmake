@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_census_at_scale.dir/examples/census_at_scale.cpp.o"
+  "CMakeFiles/example_census_at_scale.dir/examples/census_at_scale.cpp.o.d"
+  "example_census_at_scale"
+  "example_census_at_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_census_at_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

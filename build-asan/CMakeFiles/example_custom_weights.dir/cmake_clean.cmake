@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_weights.dir/examples/custom_weights.cpp.o"
+  "CMakeFiles/example_custom_weights.dir/examples/custom_weights.cpp.o.d"
+  "example_custom_weights"
+  "example_custom_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

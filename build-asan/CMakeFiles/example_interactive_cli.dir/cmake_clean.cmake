@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interactive_cli.dir/examples/interactive_cli.cpp.o"
+  "CMakeFiles/example_interactive_cli.dir/examples/interactive_cli.cpp.o.d"
+  "example_interactive_cli"
+  "example_interactive_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interactive_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

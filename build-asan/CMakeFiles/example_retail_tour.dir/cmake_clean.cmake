@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retail_tour.dir/examples/retail_tour.cpp.o"
+  "CMakeFiles/example_retail_tour.dir/examples/retail_tour.cpp.o.d"
+  "example_retail_tour"
+  "example_retail_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retail_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

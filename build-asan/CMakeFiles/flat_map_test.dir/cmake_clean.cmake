@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_map_test.dir/tests/flat_map_test.cc.o"
+  "CMakeFiles/flat_map_test.dir/tests/flat_map_test.cc.o.d"
+  "flat_map_test"
+  "flat_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_server_test.dir/tests/http_server_test.cc.o"
+  "CMakeFiles/http_server_test.dir/tests/http_server_test.cc.o.d"
+  "http_server_test"
+  "http_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_estimator_test.dir/tests/mw_estimator_test.cc.o"
+  "CMakeFiles/mw_estimator_test.dir/tests/mw_estimator_test.cc.o.d"
+  "mw_estimator_test"
+  "mw_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

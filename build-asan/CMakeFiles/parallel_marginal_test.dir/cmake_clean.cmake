@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_marginal_test.dir/tests/parallel_marginal_test.cc.o"
+  "CMakeFiles/parallel_marginal_test.dir/tests/parallel_marginal_test.cc.o.d"
+  "parallel_marginal_test"
+  "parallel_marginal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_marginal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

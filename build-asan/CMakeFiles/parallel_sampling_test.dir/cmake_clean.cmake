@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sampling_test.dir/tests/parallel_sampling_test.cc.o"
+  "CMakeFiles/parallel_sampling_test.dir/tests/parallel_sampling_test.cc.o.d"
+  "parallel_sampling_test"
+  "parallel_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

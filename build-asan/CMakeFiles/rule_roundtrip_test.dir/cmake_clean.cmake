@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_roundtrip_test.dir/tests/rule_roundtrip_test.cc.o"
+  "CMakeFiles/rule_roundtrip_test.dir/tests/rule_roundtrip_test.cc.o.d"
+  "rule_roundtrip_test"
+  "rule_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_handler_test.dir/tests/sample_handler_test.cc.o"
+  "CMakeFiles/sample_handler_test.dir/tests/sample_handler_test.cc.o.d"
+  "sample_handler_test"
+  "sample_handler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

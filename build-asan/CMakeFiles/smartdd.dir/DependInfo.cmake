@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/codec.cc" "CMakeFiles/smartdd.dir/src/api/codec.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/api/codec.cc.o.d"
+  "/root/repo/src/api/dto.cc" "CMakeFiles/smartdd.dir/src/api/dto.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/api/dto.cc.o.d"
+  "/root/repo/src/api/render.cc" "CMakeFiles/smartdd.dir/src/api/render.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/api/render.cc.o.d"
+  "/root/repo/src/api/service.cc" "CMakeFiles/smartdd.dir/src/api/service.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/api/service.cc.o.d"
+  "/root/repo/src/api/session_registry.cc" "CMakeFiles/smartdd.dir/src/api/session_registry.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/api/session_registry.cc.o.d"
+  "/root/repo/src/common/fault_injection.cc" "CMakeFiles/smartdd.dir/src/common/fault_injection.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/fault_injection.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/smartdd.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "CMakeFiles/smartdd.dir/src/common/metrics.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/metrics.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/smartdd.dir/src/common/random.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/smartdd.dir/src/common/status.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/smartdd.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/task_scheduler.cc" "CMakeFiles/smartdd.dir/src/common/task_scheduler.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/task_scheduler.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/smartdd.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "CMakeFiles/smartdd.dir/src/core/baseline.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/core/baseline.cc.o.d"
+  "/root/repo/src/core/best_marginal.cc" "CMakeFiles/smartdd.dir/src/core/best_marginal.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/core/best_marginal.cc.o.d"
+  "/root/repo/src/core/brs.cc" "CMakeFiles/smartdd.dir/src/core/brs.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/core/brs.cc.o.d"
+  "/root/repo/src/core/drilldown.cc" "CMakeFiles/smartdd.dir/src/core/drilldown.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/core/drilldown.cc.o.d"
+  "/root/repo/src/core/mw_estimator.cc" "CMakeFiles/smartdd.dir/src/core/mw_estimator.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/core/mw_estimator.cc.o.d"
+  "/root/repo/src/core/score.cc" "CMakeFiles/smartdd.dir/src/core/score.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/core/score.cc.o.d"
+  "/root/repo/src/data/census_gen.cc" "CMakeFiles/smartdd.dir/src/data/census_gen.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/data/census_gen.cc.o.d"
+  "/root/repo/src/data/marketing_gen.cc" "CMakeFiles/smartdd.dir/src/data/marketing_gen.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/data/marketing_gen.cc.o.d"
+  "/root/repo/src/data/mcp_gen.cc" "CMakeFiles/smartdd.dir/src/data/mcp_gen.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/data/mcp_gen.cc.o.d"
+  "/root/repo/src/data/retail_gen.cc" "CMakeFiles/smartdd.dir/src/data/retail_gen.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/data/retail_gen.cc.o.d"
+  "/root/repo/src/data/synth.cc" "CMakeFiles/smartdd.dir/src/data/synth.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/data/synth.cc.o.d"
+  "/root/repo/src/explore/engine.cc" "CMakeFiles/smartdd.dir/src/explore/engine.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/explore/engine.cc.o.d"
+  "/root/repo/src/explore/renderer.cc" "CMakeFiles/smartdd.dir/src/explore/renderer.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/explore/renderer.cc.o.d"
+  "/root/repo/src/explore/session.cc" "CMakeFiles/smartdd.dir/src/explore/session.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/explore/session.cc.o.d"
+  "/root/repo/src/net/exploration_http_adapter.cc" "CMakeFiles/smartdd.dir/src/net/exploration_http_adapter.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/net/exploration_http_adapter.cc.o.d"
+  "/root/repo/src/net/http_parser.cc" "CMakeFiles/smartdd.dir/src/net/http_parser.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/net/http_parser.cc.o.d"
+  "/root/repo/src/net/http_server.cc" "CMakeFiles/smartdd.dir/src/net/http_server.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/net/http_server.cc.o.d"
+  "/root/repo/src/rules/rule_format.cc" "CMakeFiles/smartdd.dir/src/rules/rule_format.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/rules/rule_format.cc.o.d"
+  "/root/repo/src/rules/rule_ops.cc" "CMakeFiles/smartdd.dir/src/rules/rule_ops.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/rules/rule_ops.cc.o.d"
+  "/root/repo/src/sampling/allocation.cc" "CMakeFiles/smartdd.dir/src/sampling/allocation.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/sampling/allocation.cc.o.d"
+  "/root/repo/src/sampling/knapsack.cc" "CMakeFiles/smartdd.dir/src/sampling/knapsack.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/sampling/knapsack.cc.o.d"
+  "/root/repo/src/sampling/minss_guidance.cc" "CMakeFiles/smartdd.dir/src/sampling/minss_guidance.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/sampling/minss_guidance.cc.o.d"
+  "/root/repo/src/sampling/sample.cc" "CMakeFiles/smartdd.dir/src/sampling/sample.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/sampling/sample.cc.o.d"
+  "/root/repo/src/sampling/sample_handler.cc" "CMakeFiles/smartdd.dir/src/sampling/sample_handler.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/sampling/sample_handler.cc.o.d"
+  "/root/repo/src/storage/bucketize.cc" "CMakeFiles/smartdd.dir/src/storage/bucketize.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/storage/bucketize.cc.o.d"
+  "/root/repo/src/storage/column_stats.cc" "CMakeFiles/smartdd.dir/src/storage/column_stats.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/storage/column_stats.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "CMakeFiles/smartdd.dir/src/storage/csv.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/storage/csv.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "CMakeFiles/smartdd.dir/src/storage/dictionary.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/disk_table.cc" "CMakeFiles/smartdd.dir/src/storage/disk_table.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/storage/disk_table.cc.o.d"
+  "/root/repo/src/storage/scan_source.cc" "CMakeFiles/smartdd.dir/src/storage/scan_source.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/storage/scan_source.cc.o.d"
+  "/root/repo/src/storage/table.cc" "CMakeFiles/smartdd.dir/src/storage/table.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/storage/table.cc.o.d"
+  "/root/repo/src/weights/parametric_weight.cc" "CMakeFiles/smartdd.dir/src/weights/parametric_weight.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/weights/parametric_weight.cc.o.d"
+  "/root/repo/src/weights/standard_weights.cc" "CMakeFiles/smartdd.dir/src/weights/standard_weights.cc.o" "gcc" "CMakeFiles/smartdd.dir/src/weights/standard_weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

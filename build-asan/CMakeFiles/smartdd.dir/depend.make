@@ -1,0 +1,2 @@
+# Empty dependencies file for smartdd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartdd_bench_util.dir/bench/bench_util.cc.o"
+  "CMakeFiles/smartdd_bench_util.dir/bench/bench_util.cc.o.d"
+  "libsmartdd_bench_util.a"
+  "libsmartdd_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartdd_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmartdd_bench_util.a"
+)

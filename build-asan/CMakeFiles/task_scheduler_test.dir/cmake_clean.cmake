@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_scheduler_test.dir/tests/task_scheduler_test.cc.o"
+  "CMakeFiles/task_scheduler_test.dir/tests/task_scheduler_test.cc.o.d"
+  "task_scheduler_test"
+  "task_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weights_test.dir/tests/weights_test.cc.o"
+  "CMakeFiles/weights_test.dir/tests/weights_test.cc.o.d"
+  "weights_test"
+  "weights_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

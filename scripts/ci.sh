@@ -1,22 +1,50 @@
 #!/usr/bin/env bash
 # Configure + build + test, exactly as CI runs it.
 #
-# Usage: scripts/ci.sh [--tsan|--tsan-only]
+# Usage: scripts/ci.sh [--tsan|--tsan-only|--asan|--asan-only]
 #   --tsan       additionally build with ThreadSanitizer and run the
 #                concurrency-sensitive suites (the two parallel differential
 #                suites plus the sampling/session tests that exercise the
-#                background prefetcher) under it
+#                background prefetcher, and the chaos suite with faults
+#                armed) under it
 #   --tsan-only  run only the ThreadSanitizer stage
-# SMARTDD_TSAN=1 is equivalent to --tsan.
+#   --asan       additionally build with AddressSanitizer+UBSan and run the
+#                same suites (use-after-free and UB hide best in the error
+#                paths the fault injector forces open)
+#   --asan-only  run only the ASan/UBSan stage
+# SMARTDD_TSAN=1 / SMARTDD_ASAN=1 are equivalent to --tsan / --asan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-}"
-if [[ "${SMARTDD_TSAN:-0}" == "1" && -z "$MODE" ]]; then
+if [[ -z "$MODE" && "${SMARTDD_TSAN:-0}" == "1" ]]; then
   MODE="--tsan"
 fi
+if [[ -z "$MODE" && "${SMARTDD_ASAN:-0}" == "1" ]]; then
+  MODE="--asan"
+fi
 
-if [[ "$MODE" != "--tsan-only" ]]; then
+# The concurrency- and robustness-sensitive suites both sanitizer stages
+# run: the parallel differential suites, everything touching the background
+# prefetcher and registry, and the chaos suite (which arms fault schedules
+# while 16 sessions hammer the service).
+SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test"
+SAN_TARGETS=(
+  parallel_marginal_test parallel_sampling_test sample_handler_test
+  session_test concurrent_sessions_test task_scheduler_test
+  service_test codec_test metrics_test http_server_test chaos_test
+  disk_table_test
+)
+
+run_sanitizer_stage() {
+  local name="$1" flags="$2"
+  cmake -B "build-$name" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$flags"
+  cmake --build "build-$name" -j "$(nproc)" --target "${SAN_TARGETS[@]}"
+  (cd "build-$name" && ctest --output-on-failure -j "$(nproc)" -R "$SAN_TESTS")
+}
+
+if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   cmake -B build -S .
   cmake --build build -j "$(nproc)"
   (cd build && ctest --output-on-failure -j "$(nproc)")
@@ -37,17 +65,15 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   echo "service smoke: truncated script rejected with nonzero exit"
 
   # HTTP smoke: real socket, curl transcript vs golden, SSE ordering,
-  # nonzero /metrics, graceful SIGTERM (see scripts/http_smoke.sh).
+  # nonzero /metrics, graceful SIGTERM, deadline-degraded partial results
+  # (see scripts/http_smoke.sh).
   scripts/http_smoke.sh build
 fi
 
 if [[ "$MODE" == "--tsan" || "$MODE" == "--tsan-only" ]]; then
-  TSAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test"
-  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1"
-  cmake --build build-tsan -j "$(nproc)" --target \
-    parallel_marginal_test parallel_sampling_test sample_handler_test \
-    session_test concurrent_sessions_test task_scheduler_test \
-    service_test codec_test metrics_test http_server_test
-  (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R "$TSAN_TESTS")
+  run_sanitizer_stage tsan "-fsanitize=thread -g -O1"
+fi
+
+if [[ "$MODE" == "--asan" || "$MODE" == "--asan-only" ]]; then
+  run_sanitizer_stage asan "-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
 fi

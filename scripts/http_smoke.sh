@@ -41,7 +41,8 @@ CURL=(curl -sS --max-time 60)
 # still substitutes them so the golden is robust to seed changes.
 T1=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open" | sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p')
 T2=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open" | sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p')
-[[ -n "$T1" && -n "$T2" && "$T1" != "$T2" ]] || { echo "http smoke: open failed"; exit 1; }
+T3=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open" | sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p')
+[[ -n "$T1" && -n "$T2" && -n "$T3" && "$T1" != "$T2" ]] || { echo "http smoke: open failed"; exit 1; }
 
 {
   "${CURL[@]}" "$BASE/healthz"
@@ -54,25 +55,44 @@ T2=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open" | sed -n 's/.*"session":"
   "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/tree"
   "${CURL[@]}" -X POST --data "$T1 0" "$BASE/v1/collapse"
   "${CURL[@]}" -X POST --data "$T2" "$BASE/v1/tree"
+  # Deadline degrade: a pre-expired budget on session 3 must return a
+  # well-formed partial envelope (DEADLINE_EXCEEDED + "partial":true +
+  # the tree so far), not a failure — and the session stays usable.
+  "${CURL[@]}" -X POST --data "$T3 0 deadline_ms=0.0001" "$BASE/v1/expand"
+  "${CURL[@]}" -X POST --data "$T3" "$BASE/v1/tree"
   "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/close"
   "${CURL[@]}" -X POST --data "$T2" "$BASE/v1/close"
+  "${CURL[@]}" -X POST --data "$T3" "$BASE/v1/close"
   "${CURL[@]}" -X POST "$BASE/v1/ping"
   # Defect paths keep their stable wire codes over HTTP.
   "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/tree"
   "${CURL[@]}" -X POST --data 'zz 0' "$BASE/v1/expand"
-} | sed -e "s/$T1/<T1>/g" -e "s/$T2/<T2>/g" >"$WORK/transcript"
+} | sed -e "s/$T1/<T1>/g" -e "s/$T2/<T2>/g" -e "s/$T3/<T3>/g" >"$WORK/transcript"
 
 if ! diff "$WORK/transcript" scripts/http_smoke.golden; then
   echo "http smoke: transcript diverged from scripts/http_smoke.golden"
   exit 1
 fi
 
+# Partial-as-200 semantics: a degraded expand that still carries a tree is
+# a usable answer, so it must ship with HTTP 200 (the body's error code and
+# partial marker tell the story), never a 5xx.
+T4=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open" | sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p')
+CODE=$("${CURL[@]}" -o "$WORK/degraded" -w '%{http_code}' -X POST \
+  --data "$T4 0 deadline_ms=0.0001" "$BASE/v1/expand")
+if [[ "$CODE" != "200" ]] || ! grep -q '"partial":true' "$WORK/degraded"; then
+  echo "http smoke: degraded expand returned $CODE"; cat "$WORK/degraded"; exit 1
+fi
+"${CURL[@]}" -X POST --data "$T4" "$BASE/v1/close" >/dev/null
+
 # Live metrics: the request counter must be nonzero and sessions counted.
 "${CURL[@]}" "$BASE/metrics" >"$WORK/metrics"
 REQS=$(awk '$1 == "smartdd_http_requests_total" {print $2}' "$WORK/metrics")
 OPENED=$(awk '$1 == "smartdd_sessions_opened_total" {print $2}' "$WORK/metrics")
-if [[ -z "$REQS" || "$REQS" -lt 10 || -z "$OPENED" || "$OPENED" -lt 2 ]]; then
-  echo "http smoke: metrics not reporting (requests=$REQS opened=$OPENED)"
+DEGRADED=$(awk '$1 == "smartdd_partial_responses_total" {print $2}' "$WORK/metrics")
+if [[ -z "$REQS" || "$REQS" -lt 10 || -z "$OPENED" || "$OPENED" -lt 2 \
+      || -z "$DEGRADED" || "$DEGRADED" -lt 2 ]]; then
+  echo "http smoke: metrics not reporting (requests=$REQS opened=$OPENED partial=$DEGRADED)"
   cat "$WORK/metrics"
   exit 1
 fi

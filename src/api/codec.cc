@@ -80,6 +80,29 @@ Status ArityError(const std::vector<std::string>& tokens, const char* usage) {
       StrFormat("%s: expected '%s'", Preview(tokens[0]).c_str(), usage));
 }
 
+/// Consumes a trailing `deadline_ms=<ms>` token of an expand/star request
+/// if present: fills request->deadline_ms and pops the token so arity
+/// checks below see only the positional arguments.
+Status TakeDeadlineArg(std::vector<std::string>* tokens,
+                       ExpandRequest* request) {
+  if (tokens->empty()) return Status::OK();
+  const std::string& last = tokens->back();
+  constexpr std::string_view kKey = "deadline_ms=";
+  if (last.size() <= kKey.size() || last.compare(0, kKey.size(), kKey) != 0) {
+    return Status::OK();
+  }
+  std::string value = last.substr(kKey.size());
+  auto ms = ParseDouble(value);
+  if (!ms.ok() || !std::isfinite(*ms) || *ms < 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: deadline_ms '%s' is not a non-negative number",
+                  Preview((*tokens)[0]).c_str(), Preview(value).c_str()));
+  }
+  request->deadline_ms = *ms;
+  tokens->pop_back();
+  return Status::OK();
+}
+
 Result<Request> ParseOpen(const std::vector<std::string>& tokens) {
   OpenRequest open;
   for (size_t i = 1; i < tokens.size(); ++i) {
@@ -224,17 +247,22 @@ Result<Request> ParseRequest(std::string_view line, size_t max_line_bytes) {
     return Request(PingRequest{});
   }
   if (cmd == "expand") {
-    if (tokens.size() != 3) return ArityError(tokens, "expand <session> <node>");
     ExpandRequest req;
+    SMARTDD_RETURN_IF_ERROR(TakeDeadlineArg(&tokens, &req));
+    if (tokens.size() != 3) {
+      return ArityError(tokens, "expand <session> <node> [deadline_ms=<ms>]");
+    }
     SMARTDD_ASSIGN_OR_RETURN(req.session, SessionArg(tokens));
     SMARTDD_ASSIGN_OR_RETURN(req.node, ParseNodeId(tokens[2]));
     return Request(std::move(req));
   }
   if (cmd == "star") {
-    if (tokens.size() != 4) {
-      return ArityError(tokens, "star <session> <node> <column>");
-    }
     ExpandRequest req;
+    SMARTDD_RETURN_IF_ERROR(TakeDeadlineArg(&tokens, &req));
+    if (tokens.size() != 4) {
+      return ArityError(tokens,
+                        "star <session> <node> <column> [deadline_ms=<ms>]");
+    }
     SMARTDD_ASSIGN_OR_RETURN(req.session, SessionArg(tokens));
     SMARTDD_ASSIGN_OR_RETURN(req.node, ParseNodeId(tokens[2]));
     SMARTDD_ASSIGN_OR_RETURN(size_t column,
@@ -312,10 +340,23 @@ std::string EncodeTree(const TreeSnapshot& tree) {
 
 std::string EncodeResponse(const Response& response) {
   if (!response.status.ok()) {
-    return StrFormat(
-        "{\"ok\":false,\"error\":{\"code\":\"%s\",\"message\":\"%s\"}}",
+    std::string out = StrFormat(
+        "{\"ok\":false,\"error\":{\"code\":\"%s\",\"message\":\"%s\"}",
         ErrorCodeName(response.status.code()),
         Escape(response.status.message()).c_str());
+    // Degraded results ride the error envelope: a deadline-exceeded
+    // response still carries the session and the partial tree, flagged so
+    // clients can render it and retry. Absent on ordinary errors, so the
+    // plain error shape is byte-identical to older encoders.
+    if (response.partial) out += ",\"partial\":true";
+    if (response.session) {
+      out += ",\"session\":\"" + FormatToken(*response.session) + "\"";
+    }
+    if (response.tree) {
+      out += ",\"tree\":" + EncodeTree(*response.tree);
+    }
+    out += "}";
+    return out;
   }
   std::string out = "{\"ok\":true";
   if (response.session) {

@@ -50,6 +50,12 @@ struct ExpandRequest {
   int node = 0;
   /// Set for star drill-downs: the clicked `?` column.
   std::optional<size_t> star_column;
+  /// Soft time budget for the expansion in milliseconds (0 = unbounded).
+  /// On expiry the expansion degrades instead of failing: the response
+  /// carries status DEADLINE_EXCEEDED, partial = true, and the tree built
+  /// within budget (completed greedy steps become children; an interrupted
+  /// step is discarded, so the partial tree is always well-formed).
+  double deadline_ms = 0;
 };
 
 /// `collapse` — roll up a node's subtree.
@@ -120,6 +126,10 @@ struct Response {
   Status status;
   std::optional<uint64_t> session;
   std::optional<TreeSnapshot> tree;
+  /// Degraded-result marker: true when status is DEADLINE_EXCEEDED but a
+  /// well-formed partial `tree` (the steps that completed in budget) is
+  /// attached. Never set on OK responses.
+  bool partial = false;
 };
 
 /// Streaming observer for step-wise expansion: the greedy BRS loop reports

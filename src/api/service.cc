@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace smartdd::api {
@@ -12,6 +14,23 @@ Response ErrorResponse(Status status) {
   Response r;
   r.status = std::move(status);
   return r;
+}
+
+struct DegradeCounters {
+  Counter& deadline_exceeded;
+  Counter& partial_responses;
+};
+
+DegradeCounters& Degrades() {
+  static DegradeCounters* counters = new DegradeCounters{
+      MetricsRegistry::Default().GetCounter(
+          "smartdd_deadline_exceeded_total",
+          "Requests whose deadline fired before the work completed"),
+      MetricsRegistry::Default().GetCounter(
+          "smartdd_partial_responses_total",
+          "Degraded responses shipped with a partial tree after a deadline"),
+  };
+  return *counters;
 }
 
 }  // namespace
@@ -81,7 +100,19 @@ Response ExplorationService::WithSnapshot(
     uint64_t token, const std::function<Status(ExplorationSession&)>& fn) {
   Response r;
   r.status = registry_.With(token, [&](ExplorationSession& session) {
-    SMARTDD_RETURN_IF_ERROR(fn(session));
+    Status s = fn(session);
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      // Degrade, don't fail: the session kept the work that finished in
+      // budget, so ship that tree with the error status and the partial
+      // marker. The registry call itself still reports the error code.
+      Degrades().deadline_exceeded.Inc();
+      Degrades().partial_responses.Inc();
+      r.partial = true;
+      r.session = token;
+      r.tree = SnapshotOf(session);
+      return s;
+    }
+    SMARTDD_RETURN_IF_ERROR(s);
     r.tree = SnapshotOf(session);
     return Status::OK();
   });
@@ -101,10 +132,17 @@ Response ExplorationService::Expand(const ExpandRequest& request,
         return sink->OnStep(StepNodeView(rule, *proto, exact), step, k);
       };
     }
+    // The clock starts when the request begins executing, not when it was
+    // queued: SubmitExpand riders get their full budget from here.
+    Deadline deadline;
+    if (request.deadline_ms > 0) {
+      deadline = Deadline::AfterMillis(request.deadline_ms);
+    }
     Result<std::vector<int>> children =
         request.star_column
-            ? session.ExpandStar(request.node, *request.star_column, on_step)
-            : session.Expand(request.node, on_step);
+            ? session.ExpandStar(request.node, *request.star_column, on_step,
+                                 deadline)
+            : session.Expand(request.node, on_step, deadline);
     return children.status();
   });
 }

@@ -81,6 +81,12 @@ class ExplorationService {
   /// Evicts sessions idle past the TTL (also runs on every open).
   size_t SweepIdle() { return registry_.SweepIdle(); }
 
+  /// Milliseconds since the last idle sweep finished; nullopt before the
+  /// first sweep. Exported as a gauge by the HTTP /metrics route.
+  std::optional<uint64_t> last_sweep_age_ms() const {
+    return registry_.last_sweep_age_ms();
+  }
+
   /// Live sessions across all engines.
   size_t num_sessions() const { return registry_.size(); }
 

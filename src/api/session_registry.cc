@@ -21,6 +21,7 @@ struct SessionCounters {
   Counter& opened;
   Counter& evicted;
   Counter& closed;
+  Counter& busy_skips;
 };
 
 SessionCounters& Counters() {
@@ -33,7 +34,10 @@ SessionCounters& Counters() {
           "Sessions evicted by idle TTL or LRU capacity pressure"),
       MetricsRegistry::Default().GetCounter(
           "smartdd_sessions_closed_total",
-          "Sessions torn down by explicit close or registry shutdown")};
+          "Sessions torn down by explicit close or registry shutdown"),
+      MetricsRegistry::Default().GetCounter(
+          "smartdd_sessions_sweep_busy_skips_total",
+          "Eviction candidates spared because they were mid-request")};
   return *counters;
 }
 
@@ -236,7 +240,18 @@ size_t SessionRegistry::SweepIdle() {
   for (uint64_t token : expired) {
     if (TryEvictUnlessBusy(token, &now)) ++evicted;
   }
+  // Stamp with a fresh reading: the evictions above may have drained
+  // nontrivial background work since `now` was taken.
+  uint64_t done = NowMs();
+  last_sweep_ms_.store(done == 0 ? 1 : done, std::memory_order_relaxed);
   return evicted;
+}
+
+std::optional<uint64_t> SessionRegistry::last_sweep_age_ms() const {
+  uint64_t swept = last_sweep_ms_.load(std::memory_order_relaxed);
+  if (swept == 0) return std::nullopt;
+  uint64_t now = NowMs();
+  return now >= swept ? now - swept : 0;
 }
 
 bool SessionRegistry::TryEvictUnlessBusy(uint64_t token,
@@ -255,7 +270,12 @@ bool SessionRegistry::TryEvictUnlessBusy(uint64_t token,
     // in use, never an eviction victim. With a deadline (TTL sweep), a
     // session touched since the sweep snapshot also gets a second chance.
     std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
-    if (!entry_lock.owns_lock()) return false;
+    if (!entry_lock.owns_lock()) {
+      // A hot busy-skip rate means the TTL/LRU pressure valve cannot keep
+      // up with the request load — worth an alert, hence its own counter.
+      Counters().busy_skips.Inc();
+      return false;
+    }
     if (idle_deadline_now != nullptr) {
       uint64_t used = entry->last_used_ms.load(std::memory_order_relaxed);
       if (*idle_deadline_now < used ||

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +90,11 @@ class SessionRegistry {
   /// No-op (returns 0) when TTL eviction is disabled.
   size_t SweepIdle();
 
+  /// Milliseconds since the last completed SweepIdle, or nullopt if none
+  /// has run (or TTL eviction is disabled). A growing age on a TTL-enabled
+  /// registry means the open-driven sweep cadence has stalled.
+  std::optional<uint64_t> last_sweep_age_ms() const;
+
   size_t size() const;
 
  private:
@@ -124,6 +130,8 @@ class SessionRegistry {
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Entry>> sessions_;
   uint64_t token_state_;
+  /// Clock reading at the end of the last SweepIdle (0 = never swept).
+  std::atomic<uint64_t> last_sweep_ms_{0};
 };
 
 }  // namespace smartdd::api

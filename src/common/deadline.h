@@ -1,0 +1,73 @@
+#ifndef SMARTDD_COMMON_DEADLINE_H_
+#define SMARTDD_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace smartdd {
+
+/// A cooperative cancellation token for the request path: an optional
+/// wall-budget (steady-clock expiry point) plus an optional external cancel
+/// flag, carried by value through every options struct from the service
+/// front door down to the chunked counting/sampling scans.
+///
+/// The contract mirrors gRPC deadlines: work units poll expired() at chunk
+/// boundaries (never per tuple), so cancellation latency is bounded by one
+/// chunk while the no-deadline hot path stays branch-cheap — a default
+/// Deadline is inert and expired() is a single bool test. Checks never
+/// influence results when the deadline does not fire, so the engine's
+/// bit-identical determinism contract is untouched.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert deadline: never expires, active() is false.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (<= 0 expires immediately).
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.has_time_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  /// Attaches an external cancel flag (not owned; must outlive every check):
+  /// expired() also returns true once *flag is true. Lets a transport tie a
+  /// running search to its connection (e.g. an SSE stream's cancelled bit).
+  Deadline WithCancelFlag(const std::atomic<bool>* flag) const {
+    Deadline d = *this;
+    d.cancel_ = flag;
+    return d;
+  }
+
+  /// Whether any expiry condition is armed. Callers gate their per-chunk
+  /// bookkeeping on this so inert deadlines cost one branch.
+  bool active() const { return has_time_ || cancel_ != nullptr; }
+
+  bool expired() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_acquire)) {
+      return true;
+    }
+    return has_time_ && Clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry (+inf when no time budget is armed; <= 0
+  /// once expired). Ignores the cancel flag.
+  double remaining_ms() const {
+    if (!has_time_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool has_time_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_COMMON_DEADLINE_H_

@@ -1,0 +1,215 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace smartdd {
+namespace {
+
+enum class FaultKind { kNone, kError, kLatency, kShortRead };
+
+struct PointState {
+  FaultKind kind = FaultKind::kNone;
+  Status status;          // kError payload
+  double latency_ms = 0;  // kLatency payload
+  int64_t remaining = 0;  // hits left to fire; < 0 means unlimited
+  uint64_t fired = 0;     // lifetime firings, survives disarm
+};
+
+Counter& InjectedCounter() {
+  static Counter* counter = &MetricsRegistry::Default().GetCounter(
+      "smartdd_faults_injected_total",
+      "Faults fired by armed fault points (chaos testing)");
+  return *counter;
+}
+
+}  // namespace
+
+struct FaultRegistry::Impl {
+  std::mutex mu;
+  // Keyed by point name; transparent less<> so string_view lookups do not
+  // allocate.
+  std::map<std::string, PointState, std::less<>> points;
+};
+
+FaultRegistry::Impl& FaultRegistry::impl() const {
+  static Impl* impl = new Impl;
+  return *impl;
+}
+
+FaultRegistry& FaultRegistry::Default() {
+  static FaultRegistry* registry = [] {
+    auto* r = new FaultRegistry;
+    if (const char* spec = std::getenv("SMARTDD_FAULTS")) {
+      // Env arming is best-effort: a malformed spec must not take the
+      // process down, it just logs through the returned status being
+      // dropped. Tests use ArmFromSpec directly and check the status.
+      (void)r->ArmFromSpec(spec);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+void FaultRegistry::ArmError(std::string_view point, Status status,
+                             int64_t times) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  PointState& state = im.points[std::string(point)];
+  state.kind = FaultKind::kError;
+  state.status = std::move(status);
+  state.remaining = times <= 0 ? -1 : times;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::ArmLatency(std::string_view point, double millis,
+                               int64_t times) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  PointState& state = im.points[std::string(point)];
+  state.kind = FaultKind::kLatency;
+  state.latency_ms = millis;
+  state.remaining = times <= 0 ? -1 : times;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::ArmShortRead(std::string_view point, int64_t times) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  PointState& state = im.points[std::string(point)];
+  state.kind = FaultKind::kShortRead;
+  state.remaining = times <= 0 ? -1 : times;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(std::string_view point) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.points.find(point);
+  if (it != im.points.end()) {
+    it->second.kind = FaultKind::kNone;
+    it->second.remaining = 0;
+  }
+  bool armed = false;
+  for (const auto& [name, state] : im.points) {
+    if (state.kind != FaultKind::kNone && state.remaining != 0) armed = true;
+  }
+  any_armed_.store(armed, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, state] : im.points) {
+    state.kind = FaultKind::kNone;
+    state.remaining = 0;
+  }
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::fired(std::string_view point) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.points.find(point);
+  return it == im.points.end() ? 0 : it->second.fired;
+}
+
+Status FaultRegistry::ArmFromSpec(std::string_view spec) {
+  std::string normalized(spec);
+  for (char& c : normalized) {
+    if (c == ';') c = ',';
+  }
+  for (const std::string& raw : Split(normalized, ',')) {
+    std::string_view entry = Trim(raw);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec entry '%s' is not point=kind[:param][:times]",
+                    std::string(entry).c_str()));
+    }
+    std::string point(Trim(entry.substr(0, eq)));
+    std::vector<std::string> parts = Split(entry.substr(eq + 1), ':');
+    const std::string& kind = parts[0];
+    if (kind == "error") {
+      int64_t times = 1;
+      if (parts.size() >= 2) {
+        SMARTDD_ASSIGN_OR_RETURN(times, ParseInt64(parts[1]));
+      }
+      ArmError(point,
+               Status::IOError(StrFormat("injected fault at %s",
+                                         point.c_str())),
+               times);
+    } else if (kind == "latency") {
+      if (parts.size() < 2) {
+        return Status::InvalidArgument(
+            StrFormat("latency fault '%s' needs latency:<ms>[:times]",
+                      point.c_str()));
+      }
+      double ms = 0;
+      SMARTDD_ASSIGN_OR_RETURN(ms, ParseDouble(parts[1]));
+      int64_t times = 1;
+      if (parts.size() >= 3) {
+        SMARTDD_ASSIGN_OR_RETURN(times, ParseInt64(parts[2]));
+      }
+      ArmLatency(point, ms, times);
+    } else if (kind == "short_read") {
+      int64_t times = 1;
+      if (parts.size() >= 2) {
+        SMARTDD_ASSIGN_OR_RETURN(times, ParseInt64(parts[1]));
+      }
+      ArmShortRead(point, times);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "unknown fault kind '%s' for point '%s' (want error, latency, or "
+          "short_read)",
+          kind.c_str(), point.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultRegistry::Hit(std::string_view point, bool* short_read) {
+  FaultKind kind = FaultKind::kNone;
+  Status status;
+  double latency_ms = 0;
+  {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    auto it = im.points.find(point);
+    if (it == im.points.end()) return Status::OK();
+    PointState& state = it->second;
+    if (state.kind == FaultKind::kNone || state.remaining == 0) {
+      return Status::OK();
+    }
+    if (state.remaining > 0) --state.remaining;
+    ++state.fired;
+    kind = state.kind;
+    status = state.status;
+    latency_ms = state.latency_ms;
+  }
+  InjectedCounter().Inc();
+  switch (kind) {
+    case FaultKind::kError:
+      return status;
+    case FaultKind::kLatency:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(latency_ms));
+      return Status::OK();
+    case FaultKind::kShortRead:
+      if (short_read != nullptr) *short_read = true;
+      return Status::OK();
+    case FaultKind::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace smartdd

@@ -18,6 +18,7 @@ enum class StatusCode {
   kCapacityExceeded,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

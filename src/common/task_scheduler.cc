@@ -1,7 +1,12 @@
 #include "common/task_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/timer.h"
@@ -35,14 +40,87 @@ SchedulerMetrics& Metrics() {
   return *metrics;
 }
 
-/// Runs one task with its latency observed.
+std::atomic<uint64_t>& StuckThresholdMs() {
+  static std::atomic<uint64_t>* threshold = [] {
+    uint64_t ms = 10000;
+    if (const char* env = std::getenv("SMARTDD_STUCK_TASK_MS")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && v > 0) ms = v;
+    }
+    return new std::atomic<uint64_t>(ms);
+  }();
+  return *threshold;
+}
+
+/// Stuck-task watchdog: tracks the start time of every task currently
+/// running on any scheduler and keeps the smartdd_scheduler_stuck_tasks
+/// gauge at the number of running tasks older than SMARTDD_STUCK_TASK_MS
+/// (default 10s). The gauge is refreshed on every task start/finish, so a
+/// wedged task becomes visible as soon as any other task transitions —
+/// which, under the load that makes wedging matter, is continuously.
+class TaskWatchdog {
+ public:
+  static TaskWatchdog& Instance() {
+    static TaskWatchdog* watchdog = new TaskWatchdog;
+    return *watchdog;
+  }
+
+  uint64_t Enter() {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t token = next_token_++;
+    running_[token] = std::chrono::steady_clock::now();
+    RefreshLocked();
+    return token;
+  }
+
+  void Exit(uint64_t token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.erase(token);
+    RefreshLocked();
+  }
+
+ private:
+  TaskWatchdog()
+      : stuck_(MetricsRegistry::Default().GetGauge(
+            "smartdd_scheduler_stuck_tasks",
+            "Running scheduler tasks older than SMARTDD_STUCK_TASK_MS")) {}
+
+  void RefreshLocked() {
+    const auto now = std::chrono::steady_clock::now();
+    const auto threshold = std::chrono::milliseconds(
+        StuckThresholdMs().load(std::memory_order_relaxed));
+    int64_t stuck = 0;
+    for (const auto& [token, start] : running_) {
+      if (now - start >= threshold) ++stuck;
+    }
+    stuck_.Set(stuck);
+  }
+
+  std::mutex mu_;
+  std::map<uint64_t, std::chrono::steady_clock::time_point> running_;
+  uint64_t next_token_ = 0;
+  Gauge& stuck_;
+};
+
+/// Runs one task with its latency observed and the watchdog armed. The
+/// scheduler.task fault point fires before the body: latency faults stall
+/// inside the watchdog window (so chaos tests can trip the stuck gauge),
+/// error faults replace the task's status without running it.
 Status RunTimed(const std::function<Status()>& fn) {
   WallTimer timer;
-  Status status = fn();
+  uint64_t token = TaskWatchdog::Instance().Enter();
+  Status status = InjectFault("scheduler.task");
+  if (status.ok()) status = fn();
+  TaskWatchdog::Instance().Exit(token);
   Metrics().task_seconds.Observe(timer.ElapsedSeconds());
   return status;
 }
 }  // namespace
+
+void SetStuckTaskThresholdMsForTest(uint64_t ms) {
+  StuckThresholdMs().store(ms, std::memory_order_relaxed);
+}
 
 TaskScheduler::TaskScheduler(size_t num_workers)
     : max_workers_(std::max<size_t>(1, num_workers)) {}

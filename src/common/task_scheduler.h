@@ -109,6 +109,12 @@ class TaskScheduler {
   std::vector<std::thread> workers_;  // lazily spawned, guarded by mu_
 };
 
+/// Overrides the stuck-task watchdog threshold (normally the
+/// SMARTDD_STUCK_TASK_MS env var, default 10000). The watchdog keeps the
+/// smartdd_scheduler_stuck_tasks gauge at the number of currently-running
+/// scheduler tasks older than this threshold.
+void SetStuckTaskThresholdMsForTest(uint64_t ms);
+
 }  // namespace smartdd
 
 #endif  // SMARTDD_COMMON_TASK_SCHEDULER_H_

@@ -118,6 +118,23 @@ struct MarginalRuleFinder::Impl {
   double best_weight = 0;
   double best_mass = 0;
 
+  /// Latched deadline state, polled from the driver thread only — at pass,
+  /// column, and candidate-block boundaries, i.e. right after (never
+  /// inside) a parallel region, so cancellation is race-free and results
+  /// are untouched when the deadline does not fire.
+  bool deadline_expired = false;
+
+  bool DeadlineExpired() {
+    if (!options.deadline.active()) return false;
+    if (!deadline_expired) deadline_expired = options.deadline.expired();
+    return deadline_expired;
+  }
+
+  static Status DeadlineStatus() {
+    return Status::DeadlineExceeded(
+        "marginal-rule search aborted: deadline exceeded");
+  }
+
   Impl(const TableView& v, const WeightFunction& w,
        const MarginalSearchOptions& opts, MarginalSearchStats& s,
        const std::vector<double>& cw)
@@ -252,8 +269,11 @@ struct MarginalRuleFinder::Impl {
   /// One scan per column counting every size-1 rule and building the
   /// per-value CSR postings. Parallel over fixed row chunks with per-chunk
   /// accumulators merged in chunk order, so sums are bit-identical to the
-  /// single-thread run.
-  void CountSizeOne() {
+  /// single-thread run. Returns DeadlineExceeded when the deadline fires at
+  /// a column boundary; the deferred covered-weight update is never left
+  /// half-applied, because the first check sits after column 0's Phase A
+  /// (the region the update is fused into).
+  Status CountSizeOne() {
     const uint64_t n = view.num_rows();
     const bool subset = view.is_subset();
     const double* mass_col = MassColumn();
@@ -313,6 +333,8 @@ struct MarginalRuleFinder::Impl {
           mass[code] += mass_col ? mass_col[row] : 1.0;
         }
       });
+
+      if (DeadlineExpired()) return DeadlineStatus();
 
       // Merge in lane order; lay out CSR offsets.
       Postings& ps = postings[ci];
@@ -387,8 +409,10 @@ struct MarginalRuleFinder::Impl {
         st.entries[v].marginal = marginal;
       }
       stats.tuple_visits += n;
+      if (DeadlineExpired()) return DeadlineStatus();
     }
     ++stats.passes;
+    return Status::OK();
   }
 
   // --- Counting passes (arity >= 2) -------------------------------------
@@ -472,7 +496,8 @@ struct MarginalRuleFinder::Impl {
   /// applied per block), while the candidates inside a block count on all
   /// threads. Because the block layout and H-updates are independent of
   /// the thread count, stats and results are bit-identical to serial.
-  void CountCandidates(std::vector<CandidateGroup>& groups) {
+  /// Returns DeadlineExceeded when the deadline fires at a block boundary.
+  Status CountCandidates(std::vector<CandidateGroup>& groups) {
     struct Item {
       CandidateGroup* group;
       uint32_t index;  // entry index within the group's map
@@ -496,6 +521,7 @@ struct MarginalRuleFinder::Impl {
     const bool prune = options.pruning == PruningMode::kFull;
     double h = best_marginal;
     for (size_t block = 0; block < items.size(); block += kCountBlock) {
+      if (DeadlineExpired()) return DeadlineStatus();
       const size_t block_end = std::min(items.size(), block + kCountBlock);
       // Pruning decisions against the frozen H, in order.
       for (size_t i = block; i < block_end; ++i) {
@@ -523,6 +549,7 @@ struct MarginalRuleFinder::Impl {
       }
     }
     ++stats.passes;
+    return Status::OK();
   }
 
   // --- Absorbing finished passes ----------------------------------------
@@ -722,17 +749,22 @@ struct MarginalRuleFinder::Impl {
       return Status::NotFound("no rule with positive marginal value");
     }
 
+    // An already-expired deadline aborts before the first scan: the greedy
+    // caller keeps whatever rules it has (degrade, not fail).
+    if (DeadlineExpired()) return DeadlineStatus();
+
     // Pass 1: count all size-1 rules and build postings.
-    CountSizeOne();
+    SMARTDD_RETURN_IF_ERROR(CountSizeOne());
     AbsorbSingles();
 
     // Passes 2..max_size: a-priori-style candidate generation + counting.
     std::vector<uint32_t> prev_ids;
     for (size_t j = 2; j <= max_size; ++j) {
+      if (DeadlineExpired()) return DeadlineStatus();
       std::vector<CandidateGroup> next =
           GenerateCandidates(prev_ids, /*from_singles=*/j == 2);
       if (next.empty()) break;
-      CountCandidates(next);
+      SMARTDD_RETURN_IF_ERROR(CountCandidates(next));
       prev_ids = AbsorbGroups(next);
     }
 

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "rules/rule.h"
 #include "storage/table_view.h"
@@ -36,6 +37,11 @@ struct MarginalSearchOptions {
   /// Threads for the counting passes: 0 = all hardware threads, 1 = serial.
   /// Results are bit-identical for every value (see best_marginal.cc).
   size_t num_threads = 0;
+  /// Cooperative cancellation: checked at pass, column, lane, and
+  /// candidate-block boundaries. When it fires, Find returns
+  /// DeadlineExceeded; when it does not, results are bit-identical to a
+  /// search without a deadline. Default is inert.
+  Deadline deadline;
 };
 
 /// Instrumentation for tests and the pruning-ablation benchmark.

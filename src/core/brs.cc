@@ -35,6 +35,7 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
   search.allowed_columns = options.allowed_columns;
   search.base_rule = options.base_rule;
   search.num_threads = options.num_threads;
+  search.deadline = options.deadline;
 
   MarginalRuleFinder finder(view, weight, search);
 
@@ -53,12 +54,20 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
         budget_timer.ElapsedMillis() >= options.time_budget_ms) {
       break;  // anytime mode: report what we have so far
     }
+    if (options.deadline.active() && options.deadline.expired()) {
+      result.deadline_exceeded = true;
+      break;  // degrade: keep the steps that finished in budget
+    }
     auto found = pending ? finder.Find(covered, *pending)
                          : finder.Find(std::as_const(covered));
     pending.reset();
     result.stats.Accumulate(finder.stats());
     if (!found.ok()) {
       if (found.status().code() == StatusCode::kNotFound) break;
+      if (found.status().code() == StatusCode::kDeadlineExceeded) {
+        result.deadline_exceeded = true;
+        break;  // the interrupted step is discarded, earlier steps kept
+      }
       return found.status();
     }
     const MarginalRuleResult& m = *found;

@@ -38,6 +38,12 @@ struct BrsOptions {
   /// elapses, no further greedy steps are started (the rules found so far
   /// are returned; at least one step always runs). 0 = unlimited.
   double time_budget_ms = 0;
+  /// Hard cooperative deadline, threaded into the marginal search's chunk
+  /// loops: unlike time_budget_ms it can interrupt a step in flight (the
+  /// interrupted step's work is discarded; completed steps are kept) and
+  /// can fire before the first step. Expiry marks the result partial
+  /// instead of erroring — degrade, not fail. Default is inert.
+  Deadline deadline;
 };
 
 /// Output of BRS.
@@ -49,6 +55,10 @@ struct BrsResult {
   double total_score = 0;
   /// Aggregated search statistics across the k greedy steps.
   MarginalSearchStats stats;
+  /// True when options.deadline fired: `rules` holds only the greedy steps
+  /// that completed in budget (possibly none). Masses and total_score are
+  /// still exact over the view for the rules present.
+  bool deadline_exceeded = false;
 };
 
 /// Runs the greedy BRS algorithm: k iterations of FindBestMarginalRule,

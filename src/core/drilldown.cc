@@ -52,6 +52,7 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
   brs.base_rule = base;
   brs.num_threads = request.num_threads;
   brs.on_rule = request.on_step;
+  brs.deadline = request.deadline;
 
   // Star drill-down: weight rewrite W'(r) = 0 when r stars the clicked
   // column (§3.1), which also keeps W' monotonic.
@@ -73,6 +74,7 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
   }
   response.total_score = brs_result.total_score;
   response.stats = brs_result.stats;
+  response.partial = brs_result.deadline_exceeded;
   return response;
 }
 

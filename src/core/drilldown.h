@@ -33,6 +33,9 @@ struct DrillDownRequest {
   /// step time is exact over the working view (marginal_mass is only filled
   /// in for the final response list).
   std::function<bool(const ScoredRule& rule, size_t step)> on_step;
+  /// Cooperative deadline forwarded to BRS; expiry degrades the response
+  /// (partial = true, completed steps kept) instead of failing it.
+  Deadline deadline;
 };
 
 /// Result of a smart drill-down.
@@ -51,6 +54,9 @@ struct DrillDownResponse {
   /// of sample rows (0 = exact, no sampling).
   double sample_scale = 1.0;
   uint64_t sample_rows = 0;
+  /// True when the request's deadline fired mid-search: `rules` holds only
+  /// the greedy steps that completed (possibly none), still well-formed.
+  bool partial = false;
 };
 
 /// Executes a smart drill-down over a view using the reduction of §3.1:

@@ -119,7 +119,7 @@ const SampleHandler* ExplorationSession::sampler() const {
 
 Result<DrillDownResponse> ExplorationSession::RunDrillDown(
     const Rule& base, std::optional<size_t> star_column,
-    const ExpandStepCallback& on_step) {
+    const ExpandStepCallback& on_step, const Deadline& deadline) {
   DrillDownRequest request;
   request.base = base;
   request.star_column = star_column;
@@ -127,6 +127,7 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   request.max_weight = options_.max_weight;
   request.pruning = options_.pruning;
   request.num_threads = options_.num_threads;
+  request.deadline = deadline;
   if (on_step) {
     // Non-sampling paths search the full data: step masses are exact. The
     // sampling branch below replaces this with a scale-aware wrapper.
@@ -157,7 +158,7 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   SampleHandler* sampler = engine_->sampler();
   if (sampler != nullptr) {
     SMARTDD_ASSIGN_OR_RETURN(SampleRequest sample,
-                             sampler->GetSampleFor(base, id_));
+                             sampler->GetSampleFor(base, id_, deadline));
     TableView view(sample.table);
     SMARTDD_RETURN_IF_ERROR(apply_measure(view));
     if (on_step) {
@@ -209,7 +210,7 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
 
 Result<std::vector<int>> ExplorationSession::ExpandInternal(
     int node_id, std::optional<size_t> star_column,
-    const ExpandStepCallback& on_step) {
+    const ExpandStepCallback& on_step, const Deadline& deadline) {
   if (node_id < 0 || node_id >= static_cast<int>(nodes_.size()) ||
       !nodes_[node_id].alive) {
     return Status::InvalidArgument("no such display node");
@@ -226,7 +227,7 @@ Result<std::vector<int>> ExplorationSession::ExpandInternal(
 
   SMARTDD_ASSIGN_OR_RETURN(
       DrillDownResponse response,
-      RunDrillDown(nodes_[node_id].rule, star_column, on_step));
+      RunDrillDown(nodes_[node_id].rule, star_column, on_step, deadline));
 
   std::vector<int> child_ids;
   const bool sampled = response.sample_rows > 0;
@@ -256,18 +257,29 @@ Result<std::vector<int>> ExplorationSession::ExpandInternal(
   // mass); adopt it — this is how the root learns its Sum total.
   nodes_[node_id].mass = response.base_mass;
   nodes_[node_id].exact = !sampled;
+  if (response.partial) {
+    // Degrade, don't fail: the children found in budget stay in the tree
+    // (appended above) and the sampler still learns the new displayed tree,
+    // but the §4.3 prefetch — more work against an already-blown budget —
+    // is skipped. The status tells the caller to mark the result partial.
+    SampleHandler* sampler = engine_->sampler();
+    if (sampler != nullptr) sampler->SetDisplayedTree(id_, BuildDisplayTree());
+    return Status::DeadlineExceeded(
+        "expansion deadline exceeded; partial tree retained");
+  }
   AfterExpansion();
   return child_ids;
 }
 
 Result<std::vector<int>> ExplorationSession::Expand(
-    int node_id, ExpandStepCallback on_step) {
-  return ExpandInternal(node_id, std::nullopt, on_step);
+    int node_id, ExpandStepCallback on_step, const Deadline& deadline) {
+  return ExpandInternal(node_id, std::nullopt, on_step, deadline);
 }
 
 Result<std::vector<int>> ExplorationSession::ExpandStar(
-    int node_id, size_t column, ExpandStepCallback on_step) {
-  return ExpandInternal(node_id, column, on_step);
+    int node_id, size_t column, ExpandStepCallback on_step,
+    const Deadline& deadline) {
+  return ExpandInternal(node_id, column, on_step, deadline);
 }
 
 void ExplorationSession::KillSubtree(int node_id) {

@@ -117,12 +117,19 @@ class ExplorationSession {
   /// Smart drill-down on a displayed rule; returns ids of the new children.
   /// Expanding an already-expanded node collapses it first (the paper's
   /// toggle behaviour is split: see Collapse).
+  ///
+  /// `deadline` bounds the expansion cooperatively: on expiry the search
+  /// degrades instead of failing — the children found within budget are
+  /// appended to the tree, the §4.3 prefetch is skipped, and the call
+  /// returns DeadlineExceeded so the caller can mark the result partial.
   Result<std::vector<int>> Expand(int node_id,
-                                  ExpandStepCallback on_step = nullptr);
+                                  ExpandStepCallback on_step = nullptr,
+                                  const Deadline& deadline = {});
 
   /// Star drill-down: expand forcing instantiation of `column`.
   Result<std::vector<int>> ExpandStar(int node_id, size_t column,
-                                      ExpandStepCallback on_step = nullptr);
+                                      ExpandStepCallback on_step = nullptr,
+                                      const Deadline& deadline = {});
 
   /// Roll up: removes the node's descendants from the display.
   Status Collapse(int node_id);
@@ -168,10 +175,12 @@ class ExplorationSession {
 
   Result<DrillDownResponse> RunDrillDown(const Rule& base,
                                          std::optional<size_t> star_column,
-                                         const ExpandStepCallback& on_step);
+                                         const ExpandStepCallback& on_step,
+                                         const Deadline& deadline);
   Result<std::vector<int>> ExpandInternal(int node_id,
                                           std::optional<size_t> star_column,
-                                          const ExpandStepCallback& on_step);
+                                          const ExpandStepCallback& on_step,
+                                          const Deadline& deadline);
   void KillSubtree(int node_id);
   DisplayTree BuildDisplayTree() const;
   void AfterExpansion();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "api/codec.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace smartdd::net {
@@ -15,6 +16,11 @@ HttpResponse JsonResponse(int status, std::string body_line) {
   r.status = status;
   r.content_type = "application/json";
   r.body = std::move(body_line) + "\n";
+  // Same back-off discipline as the server's shed path: overload (503) and
+  // blown deadlines (504) are both transient — tell clients when to retry.
+  if (status == 503 || status == 504) {
+    r.extra_headers.emplace_back("Retry-After", "1");
+  }
   return r;
 }
 
@@ -53,7 +59,12 @@ class SseSink : public api::ProgressSink {
   }
 
   void OnDone(const api::Response& response) override {
-    stream_->Write(SseEvent("done", api::EncodeResponse(response)));
+    // A deadline-degraded expansion terminates with `degraded` instead of
+    // `done`: the data line still carries the full envelope (error code +
+    // partial tree), but the event name lets a client switch on the
+    // outcome without parsing the body.
+    stream_->Write(SseEvent(response.partial ? "degraded" : "done",
+                            api::EncodeResponse(response)));
     stream_->End();
   }
 
@@ -106,6 +117,8 @@ int HttpStatusFor(const Status& status) {
     case StatusCode::kIOError:
     case StatusCode::kInternal:
       return 500;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
   }
   return 500;
 }
@@ -132,8 +145,13 @@ HttpResponse ExplorationHttpAdapter::ServeCodecLine(std::string_view verb,
   auto request = api::ParseRequest(line);
   if (!request.ok()) return CodecError(request.status());
   api::Response response = service_->Execute(*request);
-  return JsonResponse(HttpStatusFor(response.status),
-                      api::EncodeResponse(response));
+  int http = HttpStatusFor(response.status);
+  // Degraded-but-usable beats failed: a deadline-exceeded expansion that
+  // still carries a partial tree ships as 200 (the body's error code and
+  // "partial":true marker tell the story); a 504 is reserved for blown
+  // deadlines with nothing to show.
+  if (response.partial && response.tree) http = 200;
+  return JsonResponse(http, api::EncodeResponse(response));
 }
 
 HttpResponse ExplorationHttpAdapter::ServeExpandStream(
@@ -157,10 +175,19 @@ HttpResponse ExplorationHttpAdapter::ServeExpandStream(
       args += ' ';
       args += column;
     }
+    std::string deadline = QueryParam(request.query, "deadline_ms");
+    if (!deadline.empty()) {
+      args += " deadline_ms=";
+      args += deadline;
+    }
   }
-  // 2 tokens = smart expand, 3 = star expand; the codec validates both.
+  // 2 positional tokens = smart expand, 3 = star expand; the codec
+  // validates both. key=value tokens (deadline_ms=..) are options, not
+  // positions — they must not push an expand into the star arity.
   size_t tokens = 0;
-  for (const std::string& t : Split(args, ' ')) tokens += t.empty() ? 0 : 1;
+  for (const std::string& t : Split(args, ' ')) {
+    if (!t.empty() && t.find('=') == std::string::npos) ++tokens;
+  }
   auto parsed = api::ParseRequest(
       std::string(tokens >= 3 ? "star " : "expand ") + args);
   if (!parsed.ok()) return CodecError(parsed.status());
@@ -188,6 +215,13 @@ HttpResponse ExplorationHttpAdapter::Handle(
     const HttpRequest& request, const std::shared_ptr<StreamWriter>& stream) {
   const std::string& path = request.path;
 
+  // Chaos hook covering the whole HTTP tier: an armed fault here turns
+  // into a clean coded envelope, proving transport-level failures cannot
+  // produce a malformed response.
+  if (Status injected = InjectFault("http.dispatch"); !injected.ok()) {
+    return CodecError(std::move(injected));
+  }
+
   if (path == "/healthz") {
     if (request.method != "GET") {
       return JsonResponse(405, "{\"ok\":false,\"error\":{\"code\":"
@@ -200,6 +234,14 @@ HttpResponse ExplorationHttpAdapter::Handle(
     return r;
   }
   if (path == "/metrics") {
+    // Scrape-time gauge: sweep age is a derived "how stale" reading, so it
+    // is refreshed when observed rather than on every sweep.
+    if (auto age = service_->last_sweep_age_ms()) {
+      MetricsRegistry::Default()
+          .GetGauge("smartdd_sessions_last_sweep_age_ms",
+                    "Milliseconds since the registry's last idle sweep")
+          .Set(static_cast<int64_t>(*age));
+    }
     HttpResponse r;
     r.content_type = "text/plain; version=0.0.4; charset=utf-8";
     r.body = MetricsRegistry::Default().RenderPrometheus();

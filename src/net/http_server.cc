@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 
 #include "common/logging.h"
@@ -43,6 +44,7 @@ const char* ReasonPhrase(int status) {
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     case 505: return "HTTP Version Not Supported";
     default: return "Status";
   }
@@ -319,6 +321,12 @@ size_t HttpServer::inflight_requests() const {
 
 Status HttpServer::Start() {
   SMARTDD_CHECK(!running_.load()) << "HttpServer started twice";
+
+  // Belt and braces with the MSG_NOSIGNAL on every ::send: a peer that
+  // slams its socket shut mid-response must surface as EPIPE (handled),
+  // never as a process-killing SIGPIPE — some libc paths (and any future
+  // write site missing the flag) would otherwise raise it.
+  ::signal(SIGPIPE, SIG_IGN);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {

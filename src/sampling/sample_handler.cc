@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -387,8 +388,13 @@ void SampleHandler::PlanAllocation(const DisplayTree* tree_ptr,
 
 Result<std::vector<double>> SampleHandler::CreateSamples(
     const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities,
-    bool prefetch_pass) {
+    bool prefetch_pass, const Deadline& deadline) {
   SMARTDD_CHECK(rules.size() == capacities.size());
+  SMARTDD_RETURN_IF_ERROR(InjectFault("sample_handler.create"));
+  if (deadline.active() && deadline.expired()) {
+    return Status::DeadlineExceeded(
+        "sample create pass abandoned: deadline exceeded");
+  }
   Table prototype = source_->MakeEmptyTable();
   const size_t nrules = rules.size();
 
@@ -435,10 +441,35 @@ Result<std::vector<double>> SampleHandler::CreateSamples(
     }
   }
 
+  // Cooperative cancellation: each chunk polls the deadline every
+  // kDeadlineCheckRows of its own tuples (cache-line-strided countdowns, no
+  // sharing between chunks); the first chunk to notice expiry raises a
+  // shared flag that stops every other chunk at its next tuple. Inert
+  // deadlines skip all of this.
+  constexpr uint64_t kDeadlineCheckRows = 4096;
+  constexpr size_t kCountdownStride = 8;
+  const bool has_deadline = deadline.active();
+  std::atomic<bool> deadline_hit{false};
+  std::vector<uint64_t> countdowns;
+  if (has_deadline) {
+    countdowns.assign(num_chunks * kCountdownStride, kDeadlineCheckRows);
+  }
+
   Status scan_status = source_->ScanChunks(
       num_chunks, parallelism,
       [&](uint64_t chunk, uint64_t row, const uint32_t* codes,
           const double* measures) {
+        if (has_deadline) {
+          if (deadline_hit.load(std::memory_order_relaxed)) return false;
+          uint64_t& countdown = countdowns[chunk * kCountdownStride];
+          if (--countdown == 0) {
+            countdown = kDeadlineCheckRows;
+            if (deadline.expired()) {
+              deadline_hit.store(true, std::memory_order_relaxed);
+              return false;
+            }
+          }
+        }
         ChunkBuilder* chunk_builders = &builders[chunk * nrules];
         for (size_t i = 0; i < nrules; ++i) {
           ChunkBuilder& b = chunk_builders[i];
@@ -455,6 +486,12 @@ Result<std::vector<double>> SampleHandler::CreateSamples(
         return true;
       });
   SMARTDD_RETURN_IF_ERROR(scan_status);
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    // The pass was cut short: its reservoirs cover only a prefix of each
+    // chunk and would be biased samples. Commit nothing.
+    return Status::DeadlineExceeded(
+        "sample create pass abandoned: deadline exceeded");
+  }
   (prefetch_pass ? prefetch_scans_ : scans_)
       .fetch_add(1, std::memory_order_relaxed);
   creates_.fetch_add(1, std::memory_order_relaxed);
@@ -545,7 +582,8 @@ void SampleHandler::ReleaseCreateFlight() {
 }
 
 Result<SampleRequest> SampleHandler::GetSampleFor(const Rule& rule,
-                                                  uint64_t session) {
+                                                  uint64_t session,
+                                                  const Deadline& deadline) {
   for (;;) {
     auto find = TryFind(rule);
     if (find.ok()) return find;
@@ -580,7 +618,8 @@ Result<SampleRequest> SampleHandler::GetSampleFor(const Rule& rule,
   std::vector<uint64_t> capacities;
   std::optional<DisplayTree> tree = TreeCopy(session);
   PlanAllocation(tree ? &*tree : nullptr, rule, &rules, &capacities);
-  auto masses = CreateSamples(rules, capacities, /*prefetch_pass=*/false);
+  auto masses =
+      CreateSamples(rules, capacities, /*prefetch_pass=*/false, deadline);
 
   // Serve the fresh sample *before* releasing the flight: once released,
   // another session's pass may swap the store and evict it again, and this

@@ -9,6 +9,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "rules/rule.h"
 #include "sampling/allocation.h"
@@ -111,9 +112,15 @@ class SampleHandler {
 
   /// Returns a sample of tuples covered by `rule` with at least minSS rows
   /// when the rule covers that many in the source. `session` selects whose
-  /// displayed tree drives the allocation of a Create pass.
+  /// displayed tree drives the allocation of a Create pass. `deadline`
+  /// bounds the Create scan cooperatively (checked every few thousand rows
+  /// per chunk): on expiry the pass is abandoned *without* committing its
+  /// partial reservoirs — a torn reservoir is a biased sample, so the store
+  /// keeps only samples built by completed passes — and DeadlineExceeded is
+  /// returned. Find/Combine hits are in-memory and never check it.
   Result<SampleRequest> GetSampleFor(const Rule& rule,
-                                     uint64_t session = kDefaultSession);
+                                     uint64_t session = kDefaultSession,
+                                     const Deadline& deadline = {});
 
   /// Declares the rule tree `session` currently displays. Subsequent Create
   /// passes for that session allocate memory across its nodes; Prefetch()
@@ -170,10 +177,11 @@ class SampleHandler {
   /// Runs one chunked pass building reservoir samples of the given
   /// capacities for the given rules; returns exact per-rule masses. When
   /// `prefetch_pass` is set the pass is attributed to prefetch_scans().
-  /// Caller must hold the Create single-flight (create_in_flight_).
+  /// Caller must hold the Create single-flight (create_in_flight_). An
+  /// expired `deadline` abandons the scan and commits nothing.
   Result<std::vector<double>> CreateSamples(
       const std::vector<Rule>& rules, const std::vector<uint64_t>& capacities,
-      bool prefetch_pass);
+      bool prefetch_pass, const Deadline& deadline = {});
 
   Result<SampleRequest> TryFind(const Rule& rule);
   /// TryFind's acceptance loop; caller holds store_mu_ (either mode).

@@ -1,8 +1,12 @@
 #include "storage/disk_table.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace smartdd {
@@ -12,6 +16,23 @@ namespace {
 constexpr uint32_t kMagic = 0x54444453;  // "SDDT" little-endian
 constexpr uint32_t kVersion = 1;
 constexpr size_t kScanBufferBytes = 4 << 20;  // 4 MiB read buffer
+
+// Transient-I/O retry policy: an open or block read gets kMaxIoRetries
+// additional attempts with exponential backoff (1ms, 2ms, 4ms) before its
+// error escapes to the caller. Retries re-seek and re-read, never
+// re-deliver rows, so the scan callback observes each tuple exactly once.
+constexpr int kMaxIoRetries = 3;
+
+Counter& IoRetries() {
+  static Counter* counter = &MetricsRegistry::Default().GetCounter(
+      "smartdd_io_retries_total",
+      "Disk table open/read attempts retried after a transient failure");
+  return *counter;
+}
+
+void BackoffSleep(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1LL << attempt));
+}
 
 uint8_t WidthForDictSize(uint32_t dict_size) {
   if (dict_size <= 0x100) return 1;
@@ -118,8 +139,21 @@ Status DiskTable::Write(const Table& table, const std::string& path) {
 }
 
 Result<std::shared_ptr<DiskTable>> DiskTable::Open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return Status::IOError("cannot open disk table: " + path);
+  // Treat open failures as transient (NFS blips, fd-limit races): bounded
+  // retry with backoff. Header parse errors below are structural and fail
+  // immediately.
+  std::FILE* f = nullptr;
+  for (int attempt = 0;; ++attempt) {
+    Status injected = InjectFault("disk_table.open");
+    if (injected.ok()) {
+      f = std::fopen(path.c_str(), "rb");
+      if (f != nullptr) break;
+      injected = Status::IOError("cannot open disk table: " + path);
+    }
+    if (attempt >= kMaxIoRetries) return injected;
+    IoRetries().Inc();
+    BackoffSleep(attempt);
+  }
   auto fail = [&](const std::string& msg) -> Status {
     std::fclose(f);
     return Status::IOError(msg + ": " + path);
@@ -174,8 +208,18 @@ Status DiskTable::ScanRange(uint64_t row_begin, uint64_t row_end,
                             const ScanCallback& fn) const {
   row_end = std::min(row_end, num_rows_);
   if (row_begin >= row_end) return Status::OK();
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  if (!f) return Status::IOError("cannot open disk table: " + path_);
+  std::FILE* f = nullptr;
+  for (int attempt = 0;; ++attempt) {
+    Status injected = InjectFault("disk_table.scan_open");
+    if (injected.ok()) {
+      f = std::fopen(path_.c_str(), "rb");
+      if (f != nullptr) break;
+      injected = Status::IOError("cannot open disk table: " + path_);
+    }
+    if (attempt >= kMaxIoRetries) return injected;
+    IoRetries().Inc();
+    BackoffSleep(attempt);
+  }
   if (!SeekTo(f, data_offset_ + row_begin * row_bytes_)) {
     std::fclose(f);
     return Status::IOError("seek failed: " + path_);
@@ -192,12 +236,33 @@ Status DiskTable::ScanRange(uint64_t row_begin, uint64_t row_end,
   bool keep_going = true;
   while (keep_going && row < row_end) {
     uint64_t want = std::min<uint64_t>(rows_per_block, row_end - row);
-    size_t got = std::fread(buf.data(), row_bytes_, want, f);
-    if (got != want) {
-      std::fclose(f);
-      return Status::IOError(
-          StrFormat("disk table truncated at row %llu",
-                    static_cast<unsigned long long>(row + got)));
+    // A short or failed block read is retried from the block's start offset
+    // (clearerr + re-seek), so a torn read from a flaky device heals without
+    // the callback ever seeing a duplicate or missing row.
+    const uint64_t block_offset = data_offset_ + row * row_bytes_;
+    size_t got = 0;
+    for (int attempt = 0;; ++attempt) {
+      bool short_read = false;
+      Status injected = InjectFault("disk_table.read", &short_read);
+      if (injected.ok()) {
+        got = std::fread(buf.data(), row_bytes_, want, f);
+        if (short_read) got /= 2;
+        if (got == want) break;
+        injected = Status::IOError(
+            StrFormat("disk table truncated at row %llu",
+                      static_cast<unsigned long long>(row + got)));
+      }
+      if (attempt >= kMaxIoRetries) {
+        std::fclose(f);
+        return injected;
+      }
+      IoRetries().Inc();
+      BackoffSleep(attempt);
+      std::clearerr(f);
+      if (!SeekTo(f, block_offset)) {
+        std::fclose(f);
+        return Status::IOError("seek failed: " + path_);
+      }
     }
     const uint8_t* p = buf.data();
     for (uint64_t i = 0; i < want; ++i) {

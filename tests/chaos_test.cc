@@ -1,0 +1,444 @@
+// Chaos suite for the deadline-aware, fault-injectable request path:
+// 16 concurrent sessions hammered under randomized fault schedules must
+// never crash, never deadlock, and answer every request with a valid wire
+// Status envelope; once faults are disarmed, the exact engine's trees are
+// byte-identical to a never-faulted run. Plus the acceptance scenario from
+// the degrade contract: a 50ms deadline over a 200k-row disk table with
+// slow-I/O faults armed ships a well-formed partial tree instead of a
+// failure, and the async SubmitExpand path reports the same degraded
+// completion through its sink.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/dto.h"
+#include "api/service.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "data/census_gen.h"
+#include "data/synth.h"
+#include "explore/engine.h"
+#include "storage/disk_table.h"
+#include "storage/scan_source.h"
+#include "weights/standard_weights.h"
+
+namespace smartdd {
+namespace {
+
+using api::ExplorationService;
+using api::ServiceOptions;
+
+Table MakeMemTable() {
+  SynthSpec spec;
+  spec.rows = 20000;
+  spec.cardinalities = {6, 5, 4};
+  spec.zipf = {1.1, 0.7, 1.3};
+  spec.seed = 909;
+  return GenerateSyntheticTable(spec);
+}
+
+/// Every response line must be a syntactically valid wire envelope: OK, or
+/// an error object carrying one of the codec's stable status codes. A
+/// truncated body, an empty line, or a made-up code all count as protocol
+/// violations — exactly what a fault leaking through half-written state
+/// would produce.
+bool ValidEnvelope(const std::string& line) {
+  static constexpr std::string_view kOk = "{\"ok\":true";
+  static constexpr std::string_view kErr = "{\"ok\":false,\"error\":{\"code\":\"";
+  if (line.empty() || line.back() != '}') return false;
+  if (line.compare(0, kOk.size(), kOk) == 0) {
+    return line.size() > kOk.size() &&
+           (line[kOk.size()] == ',' || line[kOk.size()] == '}');
+  }
+  if (line.compare(0, kErr.size(), kErr) != 0) return false;
+  size_t end = line.find('"', kErr.size());
+  if (end == std::string::npos) return false;
+  std::string code = line.substr(kErr.size(), end - kErr.size());
+  static constexpr std::string_view kCodes[] = {
+      "INVALID_ARGUMENT", "NOT_FOUND",     "OUT_OF_RANGE",
+      "IO_ERROR",         "INTERNAL",      "UNIMPLEMENTED",
+      "CAPACITY_EXCEEDED", "DEADLINE_EXCEEDED",
+  };
+  for (std::string_view known : kCodes) {
+    if (code == known) return true;
+  }
+  return false;
+}
+
+/// Extracts the 16-hex-digit session token from an open response, or ""
+/// when the open itself was the victim of an injected fault.
+std::string TokenIn(const std::string& open_response) {
+  size_t at = open_response.find("\"session\":\"");
+  if (at == std::string::npos) return std::string();
+  return open_response.substr(at + 11, 16);
+}
+
+/// The deterministic comparison script: open on the exact in-memory
+/// dataset, expand the root and one child, return the final tree bytes.
+std::string DriveExactScript(ExplorationService& service) {
+  std::string open = service.ServeLine("open dataset=mem k=3");
+  std::string token = TokenIn(open);
+  EXPECT_FALSE(token.empty()) << open;
+  EXPECT_NE(service.ServeLine("expand " + token + " 0").find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(service.ServeLine("expand " + token + " 1").find("\"ok\":true"),
+            std::string::npos);
+  std::string shown = service.ServeLine("show " + token);
+  EXPECT_NE(service.ServeLine("close " + token).find("\"ok\":true"),
+            std::string::npos);
+  size_t tree = shown.find("\"tree\":");
+  EXPECT_NE(tree, std::string::npos) << shown;
+  return tree == std::string::npos ? std::string() : shown.substr(tree);
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Default().DisarmAll(); }
+  void TearDown() override { FaultRegistry::Default().DisarmAll(); }
+};
+
+TEST_F(ChaosTest, SixteenSessionsSurviveRandomFaultSchedules) {
+  // Two datasets behind one service: "mem" (exact, in-memory — exercises
+  // the deterministic parallel passes) and "disk" (sampling over a
+  // DiskScanSource — exercises the retrying I/O path the faults target).
+  Table mem_table = MakeMemTable();
+  SizeWeight weight;
+  auto mem_engine = ExplorationEngine::Create(mem_table, weight);
+  ASSERT_TRUE(mem_engine.ok()) << mem_engine.status().ToString();
+
+  CensusSpec census;
+  census.rows = 40000;
+  census.columns_used = 6;
+  std::string path = ::testing::TempDir() + "/chaos_disk.sddt";
+  ASSERT_TRUE(GenerateCensusDiskTable(census, path).ok());
+  auto disk = DiskTable::Open(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  DiskScanSource source(*disk);
+  EngineOptions disk_options;
+  disk_options.use_sampling = true;
+  disk_options.sampler.memory_capacity = 20000;
+  disk_options.sampler.min_sample_size = 2000;
+  auto disk_engine = ExplorationEngine::Create(source, weight, disk_options);
+  ASSERT_TRUE(disk_engine.ok()) << disk_engine.status().ToString();
+
+  ExplorationService service;
+  ASSERT_TRUE(service.AddEngine("mem", mem_engine->get()).ok());
+  ASSERT_TRUE(service.AddEngine("disk", disk_engine->get()).ok());
+
+  // Byte-identity target, captured before any fault is armed.
+  std::string baseline = DriveExactScript(service);
+  ASSERT_FALSE(baseline.empty());
+
+  // The chaos thread cycles through fault schedules while the clients run:
+  // transient errors, latency spikes, and torn reads on the disk path, task
+  // failures in the scheduler, and sample-create aborts. Budgeted firings
+  // (the :N suffix) mean every schedule eventually clears, so no client can
+  // starve behind an unlimited error fault.
+  std::atomic<bool> stop{false};
+  std::thread chaos([&stop]() {
+    static constexpr const char* kSchedules[] = {
+        "disk_table.read=error:2",
+        "disk_table.read=short_read:4",
+        "disk_table.read=latency:1:8",
+        "disk_table.scan_open=error:2",
+        "scheduler.task=error:2",
+        "sample_handler.create=error:2",
+        "disk_table.read=error:2;sample_handler.create=latency:1:4",
+    };
+    std::mt19937 rng(4242);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const char* spec = kSchedules[rng() % std::size(kSchedules)];
+      ASSERT_TRUE(FaultRegistry::Default().ArmFromSpec(spec).ok()) << spec;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (rng() % 4 == 0) FaultRegistry::Default().DisarmAll();
+    }
+    FaultRegistry::Default().DisarmAll();
+  });
+
+  constexpr int kClients = 16;
+  constexpr int kRounds = 5;
+  std::vector<int> violations(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &violations, c]() {
+      std::mt19937 rng(1000 + c);
+      const char* dataset = (c % 2 == 0) ? "mem" : "disk";
+      auto check = [&](const std::string& line) {
+        if (!ValidEnvelope(line)) {
+          ++violations[c];
+          ADD_FAILURE() << "client " << c << " invalid envelope: " << line;
+        }
+        return line;
+      };
+      for (int round = 0; round < kRounds; ++round) {
+        std::string open = check(
+            service.ServeLine(std::string("open dataset=") + dataset + " k=3"));
+        std::string token = TokenIn(open);
+        // An open felled by an injected fault is a valid outcome; the
+        // envelope was already checked, move on to the next round.
+        if (token.empty()) continue;
+        for (int op = 0; op < 6; ++op) {
+          std::string line;
+          switch (rng() % 6) {
+            case 0: line = "expand " + token + " 0"; break;
+            case 1: line = "expand " + token + " 0 deadline_ms=0.0001"; break;
+            case 2: line = "expand " + token + " 0 deadline_ms=5"; break;
+            case 3: line = "show " + token; break;
+            case 4: line = "collapse " + token + " 0"; break;
+            case 5: line = "exact " + token; break;
+          }
+          check(service.ServeLine(line));
+        }
+        check(service.ServeLine("close " + token));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  chaos.join();
+  FaultRegistry::Default().DisarmAll();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(violations[c], 0) << "client " << c;
+  }
+  EXPECT_EQ(service.num_sessions(), 0u);
+
+  // Faults disarmed: the same script must reproduce the pre-chaos tree
+  // byte for byte — no fault may have corrupted shared engine state.
+  EXPECT_EQ(DriveExactScript(service), baseline);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, DeadlineDegradesSamplingCreatePassUnderSlowIo) {
+  // The acceptance scenario: census-200k behind a DiskScanSource, every
+  // block read armed with a 60ms latency fault, a 50ms expand deadline. No
+  // chunk can deliver a row before the budget is blown, so the Create
+  // pass's per-chunk countdown aborts the scan and the request degrades to
+  // a partial envelope instead of failing. Disarm, retry: full result.
+  CensusSpec census;
+  census.rows = 200000;
+  census.columns_used = 6;
+  std::string path = ::testing::TempDir() + "/chaos_census200k.sddt";
+  ASSERT_TRUE(GenerateCensusDiskTable(census, path).ok());
+  auto disk = DiskTable::Open(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  DiskScanSource source(*disk);
+
+  SizeWeight weight;
+  EngineOptions options;
+  options.use_sampling = true;
+  options.sampler.memory_capacity = 40000;
+  options.sampler.min_sample_size = 4000;
+  auto engine = ExplorationEngine::Create(source, weight, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ExplorationService service;
+  ASSERT_TRUE(service.AddEngine("census", engine->get()).ok());
+  std::string open = service.ServeLine("open dataset=census k=3");
+  std::string token = TokenIn(open);
+  ASSERT_FALSE(token.empty()) << open;
+
+  uint64_t deadline_count_before =
+      MetricsRegistry::Default()
+          .GetCounter("smartdd_deadline_exceeded_total",
+                      "Requests whose deadline expired before completion")
+          .value();
+
+  FaultRegistry::Default().ArmFromSpec("disk_table.read=latency:60:0");
+  std::string degraded =
+      service.ServeLine("expand " + token + " 0 deadline_ms=50");
+  FaultRegistry::Default().DisarmAll();
+
+  // Well-formed partial envelope: coded error, explicit partial marker,
+  // session echo, and the tree-so-far all present.
+  EXPECT_TRUE(ValidEnvelope(degraded)) << degraded;
+  EXPECT_NE(degraded.find("\"code\":\"DEADLINE_EXCEEDED\""), std::string::npos)
+      << degraded;
+  EXPECT_NE(degraded.find("\"partial\":true"), std::string::npos) << degraded;
+  EXPECT_NE(degraded.find("\"session\":\"" + token + "\""), std::string::npos)
+      << degraded;
+  EXPECT_NE(degraded.find("\"tree\":"), std::string::npos) << degraded;
+  EXPECT_GT(MetricsRegistry::Default()
+                .GetCounter("smartdd_deadline_exceeded_total",
+                            "Requests whose deadline expired before completion")
+                .value(),
+            deadline_count_before);
+
+  // The abandoned Create pass must not have committed a biased partial
+  // sample: with the faults gone, the same expansion runs to completion
+  // and produces children.
+  std::string full = service.ServeLine("expand " + token + " 0");
+  EXPECT_NE(full.find("\"ok\":true"), std::string::npos) << full;
+  EXPECT_NE(full.find("\"children\":["), std::string::npos) << full;
+  EXPECT_NE(service.ServeLine("close " + token).find("\"ok\":true"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+/// Records the OnDone completion of a submitted expansion.
+class CollectingSink : public api::ProgressSink {
+ public:
+  bool OnStep(const api::NodeView&, size_t, size_t) override { return true; }
+
+  void OnDone(const api::Response& response) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    response_ = response;
+    done_ = true;
+    cv_.notify_all();
+  }
+
+  api::Response Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+    return response_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  api::Response response_;
+};
+
+TEST_F(ChaosTest, SubmitExpandDeliversDegradedCompletionToSink) {
+  // The async path honors the same degrade contract: a pre-expired
+  // deadline reaches the sink as a DEADLINE_EXCEEDED completion that still
+  // carries the partial marker and the tree.
+  Table table = MakeMemTable();
+  SizeWeight weight;
+  auto engine = ExplorationEngine::Create(table, weight);
+  ASSERT_TRUE(engine.ok());
+
+  ExplorationService service;
+  ASSERT_TRUE(service.AddEngine("mem", engine->get()).ok());
+  std::string token = TokenIn(service.ServeLine("open dataset=mem k=3"));
+  ASSERT_FALSE(token.empty());
+
+  api::ExpandRequest request;
+  auto parsed_token = api::ParseToken(token);
+  ASSERT_TRUE(parsed_token.ok());
+  request.session = *parsed_token;
+  request.node = 0;
+  request.deadline_ms = 0.0001;  // pre-expired before greedy step 0
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(service.SubmitExpand(request, sink).ok());
+
+  api::Response response = sink->Wait();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded)
+      << response.status.ToString();
+  EXPECT_TRUE(response.partial);
+  ASSERT_TRUE(response.tree.has_value());
+  std::string encoded = api::EncodeResponse(response);
+  EXPECT_TRUE(ValidEnvelope(encoded)) << encoded;
+  EXPECT_NE(encoded.find("\"partial\":true"), std::string::npos) << encoded;
+
+  EXPECT_NE(service.ServeLine("close " + token).find("\"ok\":true"),
+            std::string::npos);
+}
+
+/// A sink that parks inside OnStep until released: while it sleeps, the
+/// expansion holds the session's registry entry lock, making the session
+/// "busy" from the sweeper's point of view.
+class ParkingSink : public api::ProgressSink {
+ public:
+  bool OnStep(const api::NodeView&, size_t, size_t) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    parked_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+    return true;
+  }
+
+  void OnDone(const api::Response&) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    cv_.notify_all();
+  }
+
+  void WaitParked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return parked_; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+  void WaitDone() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool parked_ = false;
+  bool released_ = false;
+  bool done_ = false;
+};
+
+TEST_F(ChaosTest, SweepSkipsBusySessionAndReportsAge) {
+  // A session mid-request is never an eviction victim, even when its idle
+  // clock says it expired: the sweep counts a busy-skip instead and the
+  // sweep timestamp (surfaced as the last-sweep-age gauge) still advances.
+  Table table = MakeMemTable();
+  SizeWeight weight;
+  auto engine = ExplorationEngine::Create(table, weight);
+  ASSERT_TRUE(engine.ok());
+
+  std::atomic<uint64_t> fake_now_ms{1000};
+  ServiceOptions options;
+  options.idle_ttl_ms = 500;
+  options.clock_ms = [&fake_now_ms]() { return fake_now_ms.load(); };
+  ExplorationService service(options);
+  ASSERT_TRUE(service.AddEngine("mem", engine->get()).ok());
+
+  EXPECT_FALSE(service.last_sweep_age_ms().has_value());  // never swept
+
+  std::string token = TokenIn(service.ServeLine("open dataset=mem k=3"));
+  ASSERT_FALSE(token.empty());
+
+  api::ExpandRequest request;
+  auto parsed_token = api::ParseToken(token);
+  ASSERT_TRUE(parsed_token.ok());
+  request.session = *parsed_token;
+  request.node = 0;
+  auto sink = std::make_shared<ParkingSink>();
+  ASSERT_TRUE(service.SubmitExpand(request, sink).ok());
+  sink->WaitParked();  // the expansion now holds the entry lock
+
+  Counter& busy_skips = MetricsRegistry::Default().GetCounter(
+      "smartdd_sessions_sweep_busy_skips_total",
+      "TTL sweep victims skipped because a request held their entry");
+  uint64_t skips_before = busy_skips.value();
+
+  fake_now_ms.store(5000);  // idle age 4000ms >> TTL 500ms
+  EXPECT_EQ(service.SweepIdle(), 0u);  // busy -> skipped, not evicted
+  EXPECT_GT(busy_skips.value(), skips_before);
+  ASSERT_TRUE(service.last_sweep_age_ms().has_value());
+  EXPECT_EQ(*service.last_sweep_age_ms(), 0u);  // swept "just now" (fake clock)
+
+  fake_now_ms.store(5600);
+  EXPECT_EQ(*service.last_sweep_age_ms(), 600u);
+
+  sink->Release();
+  sink->WaitDone();
+  EXPECT_EQ(service.num_sessions(), 1u);  // survived the sweep
+  EXPECT_NE(service.ServeLine("close " + token).find("\"ok\":true"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartdd

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "tests/test_util.h"
 
@@ -211,6 +213,98 @@ TEST(DiskScanSourceTest, MakeEmptyTableSharesCodeSpace) {
                   })
                   .ok());
   std::remove(path.c_str());
+}
+
+// --- Fault-injected I/O error paths (common/fault_injection) -------------
+
+class DiskTableFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Default().DisarmAll();
+    path_ = TempPath("faults.sddt");
+    Table t = MakeTable({{"a"}, {"b"}, {"c"}, {"d"}, {"e"}});
+    ASSERT_TRUE(DiskTable::Write(t, path_).ok());
+    auto dt = DiskTable::Open(path_);
+    ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+    dt_ = std::move(*dt);
+  }
+
+  void TearDown() override {
+    FaultRegistry::Default().DisarmAll();
+    std::remove(path_.c_str());
+  }
+
+  Status ScanCollecting(std::vector<uint64_t>* rows) {
+    return dt_->Scan([&](uint64_t r, const uint32_t*, const double*) {
+      if (rows != nullptr) rows->push_back(r);
+      return true;
+    });
+  }
+
+  static uint64_t IoRetriesNow() {
+    return MetricsRegistry::Default()
+        .GetCounter("smartdd_io_retries_total", "")
+        .value();
+  }
+
+  std::string path_;
+  std::shared_ptr<DiskTable> dt_;
+};
+
+TEST_F(DiskTableFaultTest, OpenFailureExhaustsRetries) {
+  FaultRegistry::Default().ArmError("disk_table.open",
+                                    Status::IOError("injected"), /*times=*/0);
+  uint64_t fired_before = FaultRegistry::Default().fired("disk_table.open");
+  auto dt = DiskTable::Open(path_);
+  EXPECT_EQ(dt.status().code(), StatusCode::kIOError);
+  // Initial attempt + every retry hit the fault point.
+  EXPECT_GE(FaultRegistry::Default().fired("disk_table.open") - fired_before,
+            4u);
+}
+
+TEST_F(DiskTableFaultTest, OpenRetryThenSucceed) {
+  FaultRegistry::Default().ArmError("disk_table.open",
+                                    Status::IOError("injected"), /*times=*/1);
+  uint64_t retries_before = IoRetriesNow();
+  auto dt = DiskTable::Open(path_);
+  ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+  EXPECT_EQ((*dt)->num_rows(), 5u);
+  EXPECT_GE(IoRetriesNow() - retries_before, 1u);
+}
+
+TEST_F(DiskTableFaultTest, ScanOpenFailureSurfacesAfterRetries) {
+  FaultRegistry::Default().ArmError("disk_table.scan_open",
+                                    Status::IOError("injected"), /*times=*/0);
+  std::vector<uint64_t> rows;
+  Status s = ScanCollecting(&rows);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(DiskTableFaultTest, TransientReadErrorRetriesThenSucceeds) {
+  FaultRegistry::Default().ArmError("disk_table.read",
+                                    Status::IOError("injected"), /*times=*/1);
+  uint64_t retries_before = IoRetriesNow();
+  std::vector<uint64_t> rows;
+  ASSERT_TRUE(ScanCollecting(&rows).ok());
+  // The retry re-seeks the block: every row exactly once, in order.
+  EXPECT_EQ(rows, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_GE(IoRetriesNow() - retries_before, 1u);
+}
+
+TEST_F(DiskTableFaultTest, ShortReadRetriesThenSucceeds) {
+  FaultRegistry::Default().ArmShortRead("disk_table.read", /*times=*/1);
+  std::vector<uint64_t> rows;
+  ASSERT_TRUE(ScanCollecting(&rows).ok());
+  EXPECT_EQ(rows, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(DiskTableFaultTest, PersistentShortReadExhaustsRetries) {
+  FaultRegistry::Default().ArmShortRead("disk_table.read", /*times=*/0);
+  std::vector<uint64_t> rows;
+  Status s = ScanCollecting(&rows);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos) << s.ToString();
 }
 
 TEST(MemoryScanSourceTest, ScansAllRowsWithMeasures) {

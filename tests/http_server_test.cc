@@ -480,6 +480,28 @@ TEST(HttpServerTest, GracefulShutdownFinishesInFlightRequest) {
   }
 }
 
+TEST(HttpServerTest, AbruptClientCloseDoesNotKillServer) {
+  // SIGPIPE regression: a peer that slams its socket shut while the server
+  // still has bytes to write must surface as EPIPE (handled), never as a
+  // process-killing signal.
+  HttpServer server(EchoHandler, {});
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 5; ++i) {
+    TestClient goner(server.port());
+    ASSERT_TRUE(goner.connected());
+    goner.Send(PostRequest("/burst", std::string(4096, 'x')));
+    // TestClient's destructor closes the socket immediately — typically
+    // before the echoed 4KB response has been flushed back.
+  }
+  // Let the event loop run its writes against the dead sockets.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  TestClient alive(server.port());
+  ASSERT_TRUE(alive.connected());
+  alive.Send(GetRequest("/still-here"));
+  EXPECT_EQ(StatusOf(alive.ReadResponse()), 200);
+  server.Shutdown();
+}
+
 // --- adapter ------------------------------------------------------------
 
 struct AdapterFixture {
@@ -725,6 +747,75 @@ TEST(HttpAdapterTest, GracefulShutdownDrainsInFlightExpansion) {
   EXPECT_NE(body.find("event: done"), std::string::npos);
   EXPECT_NE(body.find("\"ok\":true"), std::string::npos);
   EXPECT_EQ(server.inflight_requests(), 0u);
+}
+
+TEST(HttpAdapterTest, DeadlineExceededExpandShipsPartialTreeAs200) {
+  EXPECT_EQ(net::HttpStatusFor(Status::DeadlineExceeded("x")), 504);
+
+  Table table = MakeTable();
+  AdapterFixture fixture(table);
+
+  TestClient client(fixture.server.port());
+  client.Send(PostRequest("/v1/open", "k=3"));
+  std::string opened = client.ReadBody();
+  size_t at = opened.find("\"session\":\"");
+  ASSERT_NE(at, std::string::npos);
+  std::string token = opened.substr(at + 11, 16);
+
+  // A deadline this small expires before greedy step 0: deterministically
+  // degraded, zero new children, still a well-formed envelope carrying the
+  // session and the partial tree. Degraded-but-usable ships as 200.
+  client.Send(PostRequest("/v1/expand", token + " 0 deadline_ms=0.0001"));
+  std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  std::string body = response.substr(split + 4);
+  EXPECT_NE(body.find("\"ok\":false"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"code\":\"DEADLINE_EXCEEDED\""), std::string::npos);
+  EXPECT_NE(body.find("\"partial\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"session\":\"" + token + "\""), std::string::npos);
+  EXPECT_NE(body.find("\"tree\":"), std::string::npos);
+
+  // The session degrades, it does not break: a full-budget expand on the
+  // same node then succeeds.
+  client.Send(PostRequest("/v1/expand", token + " 0"));
+  EXPECT_NE(client.ReadBody().find("\"ok\":true"), std::string::npos);
+  client.Send(PostRequest("/v1/close", token));
+  EXPECT_NE(client.ReadBody().find("\"ok\":true"), std::string::npos);
+}
+
+TEST(HttpAdapterTest, SseStreamEmitsDegradedTerminalEvent) {
+  Table table = MakeTable();
+  AdapterFixture fixture(table);
+
+  TestClient client(fixture.server.port());
+  client.Send(PostRequest("/v1/open", "k=3"));
+  std::string opened = client.ReadBody();
+  size_t at = opened.find("\"session\":\"");
+  ASSERT_NE(at, std::string::npos);
+  std::string token = opened.substr(at + 11, 16);
+
+  client.Send(PostRequest("/v1/expand/stream",
+                          token + " 0 deadline_ms=0.0001"));
+  std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  std::string body = TestClient::DechunkedBody(response);
+  EXPECT_NE(body.find("event: degraded"), std::string::npos) << body;
+  EXPECT_EQ(body.find("event: done"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"partial\":true"), std::string::npos);
+
+  // GET variant: deadline_ms rides a query parameter, and being a
+  // key=value option it must not bump the expand into the star arity.
+  client.Send(GetRequest("/v1/expand/stream?session=" + token +
+                         "&node=0&deadline_ms=0.0001"));
+  std::string get_response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(get_response), 200);
+  std::string get_body = TestClient::DechunkedBody(get_response);
+  EXPECT_NE(get_body.find("event: degraded"), std::string::npos) << get_body;
+
+  client.Send(PostRequest("/v1/close", token));
+  EXPECT_NE(client.ReadBody().find("\"ok\":true"), std::string::npos);
 }
 
 TEST(HttpAdapterTest, HealthMetricsAndRouting) {
