@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   options.num_threads = smartdd::bench::Flags().threads;
   options.k = 4;
   options.max_weight = 5;
-  ExplorationSession session(table, weight, options);
+  BenchSession owned = MakeBenchSession(table, weight, options);
+  ExplorationSession& session = owned.session;
 
   PrintExperimentHeader(
       "Figure 1", "first summary on Marketing (Size weighting, k=4, mw=5)",

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   options.num_threads = smartdd::bench::Flags().threads;
   options.k = 4;
   options.max_weight = 5;
-  ExplorationSession session(table, weight, options);
+  BenchSession owned = MakeBenchSession(table, weight, options);
+  ExplorationSession& session = owned.session;
 
   PrintExperimentHeader(
       "Figure 3", "rule expansion of a Figure-1 rule (Marketing, Size, k=4)",

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   options.num_threads = smartdd::bench::Flags().threads;
   options.k = 3;
   options.max_weight = 5;
-  ExplorationSession session(table, weight, options);
+  BenchSession owned = MakeBenchSession(table, weight, options);
+  ExplorationSession& session = owned.session;
 
   PrintExperimentHeader(
       "Tables 1-3", "smart drill-down running example (Store/Product/Region)",

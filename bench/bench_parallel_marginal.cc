@@ -21,12 +21,14 @@
 #include "common/timer.h"
 #include "core/brs.h"
 #include "data/census_gen.h"
+#include "storage/shard_plan.h"
 #include "weights/standard_weights.h"
 
 namespace {
 
 struct Measurement {
   size_t threads = 0;
+  size_t shards = 1;
   double ms = 0;
   smartdd::BrsResult result;
 };
@@ -48,6 +50,42 @@ Measurement RunOnce(const smartdd::TableView& view,
     double ms = timer.ElapsedMillis();
     SMARTDD_CHECK(result.ok()) << result.status().ToString();
     m.ms = std::min(m.ms, ms);  // best-of: least scheduler noise
+    m.result = std::move(result).value();
+  }
+  return m;
+}
+
+Measurement RunOnceSharded(const smartdd::Table& table,
+                           const smartdd::WeightFunction& weight, size_t k,
+                           size_t shards, size_t threads, uint64_t reps) {
+  smartdd::ShardPlan plan = smartdd::ShardPlan::Make(table.num_rows(), shards);
+  std::vector<smartdd::Table> shard_tables;
+  shard_tables.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shard_tables.push_back(
+        table.SliceRows(plan.shard(s).begin, plan.shard(s).end));
+  }
+  std::vector<smartdd::TableView> views;
+  views.reserve(shards);
+  std::vector<const smartdd::TableView*> view_ptrs;
+  for (const smartdd::Table& t : shard_tables) views.emplace_back(t);
+  for (const smartdd::TableView& v : views) view_ptrs.push_back(&v);
+
+  smartdd::BrsOptions options;
+  options.k = k;
+  options.max_weight = 3;
+  options.num_threads = threads;
+
+  Measurement m;
+  m.threads = threads;
+  m.shards = shards;
+  m.ms = std::numeric_limits<double>::infinity();
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    smartdd::WallTimer timer;
+    auto result = smartdd::RunBrsSharded(view_ptrs, weight, options);
+    double ms = timer.ElapsedMillis();
+    SMARTDD_CHECK(result.ok()) << result.status().ToString();
+    m.ms = std::min(m.ms, ms);
     m.result = std::move(result).value();
   }
   return m;
@@ -105,12 +143,31 @@ int main(int argc, char** argv) {
                    runs.front().ms / m.ms, "threads", "x");
   }
 
+  // The shard dimension: the same search scattered over row partitions must
+  // return the same rules, byte for byte, at every shard count.
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  if (Flags().shards != 0 &&
+      std::find(shard_counts.begin(), shard_counts.end(), Flags().shards) ==
+          shard_counts.end()) {
+    shard_counts.push_back(Flags().shards);
+  }
+  std::vector<Measurement> shard_runs;
+  for (size_t shards : shard_counts) {
+    shard_runs.push_back(
+        RunOnceSharded(table, weight, k, shards, Flags().threads, reps));
+    PrintSeriesRow("sharded_marginal", static_cast<double>(shards),
+                   shard_runs.back().ms, "shards", "ms");
+  }
+
   const Measurement& serial = runs.front();
   bool identical = true;
   for (const Measurement& m : runs) {
     identical &= SameRules(serial.result, m.result);
   }
-  std::printf("identical results across thread counts: %s\n",
+  for (const Measurement& m : shard_runs) {
+    identical &= SameRules(serial.result, m.result);
+  }
+  std::printf("identical results across thread and shard counts: %s\n",
               identical ? "yes" : "NO (BUG)");
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
@@ -138,6 +195,13 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      m.result.stats.candidates_counted),
                  i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"shard_runs\": [\n");
+  for (size_t i = 0; i < shard_runs.size(); ++i) {
+    const Measurement& m = shard_runs[i];
+    std::fprintf(f, "    {\"shards\": %zu, \"threads\": %zu, \"ms\": %.3f}%s\n",
+                 m.shards, m.threads, m.ms,
+                 i + 1 < shard_runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

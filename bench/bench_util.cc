@@ -35,12 +35,15 @@ BenchFlags& Flags() {
 void ParseFlags(int argc, char** argv) {
   BenchFlags& flags = Flags();
   flags.threads = static_cast<size_t>(EnvU64("SMARTDD_THREADS", 0));
+  flags.shards = static_cast<size_t>(EnvU64("SMARTDD_SHARDS", 1));
   const char* json_env = std::getenv("SMARTDD_JSON");
   if (json_env != nullptr && *json_env != '\0') flags.json_path = json_env;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
       flags.threads = static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      flags.shards = static_cast<size_t>(std::strtoull(arg + 9, nullptr, 10));
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       flags.json_path = arg + 7;
     }
@@ -201,6 +204,18 @@ ExpansionMeasurement MeasureExpandEmpty(const ScanSource& source,
   m.total_ms = total.ElapsedMillis();
   m.result = std::move(result).value();
   return m;
+}
+
+BenchSession MakeBenchSession(const Table& table, const WeightFunction& weight,
+                              SessionOptions options) {
+  ShardedEngineOptions engine_options;
+  engine_options.num_shards = Flags().shards;
+  engine_options.engine.num_threads = options.num_threads;
+  auto engine = ShardedEngine::Create(table, weight, engine_options);
+  SMARTDD_CHECK(engine.ok()) << engine.status().ToString();
+  auto session = (*engine)->front().NewSession(std::move(options));
+  SMARTDD_CHECK(session.ok()) << session.status().ToString();
+  return BenchSession{std::move(engine).value(), std::move(session).value()};
 }
 
 }  // namespace smartdd::bench

@@ -10,6 +10,8 @@
 #include "core/brs.h"
 #include "data/census_gen.h"
 #include "data/marketing_gen.h"
+#include "explore/sharded_engine.h"
+#include "explore/session.h"
 #include "sampling/sample_handler.h"
 #include "storage/disk_table.h"
 
@@ -23,15 +25,19 @@ struct BenchFlags {
   /// --threads=N (or SMARTDD_THREADS): threads for search passes.
   /// 0 = all hardware threads.
   size_t threads = 0;
+  /// --shards=N (or SMARTDD_SHARDS): row partitions for session benches
+  /// that go through BenchSession. 1 = the classic unsharded engine.
+  size_t shards = 1;
   /// --json=FILE (or SMARTDD_JSON): write every PrintSeriesRow record as
   /// machine-readable JSON to FILE at exit.
   std::string json_path;
 };
 BenchFlags& Flags();
 
-/// Parses --threads=N / --json=FILE (env fallbacks SMARTDD_THREADS /
-/// SMARTDD_JSON) into Flags(). Call first thing in main(); unknown
-/// arguments are left alone. Registers the JSON flush atexit.
+/// Parses --threads=N / --shards=N / --json=FILE (env fallbacks
+/// SMARTDD_THREADS / SMARTDD_SHARDS / SMARTDD_JSON) into Flags(). Call
+/// first thing in main(); unknown arguments are left alone. Registers the
+/// JSON flush atexit.
 void ParseFlags(int argc, char** argv);
 
 /// Writes all recorded series rows to Flags().json_path (no-op when the
@@ -81,6 +87,16 @@ ExpansionMeasurement MeasureExpandEmpty(const ScanSource& source,
                                         double mw, uint64_t min_sample_size,
                                         uint64_t memory_capacity, size_t k,
                                         uint64_t seed);
+
+/// A ShardedEngine plus one session on its front, honoring Flags().shards
+/// and Flags().threads. Dies with a message on invalid options (benches
+/// want loud failures, not Status plumbing).
+struct BenchSession {
+  std::unique_ptr<ShardedEngine> engine;
+  ExplorationSession session;
+};
+BenchSession MakeBenchSession(const Table& table, const WeightFunction& weight,
+                              SessionOptions options);
 
 }  // namespace smartdd::bench
 

@@ -8,6 +8,7 @@
 
 #include "common/timer.h"
 #include "data/census_gen.h"
+#include "explore/engine.h"
 #include "explore/renderer.h"
 #include "explore/session.h"
 #include "storage/disk_table.h"
@@ -41,14 +42,25 @@ int main() {
   DiskScanSource source(*disk);
 
   SizeWeight weight;
+  EngineOptions engine_options;
+  engine_options.use_sampling = true;
+  engine_options.sampler.memory_capacity = 50000;
+  engine_options.sampler.min_sample_size = 5000;
+  auto engine = ExplorationEngine::Create(source, weight, engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
   SessionOptions options;
   options.k = 3;
   options.max_weight = 4;
-  options.use_sampling = true;
-  options.sampler.memory_capacity = 50000;
-  options.sampler.min_sample_size = 5000;
   options.prefetch = Prefetcher::Mode::kSynchronous;
-  ExplorationSession session(source, weight, options);
+  auto session_or = (*engine)->NewSession(options);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
+    return 1;
+  }
+  ExplorationSession& session = *session_or;
 
   timer.Restart();
   auto level1 = session.Expand(session.root());

@@ -3,11 +3,13 @@
 // Demonstrates the minimal public API surface:
 //   ReadCsvString/ReadCsvFile -> Table
 //   SizeWeight                -> the default weighting
-//   ExplorationSession        -> Expand / ExpandStar / Collapse
+//   ExplorationEngine::Create -> the shared engine for a dataset
+//   NewSession                -> Expand / ExpandStar / Collapse
 //   RenderSession             -> the paper-style rule table
 
 #include <cstdio>
 
+#include "explore/engine.h"
 #include "explore/renderer.h"
 #include "explore/session.h"
 #include "storage/csv.h"
@@ -48,9 +50,21 @@ int main() {
               table.num_columns());
 
   SizeWeight weight;
+  auto engine = ExplorationEngine::Create(table, weight);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine error: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
   SessionOptions options;
   options.k = 3;
-  ExplorationSession session(table, weight, options);
+  auto session_or = (*engine)->NewSession(options);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "session error: %s\n",
+                 session_or.status().ToString().c_str());
+    return 1;
+  }
+  ExplorationSession& session = *session_or;
 
   std::printf("== Initial view ==\n%s\n",
               RenderSession(session).c_str());

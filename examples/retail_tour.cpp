@@ -6,6 +6,7 @@
 
 #include "core/drilldown.h"
 #include "data/retail_gen.h"
+#include "explore/engine.h"
 #include "explore/renderer.h"
 #include "explore/session.h"
 #include "weights/standard_weights.h"
@@ -23,10 +24,14 @@ int main() {
 
   Table table = GenerateRetailTable();
   SizeWeight weight;
+  auto engine = ExplorationEngine::Create(table, weight);
+  if (!engine.ok()) return 1;
   SessionOptions options;
   options.k = 3;
   options.max_weight = 5;
-  ExplorationSession session(table, weight, options);
+  auto session_or = (*engine)->NewSession(options);
+  if (!session_or.ok()) return 1;
+  ExplorationSession& session = *session_or;
 
   Banner("1. The analyst sees the trivial summary (paper Table 1)");
   std::printf("%s", RenderSession(session).c_str());

@@ -28,12 +28,12 @@ fi
 # run: the parallel differential suites, everything touching the background
 # prefetcher and registry, and the chaos suite (which arms fault schedules
 # while 16 sessions hammer the service).
-SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test"
+SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test|sharded_engine_test"
 SAN_TARGETS=(
   parallel_marginal_test parallel_sampling_test sample_handler_test
   session_test concurrent_sessions_test task_scheduler_test
   service_test codec_test metrics_test http_server_test chaos_test
-  disk_table_test
+  disk_table_test sharded_engine_test
 )
 
 run_sanitizer_stage() {
@@ -68,6 +68,12 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # nonzero /metrics, graceful SIGTERM, deadline-degraded partial results
   # (see scripts/http_smoke.sh).
   scripts/http_smoke.sh build
+
+  # Sharded-engine smoke: 1/2/4-shard scatter-gather must return identical
+  # trees (the bench exits nonzero on drift).
+  (cd build && SMARTDD_CENSUS_ROWS=50000 SMARTDD_BENCH_REPS=1 \
+    ./bench_sharded_engine)
+  echo "sharded engine smoke: identical trees across shard counts"
 fi
 
 if [[ "$MODE" == "--tsan" || "$MODE" == "--tsan-only" ]]; then

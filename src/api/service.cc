@@ -1,5 +1,6 @@
 #include "api/service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/deadline.h"
@@ -36,7 +37,8 @@ DegradeCounters& Degrades() {
 }  // namespace
 
 ExplorationService::ExplorationService(ServiceOptions options)
-    : registry_([&options]() {
+    : default_num_shards_(std::max<size_t>(1, options.num_shards)),
+      registry_([&options]() {
         SessionRegistry::Options r;
         r.max_sessions = options.max_sessions;
         r.idle_ttl_ms = options.idle_ttl_ms;
@@ -55,6 +57,25 @@ Status ExplorationService::AddEngine(std::string name,
   }
   if (engines_.empty()) default_dataset_ = name;
   engines_.emplace(std::move(name), engine);
+  return Status::OK();
+}
+
+Status ExplorationService::AddEngine(std::string name, ShardedEngine* engine) {
+  SMARTDD_CHECK(engine != nullptr);
+  return AddEngine(std::move(name), &engine->front());
+}
+
+Status ExplorationService::AddShardedTable(std::string name,
+                                           const Table& table,
+                                           const WeightFunction& weight,
+                                           size_t num_shards) {
+  ShardedEngineOptions options;
+  options.num_shards = num_shards != 0 ? num_shards : default_num_shards_;
+  auto engine = ShardedEngine::Create(table, weight, std::move(options));
+  SMARTDD_RETURN_IF_ERROR(engine.status());
+  SMARTDD_RETURN_IF_ERROR(AddEngine(std::move(name), engine->get()));
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  owned_engines_.push_back(std::move(engine).value());
   return Status::OK();
 }
 

@@ -5,11 +5,13 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/codec.h"
 #include "api/dto.h"
 #include "api/session_registry.h"
 #include "explore/engine.h"
+#include "explore/sharded_engine.h"
 
 namespace smartdd::api {
 
@@ -23,6 +25,10 @@ struct ServiceOptions {
   /// 0 = entropy-seeded session tokens (the safe default); fixed nonzero
   /// seeds are for reproducible scripting only (see SessionRegistry).
   uint64_t token_seed = 0;
+  /// Default shard count for engines stood up via AddShardedTable (clamped
+  /// to >= 1). Purely an execution knob: the wire protocol, expansion
+  /// trees, and every response byte are identical for every value.
+  size_t num_shards = 1;
 };
 
 /// The transport-agnostic front door to smart drill-down: an
@@ -49,6 +55,18 @@ class ExplorationService {
   /// becomes the default (used by open requests with no dataset=). Returns
   /// InvalidArgument for a duplicate name.
   Status AddEngine(std::string name, ExplorationEngine* engine);
+
+  /// Registers a sharded engine's front as dataset `name`. Sessions opened
+  /// on the dataset scatter-gather their exact drill-downs across the
+  /// shards; the wire protocol is unchanged. Borrowed, must outlive the
+  /// service.
+  Status AddEngine(std::string name, ShardedEngine* engine);
+
+  /// Stands up a service-owned ShardedEngine over `table` (num_shards = 0
+  /// uses ServiceOptions::num_shards) and registers it as dataset `name`.
+  /// `table` and `weight` must outlive the service.
+  Status AddShardedTable(std::string name, const Table& table,
+                         const WeightFunction& weight, size_t num_shards = 0);
 
   /// Executes one request synchronously. Never throws and never returns a
   /// malformed envelope: errors come back as a non-OK status with a stable
@@ -105,9 +123,15 @@ class ExplorationService {
 
   ExplorationEngine* FindEngine(const std::string& dataset);
 
+  /// ServiceOptions::num_shards, resolved at construction.
+  size_t default_num_shards_ = 1;
   std::mutex engines_mu_;
   std::map<std::string, ExplorationEngine*> engines_;
   std::string default_dataset_;
+  /// Sharded engines stood up by AddShardedTable. Declared before the
+  /// registry so live sessions (owned by registry_, destroyed first) never
+  /// outlive their engine.
+  std::vector<std::unique_ptr<ShardedEngine>> owned_engines_;
   /// Last member on purpose: destroying the registry drains queued
   /// SubmitExpand tasks, which may still Execute against the members above.
   SessionRegistry registry_;

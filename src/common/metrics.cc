@@ -118,34 +118,67 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  // An instrument named `base{label="v",...}` renders as a labeled sample of
+  // the `base` family (HELP/TYPE emitted once per base). Labeled names of one
+  // base sort adjacently after the unlabeled name ('{' > any name character),
+  // so one pass with a previous-base latch suffices.
+  std::string prev_base;
   for (const auto& [name, family] : families_) {
-    out += "# HELP " + name + " " + family.help + "\n";
+    const size_t brace = name.find('{');
+    const std::string base = name.substr(0, brace);
+    // Inner label list, without the braces; empty for unlabeled instruments.
+    std::string labels;
+    if (brace != std::string::npos && name.back() == '}') {
+      labels = name.substr(brace + 1, name.size() - brace - 2);
+    }
+    const std::string sample_suffix =
+        labels.empty() ? "" : "{" + labels + "}";
+
+    if (base != prev_base) {
+      out += "# HELP " + base + " " + family.help + "\n";
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += "# TYPE " + base + " counter\n";
+          break;
+        case Kind::kGauge:
+          out += "# TYPE " + base + " gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += "# TYPE " + base + " histogram\n";
+          break;
+      }
+      prev_base = base;
+    }
     switch (family.kind) {
       case Kind::kCounter:
-        out += "# TYPE " + name + " counter\n";
-        out += name + " " + std::to_string(family.counter->value()) + "\n";
+        out += base + sample_suffix + " " +
+               std::to_string(family.counter->value()) + "\n";
         break;
       case Kind::kGauge:
-        out += "# TYPE " + name + " gauge\n";
-        out += name + " " + std::to_string(family.gauge->value()) + "\n";
+        out += base + sample_suffix + " " +
+               std::to_string(family.gauge->value()) + "\n";
         break;
       case Kind::kHistogram: {
         const Histogram& h = *family.histogram;
-        out += "# TYPE " + name + " histogram\n";
+        // Bucket lines merge the instrument's labels with `le`.
+        const std::string le_prefix =
+            labels.empty() ? "{le=\"" : "{" + labels + ",le=\"";
         // One pass over the raw buckets: each bucket read once, running
         // total accumulated, and the same total reused for +Inf/_count so
         // the rendered series stays monotonic under concurrent Observes.
         uint64_t cumulative = 0;
         for (size_t i = 0; i < h.bounds().size(); ++i) {
           cumulative += h.BucketCount(i);
-          out += name + "_bucket{le=\"" + MetricNumber(h.bounds()[i]) +
+          out += base + "_bucket" + le_prefix + MetricNumber(h.bounds()[i]) +
                  "\"} " + std::to_string(cumulative) + "\n";
         }
         cumulative += h.BucketCount(h.bounds().size());
-        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+        out += base + "_bucket" + le_prefix + "+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += base + "_sum" + sample_suffix + " " + MetricNumber(h.sum()) +
                "\n";
-        out += name + "_sum " + MetricNumber(h.sum()) + "\n";
-        out += name + "_count " + std::to_string(cumulative) + "\n";
+        out += base + "_count" + sample_suffix + " " +
+               std::to_string(cumulative) + "\n";
         break;
       }
     }

@@ -9,6 +9,7 @@
 #include "common/flat_map.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "rules/rule_ops.h"
 
 namespace smartdd {
@@ -35,6 +36,15 @@ using Cols = std::vector<uint32_t>;
 /// order afterwards. Lane boundaries depend only on the data shape (row
 /// count and dictionary size) — never on the thread count — so the merged
 /// floats are bit-identical for any parallelism.
+///
+/// Sharded searches reuse the same grid: the shards' rows are treated as
+/// one concatenated row space and the lane layout is computed from the
+/// *global* row count, so a lane may span a shard boundary (it then scans
+/// the shards' sub-ranges in shard order). Lanes, merge order, and scan
+/// order are therefore pure functions of the global shape — never of the
+/// shard count — which is what makes every num_shards x num_threads
+/// combination byte-identical to the single-shard serial search.
+///
 /// kMinLaneRows bounds scheduling overhead on small views; kMaxLanes
 /// bounds the fan-out; kMaxLaneCells bounds the transient accumulator
 /// memory (lanes * dict cells, ~20 bytes each) so high-cardinality
@@ -81,7 +91,8 @@ struct SingletonTable {
 };
 
 /// Row postings per dictionary code of one column, CSR layout: the rows
-/// covered by code v are rows[offsets[v] .. offsets[v+1]), in view order.
+/// covered by code v are rows[offsets[v] .. offsets[v+1]), ascending in
+/// the concatenated (global) row order.
 struct Postings {
   std::vector<uint32_t> offsets;
   std::vector<uint32_t> rows;
@@ -90,14 +101,26 @@ struct Postings {
 }  // namespace
 
 struct MarginalRuleFinder::Impl {
-  const TableView& view;
+  /// One shard slice of the logical row space. `begin` is the slice's
+  /// offset in the concatenated order; covered/mut_covered are shard-local
+  /// arrays indexed by the slice's own view rows.
+  struct Segment {
+    const TableView* view;
+    const double* covered;
+    double* mut_covered;
+    uint64_t begin;
+    uint64_t rows;
+    const double* mass_col;  // measure column data, nullptr for Count
+    bool subset;
+  };
+
   const WeightFunction& weight;
   const MarginalSearchOptions& options;
   MarginalSearchStats& stats;
-  const std::vector<double>& covered_weight;
+  std::vector<Segment> segs;
+  uint64_t total_rows = 0;
   /// Deferred update fused into the first pass-1 region (see Find overload).
   const CoveredUpdate* pending = nullptr;
-  std::vector<double>* mutable_covered = nullptr;
 
   std::vector<uint32_t> columns;   // search space, ascending
   std::vector<int32_t> col_dense;  // table column -> index in columns, or -1
@@ -108,7 +131,7 @@ struct MarginalRuleFinder::Impl {
 
   size_t threads;
 
-  std::vector<Postings> postings;        // per dense column
+  std::vector<Postings> postings;        // per dense column, global row ids
   std::vector<SingletonTable> singles;   // per dense column
   std::vector<CandidateGroup> counted;   // arity >= 2 groups, all passes
   FlatMap<uint32_t> counted_index;       // ColsKey -> index into `counted`
@@ -135,40 +158,85 @@ struct MarginalRuleFinder::Impl {
         "marginal-rule search aborted: deadline exceeded");
   }
 
-  Impl(const TableView& v, const WeightFunction& w,
+  Impl(const std::vector<const TableView*>& views, const WeightFunction& w,
        const MarginalSearchOptions& opts, MarginalSearchStats& s,
-       const std::vector<double>& cw)
-      : view(v),
-        weight(w),
+       const std::vector<const double*>& covered,
+       const std::vector<double*>& mut_covered)
+      : weight(w),
         options(opts),
         stats(s),
-        covered_weight(cw),
-        base(opts.base_rule ? *opts.base_rule : Rule(v.num_columns())),
+        base(opts.base_rule ? *opts.base_rule
+                            : Rule(views[0]->num_columns())),
         scratch(0),
         threads(ThreadPool::EffectiveThreads(opts.num_threads)) {
-    SMARTDD_CHECK(base.num_columns() == view.num_columns());
+    SMARTDD_CHECK(!views.empty());
+    const TableView& proto = *views[0];
+    SMARTDD_CHECK(base.num_columns() == proto.num_columns());
+    segs.reserve(views.size());
+    for (size_t i = 0; i < views.size(); ++i) {
+      const TableView* v = views[i];
+      SMARTDD_CHECK(v->num_columns() == proto.num_columns())
+          << "shard views must share one schema";
+      SMARTDD_CHECK(v->measure_index() == proto.measure_index())
+          << "shard views must select the same measure";
+      Segment seg;
+      seg.view = v;
+      seg.covered = covered[i];
+      seg.mut_covered = mut_covered.empty() ? nullptr : mut_covered[i];
+      seg.begin = total_rows;
+      seg.rows = v->num_rows();
+      seg.mass_col =
+          v->has_measure()
+              ? v->table().measure_column(*v->measure_index()).data()
+              : nullptr;
+      seg.subset = v->is_subset();
+      segs.push_back(seg);
+      total_rows += seg.rows;
+    }
+
     if (options.allowed_columns.empty()) {
-      for (size_t c = 0; c < view.num_columns(); ++c) {
+      for (size_t c = 0; c < proto.num_columns(); ++c) {
         columns.push_back(static_cast<uint32_t>(c));
       }
     } else {
       for (size_t c : options.allowed_columns) {
-        SMARTDD_CHECK(c < view.num_columns());
+        SMARTDD_CHECK(c < proto.num_columns());
         columns.push_back(static_cast<uint32_t>(c));
       }
       std::sort(columns.begin(), columns.end());
       columns.erase(std::unique(columns.begin(), columns.end()),
                     columns.end());
     }
-    col_dense.assign(view.num_columns(), -1);
+    col_dense.assign(proto.num_columns(), -1);
     col_bits.resize(columns.size());
     for (size_t i = 0; i < columns.size(); ++i) {
       col_dense[columns[i]] = static_cast<int32_t>(i);
-      col_bits[i] = CodeBitWidth(view.table().dictionary(columns[i]).size());
+      col_bits[i] = CodeBitWidth(dict_size(columns[i]));
     }
     scratch = base;
     for (uint32_t c : columns) {
       base_stars_search_cols &= base.is_star(c);
+    }
+  }
+
+  /// Dictionary size of column c. The shards share their dictionaries
+  /// (slices are built via Table::EmptyLike), so any segment answers.
+  size_t dict_size(uint32_t c) const {
+    return segs[0].view->table().dictionary(c).size();
+  }
+
+  /// Invokes fn(segment, local_lo, local_hi) for each shard sub-range of
+  /// the concatenated row range [lo, hi), in shard order. Linear segment
+  /// advance: shard counts are small and callers sweep forward.
+  template <typename Fn>
+  void ForEachRange(uint64_t lo, uint64_t hi, Fn&& fn) const {
+    size_t si = 0;
+    while (lo < hi) {
+      while (segs[si].begin + segs[si].rows <= lo) ++si;  // skips empties
+      const Segment& s = segs[si];
+      const uint64_t chunk_hi = std::min(hi, s.begin + s.rows);
+      fn(s, lo - s.begin, chunk_hi - s.begin);
+      lo = chunk_hi;
     }
   }
 
@@ -192,14 +260,6 @@ struct MarginalRuleFinder::Impl {
       key.hi = HashMix64(key.lo ^ 0x94D049BB133111EBULL);
     }
     return key;
-  }
-
-  /// Pointer to the view's selected measure column (nullptr for Count):
-  /// hot loops resolve the table row once and index this directly instead
-  /// of paying view.mass()'s second row_id resolution per tuple.
-  const double* MassColumn() const {
-    if (!view.has_measure()) return nullptr;
-    return view.table().measure_column(*view.measure_index()).data();
   }
 
   TuplePacker MakePacker(const Cols& cols) const {
@@ -274,9 +334,7 @@ struct MarginalRuleFinder::Impl {
   /// half-applied, because the first check sits after column 0's Phase A
   /// (the region the update is fused into).
   Status CountSizeOne() {
-    const uint64_t n = view.num_rows();
-    const bool subset = view.is_subset();
-    const double* mass_col = MassColumn();
+    const uint64_t n = total_rows;
 
     postings.resize(columns.size());
     singles.resize(columns.size());
@@ -288,14 +346,13 @@ struct MarginalRuleFinder::Impl {
 
     for (size_t ci = 0; ci < columns.size(); ++ci) {
       const uint32_t c = columns[ci];
-      const size_t dict = view.table().dictionary(c).size();
-      const uint32_t* col = view.table().column(c).data();
+      const size_t dict = dict_size(c);
       SingletonTable& st = singles[ci];
       st.col = c;
       st.entries.assign(dict, Entry{});
       st.counts.assign(dict, 0u);
 
-      // Lane layout for this column (data-shape-dependent only).
+      // Lane layout for this column (global-data-shape-dependent only).
       const uint64_t num_lanes = std::max<uint64_t>(
           1, std::min({(n + kMinLaneRows - 1) / kMinLaneRows, kMaxLanes,
                        kMaxLaneCells / std::max<uint64_t>(1, dict)}));
@@ -313,30 +370,41 @@ struct MarginalRuleFinder::Impl {
       // to its own rows — the pipelined fan-out: the update scan rides the
       // same parallel region as the pass-1 counting scan, and every row is
       // updated exactly once before Phase B (after the barrier) reads it.
+      // A lane spanning a shard boundary scans the shards' sub-ranges in
+      // shard order, so the scatter covers shards and threads at once.
       const bool fuse_update = pending != nullptr && ci == 0;
       RunChunked(num_lanes, [&](uint64_t lane) {
         const auto [lo, hi] = lane_bounds(lane);
-        if (fuse_update) {
-          const double w = pending->weight;
-          double* cw = mutable_covered->data();
-          for (uint64_t t = lo; t < hi; ++t) {
-            if (cw[t] < w && RuleCoversRow(pending->rule, view, t)) cw[t] = w;
-          }
-        }
         uint32_t* counts = lane_counts.data() + lane * dict;
         double* mass = lane_mass.data() + lane * dict;
-        for (uint64_t t = lo; t < hi; ++t) {
-          const uint32_t row =
-              subset ? view.row_id(t) : static_cast<uint32_t>(t);
-          const uint32_t code = col[row];
-          ++counts[code];
-          mass[code] += mass_col ? mass_col[row] : 1.0;
-        }
+        ForEachRange(lo, hi, [&](const Segment& s, uint64_t llo,
+                                 uint64_t lhi) {
+          if (fuse_update) {
+            const double w = pending->weight;
+            double* cw = s.mut_covered;
+            for (uint64_t t = llo; t < lhi; ++t) {
+              if (cw[t] < w && RuleCoversRow(pending->rule, *s.view, t)) {
+                cw[t] = w;
+              }
+            }
+          }
+          const uint32_t* col = s.view->table().column(c).data();
+          const double* mass_col = s.mass_col;
+          const bool subset = s.subset;
+          for (uint64_t t = llo; t < lhi; ++t) {
+            const uint32_t row =
+                subset ? s.view->row_id(t) : static_cast<uint32_t>(t);
+            const uint32_t code = col[row];
+            ++counts[code];
+            mass[code] += mass_col ? mass_col[row] : 1.0;
+          }
+        });
       });
 
       if (DeadlineExpired()) return DeadlineStatus();
 
-      // Merge in lane order; lay out CSR offsets.
+      // Gather: merge in lane order; lay out CSR offsets.
+      WallTimer merge_timer;
       Postings& ps = postings[ci];
       ps.offsets.assign(dict + 1, 0u);
       for (size_t v = 0; v < dict; ++v) {
@@ -352,6 +420,7 @@ struct MarginalRuleFinder::Impl {
         if (total > 0) st.codes.push_back(static_cast<uint32_t>(v));
       }
       ps.rows.resize(n);
+      stats.merge_seconds += merge_timer.ElapsedMillis() / 1e3;
 
       // Weights for the codes that occur (serial: WeightFunction is not
       // required to be thread-safe, and this is O(dict), not O(rows)).
@@ -382,24 +451,33 @@ struct MarginalRuleFinder::Impl {
       }
 
       // Phase B: scatter rows into the postings (lane-ordered, so each
-      // code's posting list stays in ascending view-row order) and
-      // accumulate the marginal sums per lane.
+      // code's posting list stays ascending in the concatenated row order)
+      // and accumulate the marginal sums per lane.
       lane_marginal.assign(num_lanes * dict, 0.0);
       RunChunked(num_lanes, [&](uint64_t lane) {
         const auto [lo, hi] = lane_bounds(lane);
         uint32_t* cursors = lane_counts.data() + lane * dict;
         double* marginal = lane_marginal.data() + lane * dict;
-        for (uint64_t t = lo; t < hi; ++t) {
-          const uint32_t row =
-              subset ? view.row_id(t) : static_cast<uint32_t>(t);
-          const uint32_t code = col[row];
-          ps.rows[cursors[code]++] = static_cast<uint32_t>(t);
-          const Entry& e = st.entries[code];
-          if (e.excluded) continue;
-          const double m = mass_col ? mass_col[row] : 1.0;
-          marginal[code] += m * std::max(0.0, e.weight - covered_weight[t]);
-        }
+        ForEachRange(lo, hi, [&](const Segment& s, uint64_t llo,
+                                 uint64_t lhi) {
+          const uint32_t* col = s.view->table().column(c).data();
+          const double* mass_col = s.mass_col;
+          const double* covered = s.covered;
+          const bool subset = s.subset;
+          const uint64_t gbase = s.begin;
+          for (uint64_t t = llo; t < lhi; ++t) {
+            const uint32_t row =
+                subset ? s.view->row_id(t) : static_cast<uint32_t>(t);
+            const uint32_t code = col[row];
+            ps.rows[cursors[code]++] = static_cast<uint32_t>(gbase + t);
+            const Entry& e = st.entries[code];
+            if (e.excluded) continue;
+            const double m = mass_col ? mass_col[row] : 1.0;
+            marginal[code] += m * std::max(0.0, e.weight - covered[t]);
+          }
+        });
       });
+      WallTimer marginal_merge_timer;
       for (size_t v = 0; v < dict; ++v) {
         if (st.counts[v] == 0 || st.entries[v].excluded) continue;
         double marginal = 0;
@@ -408,6 +486,7 @@ struct MarginalRuleFinder::Impl {
         }
         st.entries[v].marginal = marginal;
       }
+      stats.merge_seconds += marginal_merge_timer.ElapsedMillis() / 1e3;
       stats.tuple_visits += n;
       if (DeadlineExpired()) return DeadlineStatus();
     }
@@ -419,8 +498,12 @@ struct MarginalRuleFinder::Impl {
 
   /// Counts one candidate by walking the postings of its rarest
   /// instantiated value and verifying the remaining columns against the
-  /// column arrays. Returns the rows visited. Writes only to `e` — safe to
-  /// run concurrently across distinct candidates.
+  /// column arrays. The walk is ascending in the concatenated row order and
+  /// crosses shard boundaries by rebinding the hoisted column pointers to
+  /// the next shard's slice — a strictly sequential accumulation, so the
+  /// sums never depend on where the shard cuts fall. Returns the rows
+  /// visited. Writes only to `e` — safe to run concurrently across distinct
+  /// candidates.
   uint64_t CountOneCandidate(const CandidateGroup& g, const uint32_t* vals,
                              Entry& e) const {
     const size_t arity = g.cols.size();
@@ -440,28 +523,46 @@ struct MarginalRuleFinder::Impl {
     const uint32_t* row_begin = ps.rows.data() + ps.offsets[vals[rare_i]];
     const uint32_t* row_end = ps.rows.data() + ps.offsets[vals[rare_i] + 1];
 
-    const bool subset = view.is_subset();
-    const double* mass_col = MassColumn();
-    const Table& table = view.table();
-
+    const bool hoisted = arity <= kMaxHoistedArity;
     const uint32_t* cols_data[kMaxHoistedArity];
     uint32_t want[kMaxHoistedArity];
     size_t preds = 0;
-    const bool hoisted = arity <= kMaxHoistedArity;
-    if (hoisted) {
-      for (size_t i = 0; i < arity; ++i) {
-        if (i == rare_i) continue;
-        cols_data[preds] = table.column(g.cols[i]).data();
-        want[preds] = vals[i];
-        ++preds;
-      }
-    }
+
+    // Per-segment bindings, advanced as the (ascending) walk crosses shard
+    // boundaries.
+    size_t si = 0;
+    const Segment* s = nullptr;
+    const Table* table = nullptr;
+    const double* mass_col = nullptr;
+    bool subset = false;
+    uint64_t seg_begin = 0;
+    uint64_t seg_end = 0;  // 0 forces a bind on the first row
 
     double mass = 0;
     double marginal = 0;
     for (const uint32_t* p = row_begin; p != row_end; ++p) {
-      const uint32_t t = *p;
-      const uint32_t row = subset ? view.row_id(t) : t;
+      const uint64_t gt = *p;
+      if (gt >= seg_end) {
+        while (segs[si].begin + segs[si].rows <= gt) ++si;
+        s = &segs[si];
+        table = &s->view->table();
+        mass_col = s->mass_col;
+        subset = s->subset;
+        seg_begin = s->begin;
+        seg_end = s->begin + s->rows;
+        if (hoisted) {
+          preds = 0;
+          for (size_t i = 0; i < arity; ++i) {
+            if (i == rare_i) continue;
+            cols_data[preds] = table->column(g.cols[i]).data();
+            want[preds] = vals[i];
+            ++preds;
+          }
+        }
+      }
+      const uint64_t t = gt - seg_begin;
+      const uint32_t row = subset ? s->view->row_id(t)
+                                  : static_cast<uint32_t>(t);
       bool covered = true;
       if (hoisted) {
         for (size_t i = 0; i < preds; ++i) {
@@ -473,7 +574,7 @@ struct MarginalRuleFinder::Impl {
       } else {
         for (size_t i = 0; i < arity; ++i) {
           if (i == rare_i) continue;
-          if (table.column(g.cols[i])[row] != vals[i]) {
+          if (table->column(g.cols[i])[row] != vals[i]) {
             covered = false;
             break;
           }
@@ -482,7 +583,7 @@ struct MarginalRuleFinder::Impl {
       if (!covered) continue;
       const double m = mass_col ? mass_col[row] : 1.0;
       mass += m;
-      marginal += m * std::max(0.0, e.weight - covered_weight[t]);
+      marginal += m * std::max(0.0, e.weight - s->covered[t]);
     }
     e.mass += mass;
     e.marginal += marginal;
@@ -539,7 +640,8 @@ struct MarginalRuleFinder::Impl {
         item.visits = CountOneCandidate(
             *item.group, item.group->tuple(item.index), e);
       });
-      // Merge in item order; advance H for the next block.
+      // Gather: merge in item order; advance H for the next block.
+      WallTimer merge_timer;
       for (size_t i = block; i < block_end; ++i) {
         if (items[i].skip) continue;
         const Entry& e = items[i].group->map.entry(items[i].index).second;
@@ -547,6 +649,7 @@ struct MarginalRuleFinder::Impl {
         ++stats.candidates_counted;
         if (e.marginal > h) h = e.marginal;
       }
+      stats.merge_seconds += merge_timer.ElapsedMillis() / 1e3;
     }
     ++stats.passes;
     return Status::OK();
@@ -745,7 +848,7 @@ struct MarginalRuleFinder::Impl {
 
   Result<MarginalRuleResult> Run() {
     const size_t max_size = std::min(options.max_rule_size, columns.size());
-    if (max_size == 0 || view.num_rows() == 0) {
+    if (max_size == 0 || total_rows == 0) {
       return Status::NotFound("no rule with positive marginal value");
     }
 
@@ -783,26 +886,60 @@ struct MarginalRuleFinder::Impl {
 MarginalRuleFinder::MarginalRuleFinder(const TableView& view,
                                        const WeightFunction& weight,
                                        MarginalSearchOptions options)
-    : view_(&view), weight_(&weight), options_(std::move(options)) {}
+    : views_({&view}), weight_(&weight), options_(std::move(options)) {}
+
+MarginalRuleFinder::MarginalRuleFinder(std::vector<const TableView*> views,
+                                       const WeightFunction& weight,
+                                       MarginalSearchOptions options)
+    : views_(std::move(views)), weight_(&weight), options_(std::move(options)) {
+  SMARTDD_CHECK(!views_.empty()) << "a sharded finder needs >= 1 view";
+}
 
 Result<MarginalRuleResult> MarginalRuleFinder::Find(
     const std::vector<double>& covered_weight) {
-  SMARTDD_CHECK(covered_weight.size() == view_->num_rows())
+  SMARTDD_CHECK(views_.size() == 1)
+      << "a sharded finder takes per-shard covered weights (FindSharded)";
+  SMARTDD_CHECK(covered_weight.size() == views_[0]->num_rows())
       << "covered_weight must have one entry per view row";
   stats_ = MarginalSearchStats{};
-  Impl impl(*view_, *weight_, options_, stats_, covered_weight);
+  Impl impl(views_, *weight_, options_, stats_, {covered_weight.data()}, {});
   return impl.Run();
 }
 
 Result<MarginalRuleResult> MarginalRuleFinder::Find(
     std::vector<double>& covered_weight, const CoveredUpdate& pending) {
-  SMARTDD_CHECK(covered_weight.size() == view_->num_rows())
+  SMARTDD_CHECK(views_.size() == 1)
+      << "a sharded finder takes per-shard covered weights (FindSharded)";
+  SMARTDD_CHECK(covered_weight.size() == views_[0]->num_rows())
       << "covered_weight must have one entry per view row";
-  SMARTDD_CHECK(pending.rule.num_columns() == view_->num_columns());
+  SMARTDD_CHECK(pending.rule.num_columns() == views_[0]->num_columns());
   stats_ = MarginalSearchStats{};
-  Impl impl(*view_, *weight_, options_, stats_, covered_weight);
+  Impl impl(views_, *weight_, options_, stats_, {covered_weight.data()},
+            {covered_weight.data()});
   impl.pending = &pending;
-  impl.mutable_covered = &covered_weight;
+  return impl.Run();
+}
+
+Result<MarginalRuleResult> MarginalRuleFinder::FindSharded(
+    const std::vector<std::vector<double>*>& covered,
+    const CoveredUpdate* pending) {
+  SMARTDD_CHECK(covered.size() == views_.size())
+      << "one covered-weight vector per shard view";
+  std::vector<const double*> covered_ptrs;
+  std::vector<double*> mut_ptrs;
+  for (size_t i = 0; i < covered.size(); ++i) {
+    SMARTDD_CHECK(covered[i]->size() == views_[i]->num_rows())
+        << "covered_weight must have one entry per shard view row";
+    covered_ptrs.push_back(covered[i]->data());
+    mut_ptrs.push_back(covered[i]->data());
+  }
+  if (pending != nullptr) {
+    SMARTDD_CHECK(pending->rule.num_columns() == views_[0]->num_columns());
+  }
+  stats_ = MarginalSearchStats{};
+  Impl impl(views_, *weight_, options_, stats_, covered_ptrs,
+            pending != nullptr ? mut_ptrs : std::vector<double*>{});
+  impl.pending = pending;
   return impl.Run();
 }
 

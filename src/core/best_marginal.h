@@ -51,6 +51,11 @@ struct MarginalSearchStats {
   size_t candidates_pruned = 0;      ///< dropped by the upper-bound test
   size_t candidates_counted = 0;     ///< actually counted in a pass
   uint64_t tuple_visits = 0;         ///< row visits across counting passes
+  /// Wall time spent in the gather/merge stages — folding per-lane and
+  /// per-block partial aggregates back together in deterministic order
+  /// after each scatter. The sharded engine exports this as its
+  /// scatter-gather merge-latency histogram.
+  double merge_seconds = 0;
 
   void Accumulate(const MarginalSearchStats& other) {
     passes += other.passes;
@@ -58,6 +63,7 @@ struct MarginalSearchStats {
     candidates_pruned += other.candidates_pruned;
     candidates_counted += other.candidates_counted;
     tuple_visits += other.tuple_visits;
+    merge_seconds += other.merge_seconds;
   }
 };
 
@@ -96,6 +102,18 @@ class MarginalRuleFinder {
   MarginalRuleFinder(const TableView& view, const WeightFunction& weight,
                      MarginalSearchOptions options);
 
+  /// Sharded search: `views` are row-contiguous shard slices, in shard
+  /// order, of one logical table (same schema, shared dictionaries, same
+  /// measure selection). The search treats their concatenation as a single
+  /// row space: scan lanes, merge order, pruning thresholds, and tie-breaks
+  /// are pure functions of the *global* shape, so the result is
+  /// byte-identical to running the single-view search over the unsharded
+  /// original — for every shard count and every thread count. The views
+  /// must outlive the finder.
+  MarginalRuleFinder(std::vector<const TableView*> views,
+                     const WeightFunction& weight,
+                     MarginalSearchOptions options);
+
   /// Runs the search. `covered_weight[i]` is the weight of the
   /// highest-weight already-selected rule covering view row i (0 if none).
   /// Returns NotFound when no rule has positive marginal value.
@@ -111,13 +129,21 @@ class MarginalRuleFinder {
   Result<MarginalRuleResult> Find(std::vector<double>& covered_weight,
                                   const CoveredUpdate& pending);
 
+  /// Sharded Find: `covered[s]` holds the covered-weight entries for
+  /// views[s]'s rows (shard-local state, the seam for a multi-process
+  /// tier). `pending` may be null; when set, it is fused into the first
+  /// pass-1 region exactly like the single-view overload.
+  Result<MarginalRuleResult> FindSharded(
+      const std::vector<std::vector<double>*>& covered,
+      const CoveredUpdate* pending);
+
   /// Stats of the most recent Find call.
   const MarginalSearchStats& stats() const { return stats_; }
 
  private:
   struct Impl;
 
-  const TableView* view_;
+  std::vector<const TableView*> views_;
   const WeightFunction* weight_;
   MarginalSearchOptions options_;
   MarginalSearchStats stats_;

@@ -5,19 +5,23 @@
 #include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "rules/rule_ops.h"
 
 namespace smartdd {
 
-Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
-                         const BrsOptions& options) {
-  if (view.has_measure()) {
+Result<BrsResult> RunBrsSharded(const std::vector<const TableView*>& views,
+                                const WeightFunction& weight,
+                                const BrsOptions& options) {
+  SMARTDD_CHECK(!views.empty()) << "sharded BRS needs >= 1 shard view";
+  for (const TableView* vp : views) {
+    if (!vp->has_measure()) continue;
     // Negative masses would invalidate the a-priori pruning bounds and the
     // submodularity argument; reject them up front.
-    const uint64_t n = view.num_rows();
+    const uint64_t n = vp->num_rows();
     for (uint64_t i = 0; i < n; ++i) {
-      if (view.mass(i) < 0) {
+      if (vp->mass(i) < 0) {
         return Status::InvalidArgument(
             "Sum aggregation requires non-negative measure values");
       }
@@ -27,7 +31,7 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
   MarginalSearchOptions search;
   search.max_weight = options.max_weight;
   if (std::isinf(search.max_weight)) {
-    double cap = weight.MaxPossibleWeight(view.num_columns());
+    double cap = weight.MaxPossibleWeight(views[0]->num_columns());
     if (std::isfinite(cap)) search.max_weight = cap;
   }
   search.pruning = options.pruning;
@@ -37,10 +41,16 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
   search.num_threads = options.num_threads;
   search.deadline = options.deadline;
 
-  MarginalRuleFinder finder(view, weight, search);
+  MarginalRuleFinder finder(views, weight, search);
 
   BrsResult result;
-  std::vector<double> covered(view.num_rows(), 0.0);
+  // Shard-local covered-weight state, one vector per shard view.
+  std::vector<std::vector<double>> covered(views.size());
+  std::vector<std::vector<double>*> covered_ptrs(views.size());
+  for (size_t s = 0; s < views.size(); ++s) {
+    covered[s].assign(views[s]->num_rows(), 0.0);
+    covered_ptrs[s] = &covered[s];
+  }
 
   // Pipelined fan-out: the covered-weight update from step i is not applied
   // eagerly — it is handed to step i+1's Find, which fuses the O(n) update
@@ -58,8 +68,8 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
       result.deadline_exceeded = true;
       break;  // degrade: keep the steps that finished in budget
     }
-    auto found = pending ? finder.Find(covered, *pending)
-                         : finder.Find(std::as_const(covered));
+    auto found =
+        finder.FindSharded(covered_ptrs, pending ? &*pending : nullptr);
     pending.reset();
     result.stats.Accumulate(finder.stats());
     if (!found.ok()) {
@@ -91,13 +101,18 @@ Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
   // Exact Count/MCount (or Sum/MSum) of the final list over the view.
   std::vector<Rule> in_order;
   for (const auto& r : result.rules) in_order.push_back(r.rule);
-  RuleListEvaluation eval = EvaluateRuleList(view, in_order, weight);
+  RuleListEvaluation eval = EvaluateRuleListSharded(views, in_order, weight);
   for (size_t i = 0; i < result.rules.size(); ++i) {
     result.rules[i].mass = eval.mass[i];
     result.rules[i].marginal_mass = eval.marginal_mass[i];
   }
   result.total_score = eval.total_score;
   return result;
+}
+
+Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
+                         const BrsOptions& options) {
+  return RunBrsSharded({&view}, weight, options);
 }
 
 }  // namespace smartdd

@@ -72,6 +72,17 @@ struct BrsResult {
 Result<BrsResult> RunBrs(const TableView& view, const WeightFunction& weight,
                          const BrsOptions& options = {});
 
+/// Sharded BRS: `views` are row-contiguous shard slices, in shard order, of
+/// one logical table (shared dictionaries, same measure selection). Each
+/// shard keeps its own covered-weight vector (shard-local state — the seam
+/// for a future multi-process tier) and the marginal search treats the
+/// shards' concatenation as a single row space, so the selected rules,
+/// masses, and scores are byte-identical to RunBrs over the unsharded
+/// original — for every shard count and thread count.
+Result<BrsResult> RunBrsSharded(const std::vector<const TableView*>& views,
+                                const WeightFunction& weight,
+                                const BrsOptions& options = {});
+
 }  // namespace smartdd
 
 #endif  // SMARTDD_CORE_BRS_H_

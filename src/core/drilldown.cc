@@ -1,19 +1,21 @@
 #include "core/drilldown.h"
 
+#include "common/logging.h"
 #include "rules/rule_ops.h"
 #include "weights/star_constraint.h"
 
 namespace smartdd {
 
-Result<DrillDownResponse> SmartDrillDown(const TableView& view,
-                                         const WeightFunction& weight,
-                                         const DrillDownRequest& request) {
+Result<DrillDownResponse> SmartDrillDownSharded(
+    const std::vector<const TableView*>& views, const WeightFunction& weight,
+    const DrillDownRequest& request) {
+  SMARTDD_CHECK(!views.empty()) << "sharded drill-down needs >= 1 shard view";
   const Rule& base = request.base;
-  if (base.num_columns() != view.num_columns()) {
+  if (base.num_columns() != views[0]->num_columns()) {
     return Status::InvalidArgument("base rule width does not match table");
   }
   if (request.star_column) {
-    if (*request.star_column >= view.num_columns()) {
+    if (*request.star_column >= views[0]->num_columns()) {
       return Status::InvalidArgument("star column out of range");
     }
     if (!base.is_star(*request.star_column)) {
@@ -23,15 +25,36 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
   }
 
   // Problem 1 -> Problem 2: restrict to tuples covered by the clicked rule.
-  std::optional<TableView> filtered;
-  const TableView* sub = &view;
+  // Each shard filters locally — its sub-view keeps shard-local row ids —
+  // and the sub-views stay row-contiguous slices of the filtered logical
+  // table, in the same shard order.
+  std::vector<TableView> filtered;
+  std::vector<const TableView*> subs;
   if (!base.is_trivial()) {
-    filtered = FilterView(view, base);
-    sub = &*filtered;
+    filtered.reserve(views.size());
+    for (const TableView* v : views) filtered.push_back(FilterView(*v, base));
+    for (const TableView& v : filtered) subs.push_back(&v);
+  } else {
+    subs = views;
   }
 
   DrillDownResponse response;
-  response.base_mass = sub->total_mass();
+  // Base mass: one accumulator advanced sequentially across the shards in
+  // shard order — the same addition sequence as total_mass() over the
+  // unsharded view, so the float is byte-identical for every shard count.
+  // (Count mode sums exact integers; any fold order would do there.)
+  {
+    double base_mass = 0;
+    for (const TableView* sub : subs) {
+      if (sub->has_measure()) {
+        const uint64_t n = sub->num_rows();
+        for (uint64_t i = 0; i < n; ++i) base_mass += sub->mass(i);
+      } else {
+        base_mass += static_cast<double>(sub->num_rows());
+      }
+    }
+    response.base_mass = base_mass;
+  }
 
   // Search space: the starred columns of base. Tuples covered by base are
   // constant on its instantiated columns, so nothing is lost.
@@ -63,7 +86,7 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
     w = &*star_weight;
   }
 
-  SMARTDD_ASSIGN_OR_RETURN(BrsResult brs_result, RunBrs(*sub, *w, brs));
+  SMARTDD_ASSIGN_OR_RETURN(BrsResult brs_result, RunBrsSharded(subs, *w, brs));
 
   for (auto& r : brs_result.rules) {
     // Zero-weight rules can only appear if nothing positive exists; they
@@ -76,6 +99,12 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
   response.stats = brs_result.stats;
   response.partial = brs_result.deadline_exceeded;
   return response;
+}
+
+Result<DrillDownResponse> SmartDrillDown(const TableView& view,
+                                         const WeightFunction& weight,
+                                         const DrillDownRequest& request) {
+  return SmartDrillDownSharded({&view}, weight, request);
 }
 
 }  // namespace smartdd

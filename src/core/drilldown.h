@@ -68,6 +68,15 @@ Result<DrillDownResponse> SmartDrillDown(const TableView& view,
                                          const WeightFunction& weight,
                                          const DrillDownRequest& request);
 
+/// Sharded drill-down: `views` are row-contiguous shard slices, in shard
+/// order, of one logical table. Each shard filters to the base rule's cover
+/// locally; the search and the evaluations treat the shard sub-views'
+/// concatenation as one row space, so the response is byte-identical to
+/// SmartDrillDown over the unsharded original for every shard count.
+Result<DrillDownResponse> SmartDrillDownSharded(
+    const std::vector<const TableView*>& views, const WeightFunction& weight,
+    const DrillDownRequest& request);
+
 }  // namespace smartdd
 
 #endif  // SMARTDD_CORE_DRILLDOWN_H_

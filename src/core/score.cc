@@ -39,9 +39,9 @@ std::vector<size_t> OrderByWeightDesc(const std::vector<Rule>& rules,
   return order;
 }
 
-RuleListEvaluation EvaluateRuleList(const TableView& view,
-                                    const std::vector<Rule>& rules,
-                                    const WeightFunction& weight) {
+RuleListEvaluation EvaluateRuleListSharded(
+    const std::vector<const TableView*>& views, const std::vector<Rule>& rules,
+    const WeightFunction& weight) {
   RuleListEvaluation out;
   out.mass.assign(rules.size(), 0.0);
   out.marginal_mass.assign(rules.size(), 0.0);
@@ -51,28 +51,41 @@ RuleListEvaluation EvaluateRuleList(const TableView& view,
   for (size_t i = 0; i < rules.size(); ++i) {
     weights[i] = weight.Weight(rules[i]);
   }
-  std::vector<CompiledRule> compiled = CompileRules(rules, view.table());
 
-  const uint64_t n = view.num_rows();
-  const bool subset = view.is_subset();
-  const double* mass_col = MassColumn(view);
-  for (uint64_t t = 0; t < n; ++t) {
-    const uint32_t row = subset ? view.row_id(t) : static_cast<uint32_t>(t);
-    const double m = mass_col ? mass_col[row] : 1.0;
-    bool attributed = false;
-    for (size_t oi = 0; oi < order.size(); ++oi) {
-      size_t i = order[oi];
-      if (compiled[i].Covers(row)) {
-        out.mass[i] += m;
-        if (!attributed) {
-          out.marginal_mass[i] += m;
-          out.total_score += m * weights[i];
-          attributed = true;
+  // One accumulator set, advanced sequentially across the shard views in
+  // shard order: the addition sequence matches the unsharded evaluation
+  // exactly, so results are byte-identical for every shard count. Rules are
+  // recompiled per view (each slice is its own Table object).
+  for (const TableView* vp : views) {
+    const TableView& view = *vp;
+    std::vector<CompiledRule> compiled = CompileRules(rules, view.table());
+    const uint64_t n = view.num_rows();
+    const bool subset = view.is_subset();
+    const double* mass_col = MassColumn(view);
+    for (uint64_t t = 0; t < n; ++t) {
+      const uint32_t row = subset ? view.row_id(t) : static_cast<uint32_t>(t);
+      const double m = mass_col ? mass_col[row] : 1.0;
+      bool attributed = false;
+      for (size_t oi = 0; oi < order.size(); ++oi) {
+        size_t i = order[oi];
+        if (compiled[i].Covers(row)) {
+          out.mass[i] += m;
+          if (!attributed) {
+            out.marginal_mass[i] += m;
+            out.total_score += m * weights[i];
+            attributed = true;
+          }
         }
       }
     }
   }
   return out;
+}
+
+RuleListEvaluation EvaluateRuleList(const TableView& view,
+                                    const std::vector<Rule>& rules,
+                                    const WeightFunction& weight) {
+  return EvaluateRuleListSharded({&view}, rules, weight);
 }
 
 double ScoreRuleSet(const TableView& view, const std::vector<Rule>& rules,

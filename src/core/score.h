@@ -49,6 +49,16 @@ RuleListEvaluation EvaluateRuleList(const TableView& view,
                                     const std::vector<Rule>& rules,
                                     const WeightFunction& weight);
 
+/// Sharded evaluation: `views` are row-contiguous shard slices, in shard
+/// order, of one logical table. The accumulators run sequentially across
+/// the views in shard order — the same addition sequence as evaluating the
+/// unsharded original — so the floats are byte-identical for every shard
+/// count (per-shard subtotals folded together would not be: a different
+/// fold tree drifts in the ULPs).
+RuleListEvaluation EvaluateRuleListSharded(
+    const std::vector<const TableView*>& views, const std::vector<Rule>& rules,
+    const WeightFunction& weight);
+
 /// Score of a rule *set* (Definition 2): sort by weight descending, then
 /// sum MCount(r) * W(r).
 double ScoreRuleSet(const TableView& view, const std::vector<Rule>& rules,

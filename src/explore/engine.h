@@ -15,6 +15,7 @@
 namespace smartdd {
 
 class ExplorationSession;
+class ShardedEngine;
 struct SessionOptions;
 
 /// Engine-wide configuration (per dataset, not per user).
@@ -109,6 +110,10 @@ class ExplorationEngine {
   const ScanSource* source() const { return source_; }
   /// The shared sample handler, or nullptr when sampling is off.
   SampleHandler* sampler() const { return sampler_.get(); }
+  /// The sharded engine this engine fronts, or nullptr when unsharded.
+  /// Sessions route exact drill-downs through it (scatter-gather over the
+  /// shard slices); all other paths are unaffected.
+  const ShardedEngine* sharded() const { return sharded_; }
   /// Fair background-task scheduler (one queue per session).
   TaskScheduler& scheduler() const { return *scheduler_; }
   const EngineOptions& options() const { return options_; }
@@ -119,6 +124,7 @@ class ExplorationEngine {
 
  private:
   friend class ExplorationSession;
+  friend class ShardedEngine;
 
   /// Binds a new session: allocates its scheduler queue and returns its id
   /// (also the SampleHandler session key).
@@ -135,6 +141,8 @@ class ExplorationEngine {
   Table prototype_;
   std::unique_ptr<SampleHandler> sampler_;
   std::unique_ptr<TaskScheduler> scheduler_;
+  /// Back-pointer set by the owning ShardedEngine (not owned).
+  const ShardedEngine* sharded_ = nullptr;
   std::atomic<size_t> live_sessions_{0};
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "explore/engine.h"
+#include "explore/sharded_engine.h"
 #include "rules/rule_ops.h"
 #include "sampling/minss_guidance.h"
 
@@ -22,15 +23,6 @@ ExplorationNode MakeRoot(size_t num_columns, double total_mass) {
   root.parent = -1;
   root.depth = 0;
   return root;
-}
-
-/// Engine configuration implied by a legacy two-arg session construction.
-EngineOptions EngineOptionsFrom(const SessionOptions& options) {
-  EngineOptions engine_options;
-  engine_options.use_sampling = options.use_sampling;
-  engine_options.sampler = options.sampler;
-  engine_options.num_threads = options.num_threads;
-  return engine_options;
 }
 
 }  // namespace
@@ -55,7 +47,6 @@ void ExplorationSession::Release() {
   }
   id_ = 0;
   engine_ = nullptr;
-  owned_engine_.reset();
 }
 
 ExplorationSession::ExplorationSession(ExplorationEngine* engine,
@@ -63,29 +54,10 @@ ExplorationSession::ExplorationSession(ExplorationEngine* engine,
   Bind(engine, std::move(options));
 }
 
-ExplorationSession::ExplorationSession(const Table& table,
-                                       const WeightFunction& weight,
-                                       SessionOptions options) {
-  SMARTDD_CHECK(!options.use_sampling)
-      << "sampling mode requires the ScanSource constructor";
-  owned_engine_ = std::make_unique<ExplorationEngine>(
-      table, weight, EngineOptionsFrom(options));
-  Bind(owned_engine_.get(), std::move(options));
-}
-
-ExplorationSession::ExplorationSession(const ScanSource& source,
-                                       const WeightFunction& weight,
-                                       SessionOptions options) {
-  owned_engine_ = std::make_unique<ExplorationEngine>(
-      source, weight, EngineOptionsFrom(options));
-  Bind(owned_engine_.get(), std::move(options));
-}
-
 ExplorationSession::~ExplorationSession() { Release(); }
 
 ExplorationSession::ExplorationSession(ExplorationSession&& other) noexcept
-    : owned_engine_(std::move(other.owned_engine_)),
-      engine_(other.engine_),
+    : engine_(other.engine_),
       options_(std::move(other.options_)),
       id_(other.id_),
       sync_prefetch_status_(std::move(other.sync_prefetch_status_)),
@@ -98,7 +70,6 @@ ExplorationSession& ExplorationSession::operator=(
     ExplorationSession&& other) noexcept {
   if (this == &other) return *this;
   Release();
-  owned_engine_ = std::move(other.owned_engine_);
   engine_ = other.engine_;
   options_ = std::move(other.options_);
   id_ = other.id_;
@@ -148,6 +119,12 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   };
 
   if (engine_->table() != nullptr) {
+    // Sharded engines scatter-gather the exact drill-down across their
+    // shard slices; results are byte-identical to the unsharded view path.
+    const ShardedEngine* sharded = engine_->sharded();
+    if (sharded != nullptr) {
+      return sharded->RunDrillDown(request, options_.measure_column);
+    }
     TableView view(*engine_->table());
     SMARTDD_RETURN_IF_ERROR(apply_measure(view));
     return SmartDrillDown(view, weight, request);
@@ -381,9 +358,14 @@ Status ExplorationSession::RefreshExactCounts() {
 
   std::vector<double> masses;
   if (engine_->table() != nullptr) {
-    TableView view(*engine_->table());
-    if (measure) view.SelectMeasure(*measure);
-    for (const Rule& r : rules) masses.push_back(RuleMass(view, r));
+    if (engine_->sharded() != nullptr) {
+      SMARTDD_ASSIGN_OR_RETURN(masses,
+                               engine_->sharded()->ExactMasses(rules, measure));
+    } else {
+      TableView view(*engine_->table());
+      if (measure) view.SelectMeasure(*measure);
+      for (const Rule& r : rules) masses.push_back(RuleMass(view, r));
+    }
   } else if (engine_->sampler() != nullptr) {
     SMARTDD_ASSIGN_OR_RETURN(masses,
                              engine_->sampler()->ExactMasses(rules, measure));

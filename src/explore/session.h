@@ -24,14 +24,6 @@ struct SessionOptions {
   /// mw cap; infinity derives it from the weight function.
   double max_weight = std::numeric_limits<double>::infinity();
   PruningMode pruning = PruningMode::kFull;
-  /// Route drill-downs through the SampleHandler instead of scanning the
-  /// table directly. Mandatory for sources that do not fit in memory.
-  /// Consulted by the legacy two-arg constructors only: sessions created
-  /// via ExplorationEngine::NewSession use the engine's sampler (or not)
-  /// regardless of this flag.
-  bool use_sampling = false;
-  /// Legacy-constructor sampler configuration (see use_sampling).
-  SampleHandlerOptions sampler;
   /// Pre-fetch samples for likely next drill-downs after each expansion.
   /// Background prefetches run as engine-scheduled tasks on the session's
   /// fair queue, not on a dedicated thread.
@@ -73,25 +65,14 @@ struct ExplorationNode {
 /// it owns only the display tree and its options, and holds raw
 /// back-pointers into engine state — which is why it is move-only (an
 /// accidental copy would silently alias the tree) and must not outlive its
-/// engine. Create sessions with ExplorationEngine::NewSession; the legacy
-/// two-argument constructors below remain as thin shims that stand up a
-/// private single-session engine internally.
+/// engine. Create sessions with ExplorationEngine::NewSession (stand up an
+/// engine first even for one-shot embedding uses; it pins the dataset,
+/// weight, sampler, and scheduler the session explores through).
 ///
 /// A session itself is not thread-safe (one user drives it); *different*
 /// sessions of one engine may run concurrently from different threads.
 class ExplorationSession {
  public:
-  /// In-memory mode: exact drill-downs over `table`.
-  /// `table` and `weight` must outlive the session.
-  ExplorationSession(const Table& table, const WeightFunction& weight,
-                     SessionOptions options = {});
-
-  /// Scan-source mode: drill-downs run on SampleHandler samples when
-  /// options.use_sampling is set (otherwise a one-off materialization scan
-  /// would be required; sampling is strongly recommended for disk sources).
-  ExplorationSession(const ScanSource& source, const WeightFunction& weight,
-                     SessionOptions options = {});
-
   ~ExplorationSession();
 
   // Move-only: the session holds raw back-pointers into engine state, and
@@ -185,9 +166,6 @@ class ExplorationSession {
   DisplayTree BuildDisplayTree() const;
   void AfterExpansion();
 
-  /// Set only by the legacy constructors: the private single-session
-  /// engine the shim stands up. Must be declared before engine_.
-  std::unique_ptr<ExplorationEngine> owned_engine_;
   ExplorationEngine* engine_ = nullptr;
   SessionOptions options_;
   uint64_t id_ = 0;  // 0 = unbound (moved-from)

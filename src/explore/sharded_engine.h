@@ -1,0 +1,115 @@
+#ifndef SMARTDD_EXPLORE_SHARDED_ENGINE_H_
+#define SMARTDD_EXPLORE_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "core/drilldown.h"
+#include "explore/engine.h"
+#include "storage/scan_source.h"
+#include "storage/shard_plan.h"
+#include "storage/table.h"
+#include "weights/weight_function.h"
+
+namespace smartdd {
+
+/// Configuration of a sharded engine.
+struct ShardedEngineOptions {
+  /// Row partitions the dataset is split into (clamped to >= 1). Results
+  /// are byte-identical for every value; the knob trades per-shard scan
+  /// parallelism against per-shard working-set size.
+  size_t num_shards = 1;
+  /// Forwarded to the front ExplorationEngine (sampler, thread defaults,
+  /// scheduler workers).
+  EngineOptions engine;
+};
+
+/// N row-partitioned shards behind one engine: the dataset is split by a
+/// ShardPlan into contiguous row slices (shared dictionaries), and every
+/// drill-down is a scatter-gather over the shards — scattered as one
+/// concatenated row space into the deterministic lane/chunk grids, gathered
+/// by the same shape-driven merge order as the unsharded search. Sessions,
+/// the wire protocol, deadlines, and fault injection ride through the
+/// embedded front ExplorationEngine unchanged; expansion trees are
+/// byte-identical to a single-shard serial engine for every
+/// num_shards x num_threads combination.
+///
+/// In-memory mode slices the Table and routes exact drill-downs through
+/// SmartDrillDownSharded. Scan-source mode slices the source into
+/// RangeScanSources recombined by a ShardedScanSource — same rows, same
+/// order — so the sampling subsystem (sub-reservoir stitch, ExactMasses
+/// chunk merges) is byte-identical by construction without any routing.
+///
+/// Like ExplorationEngine, the sharded engine is pinned in memory and
+/// borrows its table/source and weight; destroy all sessions before it.
+class ShardedEngine {
+ public:
+  /// In-memory mode: `table` and `weight` must outlive the engine.
+  static Result<std::unique_ptr<ShardedEngine>> Create(
+      const Table& table, const WeightFunction& weight,
+      ShardedEngineOptions options = {});
+
+  /// Scan-source mode: `source` and `weight` must outlive the engine.
+  static Result<std::unique_ptr<ShardedEngine>> Create(
+      const ScanSource& source, const WeightFunction& weight,
+      ShardedEngineOptions options = {});
+
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// The front engine sessions are created from (NewSession etc.). Its
+  /// exact drill-downs are routed back through this sharded engine.
+  ExplorationEngine& front() const { return *front_; }
+
+  size_t num_shards() const { return plan_.num_shards(); }
+  const ShardPlan& plan() const { return plan_; }
+
+  /// Scatter-gather exact drill-down over the shard slices (in-memory mode
+  /// only; scan-source mode flows through the front engine's sampler).
+  /// `measure_column` selects Sum aggregation on every shard view. The
+  /// request's num_threads is scaled by the shard count (when non-zero), so
+  /// a session's per-shard thread knob fans out across shards.
+  Result<DrillDownResponse> RunDrillDown(
+      DrillDownRequest request,
+      const std::optional<std::string>& measure_column) const;
+
+  /// Exact masses of `rules` over the sharded table, each accumulated
+  /// sequentially across the shards in shard order (byte-identical to the
+  /// unsharded pass; in-memory mode only).
+  Result<std::vector<double>> ExactMasses(const std::vector<Rule>& rules,
+                                          std::optional<size_t> measure) const;
+
+ private:
+  ShardedEngine() = default;
+
+  /// Registers the per-shard observability instruments (smartdd_shard_rows,
+  /// per-shard scan-pass counters, merge-latency histogram).
+  void RegisterMetrics();
+
+  const WeightFunction* weight_ = nullptr;
+  ShardPlan plan_;
+  /// In-memory mode: one row slice per shard, sharing the original table's
+  /// dictionaries.
+  const Table* table_ = nullptr;
+  std::vector<Table> shard_tables_;
+  /// Scan-source mode: per-shard row-range slices and their concatenation
+  /// (the front engine's source).
+  std::vector<std::unique_ptr<RangeScanSource>> shard_sources_;
+  std::unique_ptr<ShardedScanSource> sharded_source_;
+  std::unique_ptr<ExplorationEngine> front_;
+
+  /// Per-shard pass-1 scan counters and the scatter-gather merge-latency
+  /// histogram; mutable-by-design process-wide instruments.
+  std::vector<Counter*> shard_scan_passes_;
+  Histogram* merge_latency_ = nullptr;
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_EXPLORE_SHARDED_ENGINE_H_

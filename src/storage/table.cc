@@ -22,6 +22,21 @@ Table Table::EmptyLike(const Table& other) {
   return t;
 }
 
+Table Table::SliceRows(uint64_t row_begin, uint64_t row_end) const {
+  SMARTDD_CHECK(row_begin <= row_end && row_end <= num_rows_)
+      << "slice [" << row_begin << ", " << row_end << ") out of range";
+  Table t = EmptyLike(*this);
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    t.cols_[c].assign(cols_[c].begin() + row_begin, cols_[c].begin() + row_end);
+  }
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    t.measures_[m].assign(measures_[m].begin() + row_begin,
+                          measures_[m].begin() + row_end);
+  }
+  t.num_rows_ = row_end - row_begin;
+  return t;
+}
+
 uint32_t Table::EncodeValue(size_t col, std::string_view value) {
   SMARTDD_CHECK(col < dicts_.size());
   return dicts_[col]->GetOrAdd(value);

@@ -32,6 +32,13 @@ class Table {
   /// measure-column names. Used for samples and filtered slices.
   static Table EmptyLike(const Table& other);
 
+  /// Copies rows [row_begin, row_end) into a new table sharing this table's
+  /// dictionaries (a code means the same value in both). This is the shard
+  /// partitioner's storage primitive: a ShardPlan's ranges sliced off a
+  /// loaded table give N row-contiguous shard tables whose concatenation,
+  /// in shard order, is exactly the original row sequence.
+  Table SliceRows(uint64_t row_begin, uint64_t row_end) const;
+
   // --- Building -------------------------------------------------------
 
   /// Encodes `value` in column `col`'s dictionary (get-or-add).

@@ -219,6 +219,92 @@ TEST_F(ChaosTest, SixteenSessionsSurviveRandomFaultSchedules) {
   std::remove(path.c_str());
 }
 
+TEST_F(ChaosTest, FourShardServiceSurvivesFaultsAndStaysByteIdentical) {
+  // The sharded scatter-gather request path under the same chaos contract
+  // as the unsharded engine: a 4-shard service hammered with randomized
+  // fault schedules and 50ms (or pre-expired) deadlines must answer every
+  // request with a valid wire envelope, and once the faults are disarmed
+  // the exact trees must be byte-identical to a never-faulted run — which,
+  // per the tentpole, is also the 1-shard tree.
+  Table table = MakeMemTable();
+  SizeWeight weight;
+
+  ExplorationService service;
+  ASSERT_TRUE(service.AddShardedTable("mem", table, weight, 4).ok());
+
+  // The cross-shard-count identity target comes from a single-shard
+  // service; the sharded service must reproduce it before, and after, the
+  // fault storm.
+  ExplorationService single;
+  ASSERT_TRUE(single.AddShardedTable("mem", table, weight, 1).ok());
+  std::string baseline = DriveExactScript(single);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(DriveExactScript(service), baseline);
+
+  std::atomic<bool> stop{false};
+  std::thread chaos([&stop]() {
+    static constexpr const char* kSchedules[] = {
+        "scheduler.task=error:2",
+        "scheduler.task=latency:1:4",
+        "sample_handler.create=error:2",
+    };
+    std::mt19937 rng(777);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const char* spec = kSchedules[rng() % std::size(kSchedules)];
+      ASSERT_TRUE(FaultRegistry::Default().ArmFromSpec(spec).ok()) << spec;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (rng() % 4 == 0) FaultRegistry::Default().DisarmAll();
+    }
+    FaultRegistry::Default().DisarmAll();
+  });
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 4;
+  std::vector<int> violations(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &violations, c]() {
+      std::mt19937 rng(2000 + c);
+      auto check = [&](const std::string& line) {
+        if (!ValidEnvelope(line)) {
+          ++violations[c];
+          ADD_FAILURE() << "client " << c << " invalid envelope: " << line;
+        }
+        return line;
+      };
+      for (int round = 0; round < kRounds; ++round) {
+        std::string open = check(service.ServeLine("open dataset=mem k=3"));
+        std::string token = TokenIn(open);
+        if (token.empty()) continue;
+        for (int op = 0; op < 6; ++op) {
+          std::string line;
+          switch (rng() % 6) {
+            case 0: line = "expand " + token + " 0"; break;
+            case 1: line = "expand " + token + " 0 deadline_ms=0.0001"; break;
+            case 2: line = "expand " + token + " 0 deadline_ms=50"; break;
+            case 3: line = "show " + token; break;
+            case 4: line = "collapse " + token + " 0"; break;
+            case 5: line = "exact " + token; break;
+          }
+          check(service.ServeLine(line));
+        }
+        check(service.ServeLine("close " + token));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  chaos.join();
+  FaultRegistry::Default().DisarmAll();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(violations[c], 0) << "client " << c;
+  }
+  EXPECT_EQ(service.num_sessions(), 0u);
+  EXPECT_EQ(DriveExactScript(service), baseline);
+}
+
 TEST_F(ChaosTest, DeadlineDegradesSamplingCreatePassUnderSlowIo) {
   // The acceptance scenario: census-200k behind a DiskScanSource, every
   // block read armed with a 60ms latency fault, a 50ms expand deadline. No

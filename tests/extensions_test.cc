@@ -8,6 +8,7 @@
 #include "core/brs.h"
 #include "data/retail_gen.h"
 #include "data/synth.h"
+#include "explore/engine.h"
 #include "explore/renderer.h"
 #include "explore/session.h"
 #include "rules/rule_ops.h"
@@ -118,7 +119,8 @@ TEST_F(SumSessionTest, DirectSessionRanksBySales) {
   options.k = 3;
   options.max_weight = 5;
   options.measure_column = "Sales";
-  ExplorationSession session(table_, weight_, options);
+  auto owned = testing::MakeSession(table_, weight_, options);
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok()) << children.status().ToString();
 
@@ -140,10 +142,11 @@ TEST_F(SumSessionTest, DirectSessionRanksBySales) {
 TEST_F(SumSessionTest, UnknownMeasureFailsCleanly) {
   SessionOptions options;
   options.measure_column = "NoSuchMeasure";
-  ExplorationSession session(table_, weight_, options);
-  auto children = session.Expand(session.root());
-  EXPECT_FALSE(children.ok());
-  EXPECT_EQ(children.status().code(), StatusCode::kNotFound);
+  auto engine = ExplorationEngine::Create(table_, weight_);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  auto session = (*engine)->NewSession(std::move(options));
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(SumSessionTest, SampledSumSessionEstimatesTotals) {
@@ -151,11 +154,13 @@ TEST_F(SumSessionTest, SampledSumSessionEstimatesTotals) {
   SessionOptions options;
   options.k = 3;
   options.max_weight = 5;
-  options.use_sampling = true;
-  options.sampler.memory_capacity = 4000;
-  options.sampler.min_sample_size = 2000;
   options.measure_column = "Sales";
-  ExplorationSession session(source, weight_, options);
+  EngineOptions engine_options;
+  engine_options.use_sampling = true;
+  engine_options.sampler.memory_capacity = 4000;
+  engine_options.sampler.min_sample_size = 2000;
+  auto owned = testing::MakeSession(source, weight_, options, engine_options);
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok()) << children.status().ToString();
 
@@ -179,7 +184,8 @@ TEST_F(SumSessionTest, RendererDerivesSumLabelAndMarginalColumn) {
   options.k = 3;
   options.max_weight = 5;
   options.measure_column = "Sales";
-  ExplorationSession session(table_, weight_, options);
+  auto owned = testing::MakeSession(table_, weight_, options);
+  ExplorationSession& session = owned.session;
   ASSERT_TRUE(session.Expand(session.root()).ok());
   RenderOptions ropts;
   ropts.show_marginal = true;
@@ -194,7 +200,8 @@ TEST(MarginalColumnTest, MarginalNeverExceedsMassAndSumsToCover) {
   SessionOptions options;
   options.k = 4;
   options.max_weight = 5;
-  ExplorationSession session(t, w, options);
+  auto owned = testing::MakeSession(t, w, options);
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   double marginal_total = 0;

@@ -32,7 +32,8 @@ TEST(IntegrationTest, RetailTables123Walkthrough) {
   SessionOptions options;
   options.k = 3;
   options.max_weight = 5;
-  ExplorationSession session(t, w, options);
+  auto owned = testing::MakeSession(t, w, options);
+  ExplorationSession& session = owned.session;
 
   EXPECT_DOUBLE_EQ(session.node(session.root()).mass, 6000);
 
@@ -176,10 +177,12 @@ TEST(IntegrationTest, DiskBackedCensusExploration) {
   SizeWeight w;
   SessionOptions options;
   options.k = 3;
-  options.use_sampling = true;
-  options.sampler.memory_capacity = 20000;
-  options.sampler.min_sample_size = 4000;
-  ExplorationSession session(source, w, options);
+  EngineOptions engine_options;
+  engine_options.use_sampling = true;
+  engine_options.sampler.memory_capacity = 20000;
+  engine_options.sampler.min_sample_size = 4000;
+  auto owned = testing::MakeSession(source, w, options, engine_options);
+  ExplorationSession& session = owned.session;
 
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok()) << children.status().ToString();
@@ -239,7 +242,8 @@ TEST(IntegrationTest, CsvToDrillDownPipeline) {
   SizeWeight w;
   SessionOptions options;
   options.k = 3;
-  ExplorationSession session(*loaded, w, options);
+  auto owned = testing::MakeSession(*loaded, w, options);
+  ExplorationSession& session = owned.session;
   ASSERT_TRUE(session.Expand(session.root()).ok());
   std::string rendered = RenderSession(session);
   EXPECT_NE(rendered.find("Walmart"), std::string::npos);

@@ -30,7 +30,8 @@ class RetailSessionTest : public ::testing::Test {
 };
 
 TEST_F(RetailSessionTest, RootShowsTrivialRuleWithTotalCount) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   const ExplorationNode& root = session.node(session.root());
   EXPECT_TRUE(root.rule.is_trivial());
   EXPECT_DOUBLE_EQ(root.mass, 6000);
@@ -39,7 +40,8 @@ TEST_F(RetailSessionTest, RootShowsTrivialRuleWithTotalCount) {
 }
 
 TEST_F(RetailSessionTest, ExpandAddsChildren) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   EXPECT_EQ(children->size(), 3u);
@@ -52,7 +54,8 @@ TEST_F(RetailSessionTest, ExpandAddsChildren) {
 
 TEST_F(RetailSessionTest, TwoLevelDrillDownMatchesPaperTables) {
   // The Tables 1 -> 2 -> 3 walkthrough from the paper's intro.
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
 
@@ -80,7 +83,8 @@ TEST_F(RetailSessionTest, TwoLevelDrillDownMatchesPaperTables) {
 }
 
 TEST_F(RetailSessionTest, CollapseRemovesSubtree) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   ASSERT_TRUE(session.Expand((*children)[2]).ok());
@@ -92,7 +96,8 @@ TEST_F(RetailSessionTest, CollapseRemovesSubtree) {
 }
 
 TEST_F(RetailSessionTest, ReExpandProducesSameRules) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   auto first = session.Expand(session.root());
   ASSERT_TRUE(first.ok());
   std::vector<Rule> rules_before;
@@ -106,7 +111,8 @@ TEST_F(RetailSessionTest, ReExpandProducesSameRules) {
 }
 
 TEST_F(RetailSessionTest, ExpandStarForcesColumn) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.ExpandStar(session.root(), 1);  // Product
   ASSERT_TRUE(children.ok());
   ASSERT_FALSE(children->empty());
@@ -116,14 +122,16 @@ TEST_F(RetailSessionTest, ExpandStarForcesColumn) {
 }
 
 TEST_F(RetailSessionTest, ExpandInvalidNodeFails) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   EXPECT_FALSE(session.Expand(99).ok());
   EXPECT_FALSE(session.Expand(-1).ok());
   EXPECT_FALSE(session.Collapse(42).ok());
 }
 
 TEST_F(RetailSessionTest, DisplayOrderIsPreOrder) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   ASSERT_TRUE(session.Expand((*children)[0]).ok());
@@ -135,7 +143,8 @@ TEST_F(RetailSessionTest, DisplayOrderIsPreOrder) {
 }
 
 TEST_F(RetailSessionTest, RendererShowsHeaderIndentAndCounts) {
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   ASSERT_TRUE(session.Expand(session.root()).ok());
   std::string out = RenderSession(session);
   EXPECT_NE(out.find("Store"), std::string::npos);
@@ -152,7 +161,8 @@ TEST_F(RetailSessionTest, SumAggregateSessionUsesMeasure) {
   // integration_test via TableView-based drill-downs).
   RenderOptions opts;
   opts.mass_label = "Sum(Sales)";
-  ExplorationSession session(table_, weight_, DefaultOptions());
+  auto owned = testing::MakeSession(table_, weight_, DefaultOptions());
+  ExplorationSession& session = owned.session;
   std::string out = RenderSession(session, opts);
   EXPECT_NE(out.find("Sum(Sales)"), std::string::npos);
 }
@@ -172,10 +182,15 @@ class SamplingSessionTest : public ::testing::Test {
   SessionOptions SamplingOptions() {
     SessionOptions o;
     o.k = 3;
-    o.use_sampling = true;
-    o.sampler.memory_capacity = 10000;
-    o.sampler.min_sample_size = 3000;
     return o;
+  }
+
+  EngineOptions SamplingEngineOptions() {
+    EngineOptions e;
+    e.use_sampling = true;
+    e.sampler.memory_capacity = 10000;
+    e.sampler.min_sample_size = 3000;
+    return e;
   }
 
   Table table_;
@@ -184,7 +199,9 @@ class SamplingSessionTest : public ::testing::Test {
 };
 
 TEST_F(SamplingSessionTest, ExpansionMarksEstimatedCounts) {
-  ExplorationSession session(*source_, weight_, SamplingOptions());
+  auto owned = testing::MakeSession(*source_, weight_, SamplingOptions(),
+                                    SamplingEngineOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok()) << children.status().ToString();
   ASSERT_FALSE(children->empty());
@@ -196,7 +213,9 @@ TEST_F(SamplingSessionTest, ExpansionMarksEstimatedCounts) {
 }
 
 TEST_F(SamplingSessionTest, EstimatesWithinConfidenceOfExact) {
-  ExplorationSession session(*source_, weight_, SamplingOptions());
+  auto owned = testing::MakeSession(*source_, weight_, SamplingOptions(),
+                                    SamplingEngineOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   TableView full(table_);
@@ -210,7 +229,9 @@ TEST_F(SamplingSessionTest, EstimatesWithinConfidenceOfExact) {
 }
 
 TEST_F(SamplingSessionTest, RefreshExactCountsConvergesToTruth) {
-  ExplorationSession session(*source_, weight_, SamplingOptions());
+  auto owned = testing::MakeSession(*source_, weight_, SamplingOptions(),
+                                    SamplingEngineOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   ASSERT_TRUE(session.RefreshExactCounts().ok());
@@ -225,15 +246,19 @@ TEST_F(SamplingSessionTest, RefreshExactCountsConvergesToTruth) {
 TEST_F(SamplingSessionTest, SampledTopRulesMostlyMatchExactTopRules) {
   // Figure 8(c)'s notion of "incorrect rules": compare sample-based output
   // with the full-table output.
-  ExplorationSession sampled(*source_, weight_, SamplingOptions());
+  auto owned_sampled = testing::MakeSession(*source_, weight_,
+                                            SamplingOptions(),
+                                            SamplingEngineOptions());
+  ExplorationSession& sampled = owned_sampled.session;
   auto sampled_children = sampled.Expand(sampled.root());
   ASSERT_TRUE(sampled_children.ok());
 
-  ExplorationSession exact(table_, weight_, [this]() {
+  auto owned_exact = testing::MakeSession(table_, weight_, [this]() {
     SessionOptions o;
     o.k = 3;
     return o;
   }());
+  ExplorationSession& exact = owned_exact.session;
   auto exact_children = exact.Expand(exact.root());
   ASSERT_TRUE(exact_children.ok());
 
@@ -249,7 +274,9 @@ TEST_F(SamplingSessionTest, SampledTopRulesMostlyMatchExactTopRules) {
 TEST_F(SamplingSessionTest, BackgroundPrefetchCompletesCleanly) {
   SessionOptions options = SamplingOptions();
   options.prefetch = Prefetcher::Mode::kBackground;
-  ExplorationSession session(*source_, weight_, options);
+  auto owned = testing::MakeSession(*source_, weight_, options,
+                                    SamplingEngineOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   EXPECT_TRUE(session.WaitForPrefetch().ok());
@@ -273,7 +300,9 @@ TEST_F(SamplingSessionTest, BackgroundPrefetchCompletesCleanly) {
 }
 
 TEST_F(SamplingSessionTest, StarExpansionOnSampledSession) {
-  ExplorationSession session(*source_, weight_, SamplingOptions());
+  auto owned = testing::MakeSession(*source_, weight_, SamplingOptions(),
+                                    SamplingEngineOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.ExpandStar(session.root(), 2);
   ASSERT_TRUE(children.ok()) << children.status().ToString();
   ASSERT_FALSE(children->empty());
@@ -286,7 +315,9 @@ TEST_F(SamplingSessionTest, StarExpansionOnSampledSession) {
 TEST_F(SamplingSessionTest, DeepDrillDownOnRareSliceIsComplete) {
   // Drilling into a rule that covers fewer tuples than minSS: the sample
   // handler returns the complete cover with scale 1, so counts are exact.
-  ExplorationSession session(*source_, weight_, SamplingOptions());
+  auto owned = testing::MakeSession(*source_, weight_, SamplingOptions(),
+                                    SamplingEngineOptions());
+  ExplorationSession& session = owned.session;
   auto children = session.Expand(session.root());
   ASSERT_TRUE(children.ok());
   // Find the deepest/narrowest child and keep drilling.
@@ -307,7 +338,9 @@ TEST_F(SamplingSessionTest, DeepDrillDownOnRareSliceIsComplete) {
 TEST_F(SamplingSessionTest, SynchronousPrefetchAlsoWorks) {
   SessionOptions options = SamplingOptions();
   options.prefetch = Prefetcher::Mode::kSynchronous;
-  ExplorationSession session(*source_, weight_, options);
+  auto owned = testing::MakeSession(*source_, weight_, options,
+                                    SamplingEngineOptions());
+  ExplorationSession& session = owned.session;
   ASSERT_TRUE(session.Expand(session.root()).ok());
   EXPECT_TRUE(session.WaitForPrefetch().ok());
 }

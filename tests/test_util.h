@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include "explore/engine.h"
+#include "explore/session.h"
 #include "rules/rule.h"
 #include "rules/rule_format.h"
+#include "storage/scan_source.h"
 #include "storage/table.h"
 
 namespace smartdd::testing {
@@ -34,6 +37,41 @@ inline Rule R(const Table& table, const std::vector<std::string>& cells) {
   auto r = ParseRule(cells, table);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
   return r.ok() ? std::move(r).value() : Rule(table.num_columns());
+}
+
+/// A single-session engine + its session, for tests exploring one dataset:
+/// the engine member outlives the session member (declaration order), so
+/// `auto owned = MakeSession(...); auto& session = owned.session;` is all a
+/// test needs.
+struct OwnedSession {
+  std::unique_ptr<ExplorationEngine> engine;
+  ExplorationSession session;
+};
+
+inline OwnedSession MakeSession(const Table& table,
+                                const WeightFunction& weight,
+                                SessionOptions options = {}) {
+  EngineOptions engine_options;
+  engine_options.num_threads = options.num_threads;
+  auto engine = ExplorationEngine::Create(table, weight, engine_options);
+  SMARTDD_CHECK(engine.ok()) << engine.status().ToString();
+  auto session = (*engine)->NewSession(std::move(options));
+  SMARTDD_CHECK(session.ok()) << session.status().ToString();
+  return OwnedSession{std::move(engine).value(), std::move(session).value()};
+}
+
+inline OwnedSession MakeSession(const ScanSource& source,
+                                const WeightFunction& weight,
+                                SessionOptions options = {},
+                                EngineOptions engine_options = {}) {
+  if (engine_options.num_threads == 0) {
+    engine_options.num_threads = options.num_threads;
+  }
+  auto engine = ExplorationEngine::Create(source, weight, engine_options);
+  SMARTDD_CHECK(engine.ok()) << engine.status().ToString();
+  auto session = (*engine)->NewSession(std::move(options));
+  SMARTDD_CHECK(session.ok()) << session.status().ToString();
+  return OwnedSession{std::move(engine).value(), std::move(session).value()};
 }
 
 }  // namespace smartdd::testing
