@@ -35,11 +35,16 @@ struct Measurement {
 
 Measurement RunOnce(const smartdd::TableView& view,
                     const smartdd::WeightFunction& weight, size_t k,
-                    size_t threads, uint64_t reps) {
+                    size_t threads, uint64_t reps,
+                    smartdd::KernelPref kernel = smartdd::KernelPref::kAuto,
+                    size_t max_rule_size =
+                        std::numeric_limits<size_t>::max()) {
   smartdd::BrsOptions options;
   options.k = k;
   options.max_weight = 3;
   options.num_threads = threads;
+  options.kernel = kernel;
+  options.max_rule_size = max_rule_size;
 
   Measurement m;
   m.threads = threads;
@@ -159,6 +164,61 @@ int main(int argc, char** argv) {
                    shard_runs.back().ms, "shards", "ms");
   }
 
+  // The kernel dimension: the same search on the scalar and (when the host
+  // has it) AVX2 paths must return byte-identical rules; the paths differ
+  // only in decode/compare vectorization, never in float accumulation order.
+  const KernelPath resolved = ResolveKernelPath(Flags().kernel);
+  std::vector<std::pair<std::string, Measurement>> kernel_runs;
+  kernel_runs.emplace_back(
+      "scalar", RunOnce(view, weight, k, 1, reps, KernelPref::kScalar));
+  if (resolved == KernelPath::kAvx2) {
+    kernel_runs.emplace_back(
+        "avx2", RunOnce(view, weight, k, 1, reps, KernelPref::kAvx2));
+  }
+  for (const auto& [name, m] : kernel_runs) {
+    std::printf("kernel=%-6s ms=%.3f\n", name.c_str(), m.ms);
+  }
+
+  // Gate 1 (storage): packed columns must at least halve the resident
+  // column bytes versus raw 4 B/code storage on this workload.
+  const double packed_bytes =
+      static_cast<double>(table.resident_column_bytes());
+  const double unpacked_bytes =
+      static_cast<double>(table.unpacked_column_bytes());
+  const double bytes_ratio =
+      packed_bytes > 0 ? unpacked_bytes / packed_bytes : 0;
+  const bool bytes_gate = bytes_ratio >= 2.0;
+  std::printf("column bytes: packed=%.0f unpacked=%.0f reduction=%.2fx %s\n",
+              packed_bytes, unpacked_bytes, bytes_ratio,
+              bytes_gate ? "(gate >=2x: PASS)" : "(gate >=2x: FAIL)");
+
+  // Gate 2 (throughput): single-threaded pass-1 (k=1, size-1 rules only) on
+  // census-200k — packed storage + the resolved SIMD path must be >= 2x the
+  // unpacked scalar baseline. Hosts without AVX2 report the gate as skipped
+  // rather than passed.
+  const bool has_avx2 = resolved == KernelPath::kAvx2;
+  double pass1_speedup = 0;
+  std::string pass1_gate = "skipped (no avx2)";
+  {
+    CensusSpec gate_spec = spec;
+    gate_spec.rows = EnvU64("SMARTDD_GATE_ROWS", 200000);
+    gate_spec.freeze = false;
+    Table unpacked_table = GenerateCensusTable(gate_spec);
+    gate_spec.freeze = true;
+    Table packed_table = GenerateCensusTable(gate_spec);
+    Measurement base = RunOnce(TableView(unpacked_table), weight, 1, 1, reps,
+                               KernelPref::kScalar, 1);
+    Measurement fast = RunOnce(TableView(packed_table), weight, 1, 1, reps,
+                               Flags().kernel, 1);
+    pass1_speedup = fast.ms > 0 ? base.ms / fast.ms : 0;
+    if (has_avx2) pass1_gate = pass1_speedup >= 2.0 ? "pass" : "fail";
+    std::printf(
+        "pass-1 gate (census-%llu, k=1, size-1): unpacked+scalar=%.3fms "
+        "packed+%s=%.3fms speedup=%.2fx -> %s\n",
+        static_cast<unsigned long long>(gate_spec.rows), base.ms,
+        KernelPathName(resolved), fast.ms, pass1_speedup, pass1_gate.c_str());
+  }
+
   const Measurement& serial = runs.front();
   bool identical = true;
   for (const Measurement& m : runs) {
@@ -167,8 +227,12 @@ int main(int argc, char** argv) {
   for (const Measurement& m : shard_runs) {
     identical &= SameRules(serial.result, m.result);
   }
-  std::printf("identical results across thread and shard counts: %s\n",
-              identical ? "yes" : "NO (BUG)");
+  for (const auto& [name, m] : kernel_runs) {
+    identical &= SameRules(serial.result, m.result);
+  }
+  std::printf(
+      "identical results across thread, shard, and kernel dimensions: %s\n",
+      identical ? "yes" : "NO (BUG)");
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
 
@@ -203,7 +267,24 @@ int main(int argc, char** argv) {
                  m.shards, m.threads, m.ms,
                  i + 1 < shard_runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"kernel_runs\": [\n");
+  for (size_t i = 0; i < kernel_runs.size(); ++i) {
+    std::fprintf(f, "    {\"kernel\": \"%s\", \"ms\": %.3f}%s\n",
+                 kernel_runs[i].first.c_str(), kernel_runs[i].second.ms,
+                 i + 1 < kernel_runs.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"gates\": {\n"
+               "    \"resolved_kernel\": \"%s\",\n"
+               "    \"packed_column_bytes\": %.0f,\n"
+               "    \"unpacked_column_bytes\": %.0f,\n"
+               "    \"byte_reduction\": %.3f,\n"
+               "    \"byte_reduction_gate\": \"%s\",\n"
+               "    \"pass1_speedup\": %.3f,\n"
+               "    \"pass1_speedup_gate\": \"%s\"\n  }\n}\n",
+               KernelPathName(resolved), packed_bytes, unpacked_bytes,
+               bytes_ratio, bytes_gate ? "pass" : "fail", pass1_speedup,
+               pass1_gate.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 

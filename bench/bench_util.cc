@@ -25,6 +25,11 @@ std::vector<SeriesRecord>& JsonRecords() {
   return *records;
 }
 
+std::vector<std::pair<std::string, double>>& ScalarRecords() {
+  static auto* records = new std::vector<std::pair<std::string, double>>();
+  return *records;
+}
+
 }  // namespace
 
 BenchFlags& Flags() {
@@ -38,6 +43,9 @@ void ParseFlags(int argc, char** argv) {
   flags.shards = static_cast<size_t>(EnvU64("SMARTDD_SHARDS", 1));
   const char* json_env = std::getenv("SMARTDD_JSON");
   if (json_env != nullptr && *json_env != '\0') flags.json_path = json_env;
+  // SMARTDD_KERNEL also steers kAuto resolution inside the library; parsing
+  // it here as well makes the flag and the env var behave identically.
+  flags.kernel = KernelPrefFromEnv();
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -46,8 +54,15 @@ void ParseFlags(int argc, char** argv) {
       flags.shards = static_cast<size_t>(std::strtoull(arg + 9, nullptr, 10));
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       flags.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--kernel=", 9) == 0) {
+      auto pref = ParseKernelPref(arg + 9);
+      SMARTDD_CHECK(pref.ok()) << pref.status().ToString();
+      flags.kernel = *pref;
     }
   }
+  std::fprintf(stderr, "[bench] scan kernels: %s (requested %s)\n",
+               KernelPathName(ResolveKernelPath(flags.kernel)),
+               KernelPrefName(flags.kernel));
   static bool registered = false;
   if (!registered) {
     registered = true;
@@ -70,6 +85,23 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+void RecordScalar(const std::string& name, double value) {
+  for (auto& [n, v] : ScalarRecords()) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  ScalarRecords().emplace_back(name, value);
+}
+
+void RecordTableBytes(const std::string& name, const Table& table) {
+  RecordScalar(name + "_packed_bytes",
+               static_cast<double>(table.resident_column_bytes()));
+  RecordScalar(name + "_unpacked_bytes",
+               static_cast<double>(table.unpacked_column_bytes()));
+}
+
 void FlushJson() {
   const std::string& path = Flags().json_path;
   if (path.empty()) return;
@@ -79,8 +111,17 @@ void FlushJson() {
                  path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"threads\": %zu,\n  \"rows\": [\n",
-               Flags().threads);
+  std::fprintf(f, "{\n  \"threads\": %zu,\n  \"kernel\": \"%s\",\n",
+               Flags().threads,
+               KernelPathName(ResolveKernelPath(Flags().kernel)));
+  const auto& scalars = ScalarRecords();
+  std::fprintf(f, "  \"scalars\": {");
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.10g", i ? "," : "",
+                 JsonEscape(scalars[i].first).c_str(), scalars[i].second);
+  }
+  std::fprintf(f, "%s},\n", scalars.empty() ? "" : "\n  ");
+  std::fprintf(f, "  \"rows\": [\n");
   const auto& records = JsonRecords();
   for (size_t i = 0; i < records.size(); ++i) {
     const SeriesRecord& r = records[i];
@@ -197,6 +238,7 @@ ExpansionMeasurement MeasureExpandEmpty(const ScanSource& source,
   brs.k = k;
   brs.max_weight = mw;
   brs.num_threads = Flags().threads;
+  brs.kernel = Flags().kernel;
   phase.Restart();
   auto result = RunBrs(view, weight, brs);
   SMARTDD_CHECK(result.ok()) << result.status().ToString();
@@ -211,6 +253,9 @@ BenchSession MakeBenchSession(const Table& table, const WeightFunction& weight,
   ShardedEngineOptions engine_options;
   engine_options.num_shards = Flags().shards;
   engine_options.engine.num_threads = options.num_threads;
+  engine_options.engine.kernel = Flags().kernel;
+  if (options.kernel == KernelPref::kAuto) options.kernel = Flags().kernel;
+  RecordTableBytes("session_table", table);
   auto engine = ShardedEngine::Create(table, weight, engine_options);
   SMARTDD_CHECK(engine.ok()) << engine.status().ToString();
   auto session = (*engine)->front().NewSession(std::move(options));

@@ -8,6 +8,7 @@
 
 #include "common/timer.h"
 #include "core/brs.h"
+#include "core/scan_kernels.h"
 #include "data/census_gen.h"
 #include "data/marketing_gen.h"
 #include "explore/sharded_engine.h"
@@ -31,6 +32,9 @@ struct BenchFlags {
   /// --json=FILE (or SMARTDD_JSON): write every PrintSeriesRow record as
   /// machine-readable JSON to FILE at exit.
   std::string json_path;
+  /// --kernel=auto|scalar|avx2 (or SMARTDD_KERNEL): scan-kernel path for
+  /// search passes. Results are byte-identical on every path.
+  KernelPref kernel = KernelPref::kAuto;
 };
 BenchFlags& Flags();
 
@@ -46,6 +50,15 @@ void FlushJson();
 
 /// Minimal JSON escaping for string values.
 std::string JsonEscape(const std::string& s);
+
+/// Records a named scalar emitted once in the JSON output's "scalars"
+/// object (last write wins) — used for dataset byte footprints and
+/// pass/skip gates that are not series rows.
+void RecordScalar(const std::string& name, double value);
+
+/// Records a table's packed (resident) vs unpacked (4 B/code) column bytes
+/// under "<name>_packed_bytes" / "<name>_unpacked_bytes".
+void RecordTableBytes(const std::string& name, const Table& table);
 
 /// The benchmark datasets, cached per process.
 ///

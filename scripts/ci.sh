@@ -28,12 +28,12 @@ fi
 # run: the parallel differential suites, everything touching the background
 # prefetcher and registry, and the chaos suite (which arms fault schedules
 # while 16 sessions hammer the service).
-SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test|sharded_engine_test"
+SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test|sharded_engine_test|packed_column_test"
 SAN_TARGETS=(
   parallel_marginal_test parallel_sampling_test sample_handler_test
   session_test concurrent_sessions_test task_scheduler_test
   service_test codec_test metrics_test http_server_test chaos_test
-  disk_table_test sharded_engine_test
+  disk_table_test sharded_engine_test packed_column_test
 )
 
 run_sanitizer_stage() {
@@ -41,7 +41,14 @@ run_sanitizer_stage() {
   cmake -B "build-$name" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="$flags"
   cmake --build "build-$name" -j "$(nproc)" --target "${SAN_TARGETS[@]}"
-  (cd "build-$name" && ctest --output-on-failure -j "$(nproc)" -R "$SAN_TESTS")
+  # The full suite twice: once pinned to the portable scalar kernels, once
+  # with auto dispatch (AVX2 where the host has it) — the differential
+  # suites must be byte-identical under both, and the sanitizers must see
+  # both code paths.
+  (cd "build-$name" &&
+    SMARTDD_KERNEL=scalar ctest --output-on-failure -j "$(nproc)" -R "$SAN_TESTS")
+  (cd "build-$name" &&
+    SMARTDD_KERNEL=auto ctest --output-on-failure -j "$(nproc)" -R "$SAN_TESTS")
 }
 
 if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
@@ -74,6 +81,13 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   (cd build && SMARTDD_CENSUS_ROWS=50000 SMARTDD_BENCH_REPS=1 \
     ./bench_sharded_engine)
   echo "sharded engine smoke: identical trees across shard counts"
+
+  # Packed-storage / SIMD smoke: the marginal bench checks that results are
+  # identical across thread counts, shard counts, AND kernel paths, and
+  # that bit-packing actually shrinks the resident columns (>= 2x gate).
+  (cd build && SMARTDD_CENSUS_ROWS=50000 SMARTDD_BENCH_K=1 \
+    SMARTDD_BENCH_REPS=1 ./bench_parallel_marginal)
+  echo "packed column smoke: identical trees across kernel paths"
 fi
 
 if [[ "$MODE" == "--tsan" || "$MODE" == "--tsan-only" ]]; then

@@ -1,0 +1,39 @@
+#ifndef SMARTDD_COMMON_FLOAT_SUM_H_
+#define SMARTDD_COMMON_FLOAT_SUM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace smartdd {
+
+/// The float that `count` sequential additions of `w` (w >= 0) into a zero
+/// accumulator produce — WITHOUT scanning. Used by the count-mode fold
+/// paths (pass-1 Phase B, single-rule list evaluation) to replace a
+/// row scan whose additions are all the same constant.
+///
+/// Closed form count * w whenever every partial sum k * w (k <= count) is
+/// exactly representable: writing w = m * 2^e with m odd, k * w = (k * m)
+/// * 2^e and k * m < 2^(bits(count) + bits(m)) <= 2^53, so each partial is
+/// an integer scaled by a power of two that fits the significand; by
+/// induction fl(k*w + w) = (k+1)*w exactly. That covers every practical
+/// weight function (small rationals); anything else takes the literal
+/// loop, so the result is bit-identical to the scan in all cases.
+inline double ExactRepeatAdd(double w, uint64_t count) {
+  if (count == 0 || w == 0) return 0.0;
+  if (!std::isfinite(w)) return w;  // +inf: the first addition saturates
+  int exp = 0;
+  uint64_t mant = static_cast<uint64_t>(std::ldexp(std::frexp(w, &exp), 53));
+  mant >>= __builtin_ctzll(mant);
+  const int mant_bits = 64 - __builtin_clzll(mant);
+  const int count_bits = 64 - __builtin_clzll(count);
+  if (mant_bits + count_bits <= 53) {
+    return static_cast<double>(count) * w;
+  }
+  double s = 0;
+  for (uint64_t i = 0; i < count; ++i) s += w;
+  return s;
+}
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_COMMON_FLOAT_SUM_H_

@@ -1,12 +1,14 @@
 #include "core/best_marginal.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
 
 #include "common/flat_map.h"
+#include "common/float_sum.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -121,6 +123,11 @@ struct MarginalRuleFinder::Impl {
   uint64_t total_rows = 0;
   /// Deferred update fused into the first pass-1 region (see Find overload).
   const CoveredUpdate* pending = nullptr;
+  /// Caller's promise that every covered-weight entry is exactly 0.0 (the
+  /// first greedy step): pass 1 may then fold its Phase-B marginal scan
+  /// into the Phase-A counts (see CountSizeOne). Mutually exclusive with
+  /// `pending`.
+  bool covered_zero = false;
 
   std::vector<uint32_t> columns;   // search space, ascending
   std::vector<int32_t> col_dense;  // table column -> index in columns, or -1
@@ -130,6 +137,20 @@ struct MarginalRuleFinder::Impl {
   bool base_stars_search_cols = true;  // base is all-stars on `columns`
 
   size_t threads;
+
+  /// Resolved once per search so a process can host scalar and SIMD
+  /// engines side by side (the differential suite does).
+  KernelPath kpath;
+  const ScanKernels* kern;
+  /// Pass 1 builds the CSR postings only when a later pass will walk them:
+  /// a size-1-capped search (drill-down expansions with one free column)
+  /// skips the O(n) scatter and its O(n) rows array entirely.
+  bool build_postings = true;
+  /// Count aggregation (no measure column): pass 1 skips the per-lane mass
+  /// accumulators and derives mass from the integer counts. Exact: each
+  /// lane's mass was a sum of 1.0s, and integer-valued double sums are
+  /// bit-identical to double(count) up to 2^53 rows.
+  bool count_mode = false;
 
   std::vector<Postings> postings;        // per dense column, global row ids
   std::vector<SingletonTable> singles;   // per dense column
@@ -168,7 +189,9 @@ struct MarginalRuleFinder::Impl {
         base(opts.base_rule ? *opts.base_rule
                             : Rule(views[0]->num_columns())),
         scratch(0),
-        threads(ThreadPool::EffectiveThreads(opts.num_threads)) {
+        threads(ThreadPool::EffectiveThreads(opts.num_threads)),
+        kpath(ResolveKernelPath(opts.kernel)),
+        kern(&GetScanKernels(kpath)) {
     SMARTDD_CHECK(!views.empty());
     const TableView& proto = *views[0];
     SMARTDD_CHECK(base.num_columns() == proto.num_columns());
@@ -217,6 +240,9 @@ struct MarginalRuleFinder::Impl {
     for (uint32_t c : columns) {
       base_stars_search_cols &= base.is_star(c);
     }
+    build_postings =
+        std::min(options.max_rule_size, columns.size()) >= 2;
+    count_mode = !proto.has_measure();
   }
 
   /// Dictionary size of column c. The shards share their dictionaries
@@ -363,7 +389,7 @@ struct MarginalRuleFinder::Impl {
       };
 
       lane_counts.assign(num_lanes * dict, 0u);
-      lane_mass.assign(num_lanes * dict, 0.0);
+      if (!count_mode) lane_mass.assign(num_lanes * dict, 0.0);
 
       // Phase A: per-lane occurrence counts and mass sums. On the first
       // column, each lane first applies the deferred covered-weight update
@@ -372,54 +398,103 @@ struct MarginalRuleFinder::Impl {
       // updated exactly once before Phase B (after the barrier) reads it.
       // A lane spanning a shard boundary scans the shards' sub-ranges in
       // shard order, so the scatter covers shards and threads at once.
+      //
+      // Whole-table segments decode and rule-match block-wise through the
+      // dispatched scan kernels; the per-code accumulation stays a
+      // sequential sweep in row order, so floats land identically on every
+      // kernel path. Under Count aggregation the mass accumulators are
+      // skipped entirely (mass is derived from the integer counts at merge).
       const bool fuse_update = pending != nullptr && ci == 0;
       RunChunked(num_lanes, [&](uint64_t lane) {
         const auto [lo, hi] = lane_bounds(lane);
         uint32_t* counts = lane_counts.data() + lane * dict;
-        double* mass = lane_mass.data() + lane * dict;
+        double* mass =
+            count_mode ? nullptr : lane_mass.data() + lane * dict;
+        uint32_t codes[kScanBlockRows];
+        uint8_t rmask[kScanBlockRows];
         ForEachRange(lo, hi, [&](const Segment& s, uint64_t llo,
                                  uint64_t lhi) {
-          if (fuse_update) {
-            const double w = pending->weight;
-            double* cw = s.mut_covered;
-            for (uint64_t t = llo; t < lhi; ++t) {
-              if (cw[t] < w && RuleCoversRow(pending->rule, *s.view, t)) {
-                cw[t] = w;
+          const Table& table = s.view->table();
+          const PackedRef col = table.column(c).ref();
+          const double* mass_col = s.mass_col;
+          if (s.subset) {
+            // Subset views resolve a row id per row: no contiguous decode.
+            if (fuse_update) {
+              const double w = pending->weight;
+              double* cw = s.mut_covered;
+              for (uint64_t t = llo; t < lhi; ++t) {
+                if (cw[t] < w && RuleCoversRow(pending->rule, *s.view, t)) {
+                  cw[t] = w;
+                }
               }
             }
+            for (uint64_t t = llo; t < lhi; ++t) {
+              const uint32_t row = s.view->row_id(t);
+              const uint32_t code = col.Get(row);
+              ++counts[code];
+              if (mass != nullptr) {
+                mass[code] += mass_col ? mass_col[row] : 1.0;
+              }
+            }
+            return;
           }
-          const uint32_t* col = s.view->table().column(c).data();
-          const double* mass_col = s.mass_col;
-          const bool subset = s.subset;
-          for (uint64_t t = llo; t < lhi; ++t) {
-            const uint32_t row =
-                subset ? s.view->row_id(t) : static_cast<uint32_t>(t);
-            const uint32_t code = col[row];
-            ++counts[code];
-            mass[code] += mass_col ? mass_col[row] : 1.0;
+          if (mass == nullptr && !fuse_update) {
+            // Count aggregation needs no decode at all: the counting
+            // kernel tallies the packed payload directly (SWAR popcounts
+            // on the sub-byte widths).
+            kern->count_codes(col, llo, lhi, dict, counts);
+            return;
+          }
+          for (uint64_t b0 = llo; b0 < lhi; b0 += kScanBlockRows) {
+            const uint64_t b1 = std::min(lhi, b0 + kScanBlockRows);
+            const size_t bn = static_cast<size_t>(b1 - b0);
+            if (fuse_update) {
+              ComputeRuleMask(pending->rule, table, b0, b1, rmask, *kern);
+              kern->covered_max(s.mut_covered + b0, rmask, bn,
+                                pending->weight);
+            }
+            if (mass == nullptr) {
+              kern->count_codes(col, b0, b1, dict, counts);
+              continue;
+            }
+            kern->unpack(col, b0, b1, codes);
+            for (size_t i = 0; i < bn; ++i) {
+              const uint32_t code = codes[i];
+              ++counts[code];
+              mass[code] += mass_col ? mass_col[b0 + i] : 1.0;
+            }
           }
         });
       });
 
       if (DeadlineExpired()) return DeadlineStatus();
 
-      // Gather: merge in lane order; lay out CSR offsets.
+      // Gather: merge in lane order; lay out CSR offsets. Under Count the
+      // mass is the count itself (exact in double up to 2^53 rows, and
+      // bit-identical to summing 1.0 per row).
       WallTimer merge_timer;
       Postings& ps = postings[ci];
       ps.offsets.assign(dict + 1, 0u);
       for (size_t v = 0; v < dict; ++v) {
         uint32_t total = 0;
         double mass = 0;
-        for (uint64_t k = 0; k < num_lanes; ++k) {
-          total += lane_counts[k * dict + v];
-          mass += lane_mass[k * dict + v];
+        if (count_mode) {
+          for (uint64_t k = 0; k < num_lanes; ++k) {
+            total += lane_counts[k * dict + v];
+          }
+          mass = static_cast<double>(total);
+        } else {
+          for (uint64_t k = 0; k < num_lanes; ++k) {
+            total += lane_counts[k * dict + v];
+            mass += lane_mass[k * dict + v];
+          }
         }
         st.counts[v] = total;
         st.entries[v].mass = mass;
         ps.offsets[v + 1] = ps.offsets[v] + total;
         if (total > 0) st.codes.push_back(static_cast<uint32_t>(v));
       }
-      ps.rows.resize(n);
+      if (build_postings) ps.rows.resize(n);
       stats.merge_seconds += merge_timer.ElapsedMillis() / 1e3;
 
       // Weights for the codes that occur (serial: WeightFunction is not
@@ -441,39 +516,79 @@ struct MarginalRuleFinder::Impl {
 
       // Turn per-lane counts into per-lane write cursors (exclusive
       // prefix over lanes per code, offset by the CSR base).
-      for (size_t v = 0; v < dict; ++v) {
-        uint32_t cursor = ps.offsets[v];
-        for (uint64_t k = 0; k < num_lanes; ++k) {
-          uint32_t cnt = lane_counts[k * dict + v];
-          lane_counts[k * dict + v] = cursor;
-          cursor += cnt;
+      if (build_postings) {
+        for (size_t v = 0; v < dict; ++v) {
+          uint32_t cursor = ps.offsets[v];
+          for (uint64_t k = 0; k < num_lanes; ++k) {
+            uint32_t cnt = lane_counts[k * dict + v];
+            lane_counts[k * dict + v] = cursor;
+            cursor += cnt;
+          }
         }
       }
 
       // Phase B: scatter rows into the postings (lane-ordered, so each
       // code's posting list stays ascending in the concatenated row order)
-      // and accumulate the marginal sums per lane.
+      // and accumulate the marginal sums per lane. A size-1-capped search
+      // has no later pass to walk the postings, so the scatter is skipped.
+      //
+      // When additionally every covered weight is exactly 0.0 and masses
+      // are unit (Count aggregation), the scan itself folds away: lane
+      // lane's Phase-B accumulator for code v would receive exactly
+      // lane_counts[lane][v] sequential additions of the constant
+      // max(0, w_v), which ExactRepeatAdd reproduces bit for bit — the
+      // first-interaction drill-down hot path never rescans the rows.
       lane_marginal.assign(num_lanes * dict, 0.0);
-      RunChunked(num_lanes, [&](uint64_t lane) {
+      const bool fold_phase_b = covered_zero && count_mode && !build_postings;
+      if (fold_phase_b) {
+        for (uint32_t v : st.codes) {
+          const Entry& e = st.entries[v];
+          if (e.excluded) continue;
+          const double w = std::max(0.0, e.weight);
+          for (uint64_t k = 0; k < num_lanes; ++k) {
+            const uint32_t cnt = lane_counts[k * dict + v];
+            if (cnt != 0) lane_marginal[k * dict + v] = ExactRepeatAdd(w, cnt);
+          }
+        }
+      }
+      if (!fold_phase_b) RunChunked(num_lanes, [&](uint64_t lane) {
         const auto [lo, hi] = lane_bounds(lane);
         uint32_t* cursors = lane_counts.data() + lane * dict;
         double* marginal = lane_marginal.data() + lane * dict;
+        uint32_t codes[kScanBlockRows];
         ForEachRange(lo, hi, [&](const Segment& s, uint64_t llo,
                                  uint64_t lhi) {
-          const uint32_t* col = s.view->table().column(c).data();
+          const PackedRef col = s.view->table().column(c).ref();
           const double* mass_col = s.mass_col;
           const double* covered = s.covered;
-          const bool subset = s.subset;
           const uint64_t gbase = s.begin;
-          for (uint64_t t = llo; t < lhi; ++t) {
-            const uint32_t row =
-                subset ? s.view->row_id(t) : static_cast<uint32_t>(t);
-            const uint32_t code = col[row];
-            ps.rows[cursors[code]++] = static_cast<uint32_t>(gbase + t);
-            const Entry& e = st.entries[code];
-            if (e.excluded) continue;
-            const double m = mass_col ? mass_col[row] : 1.0;
-            marginal[code] += m * std::max(0.0, e.weight - covered[t]);
+          if (s.subset) {
+            for (uint64_t t = llo; t < lhi; ++t) {
+              const uint32_t row = s.view->row_id(t);
+              const uint32_t code = col.Get(row);
+              if (build_postings) {
+                ps.rows[cursors[code]++] = static_cast<uint32_t>(gbase + t);
+              }
+              const Entry& e = st.entries[code];
+              if (e.excluded) continue;
+              const double m = mass_col ? mass_col[row] : 1.0;
+              marginal[code] += m * std::max(0.0, e.weight - covered[t]);
+            }
+            return;
+          }
+          for (uint64_t b0 = llo; b0 < lhi; b0 += kScanBlockRows) {
+            const uint64_t b1 = std::min(lhi, b0 + kScanBlockRows);
+            kern->unpack(col, b0, b1, codes);
+            for (uint64_t t = b0; t < b1; ++t) {
+              const uint32_t code = codes[t - b0];
+              if (build_postings) {
+                ps.rows[cursors[code]++] = static_cast<uint32_t>(gbase + t);
+              }
+              const Entry& e = st.entries[code];
+              if (e.excluded) continue;
+              const double m = mass_col ? mass_col[t] : 1.0;
+              marginal[code] += m * std::max(0.0, e.weight - covered[t]);
+            }
           }
         });
       });
@@ -524,9 +639,9 @@ struct MarginalRuleFinder::Impl {
     const uint32_t* row_end = ps.rows.data() + ps.offsets[vals[rare_i] + 1];
 
     const bool hoisted = arity <= kMaxHoistedArity;
-    const uint32_t* cols_data[kMaxHoistedArity];
-    uint32_t want[kMaxHoistedArity];
+    GatherPred preds_buf[kMaxHoistedArity];
     size_t preds = 0;
+    uint32_t outbuf[kScanBlockRows];
 
     // Per-segment bindings, advanced as the (ascending) walk crosses shard
     // boundaries.
@@ -540,7 +655,8 @@ struct MarginalRuleFinder::Impl {
 
     double mass = 0;
     double marginal = 0;
-    for (const uint32_t* p = row_begin; p != row_end; ++p) {
+    const uint32_t* p = row_begin;
+    while (p != row_end) {
       const uint64_t gt = *p;
       if (gt >= seg_end) {
         while (segs[si].begin + segs[si].rows <= gt) ++si;
@@ -554,11 +670,34 @@ struct MarginalRuleFinder::Impl {
           preds = 0;
           for (size_t i = 0; i < arity; ++i) {
             if (i == rare_i) continue;
-            cols_data[preds] = table->column(g.cols[i]).data();
-            want[preds] = vals[i];
+            preds_buf[preds].col = table->column(g.cols[i]).ref();
+            preds_buf[preds].want = vals[i];
             ++preds;
           }
         }
+      }
+      if (hoisted && !subset) {
+        // Batch the run of postings inside this segment through the
+        // gather-filter kernel, then accumulate the survivors — in the same
+        // ascending order the direct loop visits them, so the float sums
+        // are bit-identical to the per-row path.
+        const uint32_t* run_end = std::lower_bound(
+            p, row_end, seg_end,
+            [](uint32_t a, uint64_t b) { return uint64_t{a} < b; });
+        while (p != run_end) {
+          const size_t blk = std::min<size_t>(
+              static_cast<size_t>(run_end - p), kScanBlockRows);
+          const size_t kept =
+              kern->filter_rows(p, blk, seg_begin, preds_buf, preds, outbuf);
+          for (size_t j = 0; j < kept; ++j) {
+            const uint64_t t = outbuf[j] - seg_begin;
+            const double m = mass_col ? mass_col[t] : 1.0;
+            mass += m;
+            marginal += m * std::max(0.0, e.weight - s->covered[t]);
+          }
+          p += blk;
+        }
+        continue;
       }
       const uint64_t t = gt - seg_begin;
       const uint32_t row = subset ? s->view->row_id(t)
@@ -566,7 +705,7 @@ struct MarginalRuleFinder::Impl {
       bool covered = true;
       if (hoisted) {
         for (size_t i = 0; i < preds; ++i) {
-          if (cols_data[i][row] != want[i]) {
+          if (preds_buf[i].col.Get(row) != preds_buf[i].want) {
             covered = false;
             break;
           }
@@ -574,16 +713,18 @@ struct MarginalRuleFinder::Impl {
       } else {
         for (size_t i = 0; i < arity; ++i) {
           if (i == rare_i) continue;
-          if (table->column(g.cols[i])[row] != vals[i]) {
+          if (table->column(g.cols[i]).Get(row) != vals[i]) {
             covered = false;
             break;
           }
         }
       }
-      if (!covered) continue;
-      const double m = mass_col ? mass_col[row] : 1.0;
-      mass += m;
-      marginal += m * std::max(0.0, e.weight - s->covered[t]);
+      if (covered) {
+        const double m = mass_col ? mass_col[row] : 1.0;
+        mass += m;
+        marginal += m * std::max(0.0, e.weight - s->covered[t]);
+      }
+      ++p;
     }
     e.mass += mass;
     e.marginal += marginal;
@@ -922,9 +1063,11 @@ Result<MarginalRuleResult> MarginalRuleFinder::Find(
 
 Result<MarginalRuleResult> MarginalRuleFinder::FindSharded(
     const std::vector<std::vector<double>*>& covered,
-    const CoveredUpdate* pending) {
+    const CoveredUpdate* pending, bool covered_is_zero) {
   SMARTDD_CHECK(covered.size() == views_.size())
       << "one covered-weight vector per shard view";
+  SMARTDD_CHECK(!(covered_is_zero && pending != nullptr))
+      << "a pending covered-weight update contradicts covered_is_zero";
   std::vector<const double*> covered_ptrs;
   std::vector<double*> mut_ptrs;
   for (size_t i = 0; i < covered.size(); ++i) {
@@ -940,6 +1083,7 @@ Result<MarginalRuleResult> MarginalRuleFinder::FindSharded(
   Impl impl(views_, *weight_, options_, stats_, covered_ptrs,
             pending != nullptr ? mut_ptrs : std::vector<double*>{});
   impl.pending = pending;
+  impl.covered_zero = covered_is_zero;
   return impl.Run();
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/deadline.h"
 #include "common/result.h"
+#include "core/scan_kernels.h"
 #include "rules/rule.h"
 #include "storage/table_view.h"
 #include "weights/weight_function.h"
@@ -37,6 +38,11 @@ struct MarginalSearchOptions {
   /// Threads for the counting passes: 0 = all hardware threads, 1 = serial.
   /// Results are bit-identical for every value (see best_marginal.cc).
   size_t num_threads = 0;
+  /// Scan-kernel dispatch (core/scan_kernels.h): kAuto defers to
+  /// SMARTDD_KERNEL, then CPU detection. Results are bit-identical across
+  /// paths — the SIMD kernels vectorize only integer decode/compare work
+  /// and a max-blend, never floating-point accumulation.
+  KernelPref kernel = KernelPref::kAuto;
   /// Cooperative cancellation: checked at pass, column, lane, and
   /// candidate-block boundaries. When it fires, Find returns
   /// DeadlineExceeded; when it does not, results are bit-identical to a
@@ -133,9 +139,15 @@ class MarginalRuleFinder {
   /// views[s]'s rows (shard-local state, the seam for a multi-process
   /// tier). `pending` may be null; when set, it is fused into the first
   /// pass-1 region exactly like the single-view overload.
+  ///
+  /// `covered_is_zero` is the caller's promise that every covered entry is
+  /// exactly 0.0 (the first greedy step, before any rule was picked) — it
+  /// lets pass 1 fold its Phase-B marginal scan into the Phase-A counts,
+  /// with bit-identical results (see CountSizeOne). It must not be combined
+  /// with a pending update (an update implies a prior pick).
   Result<MarginalRuleResult> FindSharded(
       const std::vector<std::vector<double>*>& covered,
-      const CoveredUpdate* pending);
+      const CoveredUpdate* pending, bool covered_is_zero = false);
 
   /// Stats of the most recent Find call.
   const MarginalSearchStats& stats() const { return stats_; }

@@ -39,6 +39,7 @@ Result<BrsResult> RunBrsSharded(const std::vector<const TableView*>& views,
   search.allowed_columns = options.allowed_columns;
   search.base_rule = options.base_rule;
   search.num_threads = options.num_threads;
+  search.kernel = options.kernel;
   search.deadline = options.deadline;
 
   MarginalRuleFinder finder(views, weight, search);
@@ -68,8 +69,11 @@ Result<BrsResult> RunBrsSharded(const std::vector<const TableView*>& views,
       result.deadline_exceeded = true;
       break;  // degrade: keep the steps that finished in budget
     }
-    auto found =
-        finder.FindSharded(covered_ptrs, pending ? &*pending : nullptr);
+    // Step 0 runs on freshly zeroed covered weights: telling the finder
+    // lets it fold the pass-1 marginal scan into the counting scan.
+    auto found = finder.FindSharded(covered_ptrs,
+                                    pending ? &*pending : nullptr,
+                                    /*covered_is_zero=*/step == 0);
     pending.reset();
     result.stats.Accumulate(finder.stats());
     if (!found.ok()) {
@@ -101,7 +105,8 @@ Result<BrsResult> RunBrsSharded(const std::vector<const TableView*>& views,
   // Exact Count/MCount (or Sum/MSum) of the final list over the view.
   std::vector<Rule> in_order;
   for (const auto& r : result.rules) in_order.push_back(r.rule);
-  RuleListEvaluation eval = EvaluateRuleListSharded(views, in_order, weight);
+  RuleListEvaluation eval =
+      EvaluateRuleListSharded(views, in_order, weight, options.kernel);
   for (size_t i = 0; i < result.rules.size(); ++i) {
     result.rules[i].mass = eval.mass[i];
     result.rules[i].marginal_mass = eval.marginal_mass[i];

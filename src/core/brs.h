@@ -29,6 +29,9 @@ struct BrsOptions {
   /// Threads for the marginal-search counting passes (0 = all hardware
   /// threads). Results are bit-identical for every value.
   size_t num_threads = 0;
+  /// Scan-kernel path for the counting passes and list evaluation
+  /// (core/scan_kernels.h). Results are bit-identical across paths.
+  KernelPref kernel = KernelPref::kAuto;
   /// Anytime mode (§6.1: "keep adding rules ... displaying new rules as
   /// they are found"): invoked after each greedy pick; return false to stop
   /// early with the rules found so far.

@@ -32,7 +32,9 @@ Result<DrillDownResponse> SmartDrillDownSharded(
   std::vector<const TableView*> subs;
   if (!base.is_trivial()) {
     filtered.reserve(views.size());
-    for (const TableView* v : views) filtered.push_back(FilterView(*v, base));
+    for (const TableView* v : views) {
+      filtered.push_back(FilterView(*v, base, request.kernel));
+    }
     for (const TableView& v : filtered) subs.push_back(&v);
   } else {
     subs = views;
@@ -74,6 +76,7 @@ Result<DrillDownResponse> SmartDrillDownSharded(
   brs.allowed_columns = allowed;
   brs.base_rule = base;
   brs.num_threads = request.num_threads;
+  brs.kernel = request.kernel;
   brs.on_rule = request.on_step;
   brs.deadline = request.deadline;
 

@@ -26,6 +26,9 @@ struct DrillDownRequest {
   size_t max_rule_size = std::numeric_limits<size_t>::max();
   /// Threads for the underlying BRS search (0 = all hardware threads).
   size_t num_threads = 0;
+  /// Scan-kernel path for the search (core/scan_kernels.h): kAuto defers
+  /// to SMARTDD_KERNEL, then CPU detection. Bit-identical across paths.
+  KernelPref kernel = KernelPref::kAuto;
   /// Step streaming (§6.1 anytime mode as a service surface): invoked after
   /// each of the k greedy BRS steps with the freshly selected full-width
   /// rule and its 0-based step index. Return false to cancel the remaining

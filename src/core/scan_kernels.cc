@@ -1,0 +1,276 @@
+#include "core/scan_kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "core/scan_kernels_internal.h"
+
+namespace smartdd {
+namespace {
+
+// --- Portable scalar kernels ------------------------------------------
+//
+// These are the semantic reference: the AVX2 variants must be observably
+// identical (the differential suite in tests/packed_column_test.cc holds
+// them to that on full drill-down trees).
+
+void UnpackScalar(PackedRef col, uint64_t begin, uint64_t end, uint32_t* out) {
+  switch (col.width) {
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32:
+      std::memcpy(out, static_cast<const uint32_t*>(col.data) + begin,
+                  (end - begin) * sizeof(uint32_t));
+      return;
+    case PackedWidth::kConst:
+      std::memset(out, 0, (end - begin) * sizeof(uint32_t));
+      return;
+    case PackedWidth::k8: {
+      const uint8_t* p = static_cast<const uint8_t*>(col.data) + begin;
+      for (uint64_t i = 0, n = end - begin; i < n; ++i) out[i] = p[i];
+      return;
+    }
+    case PackedWidth::k16: {
+      const uint16_t* p = static_cast<const uint16_t*>(col.data) + begin;
+      for (uint64_t i = 0, n = end - begin; i < n; ++i) out[i] = p[i];
+      return;
+    }
+    case PackedWidth::kSub:
+      for (uint64_t i = begin; i < end; ++i) *out++ = col.Get(i);
+      return;
+  }
+}
+
+void MatchEqScalar(PackedRef col, uint64_t begin, size_t n, uint32_t want,
+                   uint8_t* mask, bool first) {
+  switch (col.width) {
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32: {
+      const uint32_t* p = static_cast<const uint32_t*>(col.data) + begin;
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t m = p[i] == want ? 0xFFu : 0u;
+        mask[i] = first ? m : static_cast<uint8_t>(mask[i] & m);
+      }
+      return;
+    }
+    case PackedWidth::k16: {
+      const uint16_t* p = static_cast<const uint16_t*>(col.data) + begin;
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t m = p[i] == want ? 0xFFu : 0u;
+        mask[i] = first ? m : static_cast<uint8_t>(mask[i] & m);
+      }
+      return;
+    }
+    case PackedWidth::k8: {
+      const uint8_t* p = static_cast<const uint8_t*>(col.data) + begin;
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t m = p[i] == want ? 0xFFu : 0u;
+        mask[i] = first ? m : static_cast<uint8_t>(mask[i] & m);
+      }
+      return;
+    }
+    case PackedWidth::kConst: {
+      const uint8_t m = want == 0 ? 0xFFu : 0u;
+      if (first) {
+        std::memset(mask, m, n);
+      } else if (m == 0) {
+        std::memset(mask, 0, n);
+      }
+      return;
+    }
+    case PackedWidth::kSub: {
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t m = col.Get(begin + i) == want ? 0xFFu : 0u;
+        mask[i] = first ? m : static_cast<uint8_t>(mask[i] & m);
+      }
+      return;
+    }
+  }
+}
+
+void CoveredMaxScalar(double* covered, const uint8_t* mask, size_t n,
+                      double w) {
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0 && w > covered[i]) covered[i] = w;
+  }
+}
+
+size_t FilterRowsScalar(const uint32_t* rows, size_t n, uint64_t bias,
+                        const GatherPred* preds, size_t num_preds,
+                        uint32_t* out) {
+  size_t kept = 0;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t local = rows[j] - bias;
+    bool match = true;
+    for (size_t p = 0; p < num_preds; ++p) {
+      if (preds[p].col.Get(local) != preds[p].want) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out[kept++] = rows[j];
+  }
+  return kept;
+}
+
+void CountCodesScalar(PackedRef col, uint64_t begin, uint64_t end,
+                      size_t dict_size, uint32_t* counts) {
+  (void)dict_size;
+  switch (col.width) {
+    case PackedWidth::kConst:
+      counts[0] += static_cast<uint32_t>(end - begin);
+      return;
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32: {
+      const uint32_t* p = static_cast<const uint32_t*>(col.data);
+      for (uint64_t i = begin; i < end; ++i) ++counts[p[i]];
+      return;
+    }
+    case PackedWidth::k8: {
+      const uint8_t* p = static_cast<const uint8_t*>(col.data);
+      for (uint64_t i = begin; i < end; ++i) ++counts[p[i]];
+      return;
+    }
+    case PackedWidth::k16: {
+      const uint16_t* p = static_cast<const uint16_t*>(col.data);
+      for (uint64_t i = begin; i < end; ++i) ++counts[p[i]];
+      return;
+    }
+    case PackedWidth::kSub:
+      for (uint64_t i = begin; i < end; ++i) ++counts[col.Get(i)];
+      return;
+  }
+}
+
+constexpr ScanKernels kScalarKernels = {
+    &UnpackScalar,
+    &MatchEqScalar,
+    &CoveredMaxScalar,
+    &FilterRowsScalar,
+    &CountCodesScalar,
+};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+namespace internal {
+const ScanKernels& GetScalarKernels() { return kScalarKernels; }
+}  // namespace internal
+
+bool Avx2Available() {
+  static const bool available =
+      CpuHasAvx2() && internal::GetAvx2Kernels() != nullptr;
+  return available;
+}
+
+Result<KernelPref> ParseKernelPref(std::string_view s) {
+  if (s == "auto") return KernelPref::kAuto;
+  if (s == "scalar") return KernelPref::kScalar;
+  if (s == "avx2") return KernelPref::kAvx2;
+  return Status::InvalidArgument("unknown kernel '" + std::string(s) +
+                                 "' (expected auto|scalar|avx2)");
+}
+
+KernelPref KernelPrefFromEnv() {
+  const char* env = std::getenv("SMARTDD_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelPref::kAuto;
+  Result<KernelPref> parsed = ParseKernelPref(env);
+  if (!parsed.ok()) {
+    static bool warned = [&] {
+      SMARTDD_LOG(Warning) << "ignoring SMARTDD_KERNEL=" << env << ": "
+                           << parsed.status().ToString();
+      return true;
+    }();
+    (void)warned;
+    return KernelPref::kAuto;
+  }
+  return *parsed;
+}
+
+KernelPath ResolveKernelPath(KernelPref pref) {
+  if (pref == KernelPref::kAuto) pref = KernelPrefFromEnv();
+  switch (pref) {
+    case KernelPref::kScalar:
+      return KernelPath::kScalar;
+    case KernelPref::kAvx2:
+      if (!Avx2Available()) {
+        static bool warned = [] {
+          SMARTDD_LOG(Warning)
+              << "SMARTDD_KERNEL=avx2 requested but AVX2 is unavailable "
+                 "(cpu or build); falling back to scalar kernels";
+          return true;
+        }();
+        (void)warned;
+        return KernelPath::kScalar;
+      }
+      return KernelPath::kAvx2;
+    case KernelPref::kAuto:
+      return Avx2Available() ? KernelPath::kAvx2 : KernelPath::kScalar;
+  }
+  return KernelPath::kScalar;
+}
+
+const char* KernelPathName(KernelPath path) {
+  switch (path) {
+    case KernelPath::kScalar:
+      return "scalar";
+    case KernelPath::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+const char* KernelPrefName(KernelPref pref) {
+  switch (pref) {
+    case KernelPref::kAuto:
+      return "auto";
+    case KernelPref::kScalar:
+      return "scalar";
+    case KernelPref::kAvx2:
+      return "avx2";
+  }
+  return "auto";
+}
+
+const ScanKernels& GetScanKernels(KernelPath path) {
+  if (path == KernelPath::kAvx2) {
+    const ScanKernels* avx2 = internal::GetAvx2Kernels();
+    if (avx2 != nullptr && CpuHasAvx2()) return *avx2;
+  }
+  return kScalarKernels;
+}
+
+void ComputeRuleMask(const Rule& rule, const Table& table, uint64_t row_begin,
+                     uint64_t row_end, uint8_t* mask, const ScanKernels& k) {
+  SMARTDD_DCHECK(row_end >= row_begin &&
+                 row_end - row_begin <= kScanBlockRows);
+  const size_t n = static_cast<size_t>(row_end - row_begin);
+  const std::vector<uint32_t>& values = rule.values();
+  bool first = true;
+  for (size_t c = 0; c < values.size(); ++c) {
+    const uint32_t want = values[c];
+    if (want == kStar) continue;
+    const PackedColumn& col = table.column(c);
+    if (col.width() == PackedWidth::kConst) {
+      // Stored codes are all 0: the predicate is row-independent.
+      if (want != 0) {
+        std::memset(mask, 0, n);
+        return;
+      }
+      continue;
+    }
+    k.match_eq(col.ref(), row_begin, n, want, mask, first);
+    first = false;
+  }
+  if (first) std::memset(mask, 0xFF, n);  // trivial (or all-const-true) rule
+}
+
+}  // namespace smartdd

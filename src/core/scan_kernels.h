@@ -1,0 +1,107 @@
+#ifndef SMARTDD_CORE_SCAN_KERNELS_H_
+#define SMARTDD_CORE_SCAN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "rules/rule.h"
+#include "storage/packed_column.h"
+#include "storage/table.h"
+
+namespace smartdd {
+
+/// The dispatch path the scan kernels actually run on. The portable scalar
+/// path is always compiled (and always differential-tested against the SIMD
+/// path); kAvx2 exists only on x86-64 hosts whose CPU reports AVX2 and
+/// whose build compiled the AVX2 translation unit.
+enum class KernelPath : uint8_t { kScalar = 0, kAvx2 = 1 };
+
+/// A caller's preference, resolved to a KernelPath at engine creation:
+/// kAuto defers to the SMARTDD_KERNEL environment variable, and an unset or
+/// "auto" variable defers to CPU detection. Requesting kAvx2 on a host
+/// without AVX2 falls back to scalar (logged once).
+enum class KernelPref : uint8_t { kAuto = 0, kScalar = 1, kAvx2 = 2 };
+
+/// True when the AVX2 kernels are compiled in AND the CPU reports AVX2.
+bool Avx2Available();
+
+/// Parses "scalar" | "avx2" | "auto" (case-sensitive).
+Result<KernelPref> ParseKernelPref(std::string_view s);
+
+/// Process-wide default from SMARTDD_KERNEL (unset or unparsable -> kAuto).
+KernelPref KernelPrefFromEnv();
+
+/// Resolves a preference to the path that will actually run. Pure function
+/// of (pref, environment, CPU) — engines resolve once at creation and pin
+/// the result, so a differential test can hold a scalar engine and an AVX2
+/// engine in one process.
+KernelPath ResolveKernelPath(KernelPref pref);
+
+const char* KernelPathName(KernelPath path);
+const char* KernelPrefName(KernelPref pref);
+
+/// One predicate of a gather filter: column `col` must decode to `want` at
+/// the probed row. kConst columns never appear here (the caller drops
+/// always-true predicates and short-circuits never-true ones).
+struct GatherPred {
+  PackedRef col;
+  uint32_t want = 0;
+};
+
+/// The kernel table bound to one KernelPath. Every function has identical
+/// observable semantics on both paths — the SIMD variants only vectorize
+/// integer decode/compare work and a double max-blend, never reassociate a
+/// floating-point sum — which is what keeps drill-down trees byte-identical
+/// across {scalar, SIMD} x num_threads x num_shards.
+struct ScanKernels {
+  /// Decodes codes [begin, end) of `col` into `out`.
+  void (*unpack)(PackedRef col, uint64_t begin, uint64_t end, uint32_t* out);
+
+  /// Match mask over a contiguous row block: for i in [0, n),
+  ///   mask[i] = (first ? 0xFF : mask[i]) & (col.Get(begin+i) == want ? 0xFF
+  ///   : 0).
+  void (*match_eq)(PackedRef col, uint64_t begin, size_t n, uint32_t want,
+                   uint8_t* mask, bool first);
+
+  /// covered[i] = max(covered[i], w) wherever mask[i] != 0. A pure
+  /// max-blend: no FP arithmetic, so results are exactly the scalar loop's.
+  void (*covered_max)(double* covered, const uint8_t* mask, size_t n,
+                      double w);
+
+  /// Posting-list filter: copies rows[j] (global row ids) into `out` when
+  /// every predicate matches at local row rows[j] - bias, preserving order.
+  /// Returns the number of rows kept.
+  size_t (*filter_rows)(const uint32_t* rows, size_t n, uint64_t bias,
+                        const GatherPred* preds, size_t num_preds,
+                        uint32_t* out);
+
+  /// counts[v] += number of occurrences of code v over rows [begin, end).
+  /// `counts` has dict_size entries; every stored code is < dict_size (the
+  /// codes come from the column's dictionary). Pure integer counting, so
+  /// both paths produce identical counts — the AVX2 path replaces the
+  /// scalar histogram with SWAR popcounts on the sub-byte widths, which is
+  /// where the packed layout pays off (no per-row decode at all).
+  void (*count_codes)(PackedRef col, uint64_t begin, uint64_t end,
+                      size_t dict_size, uint32_t* counts);
+};
+
+/// The kernel table for a resolved path (kAvx2 silently degrades to the
+/// scalar table when unavailable, mirroring ResolveKernelPath).
+const ScanKernels& GetScanKernels(KernelPath path);
+
+/// Rows per block the callers hand to the kernels: bounds scratch (codes +
+/// mask) to L1-friendly sizes while amortizing dispatch.
+inline constexpr uint64_t kScanBlockRows = 4096;
+
+/// Byte mask of `rule` over the contiguous table rows [row_begin, row_end):
+/// mask[i] != 0 iff the rule covers row row_begin + i. `row_end - row_begin`
+/// must be <= kScanBlockRows (callers loop over blocks). Composes the
+/// per-column match_eq kernels over the rule's instantiated columns.
+void ComputeRuleMask(const Rule& rule, const Table& table, uint64_t row_begin,
+                     uint64_t row_end, uint8_t* mask, const ScanKernels& k);
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_CORE_SCAN_KERNELS_H_

@@ -1,0 +1,460 @@
+// The only translation unit compiled with -mavx2 (see CMakeLists.txt). The
+// guard below keeps it an empty stub on toolchains/targets without AVX2, so
+// the scalar path is always a working build.
+
+#include "core/scan_kernels_internal.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace smartdd {
+namespace {
+
+// i32gather indexes are signed 32-bit, applied to the base at the given
+// byte scale. These guards keep every computed offset in int32 range; the
+// kernels fall back to scalar (or reject the pred) when they fail, which in
+// practice never happens for in-memory drill-down tables.
+bool GatherSafe(const PackedRef& col) {
+  switch (col.width) {
+    case PackedWidth::kSub:
+      return col.n * col.bits < (uint64_t{1} << 31);
+    case PackedWidth::k16:
+      return col.n < (uint64_t{1} << 30);
+    default:
+      return col.n < (uint64_t{1} << 31);
+  }
+}
+
+void UnpackAvx2(PackedRef col, uint64_t begin, uint64_t end, uint32_t* out) {
+  const uint64_t n = end - begin;
+  switch (col.width) {
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32:
+      std::memcpy(out, static_cast<const uint32_t*>(col.data) + begin,
+                  n * sizeof(uint32_t));
+      return;
+    case PackedWidth::kConst:
+      std::memset(out, 0, n * sizeof(uint32_t));
+      return;
+    case PackedWidth::k8: {
+      const uint8_t* p = static_cast<const uint8_t*>(col.data) + begin;
+      uint64_t i = 0;
+      for (; i + 8 <= n; i += 8) {
+        const __m128i b =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_cvtepu8_epi32(b));
+      }
+      for (; i < n; ++i) out[i] = p[i];
+      return;
+    }
+    case PackedWidth::k16: {
+      const uint16_t* p = static_cast<const uint16_t*>(col.data) + begin;
+      uint64_t i = 0;
+      for (; i + 8 <= n; i += 8) {
+        const __m128i b =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_cvtepu16_epi32(b));
+      }
+      for (; i < n; ++i) out[i] = p[i];
+      return;
+    }
+    case PackedWidth::kSub: {
+      if (!GatherSafe(col)) {
+        for (uint64_t i = begin; i < end; ++i) *out++ = col.Get(i);
+        return;
+      }
+      // Per lane: read the 4-byte window at the code's byte offset (the
+      // column is padded past the payload, so the tail window is mapped),
+      // shift by the in-byte bit offset, mask to `bits`. shift+bits <= 14,
+      // so a 4-byte window always contains the whole code.
+      const uint8_t* bytes = static_cast<const uint8_t*>(col.data);
+      const uint32_t bits = col.bits;
+      const __m256i vmask = _mm256_set1_epi32((1 << bits) - 1);
+      const __m256i seven = _mm256_set1_epi32(7);
+      const __m256i lane_bits = _mm256_setr_epi32(
+          0, static_cast<int>(bits), static_cast<int>(2 * bits),
+          static_cast<int>(3 * bits), static_cast<int>(4 * bits),
+          static_cast<int>(5 * bits), static_cast<int>(6 * bits),
+          static_cast<int>(7 * bits));
+      uint64_t i = 0;
+      for (; i + 8 <= n; i += 8) {
+        const __m256i bit0 =
+            _mm256_set1_epi32(static_cast<int>((begin + i) * bits));
+        const __m256i bitpos = _mm256_add_epi32(bit0, lane_bits);
+        const __m256i byteoff = _mm256_srli_epi32(bitpos, 3);
+        const __m256i shift = _mm256_and_si256(bitpos, seven);
+        const __m256i words = _mm256_i32gather_epi32(
+            reinterpret_cast<const int*>(bytes), byteoff, 1);
+        const __m256i vals =
+            _mm256_and_si256(_mm256_srlv_epi32(words, shift), vmask);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), vals);
+      }
+      for (; i < n; ++i) out[i] = col.Get(begin + i);
+      return;
+    }
+  }
+}
+
+void MaskAllZero(uint8_t* mask, size_t n, bool first) {
+  // A never-true predicate zeroes the block whether composing or not.
+  (void)first;
+  std::memset(mask, 0, n);
+}
+
+/// 32-values-per-iteration equality mask over raw u32 codes. cmpeq_epi32
+/// yields 0/-1 dwords; two signed saturating packs narrow -1 -> 0xFF, and
+/// the final cross-lane permute undoes the 128-bit-lane interleave of the
+/// packs so mask bytes land in row order.
+void MatchEqU32(const uint32_t* p, size_t n, uint32_t want, uint8_t* mask,
+                bool first) {
+  const __m256i w = _mm256_set1_epi32(static_cast<int>(want));
+  const __m256i perm = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i c0 = _mm256_cmpeq_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), w);
+    const __m256i c1 = _mm256_cmpeq_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 8)), w);
+    const __m256i c2 = _mm256_cmpeq_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 16)), w);
+    const __m256i c3 = _mm256_cmpeq_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 24)), w);
+    const __m256i p01 = _mm256_packs_epi32(c0, c1);
+    const __m256i p23 = _mm256_packs_epi32(c2, c3);
+    __m256i b =
+        _mm256_permutevar8x32_epi32(_mm256_packs_epi16(p01, p23), perm);
+    if (!first) {
+      b = _mm256_and_si256(
+          b, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i), b);
+  }
+  for (; i < n; ++i) {
+    const uint8_t m = p[i] == want ? 0xFFu : 0u;
+    mask[i] = first ? m : static_cast<uint8_t>(mask[i] & m);
+  }
+}
+
+void MatchEqAvx2(PackedRef col, uint64_t begin, size_t n, uint32_t want,
+                 uint8_t* mask, bool first) {
+  switch (col.width) {
+    case PackedWidth::kConst: {
+      const uint8_t m = want == 0 ? 0xFFu : 0u;
+      if (first) {
+        std::memset(mask, m, n);
+      } else if (m == 0) {
+        std::memset(mask, 0, n);
+      }
+      return;
+    }
+    case PackedWidth::k8: {
+      if (want > 0xFF) return MaskAllZero(mask, n, first);
+      const uint8_t* p = static_cast<const uint8_t*>(col.data) + begin;
+      const __m256i w = _mm256_set1_epi8(static_cast<char>(want));
+      size_t i = 0;
+      for (; i + 32 <= n; i += 32) {
+        __m256i m = _mm256_cmpeq_epi8(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), w);
+        if (!first) {
+          m = _mm256_and_si256(
+              m,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i)));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i), m);
+      }
+      for (; i < n; ++i) {
+        const uint8_t m = p[i] == want ? 0xFFu : 0u;
+        mask[i] = first ? m : static_cast<uint8_t>(mask[i] & m);
+      }
+      return;
+    }
+    case PackedWidth::k16: {
+      if (want > 0xFFFF) return MaskAllZero(mask, n, first);
+      const uint16_t* p = static_cast<const uint16_t*>(col.data) + begin;
+      const __m256i w = _mm256_set1_epi16(static_cast<short>(want));
+      size_t i = 0;
+      for (; i + 32 <= n; i += 32) {
+        const __m256i c0 = _mm256_cmpeq_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), w);
+        const __m256i c1 = _mm256_cmpeq_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 16)),
+            w);
+        // packs interleaves the 128-bit lanes; 0xD8 restores row order.
+        __m256i b = _mm256_permute4x64_epi64(_mm256_packs_epi16(c0, c1), 0xD8);
+        if (!first) {
+          b = _mm256_and_si256(
+              b,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i)));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i), b);
+      }
+      for (; i < n; ++i) {
+        const uint8_t m = p[i] == want ? 0xFFu : 0u;
+        mask[i] = first ? m : static_cast<uint8_t>(mask[i] & m);
+      }
+      return;
+    }
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32:
+      MatchEqU32(static_cast<const uint32_t*>(col.data) + begin, n, want,
+                 mask, first);
+      return;
+    case PackedWidth::kSub: {
+      if (want > ((uint32_t{1} << col.bits) - 1)) {
+        return MaskAllZero(mask, n, first);
+      }
+      // Decode block-wise, then reuse the u32 compare.
+      uint32_t buf[kScanBlockRows];
+      size_t done = 0;
+      while (done < n) {
+        const size_t chunk =
+            n - done < kScanBlockRows ? n - done : kScanBlockRows;
+        UnpackAvx2(col, begin + done, begin + done + chunk, buf);
+        MatchEqU32(buf, chunk, want, mask + done, first);
+        done += chunk;
+      }
+      return;
+    }
+  }
+}
+
+void CoveredMaxAvx2(double* covered, const uint8_t* mask, size_t n,
+                    double w) {
+  const __m256d wv = _mm256_set1_pd(w);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    int32_t m4;
+    std::memcpy(&m4, mask + i, 4);
+    if (m4 == 0) continue;
+    // Widen 4 mask bytes to qword lanes; replace covered with w exactly
+    // where (mask && w > covered), mirroring the scalar branch bit-for-bit
+    // (no max_pd: its -0.0/+0.0 tie-break differs from the `>` test).
+    const __m256i m64 = _mm256_cvtepi8_epi64(_mm_cvtsi32_si128(m4));
+    const __m256d c = _mm256_loadu_pd(covered + i);
+    const __m256d gt = _mm256_cmp_pd(wv, c, _CMP_GT_OQ);
+    const __m256d take = _mm256_and_pd(gt, _mm256_castsi256_pd(m64));
+    _mm256_storeu_pd(covered + i, _mm256_blendv_pd(c, wv, take));
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0 && w > covered[i]) covered[i] = w;
+  }
+}
+
+/// Decodes `col` at 8 arbitrary local row indexes (a gather).
+__m256i GatherDecode(const PackedRef& col, __m256i idx) {
+  switch (col.width) {
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32:
+      return _mm256_i32gather_epi32(static_cast<const int*>(col.data), idx,
+                                    4);
+    case PackedWidth::k16:
+      return _mm256_and_si256(
+          _mm256_i32gather_epi32(static_cast<const int*>(col.data),
+                                 _mm256_slli_epi32(idx, 1), 1),
+          _mm256_set1_epi32(0xFFFF));
+    case PackedWidth::k8:
+      return _mm256_and_si256(
+          _mm256_i32gather_epi32(static_cast<const int*>(col.data), idx, 1),
+          _mm256_set1_epi32(0xFF));
+    case PackedWidth::kSub: {
+      const __m256i bitpos =
+          _mm256_mullo_epi32(idx, _mm256_set1_epi32(col.bits));
+      const __m256i byteoff = _mm256_srli_epi32(bitpos, 3);
+      const __m256i shift =
+          _mm256_and_si256(bitpos, _mm256_set1_epi32(7));
+      const __m256i words = _mm256_i32gather_epi32(
+          static_cast<const int*>(col.data), byteoff, 1);
+      return _mm256_and_si256(_mm256_srlv_epi32(words, shift),
+                              _mm256_set1_epi32((1 << col.bits) - 1));
+    }
+    case PackedWidth::kConst:
+      return _mm256_setzero_si256();
+  }
+  return _mm256_setzero_si256();
+}
+
+size_t FilterRowsAvx2(const uint32_t* rows, size_t n, uint64_t bias,
+                      const GatherPred* preds, size_t num_preds,
+                      uint32_t* out) {
+  // Normalize: drop row-independent predicates, reject never-true ones, and
+  // bail to scalar if any column can't be gathered safely.
+  GatherPred eff[64];
+  size_t ne = 0;
+  if (num_preds > 64) {
+    return internal::GetScalarKernels().filter_rows(rows, n, bias, preds,
+                                                    num_preds, out);
+  }
+  for (size_t p = 0; p < num_preds; ++p) {
+    const PackedRef& col = preds[p].col;
+    const uint32_t want = preds[p].want;
+    if (col.width == PackedWidth::kConst) {
+      if (want != 0) return 0;
+      continue;
+    }
+    uint32_t max_code = 0xFFFFFFFFu;
+    if (col.width == PackedWidth::k8) max_code = 0xFF;
+    if (col.width == PackedWidth::k16) max_code = 0xFFFF;
+    if (col.width == PackedWidth::kSub) {
+      max_code = (uint32_t{1} << col.bits) - 1;
+    }
+    if (want > max_code) return 0;
+    if (!GatherSafe(col)) {
+      return internal::GetScalarKernels().filter_rows(rows, n, bias, preds,
+                                                      num_preds, out);
+    }
+    eff[ne++] = preds[p];
+  }
+  if (ne == 0) {
+    std::memcpy(out, rows, n * sizeof(uint32_t));
+    return n;
+  }
+  const __m256i biasv =
+      _mm256_set1_epi32(static_cast<int>(static_cast<uint32_t>(bias)));
+  size_t kept = 0;
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + j));
+    const __m256i local = _mm256_sub_epi32(r, biasv);
+    __m256i ok = _mm256_set1_epi32(-1);
+    for (size_t p = 0; p < ne; ++p) {
+      const __m256i vals = GatherDecode(eff[p].col, local);
+      ok = _mm256_and_si256(
+          ok, _mm256_cmpeq_epi32(
+                  vals, _mm256_set1_epi32(static_cast<int>(eff[p].want))));
+      if (_mm256_testz_si256(ok, ok)) break;
+    }
+    int m = _mm256_movemask_ps(_mm256_castsi256_ps(ok));
+    while (m != 0) {
+      const int b = __builtin_ctz(static_cast<unsigned>(m));
+      out[kept++] = rows[j + b];
+      m &= m - 1;
+    }
+  }
+  for (; j < n; ++j) {
+    const uint64_t local = rows[j] - bias;
+    bool match = true;
+    for (size_t p = 0; p < ne; ++p) {
+      if (eff[p].col.Get(local) != eff[p].want) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out[kept++] = rows[j];
+  }
+  return kept;
+}
+
+/// SWAR histogram for the sub-byte widths: the packed payload is counted
+/// 64 bits (16/32/64 codes) at a time with bit-plane masks and hardware
+/// popcounts, never decoding a single code. Works because Freeze rounds
+/// sub-byte widths to powers of two, so each 64-bit word holds a whole
+/// number of codes and no code straddles a word. Integer-exact, so the
+/// counts match the scalar histogram bit for bit.
+void CountCodesAvx2(PackedRef col, uint64_t begin, uint64_t end,
+                    size_t dict_size, uint32_t* counts) {
+  if (col.width != PackedWidth::kSub) {
+    internal::GetScalarKernels().count_codes(col, begin, end, dict_size,
+                                             counts);
+    return;
+  }
+  const uint64_t* words = static_cast<const uint64_t*>(col.data);
+  const unsigned bits = col.bits;
+  const uint64_t cpw = 64 / bits;  // codes per 64-bit word
+  uint64_t local[16] = {0};
+
+  // Scalar head up to a word boundary, SWAR over whole words, scalar tail.
+  uint64_t i = begin;
+  const uint64_t head = std::min(end, (begin + cpw - 1) / cpw * cpw);
+  for (; i < head; ++i) ++local[col.Get(i)];
+  const uint64_t w0 = i / cpw;
+  const uint64_t w1 = end / cpw;
+  switch (bits) {
+    case 1: {
+      uint64_t ones = 0;
+      for (uint64_t w = w0; w < w1; ++w) {
+        ones += static_cast<unsigned>(__builtin_popcountll(words[w]));
+      }
+      local[1] += ones;
+      local[0] += (w1 - w0) * 64 - ones;
+      break;
+    }
+    case 2: {
+      constexpr uint64_t kPair = 0x5555555555555555ull;
+      for (uint64_t w = w0; w < w1; ++w) {
+        const uint64_t x = words[w];
+        const uint64_t b0 = x & kPair;         // low bit of each 2-bit code
+        const uint64_t b1 = (x >> 1) & kPair;  // high bit
+        const uint64_t c3 =
+            static_cast<unsigned>(__builtin_popcountll(b0 & b1));
+        const uint64_t c1 =
+            static_cast<unsigned>(__builtin_popcountll(b0)) - c3;
+        const uint64_t c2 =
+            static_cast<unsigned>(__builtin_popcountll(b1)) - c3;
+        local[0] += 32 - c1 - c2 - c3;
+        local[1] += c1;
+        local[2] += c2;
+        local[3] += c3;
+      }
+      break;
+    }
+    default: {  // bits == 4
+      constexpr uint64_t kNib = 0x1111111111111111ull;
+      for (uint64_t w = w0; w < w1; ++w) {
+        const uint64_t x = words[w];
+        // Bit planes of the 16 nibbles, and their in-plane complements.
+        const uint64_t a0 = x & kNib, a1 = (x >> 1) & kNib;
+        const uint64_t a2 = (x >> 2) & kNib, a3 = (x >> 3) & kNib;
+        const uint64_t n0 = a0 ^ kNib, n1 = a1 ^ kNib;
+        const uint64_t n2 = a2 ^ kNib, n3 = a3 ^ kNib;
+        // Match masks for the low / high 2 bits; value v matches where
+        // lo[v & 3] & hi[v >> 2] has a 1 (at most one per nibble).
+        const uint64_t lo[4] = {n0 & n1, a0 & n1, n0 & a1, a0 & a1};
+        const uint64_t hi[4] = {n2 & n3, a2 & n3, n2 & a3, a2 & a3};
+        for (unsigned v = 0; v < 16; ++v) {
+          local[v] += static_cast<unsigned>(
+              __builtin_popcountll(lo[v & 3] & hi[v >> 2]));
+        }
+      }
+      break;
+    }
+  }
+  for (i = std::max(i, w1 * cpw); i < end; ++i) ++local[col.Get(i)];
+
+  // Codes >= dict_size never occur (their tallies are zero); the guard just
+  // keeps the writes inside the caller's dict-sized array.
+  const size_t top = std::min<size_t>(dict_size, size_t{1} << bits);
+  for (size_t v = 0; v < top; ++v) {
+    counts[v] += static_cast<uint32_t>(local[v]);
+  }
+}
+
+constexpr ScanKernels kAvx2Kernels = {
+    &UnpackAvx2,
+    &MatchEqAvx2,
+    &CoveredMaxAvx2,
+    &FilterRowsAvx2,
+    &CountCodesAvx2,
+};
+
+}  // namespace
+
+namespace internal {
+const ScanKernels* GetAvx2Kernels() { return &kAvx2Kernels; }
+}  // namespace internal
+
+}  // namespace smartdd
+
+#else  // !defined(__AVX2__)
+
+namespace smartdd::internal {
+const ScanKernels* GetAvx2Kernels() { return nullptr; }
+}  // namespace smartdd::internal
+
+#endif  // defined(__AVX2__)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/float_sum.h"
 #include "rules/rule_ops.h"
 
 namespace smartdd {
@@ -41,7 +42,7 @@ std::vector<size_t> OrderByWeightDesc(const std::vector<Rule>& rules,
 
 RuleListEvaluation EvaluateRuleListSharded(
     const std::vector<const TableView*>& views, const std::vector<Rule>& rules,
-    const WeightFunction& weight) {
+    const WeightFunction& weight, KernelPref kernel) {
   RuleListEvaluation out;
   out.mass.assign(rules.size(), 0.0);
   out.marginal_mass.assign(rules.size(), 0.0);
@@ -51,6 +52,60 @@ RuleListEvaluation EvaluateRuleListSharded(
   for (size_t i = 0; i < rules.size(); ++i) {
     weights[i] = weight.Weight(rules[i]);
   }
+  const ScanKernels& kern = GetScanKernels(ResolveKernelPath(kernel));
+  // Per-rule match-mask scratch for one row block (whole-table views).
+  std::vector<uint8_t> masks(rules.size() * kScanBlockRows);
+
+  // Single-rule Count fast path: with one rule and no measure column every
+  // match contributes the same 1.0 to mass and the same weights[0] to the
+  // score, so the per-row attribution sweep collapses to a match count —
+  // count_codes for <= 1 predicate, a mask popcount otherwise. Results are
+  // bit-identical to the sweep: sums of 1.0 are exact integers (< 2^53
+  // rows), and ExactRepeatAdd reproduces the sweep's repeated weights[0]
+  // additions bit for bit.
+  bool count_fold = rules.size() == 1;
+  for (const TableView* vp : views) {
+    count_fold = count_fold && !vp->has_measure();
+  }
+  if (count_fold) {
+    const Rule& r = rules[0];
+    uint64_t total = 0;
+    std::vector<uint32_t> counts;
+    for (const TableView* vp : views) {
+      const TableView& view = *vp;
+      const uint64_t n = view.num_rows();
+      if (view.is_subset()) {
+        CompiledRule compiled(r, view.table());
+        for (uint64_t t = 0; t < n; ++t) {
+          total += compiled.Covers(view.row_id(t)) ? 1 : 0;
+        }
+        continue;
+      }
+      const std::vector<size_t> inst = r.InstantiatedColumns();
+      if (inst.empty()) {
+        total += n;
+      } else if (inst.size() == 1) {
+        const size_t c = inst[0];
+        const size_t dict = view.table().dictionary(c).size();
+        const uint32_t want = r.value(c);
+        counts.assign(dict, 0);
+        kern.count_codes(view.table().column(c).ref(), 0, n, dict,
+                         counts.data());
+        if (want < dict) total += counts[want];
+      } else {
+        for (uint64_t b0 = 0; b0 < n; b0 += kScanBlockRows) {
+          const uint64_t b1 = std::min(n, b0 + kScanBlockRows);
+          ComputeRuleMask(r, view.table(), b0, b1, masks.data(), kern);
+          const size_t bn = static_cast<size_t>(b1 - b0);
+          for (size_t j = 0; j < bn; ++j) total += masks[j] != 0 ? 1 : 0;
+        }
+      }
+    }
+    out.mass[0] = static_cast<double>(total);
+    out.marginal_mass[0] = static_cast<double>(total);
+    out.total_score = ExactRepeatAdd(weights[0], total);
+    return out;
+  }
 
   // One accumulator set, advanced sequentially across the shard views in
   // shard order: the addition sequence matches the unsharded evaluation
@@ -58,22 +113,51 @@ RuleListEvaluation EvaluateRuleListSharded(
   // recompiled per view (each slice is its own Table object).
   for (const TableView* vp : views) {
     const TableView& view = *vp;
-    std::vector<CompiledRule> compiled = CompileRules(rules, view.table());
     const uint64_t n = view.num_rows();
-    const bool subset = view.is_subset();
     const double* mass_col = MassColumn(view);
-    for (uint64_t t = 0; t < n; ++t) {
-      const uint32_t row = subset ? view.row_id(t) : static_cast<uint32_t>(t);
-      const double m = mass_col ? mass_col[row] : 1.0;
-      bool attributed = false;
-      for (size_t oi = 0; oi < order.size(); ++oi) {
-        size_t i = order[oi];
-        if (compiled[i].Covers(row)) {
-          out.mass[i] += m;
-          if (!attributed) {
-            out.marginal_mass[i] += m;
-            out.total_score += m * weights[i];
-            attributed = true;
+    if (view.is_subset()) {
+      std::vector<CompiledRule> compiled = CompileRules(rules, view.table());
+      for (uint64_t t = 0; t < n; ++t) {
+        const uint32_t row = view.row_id(t);
+        const double m = mass_col ? mass_col[row] : 1.0;
+        bool attributed = false;
+        for (size_t oi = 0; oi < order.size(); ++oi) {
+          size_t i = order[oi];
+          if (compiled[i].Covers(row)) {
+            out.mass[i] += m;
+            if (!attributed) {
+              out.marginal_mass[i] += m;
+              out.total_score += m * weights[i];
+              attributed = true;
+            }
+          }
+        }
+      }
+      continue;
+    }
+    // Whole-table views: per-rule match masks over each row block through
+    // the dispatched kernels, then one sequential attribution sweep per
+    // block — the same per-row, ordered-rule addition sequence as the
+    // direct loop, so the floats are bit-identical on every kernel path.
+    for (uint64_t b0 = 0; b0 < n; b0 += kScanBlockRows) {
+      const uint64_t b1 = std::min(n, b0 + kScanBlockRows);
+      const size_t bn = static_cast<size_t>(b1 - b0);
+      for (size_t i = 0; i < rules.size(); ++i) {
+        ComputeRuleMask(rules[i], view.table(), b0, b1,
+                        masks.data() + i * kScanBlockRows, kern);
+      }
+      for (size_t j = 0; j < bn; ++j) {
+        const double m = mass_col ? mass_col[b0 + j] : 1.0;
+        bool attributed = false;
+        for (size_t oi = 0; oi < order.size(); ++oi) {
+          size_t i = order[oi];
+          if (masks[i * kScanBlockRows + j] != 0) {
+            out.mass[i] += m;
+            if (!attributed) {
+              out.marginal_mass[i] += m;
+              out.total_score += m * weights[i];
+              attributed = true;
+            }
           }
         }
       }
@@ -84,8 +168,9 @@ RuleListEvaluation EvaluateRuleListSharded(
 
 RuleListEvaluation EvaluateRuleList(const TableView& view,
                                     const std::vector<Rule>& rules,
-                                    const WeightFunction& weight) {
-  return EvaluateRuleListSharded({&view}, rules, weight);
+                                    const WeightFunction& weight,
+                                    KernelPref kernel) {
+  return EvaluateRuleListSharded({&view}, rules, weight, kernel);
 }
 
 double ScoreRuleSet(const TableView& view, const std::vector<Rule>& rules,

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/scan_kernels.h"
 #include "rules/rule.h"
 #include "storage/table_view.h"
 #include "weights/weight_function.h"
@@ -44,10 +45,12 @@ std::vector<size_t> OrderByWeightDesc(const std::vector<Rule>& rules,
 /// Exact evaluation of a rule list over a view: per-rule Count/MCount (or
 /// Sum/MSum) and the total score. The list is internally evaluated in
 /// descending-weight order per Definition 2, but outputs are reported in the
-/// input order.
+/// input order. `kernel` selects the scan-kernel path for the per-rule match
+/// masks (results are bit-identical across paths).
 RuleListEvaluation EvaluateRuleList(const TableView& view,
                                     const std::vector<Rule>& rules,
-                                    const WeightFunction& weight);
+                                    const WeightFunction& weight,
+                                    KernelPref kernel = KernelPref::kAuto);
 
 /// Sharded evaluation: `views` are row-contiguous shard slices, in shard
 /// order, of one logical table. The accumulators run sequentially across
@@ -57,7 +60,7 @@ RuleListEvaluation EvaluateRuleList(const TableView& view,
 /// fold tree drifts in the ULPs).
 RuleListEvaluation EvaluateRuleListSharded(
     const std::vector<const TableView*>& views, const std::vector<Rule>& rules,
-    const WeightFunction& weight);
+    const WeightFunction& weight, KernelPref kernel = KernelPref::kAuto);
 
 /// Score of a rule *set* (Definition 2): sort by weight descending, then
 /// sum MCount(r) * W(r).

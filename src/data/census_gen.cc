@@ -94,6 +94,7 @@ Table GenerateCensusTable(const CensusSpec& spec) {
   GenerateRows(spec, models, num_cols, [&](const uint32_t* codes) {
     table.AppendRow(std::span<const uint32_t>(codes, num_cols));
   });
+  if (spec.freeze) table.Freeze();
   return table;
 }
 

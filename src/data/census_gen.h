@@ -25,6 +25,9 @@ struct CensusSpec {
   /// Restrict to the first `columns_used` columns (0 = all). The paper's
   /// qualitative experiments use 7.
   size_t columns_used = 0;
+  /// Freeze the generated table (bit-pack its columns) before returning.
+  /// Leave set unless the caller appends rows afterwards.
+  bool freeze = true;
 };
 
 /// In-memory generation (use for row counts that comfortably fit in RAM).

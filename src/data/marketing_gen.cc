@@ -209,6 +209,7 @@ Table GenerateMarketingTable(const MarketingSpec& spec) {
     std::vector<std::string> cells(row.begin(), row.begin() + num_cols);
     SMARTDD_CHECK(table.AppendRowValues(cells).ok());
   }
+  table.Freeze();
   return table;
 }
 

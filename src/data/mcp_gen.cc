@@ -41,6 +41,7 @@ Table McpToTable(const McpInstance& instance) {
     }
     SMARTDD_CHECK(table.AppendRowValues(row).ok());
   }
+  table.Freeze();
   return table;
 }
 

@@ -101,6 +101,7 @@ Table GenerateRetailTable(const RetailSpec& spec) {
     add(store, product, region, 40);
   }
 
+  table.Freeze();
   return table;
 }
 

@@ -38,6 +38,7 @@ Table GenerateSyntheticTable(const SynthSpec& spec) {
       table.AppendRow(codes);
     }
   }
+  table.Freeze();
   return table;
 }
 

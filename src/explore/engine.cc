@@ -5,12 +5,23 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "explore/session.h"
 
 namespace smartdd {
 
 namespace {
+
+/// Logs the scan-kernel path this engine's sessions will run with (their
+/// kAuto defers to EngineOptions::kernel, which kAuto-resolves through
+/// SMARTDD_KERNEL and CPU detection). One line per engine, at creation, so
+/// an operator can confirm from the log which path a deployment took.
+void LogKernelPath(KernelPref pref) {
+  SMARTDD_LOG(Info) << "scan kernels: "
+                    << KernelPathName(ResolveKernelPath(pref))
+                    << " (requested " << KernelPrefName(pref) << ")";
+}
 
 Status ValidateEngineOptions(const EngineOptions& options, bool in_memory) {
   if (options.scheduler_workers == 0) {
@@ -62,6 +73,13 @@ ExplorationEngine::ExplorationEngine(const Table& table,
           std::max<size_t>(1, options_.scheduler_workers))) {
   SMARTDD_CHECK(!options_.use_sampling)
       << "sampling mode requires the ScanSource constructor";
+  LogKernelPath(options_.kernel);
+  // Resident bytes of the packed column payloads (the unsharded series;
+  // ShardedEngine registers per-shard smartdd_table_bytes{shard="N"}).
+  MetricsRegistry::Default()
+      .GetGauge("smartdd_table_bytes",
+                "Resident bytes of the engine table's packed column storage")
+      .Set(static_cast<int64_t>(table_->resident_column_bytes()));
 }
 
 ExplorationEngine::ExplorationEngine(const ScanSource& source,
@@ -81,6 +99,7 @@ ExplorationEngine::ExplorationEngine(const ScanSource& source,
     }
     sampler_ = std::make_unique<SampleHandler>(source, options_.sampler);
   }
+  LogKernelPath(options_.kernel);
 }
 
 ExplorationEngine::~ExplorationEngine() {

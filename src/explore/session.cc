@@ -34,6 +34,9 @@ void ExplorationSession::Bind(ExplorationEngine* engine,
   if (options_.num_threads == 0) {
     options_.num_threads = engine_->options().num_threads;
   }
+  if (options_.kernel == KernelPref::kAuto) {
+    options_.kernel = engine_->options().kernel;
+  }
   id_ = engine_->RegisterSession();
   double total_mass = engine_->table() != nullptr
                           ? static_cast<double>(engine_->table()->num_rows())
@@ -98,6 +101,7 @@ Result<DrillDownResponse> ExplorationSession::RunDrillDown(
   request.max_weight = options_.max_weight;
   request.pruning = options_.pruning;
   request.num_threads = options_.num_threads;
+  request.kernel = options_.kernel;
   request.deadline = deadline;
   if (on_step) {
     // Non-sampling paths search the full data: step masses are exact. The

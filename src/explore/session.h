@@ -37,6 +37,11 @@ struct SessionOptions {
   /// unless sampler.num_threads is set explicitly; sampling results are
   /// bit-identical for every thread count.
   size_t num_threads = 0;
+  /// Scan-kernel path for this session's drill-down searches (0 = the
+  /// engine default). kAuto defers to the engine's kernel, which itself
+  /// defers to SMARTDD_KERNEL and CPU detection. Results are bit-identical
+  /// across paths.
+  KernelPref kernel = KernelPref::kAuto;
 };
 
 /// One displayed rule in the exploration tree.

@@ -73,6 +73,15 @@ void ShardedEngine::RegisterMetrics() {
         .GetGauge("smartdd_shard_rows" + label,
                   "Rows owned by each shard of the sharded engine")
         .Set(static_cast<int64_t>(plan_.shard(s).num_rows()));
+    // Scan-source sharded engines hold no in-memory slices; the byte gauge
+    // only exists for table-sharded engines.
+    if (s < shard_tables_.size()) {
+      registry
+          .GetGauge("smartdd_table_bytes" + label,
+                    "Resident bytes of each shard slice's packed column "
+                    "storage")
+          .Set(static_cast<int64_t>(shard_tables_[s].resident_column_bytes()));
+    }
     shard_scan_passes_.push_back(&registry.GetCounter(
         "smartdd_shard_scan_passes_total" + label,
         "Counting-pass scans executed against each shard's rows"));

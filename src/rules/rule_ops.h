@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/scan_kernels.h"
 #include "rules/rule.h"
 #include "storage/table_view.h"
 
@@ -26,29 +27,29 @@ inline bool IsSuperRuleOf(const Rule& specific, const Rule& general) {
 Result<Rule> MergeRules(const Rule& a, const Rule& b);
 
 /// True if rule `r` covers the `i`-th row of the view. Column-major fast
-/// path: resolves the table row once and reads only the rule's non-star
-/// columns straight from the column arrays, instead of funneling every cell
-/// through view.code()'s per-cell row_id resolution.
+/// path: resolves the table row once and decodes only the rule's non-star
+/// columns straight from the packed column payloads, instead of funneling
+/// every cell through view.code()'s per-cell row_id resolution.
 inline bool RuleCoversRow(const Rule& r, const TableView& view, uint64_t i) {
   const Table& table = view.table();
   const uint32_t row = view.row_id(i);
   const std::vector<uint32_t>& values = r.values();
   for (size_t c = 0; c < values.size(); ++c) {
     uint32_t v = values[c];
-    if (v != kStar && v != table.column(c)[row]) return false;
+    if (v != kStar && v != table.column(c).Get(row)) return false;
   }
   return true;
 }
 
 /// A rule compiled for repeated row checks: only the non-star columns,
-/// each as a (column data pointer, wanted code) predicate, so covering a
-/// row is a handful of array reads with no per-cell indirection and no
+/// each as a (packed column ref, wanted code) predicate, so covering a
+/// row is a handful of inline decodes with no per-cell indirection and no
 /// wildcard scanning. The canonical column-major predicate — reuse this
 /// instead of re-deriving it (core/score.cc does; core/best_marginal.cc
 /// keeps a stack-array variant to stay allocation-free per candidate).
 /// The source table must outlive the compiled form.
 struct CompiledRule {
-  std::vector<const uint32_t*> cols;
+  std::vector<PackedRef> cols;
   std::vector<uint32_t> want;
 
   CompiledRule() = default;
@@ -60,7 +61,7 @@ struct CompiledRule {
     for (size_t c = 0; c < r.num_columns(); ++c) {
       uint32_t v = r.value(c);
       if (v == kStar) continue;
-      cols.push_back(table.column(c).data());
+      cols.push_back(table.column(c).ref());
       want.push_back(v);
     }
   }
@@ -68,7 +69,35 @@ struct CompiledRule {
   /// `row` is a *table* row id (resolve view row ids once, outside).
   [[nodiscard]] bool Covers(uint32_t row) const {
     for (size_t i = 0; i < cols.size(); ++i) {
-      if (cols[i][row] != want[i]) return false;
+      if (cols[i].Get(row) != want[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// A rule compiled for repeated checks against decoded code *arrays* (scan
+/// callbacks, sample rows) rather than table rows: only the non-star
+/// columns, as (column, wanted code) pairs, so wildcard columns cost
+/// nothing per row. The codes-array sibling of CompiledRule.
+struct RowPredicate {
+  /// (column index, wanted code) for each instantiated column.
+  std::vector<std::pair<uint32_t, uint32_t>> preds;
+
+  RowPredicate() = default;
+  explicit RowPredicate(const Rule& r) { Compile(r); }
+
+  void Compile(const Rule& r) {
+    preds.clear();
+    for (size_t c = 0; c < r.num_columns(); ++c) {
+      uint32_t v = r.value(c);
+      if (v != kStar) preds.emplace_back(static_cast<uint32_t>(c), v);
+    }
+  }
+
+  /// `codes` must span every column of the rule's table.
+  [[nodiscard]] bool Covers(const uint32_t* codes) const {
+    for (const auto& [c, w] : preds) {
+      if (codes[c] != w) return false;
     }
     return true;
   }
@@ -79,10 +108,14 @@ struct CompiledRule {
 double RuleMass(const TableView& view, const Rule& r);
 
 /// Row ids (into the underlying table) of view rows covered by `r`.
-std::vector<uint32_t> FilterRows(const TableView& view, const Rule& r);
+/// Whole-table views run block-wise through the dispatched match-mask
+/// kernels; output order and content are identical on every path.
+std::vector<uint32_t> FilterRows(const TableView& view, const Rule& r,
+                                 KernelPref kernel = KernelPref::kAuto);
 
 /// A subset view of `view` restricted to rows covered by `r`.
-TableView FilterView(const TableView& view, const Rule& r);
+TableView FilterView(const TableView& view, const Rule& r,
+                     KernelPref kernel = KernelPref::kAuto);
 
 /// Selectivity ratio S(r1, r2) from paper §4.1: the fraction of r1-covered
 /// mass that is also covered by r2, for r1 a sub-rule of r2 (0 otherwise; 0

@@ -422,6 +422,13 @@ Result<std::vector<double>> SampleHandler::CreateSamples(
     rule_seeds.push_back(DeriveSeed(options_.seed, ++seed_counter_));
   }
 
+  // Filters compiled once to their instantiated columns; the scan callback
+  // below runs them per (row, rule), so skipping the wildcard columns there
+  // matters.
+  std::vector<RowPredicate> filters;
+  filters.reserve(nrules);
+  for (size_t i = 0; i < nrules; ++i) filters.emplace_back(rules[i]);
+
   // One builder per (chunk, rule): chunks never share mutable state, so the
   // scan callback is data-race free by construction.
   struct ChunkBuilder {
@@ -473,7 +480,7 @@ Result<std::vector<double>> SampleHandler::CreateSamples(
         ChunkBuilder* chunk_builders = &builders[chunk * nrules];
         for (size_t i = 0; i < nrules; ++i) {
           ChunkBuilder& b = chunk_builders[i];
-          if (!b.sample->filter().Covers(codes)) continue;
+          if (!filters[i].Covers(codes)) continue;
           b.mass += 1.0;  // tuple count; measures ride along in the sample
           auto placement = b.reservoir.Offer();
           if (!placement.accept) continue;
@@ -700,6 +707,9 @@ Result<std::vector<double>> SampleHandler::ExactMasses(
   // false-share; merged in chunk order for thread-count-independent sums.
   const size_t stride = ((nrules + 7) / 8) * 8;
   std::vector<double> chunk_masses(num_chunks * stride, 0.0);
+  std::vector<RowPredicate> preds;
+  preds.reserve(nrules);
+  for (size_t i = 0; i < nrules; ++i) preds.emplace_back(rules[i]);
   Status s = source_->ScanChunks(
       num_chunks, parallelism,
       [&](uint64_t chunk, uint64_t, const uint32_t* codes,
@@ -707,7 +717,7 @@ Result<std::vector<double>> SampleHandler::ExactMasses(
         double m = measure ? measures[*measure] : 1.0;
         double* acc = &chunk_masses[chunk * stride];
         for (size_t i = 0; i < nrules; ++i) {
-          if (rules[i].Covers(codes)) acc[i] += m;
+          if (preds[i].Covers(codes)) acc[i] += m;
         }
         return true;
       });

@@ -143,6 +143,7 @@ Result<Table> ParseCsv(const std::string& content, const CsvOptions& options) {
     ++row_count;
     if (options.max_rows > 0 && row_count >= options.max_rows) break;
   }
+  table.Freeze();
   return table;
 }
 

@@ -1,0 +1,109 @@
+#include "storage/packed_column.h"
+
+#include <cstdlib>
+
+#include "common/flat_map.h"
+#include "common/logging.h"
+
+namespace smartdd {
+
+namespace {
+
+/// Spare elements appended past the payload so that (a) the sub-byte
+/// 64-bit-window read and (b) the SIMD 4-byte gathers of the k8/k16 paths
+/// never touch unmapped memory at the tail.
+constexpr size_t kPadBytes = 8;
+
+}  // namespace
+
+void PackedColumn::FailFrozenAppend() {
+  SMARTDD_CHECK(false)
+      << "PackedColumn::Append on a frozen column (freeze a table only after "
+         "all rows are loaded)";
+  std::abort();  // unreachable: the failed check aborts
+}
+
+size_t PackedColumn::byte_size() const {
+  switch (width_) {
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32:
+      return raw_.size() * sizeof(uint32_t);
+    case PackedWidth::k8:
+      return b8_.size();
+    case PackedWidth::k16:
+      return b16_.size() * sizeof(uint16_t);
+    case PackedWidth::kSub:
+      return words_.size() * sizeof(uint64_t);
+    case PackedWidth::kConst:
+      return 0;
+  }
+  return 0;
+}
+
+void PackedColumn::Freeze(size_t dict_size) {
+  if (width_ != PackedWidth::kUnpacked) return;  // idempotent
+  bits_ = dict_size <= 1 ? 0 : CodeBitWidth(dict_size);
+  if (bits_ == 0) {
+    width_ = PackedWidth::kConst;
+    raw_.clear();
+    raw_.shrink_to_fit();
+    return;
+  }
+  if (bits_ > 16) {
+    // Wide dictionaries keep the raw u32 payload: already the right width.
+    bits_ = 32;
+    width_ = PackedWidth::k32;
+    raw_.shrink_to_fit();
+    return;
+  }
+  // Sub-byte widths are rounded up to a power of two (1, 2, 4) so codes
+  // never straddle a byte — the property the SWAR counting kernels and the
+  // single-byte Get depend on. 5..7 bits round to a whole byte.
+  if (bits_ == 3) bits_ = 4;
+  if (bits_ > 4 && bits_ < 8) bits_ = 8;
+  if (bits_ > 8) {
+    bits_ = 16;
+    b16_.reserve(size_ + kPadBytes / sizeof(uint16_t));
+    b16_.assign(raw_.begin(), raw_.end());
+    b16_.resize(size_ + kPadBytes / sizeof(uint16_t), 0);
+    width_ = PackedWidth::k16;
+  } else if (bits_ == 8) {
+    b8_.reserve(size_ + kPadBytes);
+    b8_.assign(raw_.begin(), raw_.end());
+    b8_.resize(size_ + kPadBytes, 0);
+    width_ = PackedWidth::k8;
+  } else {
+    // 1, 2, or 4 bits: tight pack into 64-bit words, little-endian bit
+    // order. Because bits divides 8 a code never crosses a byte (or word)
+    // boundary.
+    words_.assign((size_ * bits_ + 63) / 64 + kPadBytes / sizeof(uint64_t),
+                  0u);
+    for (uint64_t i = 0; i < size_; ++i) {
+      const uint64_t bit = i * bits_;
+      words_[bit >> 6] |= uint64_t{raw_[i]} << (bit & 63);
+    }
+    width_ = PackedWidth::kSub;
+  }
+  raw_.clear();
+  raw_.shrink_to_fit();
+}
+
+void PackedColumn::Unpack(uint64_t begin, uint64_t end, uint32_t* out) const {
+  SMARTDD_DCHECK(begin <= end && end <= size_);
+  const PackedRef r = ref();
+  switch (width_) {
+    case PackedWidth::kUnpacked:
+    case PackedWidth::k32: {
+      std::memcpy(out, raw_.data() + begin, (end - begin) * sizeof(uint32_t));
+      return;
+    }
+    case PackedWidth::kConst:
+      std::memset(out, 0, (end - begin) * sizeof(uint32_t));
+      return;
+    default:
+      for (uint64_t i = begin; i < end; ++i) *out++ = r.Get(i);
+      return;
+  }
+}
+
+}  // namespace smartdd

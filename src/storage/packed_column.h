@@ -1,0 +1,141 @@
+#ifndef SMARTDD_STORAGE_PACKED_COLUMN_H_
+#define SMARTDD_STORAGE_PACKED_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace smartdd {
+
+/// Physical layout class of a column's codes. A column starts kUnpacked
+/// (raw u32 vector, append-able) and is converted to the narrowest class
+/// that holds ceil(log2(dict_size)) bits when the owning Table freezes.
+enum class PackedWidth : uint8_t {
+  kUnpacked,  ///< building representation: raw uint32_t codes
+  kConst,     ///< 0 bits — dictionary of size 1, every code is 0
+  kSub,       ///< 1, 2, or 4 bits, tight bit-packing in 64-bit words
+  k8,         ///< one byte per code
+  k16,        ///< two bytes per code
+  k32,        ///< four bytes per code (dictionaries wider than 16 bits)
+};
+
+/// A trivially copyable, non-owning reader over a PackedColumn's payload:
+/// the hot loops hoist one of these per column and decode inline, and the
+/// SIMD kernels (core/scan_kernels) switch on `width` to pick a lane
+/// layout. The owning column must outlive the ref.
+struct PackedRef {
+  const void* data = nullptr;
+  uint64_t n = 0;            ///< number of codes
+  PackedWidth width = PackedWidth::kUnpacked;
+  uint8_t bits = 32;         ///< logical code width (32 while unpacked)
+
+  /// Random access. Sub-byte widths are powers of two (1/2/4 bits), so a
+  /// code always lives entirely inside one byte: a single byte load, shift,
+  /// and mask.
+  [[nodiscard]] inline uint32_t Get(uint64_t i) const {
+    switch (width) {
+      case PackedWidth::kUnpacked:
+      case PackedWidth::k32:
+        return static_cast<const uint32_t*>(data)[i];
+      case PackedWidth::k8:
+        return static_cast<const uint8_t*>(data)[i];
+      case PackedWidth::k16:
+        return static_cast<const uint16_t*>(data)[i];
+      case PackedWidth::kConst:
+        return 0;
+      case PackedWidth::kSub: {
+        const uint64_t bit = i * bits;
+        return (static_cast<const uint8_t*>(data)[bit >> 3] >> (bit & 7)) &
+               ((uint32_t{1} << bits) - 1);
+      }
+    }
+    return 0;
+  }
+};
+
+/// One column's dictionary codes, bit-packed to ceil(log2(dict_size)) bits
+/// (rounded up to a power of two below a byte: 1, 2, 4, 8, 16, or 32) once
+/// frozen. Building appends into a raw u32 vector; Freeze(dict_size)
+/// converts in place to the narrowest width class (idempotent; appends are
+/// rejected afterwards). Unfrozen columns keep full read support, so
+/// derived tables that grow forever (samples) simply never freeze.
+class PackedColumn {
+ public:
+  [[nodiscard]] uint64_t size() const { return size_; }
+  [[nodiscard]] bool frozen() const { return width_ != PackedWidth::kUnpacked; }
+  [[nodiscard]] PackedWidth width() const { return width_; }
+  /// Logical code width after freeze (32 while unpacked, 0 for kConst).
+  [[nodiscard]] uint8_t bits() const { return bits_; }
+
+  /// Resident payload bytes of the current representation (includes the
+  /// small over-read padding the sub-byte and SIMD gather paths rely on).
+  [[nodiscard]] size_t byte_size() const;
+
+  [[nodiscard]] PackedRef ref() const {
+    PackedRef r;
+    r.n = size_;
+    r.width = width_;
+    r.bits = bits_;
+    switch (width_) {
+      case PackedWidth::kUnpacked:
+      case PackedWidth::k32:
+        r.data = raw_.data();
+        break;
+      case PackedWidth::k8:
+        r.data = b8_.data();
+        break;
+      case PackedWidth::k16:
+        r.data = b16_.data();
+        break;
+      case PackedWidth::kSub:
+        r.data = words_.data();
+        break;
+      case PackedWidth::kConst:
+        r.data = nullptr;
+        break;
+    }
+    return r;
+  }
+
+  [[nodiscard]] uint32_t Get(uint64_t i) const { return ref().Get(i); }
+
+  /// Appends one code. Only legal before Freeze.
+  void Append(uint32_t code) {
+    if (width_ != PackedWidth::kUnpacked) FailFrozenAppend();
+    raw_.push_back(code);
+    ++size_;
+  }
+
+  void Reserve(uint64_t n) {
+    if (width_ == PackedWidth::kUnpacked) raw_.reserve(n);
+  }
+
+  /// Packs the codes to ceil(log2(dict_size)) bits. Every stored code must
+  /// be < dict_size (codes come from the column's dictionary, so this holds
+  /// by construction). Idempotent: freezing a frozen column is a no-op —
+  /// the width was fixed by the first freeze, which is what keeps slices of
+  /// frozen tables byte-compatible with their parent even if the shared
+  /// dictionary grows later.
+  void Freeze(size_t dict_size);
+
+  /// Decodes codes [begin, end) into `out` (portable scalar path; the
+  /// runtime-dispatched SIMD unpack lives in core/scan_kernels and reads
+  /// through ref()).
+  void Unpack(uint64_t begin, uint64_t end, uint32_t* out) const;
+
+ private:
+  [[noreturn]] static void FailFrozenAppend();
+
+  PackedWidth width_ = PackedWidth::kUnpacked;
+  uint8_t bits_ = 32;
+  uint64_t size_ = 0;
+  std::vector<uint32_t> raw_;    // kUnpacked / k32
+  std::vector<uint8_t> b8_;      // k8   (padded: SIMD gathers read 4 bytes)
+  std::vector<uint16_t> b16_;    // k16  (padded likewise)
+  std::vector<uint64_t> words_;  // kSub (padded: 64-bit window reads)
+};
+
+}  // namespace smartdd
+
+#endif  // SMARTDD_STORAGE_PACKED_COLUMN_H_

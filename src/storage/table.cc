@@ -27,13 +27,19 @@ Table Table::SliceRows(uint64_t row_begin, uint64_t row_end) const {
       << "slice [" << row_begin << ", " << row_end << ") out of range";
   Table t = EmptyLike(*this);
   for (size_t c = 0; c < cols_.size(); ++c) {
-    t.cols_[c].assign(cols_[c].begin() + row_begin, cols_[c].begin() + row_end);
+    t.cols_[c].Reserve(row_end - row_begin);
+    for (uint64_t r = row_begin; r < row_end; ++r) {
+      t.cols_[c].Append(cols_[c].Get(r));
+    }
   }
   for (size_t m = 0; m < measures_.size(); ++m) {
     t.measures_[m].assign(measures_[m].begin() + row_begin,
                           measures_[m].begin() + row_end);
   }
   t.num_rows_ = row_end - row_begin;
+  // Slices of a frozen table come out frozen: the shard partitioner's
+  // slices inherit the parent's packed representation.
+  if (frozen_) t.Freeze();
   return t;
 }
 
@@ -49,7 +55,7 @@ void Table::AppendRow(std::span<const uint32_t> codes,
   SMARTDD_CHECK(measures.size() == measures_.size())
       << "expected " << measures_.size() << " measures, got "
       << measures.size();
-  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(codes[c]);
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].Append(codes[c]);
   for (size_t m = 0; m < measures_.size(); ++m) {
     measures_[m].push_back(measures[m]);
   }
@@ -77,7 +83,7 @@ void Table::AppendRowFrom(const Table& src, uint64_t row) {
   for (size_t c = 0; c < cols_.size(); ++c) {
     SMARTDD_DCHECK(dicts_[c] == src.dicts_[c])
         << "AppendRowFrom requires shared dictionaries";
-    cols_[c].push_back(src.cols_[c][row]);
+    cols_[c].Append(src.cols_[c].Get(row));
   }
   for (size_t m = 0; m < measures_.size(); ++m) {
     measures_[m].push_back(src.measures_[m][row]);
@@ -99,8 +105,22 @@ Result<size_t> Table::FindMeasure(const std::string& name) const {
   return Status::NotFound("no measure column named '" + name + "'");
 }
 
+void Table::Freeze() {
+  if (frozen_) return;
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].Freeze(dicts_[c]->size());
+  }
+  frozen_ = true;
+}
+
+size_t Table::resident_column_bytes() const {
+  size_t total = 0;
+  for (const PackedColumn& c : cols_) total += c.byte_size();
+  return total;
+}
+
 void Table::GetRow(uint64_t row, uint32_t* out) const {
-  for (size_t c = 0; c < cols_.size(); ++c) out[c] = cols_[c][row];
+  for (size_t c = 0; c < cols_.size(); ++c) out[c] = cols_[c].Get(row);
 }
 
 }  // namespace smartdd

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/dictionary.h"
+#include "storage/packed_column.h"
 #include "storage/schema.h"
 
 namespace smartdd {
@@ -60,6 +61,24 @@ class Table {
   /// Declares a measure column. Must be called before appending rows.
   size_t AddMeasureColumn(std::string name);
 
+  /// Freezes the table: bit-packs every categorical column to
+  /// ceil(log2(dict_size)) bits (see storage/packed_column.h). Call once
+  /// after loading, before handing the table to engines — appends are
+  /// rejected afterwards. Idempotent. Tables that keep growing (samples
+  /// built via EmptyLike/AppendRowFrom) simply never freeze and stay on the
+  /// raw u32 representation.
+  void Freeze();
+  [[nodiscard]] bool is_frozen() const { return frozen_; }
+
+  /// Resident bytes of the categorical column payloads in their current
+  /// representation (packed after Freeze).
+  [[nodiscard]] size_t resident_column_bytes() const;
+  /// Bytes the same columns would occupy unpacked (4 bytes per cell) — the
+  /// denominator of the packing-reduction metric.
+  [[nodiscard]] size_t unpacked_column_bytes() const {
+    return static_cast<size_t>(num_rows_) * cols_.size() * sizeof(uint32_t);
+  }
+
   // --- Access ---------------------------------------------------------
 
   [[nodiscard]] const Schema& schema() const { return schema_; }
@@ -67,9 +86,9 @@ class Table {
   [[nodiscard]] size_t num_columns() const { return schema_.num_columns(); }
 
   [[nodiscard]] uint32_t code(size_t col, uint64_t row) const {
-    return cols_[col][row];
+    return cols_[col].Get(row);
   }
-  [[nodiscard]] const std::vector<uint32_t>& column(size_t col) const {
+  [[nodiscard]] const PackedColumn& column(size_t col) const {
     return cols_[col];
   }
 
@@ -82,7 +101,7 @@ class Table {
 
   /// The decoded string value of a cell.
   const std::string& ValueAt(size_t col, uint64_t row) const {
-    return dicts_[col]->ValueOf(cols_[col][row]);
+    return dicts_[col]->ValueOf(cols_[col].Get(row));
   }
 
   [[nodiscard]] size_t num_measures() const { return measure_names_.size(); }
@@ -103,10 +122,11 @@ class Table {
  private:
   Schema schema_;
   std::vector<std::shared_ptr<ValueDictionary>> dicts_;
-  std::vector<std::vector<uint32_t>> cols_;
+  std::vector<PackedColumn> cols_;
   std::vector<std::string> measure_names_;
   std::vector<std::vector<double>> measures_;
   uint64_t num_rows_ = 0;
+  bool frozen_ = false;
 };
 
 }  // namespace smartdd
