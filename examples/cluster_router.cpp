@@ -1,0 +1,133 @@
+// The exploration cluster's front door: an HTTP server whose WireService is
+// a cluster::Router forwarding codec bytes to shard-server backends over
+// the binary RPC protocol (README "Cluster architecture"). The HTTP surface
+// is byte-identical to a single-process deployment — same routes, same
+// envelopes, same SSE streaming — which scripts/cluster_smoke.sh verifies
+// against the single-process golden transcript.
+//
+// Usage:
+//   cluster_router --backend=HOST:PORT [--backend=HOST:PORT ...]
+//                  [--http=PORT] [--probe-interval-ms=N]
+//
+// Start backends first (example_shard_server, each with a distinct
+// --token-seed), then point --backend flags at their printed addresses.
+// --http=0 (the default) binds an ephemeral port and prints it. /readyz
+// answers 503 until at least one backend is healthy and while draining.
+// SIGINT/SIGTERM drain and exit.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "net/exploration_http_adapter.h"
+#include "net/http_server.h"
+
+namespace {
+
+using namespace smartdd;
+
+std::atomic<int> g_shutdown_signal{0};
+
+bool ParsePort(const char* value, uint16_t* out) {
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (*value == '\0' || *end != '\0' || *value == '-' || parsed > 65535) {
+    return false;
+  }
+  *out = static_cast<uint16_t>(parsed);
+  return true;
+}
+
+bool ParseBackend(const char* value, cluster::BackendAddress* out) {
+  const char* colon = std::strrchr(value, ':');
+  if (colon == nullptr || colon == value) return false;
+  uint16_t port = 0;
+  if (!ParsePort(colon + 1, &port) || port == 0) return false;
+  out->host.assign(value, static_cast<size_t>(colon - value));
+  out->port = port;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t http_port = 0;
+  std::vector<cluster::BackendAddress> backends;
+  cluster::RouterOptions router_options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      cluster::BackendAddress address;
+      if (!ParseBackend(argv[i] + 10, &address)) {
+        std::fprintf(stderr, "invalid --backend=%s (expected HOST:PORT)\n",
+                     argv[i] + 10);
+        return 2;
+      }
+      backends.push_back(address);
+    } else if (std::strncmp(argv[i], "--http=", 7) == 0) {
+      if (!ParsePort(argv[i] + 7, &http_port)) {
+        std::fprintf(stderr,
+                     "invalid --http=%s (expected 0..65535; 0 = ephemeral)\n",
+                     argv[i] + 7);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--probe-interval-ms=", 20) == 0) {
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(argv[i] + 20, &end, 10);
+      if (argv[i][20] == '\0' || *end != '\0') {
+        std::fprintf(stderr, "invalid %s\n", argv[i]);
+        return 2;
+      }
+      router_options.probe_interval_ms = parsed;
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (backends.empty()) {
+    std::fprintf(stderr,
+                 "usage: cluster_router --backend=HOST:PORT "
+                 "[--backend=HOST:PORT ...] [--http=PORT]\n");
+    return 2;
+  }
+
+  cluster::Router router(backends, router_options);
+  Status started = router.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  net::ExplorationHttpAdapter adapter(static_cast<api::WireService*>(&router));
+  net::HttpServerOptions options;
+  options.port = http_port;
+  net::HttpServer server(adapter.AsHandler(), options);
+  adapter.SetReadinessProbe([&server]() { return !server.draining(); });
+  Status http_started = server.Start();
+  if (!http_started.ok()) {
+    std::fprintf(stderr, "http: %s\n", http_started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on http://127.0.0.1:%u\n", unsigned{server.port()});
+  std::printf("routing sessions across %zu backend(s)\n", backends.size());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, [](int sig) { g_shutdown_signal.store(sig); });
+  std::signal(SIGTERM, [](int sig) { g_shutdown_signal.store(sig); });
+  while (g_shutdown_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down (signal %d)\n", g_shutdown_signal.load());
+  std::fflush(stdout);
+  // Order matters: the HTTP server drains first (its in-flight handlers
+  // call into the router), then the router drains its backend streams.
+  server.Shutdown();
+  router.Shutdown();
+  return 0;
+}

@@ -176,6 +176,9 @@ int RunHttp(api::ExplorationService& service, uint16_t port) {
   net::HttpServerOptions options;
   options.port = port;
   net::HttpServer server(adapter.AsHandler(), options);
+  // /readyz flips to 503 the moment a drain starts, so a load balancer
+  // pulls this process before its listener closes.
+  adapter.SetReadinessProbe([&server]() { return !server.draining(); });
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "http: %s\n", started.ToString().c_str());

@@ -1,0 +1,121 @@
+// A backend process of the exploration cluster: one deterministic engine
+// replica behind the length-prefixed binary RPC server (src/rpc/), speaking
+// codec bytes over SDRP frames. Pair with example_cluster_router, which
+// fronts N of these with the HTTP API (README "Cluster architecture").
+//
+// Usage:
+//   shard_server [--port=N] [--token-seed=HEX] [file.csv]
+//
+// --port=0 (the default) binds an ephemeral port; the bound address is
+// printed as "listening on 127.0.0.1:PORT" so scripts can scrape it.
+// --token-seed gives this replica its session-token space — every backend
+// in a cluster must use a DISTINCT seed so the router can tell their
+// sessions apart. With no CSV the built-in retail example is served.
+// SIGINT/SIGTERM drain in-flight calls and exit.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "api/service.h"
+#include "api/wire_service.h"
+#include "cluster/shard_server.h"
+#include "data/retail_gen.h"
+#include "explore/engine.h"
+#include "storage/csv.h"
+#include "weights/standard_weights.h"
+
+namespace {
+
+using namespace smartdd;
+
+std::atomic<int> g_shutdown_signal{0};
+
+bool ParseUint(const char* value, unsigned long long max,
+               unsigned long long* out) {
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 0);
+  if (*value == '\0' || *end != '\0' || *value == '-' || parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  uint64_t token_seed = 0x5D177EEDULL;
+  const char* csv_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    unsigned long long parsed = 0;
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      if (!ParseUint(argv[i] + 7, 65535, &parsed)) {
+        std::fprintf(stderr,
+                     "invalid --port=%s (expected 0..65535; 0 = ephemeral)\n",
+                     argv[i] + 7);
+        return 2;
+      }
+      port = static_cast<uint16_t>(parsed);
+    } else if (std::strncmp(argv[i], "--token-seed=", 13) == 0) {
+      if (!ParseUint(argv[i] + 13, ~0ULL, &parsed)) {
+        std::fprintf(stderr, "invalid --token-seed=%s\n", argv[i] + 13);
+        return 2;
+      }
+      token_seed = parsed;
+    } else {
+      csv_path = argv[i];
+    }
+  }
+
+  Table table = [&]() {
+    if (csv_path != nullptr) {
+      auto loaded = ReadCsvFile(csv_path);
+      if (loaded.ok()) return std::move(loaded).value();
+      std::fprintf(stderr, "failed to load %s: %s — using built-in retail\n",
+                   csv_path, loaded.status().ToString().c_str());
+    }
+    return GenerateRetailTable();
+  }();
+
+  SizeWeight weight;
+  auto engine = ExplorationEngine::Create(table, weight);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  api::ServiceOptions service_options;
+  service_options.token_seed = token_seed;
+  api::ExplorationService service(service_options);
+  SMARTDD_CHECK(service.AddEngine("default", engine->get()).ok());
+  api::LocalWireService wire(&service);
+
+  rpc::ServerOptions server_options;
+  server_options.port = port;
+  cluster::ShardServer server(&wire, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "rpc: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u\n", unsigned{server.port()});
+  std::printf("token seed 0x%llX — give every backend its own\n",
+              static_cast<unsigned long long>(token_seed));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, [](int sig) { g_shutdown_signal.store(sig); });
+  std::signal(SIGTERM, [](int sig) { g_shutdown_signal.store(sig); });
+  while (g_shutdown_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down (signal %d)\n", g_shutdown_signal.load());
+  std::fflush(stdout);
+  server.Shutdown();
+  return 0;
+}

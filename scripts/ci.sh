@@ -28,12 +28,13 @@ fi
 # run: the parallel differential suites, everything touching the background
 # prefetcher and registry, and the chaos suite (which arms fault schedules
 # while 16 sessions hammer the service).
-SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test|sharded_engine_test|packed_column_test"
+SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test|sharded_engine_test|packed_column_test|deadline_test|rpc_test|cluster_test"
 SAN_TARGETS=(
   parallel_marginal_test parallel_sampling_test sample_handler_test
   session_test concurrent_sessions_test task_scheduler_test
   service_test codec_test metrics_test http_server_test chaos_test
   disk_table_test sharded_engine_test packed_column_test
+  deadline_test rpc_test cluster_test
 )
 
 run_sanitizer_stage() {
@@ -75,6 +76,12 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # nonzero /metrics, graceful SIGTERM, deadline-degraded partial results
   # (see scripts/http_smoke.sh).
   scripts/http_smoke.sh build
+
+  # Cluster smoke: router + 2 shard-server processes must match the SAME
+  # golden transcript byte-for-byte, and a kill -9 mid-expansion must
+  # answer a clean UNAVAILABLE while the router keeps serving
+  # (see scripts/cluster_smoke.sh).
+  scripts/cluster_smoke.sh build
 
   # Sharded-engine smoke: 1/2/4-shard scatter-gather must return identical
   # trees (the bench exits nonzero on drift).

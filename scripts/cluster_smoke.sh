@@ -1,0 +1,216 @@
+#!/usr/bin/env bash
+# Cluster smoke: boot shard-servers and a router on ephemeral ports and
+# prove the two load-bearing claims of the cluster subsystem end to end:
+#
+#   Phase 1 (byte-identity) — 2 backends + router: replay the exact
+#     http_smoke.sh transcript through the router and diff it against
+#     scripts/http_smoke.golden, the SAME golden the single-process server
+#     must match. Sessions land on different backends (tokens are
+#     sed-substituted like http_smoke does), yet every response byte
+#     agrees. Cluster gauges/counters must be live on /metrics.
+#
+#   Phase 2 (failover) — a fresh trio whose first backend runs with
+#     SMARTDD_FAULTS='scheduler.task=latency:2000:0', pinning every engine
+#     task slow so a kill -9 deterministically lands mid-expansion: the
+#     streaming client gets a clean UNAVAILABLE wire envelope and a
+#     terminal SSE event, the router survives, serves new sessions via the
+#     remaining backend, and reports the death on /metrics. With every
+#     backend gone, requests answer the stable UNAVAILABLE envelope.
+#     SIGTERM then drains and exits 0.
+#
+# Usage: scripts/cluster_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SHARD_BIN="$BUILD/example_shard_server"
+ROUTER_BIN="$BUILD/example_cluster_router"
+for bin in "$SHARD_BIN" "$ROUTER_BIN"; do
+  [[ -x "$bin" ]] || { echo "cluster smoke: $bin is not built"; exit 1; }
+done
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Scrapes "listening on ...:PORT" from a server log, waiting for startup.
+scrape_port() {
+  local log="$1" pattern="$2" port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n "$pattern" "$log" 2>/dev/null || true)
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    sleep 0.1
+  done
+  echo ""
+}
+SHARD_PAT='s#^listening on 127\.0\.0\.1:\([0-9]*\)$#\1#p'
+ROUTER_PAT='s#^listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p'
+
+open_session() {  # $1=base-url -> token on stdout (empty on failure)
+  curl -sS --max-time 60 -X POST --data 'k=3' "$1/v1/open" |
+    sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p'
+}
+
+# ---------------------------------------------------------------- phase 1
+# Byte-identity with the single-process golden.
+
+"$SHARD_BIN" --port=0 --token-seed=0x5D177EED >"$WORK/s1.log" 2>&1 &
+S1_PID=$!; PIDS+=("$S1_PID")
+"$SHARD_BIN" --port=0 --token-seed=0x5D177EEE >"$WORK/s2.log" 2>&1 &
+S2_PID=$!; PIDS+=("$S2_PID")
+P1=$(scrape_port "$WORK/s1.log" "$SHARD_PAT")
+P2=$(scrape_port "$WORK/s2.log" "$SHARD_PAT")
+[[ -n "$P1" && -n "$P2" ]] || { echo "cluster smoke: shard-servers did not start"; cat "$WORK"/s*.log; exit 1; }
+
+"$ROUTER_BIN" --backend=127.0.0.1:"$P1" --backend=127.0.0.1:"$P2" --http=0 \
+  >"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!; PIDS+=("$ROUTER_PID")
+RPORT=$(scrape_port "$WORK/router.log" "$ROUTER_PAT")
+[[ -n "$RPORT" ]] || { echo "cluster smoke: router did not start"; cat "$WORK/router.log"; exit 1; }
+BASE="http://127.0.0.1:$RPORT"
+CURL=(curl -sS --max-time 60)
+
+# Readiness: the router is ready once a backend is healthy.
+READY=$("${CURL[@]}" -o /dev/null -w '%{http_code}' "$BASE/readyz")
+[[ "$READY" == "200" ]] || { echo "cluster smoke: /readyz=$READY before any failure"; exit 1; }
+
+# The http_smoke.sh transcript, verbatim, through the router. Opens
+# balance least-loaded with lowest-index ties, so T1 and T3 land on
+# backend 1 and T2 on backend 2 — the diff below is the cluster's
+# byte-identity proof against the single-process golden.
+T1=$(open_session "$BASE")
+T2=$(open_session "$BASE")
+T3=$(open_session "$BASE")
+[[ -n "$T1" && -n "$T2" && -n "$T3" && "$T1" != "$T2" ]] || { echo "cluster smoke: open failed"; exit 1; }
+
+{
+  "${CURL[@]}" "$BASE/healthz"
+  "${CURL[@]}" -X POST --data "$T1 0" "$BASE/v1/expand"
+  "${CURL[@]}" -N "$BASE/v1/expand/stream?session=$T2&node=0"
+  "${CURL[@]}" -N -X POST --data "$T1 3 1" "$BASE/v1/expand/stream"
+  "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/tree"
+  "${CURL[@]}" -X POST --data "$T1 0" "$BASE/v1/collapse"
+  "${CURL[@]}" -X POST --data "$T2" "$BASE/v1/tree"
+  "${CURL[@]}" -X POST --data "$T3 0 deadline_ms=0.0001" "$BASE/v1/expand"
+  "${CURL[@]}" -X POST --data "$T3" "$BASE/v1/tree"
+  "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/close"
+  "${CURL[@]}" -X POST --data "$T2" "$BASE/v1/close"
+  "${CURL[@]}" -X POST --data "$T3" "$BASE/v1/close"
+  "${CURL[@]}" -X POST "$BASE/v1/ping"
+  "${CURL[@]}" -X POST --data "$T1" "$BASE/v1/tree"
+  "${CURL[@]}" -X POST --data 'zz 0' "$BASE/v1/expand"
+} | sed -e "s/$T1/<T1>/g" -e "s/$T2/<T2>/g" -e "s/$T3/<T3>/g" >"$WORK/transcript"
+
+if ! diff "$WORK/transcript" scripts/http_smoke.golden; then
+  echo "cluster smoke: transcript diverged from the single-process golden"
+  exit 1
+fi
+
+# Cluster health on /metrics: both backends up, traffic forwarded,
+# build info stamped.
+"${CURL[@]}" "$BASE/metrics" >"$WORK/metrics"
+UP=$(grep -c '^smartdd_cluster_backend_up{backend="127\.0\.0\.1:[0-9]*"} 1$' "$WORK/metrics" || true)
+FWD=$(awk '$1 == "smartdd_cluster_forwarded_total" {print $2}' "$WORK/metrics")
+if [[ "$UP" -ne 2 || -z "$FWD" || "$FWD" -lt 10 ]]; then
+  echo "cluster smoke: metrics wrong (backends up=$UP forwarded=$FWD)"
+  cat "$WORK/metrics"; exit 1
+fi
+grep -q '^smartdd_build_info{' "$WORK/metrics" || {
+  echo "cluster smoke: smartdd_build_info missing from /metrics"; exit 1; }
+
+# Phase 1 teardown: SIGTERM the router first (it drains its backends).
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || { echo "cluster smoke: phase-1 router died badly"; exit 1; }
+kill -TERM "$S1_PID" "$S2_PID" 2>/dev/null || true
+wait "$S1_PID" 2>/dev/null || true
+wait "$S2_PID" 2>/dev/null || true
+
+# ---------------------------------------------------------------- phase 2
+# Failover: kill a shard-server mid-expansion. The victim backend pins
+# every engine task 2s slow via the fault-injection registry, so the SSE
+# expansion below is guaranteed to still be in flight when kill -9 lands.
+
+# disown: these two die by kill -9 on purpose; keep bash's asynchronous
+# "Killed" job notices out of the CI log.
+SMARTDD_FAULTS='scheduler.task=latency:2000:0' \
+  "$SHARD_BIN" --port=0 --token-seed=0xFA11 >"$WORK/victim.log" 2>&1 &
+VICTIM_PID=$!; PIDS+=("$VICTIM_PID"); disown "$VICTIM_PID"
+"$SHARD_BIN" --port=0 --token-seed=0x5AFE >"$WORK/survivor.log" 2>&1 &
+SURVIVOR_PID=$!; PIDS+=("$SURVIVOR_PID"); disown "$SURVIVOR_PID"
+PV=$(scrape_port "$WORK/victim.log" "$SHARD_PAT")
+PS=$(scrape_port "$WORK/survivor.log" "$SHARD_PAT")
+[[ -n "$PV" && -n "$PS" ]] || { echo "cluster smoke: phase-2 shards did not start"; cat "$WORK"/{victim,survivor}.log; exit 1; }
+
+"$ROUTER_BIN" --backend=127.0.0.1:"$PV" --backend=127.0.0.1:"$PS" --http=0 \
+  >"$WORK/router2.log" 2>&1 &
+ROUTER_PID=$!; PIDS+=("$ROUTER_PID")
+RPORT=$(scrape_port "$WORK/router2.log" "$ROUTER_PAT")
+[[ -n "$RPORT" ]] || { echo "cluster smoke: phase-2 router did not start"; cat "$WORK/router2.log"; exit 1; }
+BASE="http://127.0.0.1:$RPORT"
+
+# The first open lands on the victim (least-loaded, lowest index).
+TV=$(open_session "$BASE")
+[[ -n "$TV" ]] || { echo "cluster smoke: phase-2 open failed"; exit 1; }
+
+# Start a streaming expansion (stalled inside the victim's engine by the
+# latency fault) and kill -9 the victim mid-flight. The client must see a
+# terminal SSE event carrying the UNAVAILABLE wire envelope — never a
+# hang or a truncated stream.
+"${CURL[@]}" -N -X POST --data "$TV 0" "$BASE/v1/expand/stream" >"$WORK/sse" 2>&1 &
+SSE_CURL=$!
+sleep 0.5
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$SSE_CURL" || true
+grep -q '^event: done$' "$WORK/sse" || {
+  echo "cluster smoke: victim stream had no terminal event"; cat "$WORK/sse"; exit 1; }
+grep -q '"code":"UNAVAILABLE"' "$WORK/sse" || {
+  echo "cluster smoke: victim stream did not carry UNAVAILABLE"; cat "$WORK/sse"; exit 1; }
+
+# The router survived and serves new sessions via the survivor. The
+# failed stream already marked the victim down; retry covers the window
+# where the health probe races the next open.
+LIVE=$("${CURL[@]}" -o /dev/null -w '%{http_code}' "$BASE/healthz")
+[[ "$LIVE" == "200" ]] || { echo "cluster smoke: router died with its backend"; exit 1; }
+TS=""
+for _ in $(seq 1 20); do
+  TS=$(open_session "$BASE")
+  [[ -n "$TS" ]] && break
+  sleep 0.25
+done
+[[ -n "$TS" ]] || { echo "cluster smoke: no session after failover"; exit 1; }
+"${CURL[@]}" -X POST --data "$TS 0" "$BASE/v1/expand" | grep -q '"ok":true' || {
+  echo "cluster smoke: expand via survivor failed"; exit 1; }
+
+# /metrics reports the death: victim gauge 0, survivor gauge 1, and at
+# least one failover counted.
+"${CURL[@]}" "$BASE/metrics" >"$WORK/metrics2"
+UPV=$(sed -n "s/^smartdd_cluster_backend_up{backend=\"127\.0\.0\.1:$PV\"} \([0-9]*\)$/\1/p" "$WORK/metrics2")
+UPS=$(sed -n "s/^smartdd_cluster_backend_up{backend=\"127\.0\.0\.1:$PS\"} \([0-9]*\)$/\1/p" "$WORK/metrics2")
+FAILOVERS=$(awk '$1 == "smartdd_cluster_failovers_total" {print $2}' "$WORK/metrics2")
+if [[ "$UPV" != "0" || "$UPS" != "1" || -z "$FAILOVERS" || "$FAILOVERS" -lt 1 ]]; then
+  echo "cluster smoke: failover not reported (victim=$UPV survivor=$UPS failovers=$FAILOVERS)"
+  cat "$WORK/metrics2"; exit 1
+fi
+
+# With every backend gone, requests answer the stable wire code — a clean
+# UNAVAILABLE envelope, never a hang or a malformed response.
+kill -9 "$SURVIVOR_PID" 2>/dev/null || true
+DEAD=$("${CURL[@]}" -X POST --data 'k=3' "$BASE/v1/open")
+echo "$DEAD" | grep -q '"code":"UNAVAILABLE"' || {
+  echo "cluster smoke: expected UNAVAILABLE envelope, got: $DEAD"; exit 1; }
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$ROUTER_PID"
+EXIT=0
+wait "$ROUTER_PID" || EXIT=$?
+if [[ "$EXIT" -ne 0 ]]; then
+  echo "cluster smoke: router exited $EXIT on SIGTERM"; cat "$WORK/router2.log"; exit 1
+fi
+grep -q "shutting down" "$WORK/router2.log" || {
+  echo "cluster smoke: no graceful shutdown message"; cat "$WORK/router2.log"; exit 1; }
+
+echo "cluster smoke: golden transcript matched through the router; mid-expansion kill answered clean UNAVAILABLE and the router survived; graceful shutdown OK"

@@ -26,6 +26,8 @@ const char* ErrorCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "INTERNAL";
 }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -108,6 +109,13 @@ class ExplorationService {
   /// Live sessions across all engines.
   size_t num_sessions() const { return registry_.size(); }
 
+  /// Registered datasets. Zero means opens cannot succeed yet — the
+  /// readiness probe's "loading" signal.
+  size_t num_datasets() const {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    return engines_.size();
+  }
+
  private:
   Response Open(const OpenRequest& request);
   Response Expand(const ExpandRequest& request, ProgressSink* sink);
@@ -125,7 +133,7 @@ class ExplorationService {
 
   /// ServiceOptions::num_shards, resolved at construction.
   size_t default_num_shards_ = 1;
-  std::mutex engines_mu_;
+  mutable std::mutex engines_mu_;
   std::map<std::string, ExplorationEngine*> engines_;
   std::string default_dataset_;
   /// Sharded engines stood up by AddShardedTable. Declared before the

@@ -1,0 +1,89 @@
+#include "api/wire_service.h"
+
+#include <utility>
+
+#include "api/codec.h"
+#include "api/service.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartdd::api {
+
+namespace {
+
+/// ProgressSink façade over a WireObserver: encodes each step/completion
+/// once, here, so every transport sees the same bytes.
+class WireSinkAdapter : public ProgressSink {
+ public:
+  explicit WireSinkAdapter(std::shared_ptr<WireObserver> observer)
+      : observer_(std::move(observer)) {}
+
+  bool OnStep(const NodeView& rule, size_t step, size_t k) override {
+    (void)k;
+    return observer_->OnStepJson(EncodeNode(rule), step);
+  }
+
+  void OnDone(const Response& response) override {
+    observer_->OnDoneWire(ToWireResponse(response));
+  }
+
+ private:
+  std::shared_ptr<WireObserver> observer_;
+};
+
+}  // namespace
+
+WireResponse ToWireResponse(const Response& response) {
+  WireResponse wire;
+  wire.status = response.status;
+  wire.partial = response.partial;
+  wire.has_tree = response.tree.has_value();
+  wire.json = EncodeResponse(response);
+  return wire;
+}
+
+std::string EncodeExpandLine(const ExpandRequest& request) {
+  std::string line = request.star_column.has_value() ? "star " : "expand ";
+  line += FormatToken(request.session);
+  line += StrFormat(" %d", request.node);
+  if (request.star_column.has_value()) {
+    line += StrFormat(" %zu", *request.star_column);
+  }
+  if (request.deadline_ms > 0) {
+    // %.17g round-trips any double through ParseDouble, so the re-encoded
+    // line parses back to the identical budget.
+    line += StrFormat(" deadline_ms=%.17g", request.deadline_ms);
+  }
+  return line;
+}
+
+LocalWireService::LocalWireService(ExplorationService* service)
+    : service_(service) {
+  SMARTDD_CHECK(service_ != nullptr);
+}
+
+WireResponse LocalWireService::ServeWire(std::string_view line) {
+  auto request = ParseRequest(line);
+  if (!request.ok()) {
+    Response response;
+    response.status = request.status();
+    return ToWireResponse(response);
+  }
+  return ToWireResponse(service_->Execute(*request));
+}
+
+Status LocalWireService::SubmitExpandWire(
+    const ExpandRequest& request, std::shared_ptr<WireObserver> observer) {
+  SMARTDD_CHECK(observer != nullptr);
+  return service_->SubmitExpand(request,
+                                std::make_shared<WireSinkAdapter>(
+                                    std::move(observer)));
+}
+
+bool LocalWireService::Ready() const { return service_->num_datasets() > 0; }
+
+std::optional<uint64_t> LocalWireService::last_sweep_age_ms() const {
+  return service_->last_sweep_age_ms();
+}
+
+}  // namespace smartdd::api

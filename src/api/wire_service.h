@@ -1,0 +1,106 @@
+#ifndef SMARTDD_API_WIRE_SERVICE_H_
+#define SMARTDD_API_WIRE_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/dto.h"
+#include "common/status.h"
+
+namespace smartdd::api {
+
+class ExplorationService;
+
+/// A response envelope already rendered to wire bytes, plus the three
+/// envelope facts a transport adapter needs without re-parsing the JSON:
+/// the status, the degraded marker, and whether a tree payload is present
+/// (HTTP maps "partial but carries a tree" to 200). `json` is exactly one
+/// EncodeResponse line — byte-comparable across every implementation.
+struct WireResponse {
+  Status status;
+  bool partial = false;
+  bool has_tree = false;
+  std::string json;
+};
+
+/// Streaming observer with pre-encoded payloads: each greedy step arrives
+/// as one EncodeNode JSON line, the completion as a WireResponse. The
+/// re-entrancy contract matches ProgressSink: OnStepJson runs inside the
+/// session's critical section (push the bytes and return; cancel by
+/// returning false), OnDoneWire runs outside it.
+class WireObserver {
+ public:
+  virtual ~WireObserver() = default;
+  /// Step `step` (0-based) landed. Return false to cancel remaining steps.
+  virtual bool OnStepJson(std::string_view node_json, size_t step) = 0;
+  /// Called exactly once with the final outcome.
+  virtual void OnDoneWire(const WireResponse& response) = 0;
+};
+
+/// The byte-level service seam the HTTP adapter (and any other transport)
+/// programs against: one codec request line in, one rendered envelope out.
+/// Implementations promise byte-identical envelopes for identical request
+/// lines — ExplorationService behind this interface (LocalWireService) and
+/// a cluster router proxying to shard-server processes are
+/// indistinguishable to an adapter, which is the cluster's correctness
+/// contract.
+class WireService {
+ public:
+  virtual ~WireService() = default;
+
+  /// Executes one request line synchronously. Parse defects come back on
+  /// the same channel as INVALID_ARGUMENT envelopes; this never throws and
+  /// never returns malformed JSON.
+  virtual WireResponse ServeWire(std::string_view line) = 0;
+
+  /// Step-streaming expansion. Returns non-OK only when the expansion
+  /// could not be submitted at all (the observer then never hears OnDone);
+  /// once submitted, all outcomes reach the observer.
+  virtual Status SubmitExpandWire(const ExpandRequest& request,
+                                  std::shared_ptr<WireObserver> observer) = 0;
+
+  /// Readiness (not liveness): true once the implementation can actually
+  /// serve opens — engines registered locally, or at least one healthy
+  /// cluster backend.
+  virtual bool Ready() const = 0;
+
+  /// Milliseconds since the last idle-session sweep, when the
+  /// implementation runs one (the /metrics gauge refresh hook).
+  virtual std::optional<uint64_t> last_sweep_age_ms() const {
+    return std::nullopt;
+  }
+};
+
+/// ExplorationService behind the WireService seam. Envelopes are produced
+/// by the exact ParseRequest/Execute/EncodeResponse path ServeLine uses,
+/// so bytes match the canonical surface by construction.
+class LocalWireService : public WireService {
+ public:
+  /// `service` is borrowed and must outlive this object.
+  explicit LocalWireService(ExplorationService* service);
+
+  WireResponse ServeWire(std::string_view line) override;
+  Status SubmitExpandWire(const ExpandRequest& request,
+                          std::shared_ptr<WireObserver> observer) override;
+  bool Ready() const override;
+  std::optional<uint64_t> last_sweep_age_ms() const override;
+
+ private:
+  ExplorationService* const service_;
+};
+
+/// Renders a Response to wire form (shared by every WireService
+/// implementation and by transports that must synthesize an envelope, e.g.
+/// a router answering for a dead backend).
+WireResponse ToWireResponse(const Response& response);
+
+/// Re-renders an ExpandRequest as its canonical codec line ("expand <tok>
+/// <node>" / "star <tok> <node> <col>", with deadline_ms when set) — what
+/// a proxy forwards after local validation.
+std::string EncodeExpandLine(const ExpandRequest& request);
+
+}  // namespace smartdd::api
+
+#endif  // SMARTDD_API_WIRE_SERVICE_H_

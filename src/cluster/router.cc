@@ -1,0 +1,326 @@
+#include "cluster/router.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <variant>
+
+#include "api/codec.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartdd::cluster {
+
+namespace {
+
+/// Pulls the session token out of an open response's envelope (the only
+/// place the router reads response bytes instead of forwarding them).
+std::optional<uint64_t> ExtractToken(std::string_view json) {
+  constexpr std::string_view kKey = "\"session\":\"";
+  size_t pos = json.find(kKey);
+  if (pos == std::string_view::npos) return std::nullopt;
+  pos += kKey.size();
+  size_t end = json.find('"', pos);
+  if (end == std::string_view::npos) return std::nullopt;
+  auto token = api::ParseToken(json.substr(pos, end - pos));
+  if (!token.ok()) return std::nullopt;
+  return *token;
+}
+
+api::WireResponse ErrorEnvelope(Status status) {
+  api::Response response;
+  response.status = std::move(status);
+  return api::ToWireResponse(response);
+}
+
+api::WireResponse FromResult(const rpc::ResultPayload& result) {
+  api::WireResponse wire;
+  // The envelope JSON already carries the coded error; the Status here
+  // only drives the adapter's HTTP mapping, so the code is all it needs.
+  wire.status = result.code == StatusCode::kOk
+                    ? Status::OK()
+                    : Status(result.code, "backend error");
+  wire.partial = result.partial;
+  wire.has_tree = result.has_tree;
+  wire.json = result.json;
+  return wire;
+}
+
+}  // namespace
+
+Router::Router(std::vector<BackendAddress> backends, RouterOptions options)
+    : options_(options),
+      forwarded_total_(MetricsRegistry::Default().GetCounter(
+          "smartdd_cluster_forwarded_total",
+          "Requests the router forwarded to a backend")),
+      failovers_total_(MetricsRegistry::Default().GetCounter(
+          "smartdd_cluster_failovers_total",
+          "Requests answered UNAVAILABLE because their backend's "
+          "connection failed")) {
+  for (auto& address : backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->address = address;
+    rpc::ChannelOptions channel_options;
+    channel_options.host = address.host;
+    channel_options.port = address.port;
+    channel_options.connect_timeout_ms = options_.connect_timeout_ms;
+    backend->channel = std::make_unique<rpc::Channel>(channel_options);
+    backend->up_gauge = &MetricsRegistry::Default().GetGauge(
+        StrFormat("smartdd_cluster_backend_up{backend=\"%s\"}",
+                  backend->channel->target().c_str()),
+        "1 when the router considers this backend healthy, else 0");
+    backend->up_gauge->Set(0);
+    backends_.push_back(std::move(backend));
+  }
+}
+
+Router::~Router() { Shutdown(); }
+
+Status Router::Start() {
+  if (backends_.empty()) {
+    return Status::InvalidArgument("router needs at least one backend");
+  }
+  SMARTDD_CHECK(!started_.exchange(true)) << "Router started twice";
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    Status status = backends_[i]->channel->Connect();
+    MarkHealth(i, status.ok());
+    if (!status.ok()) {
+      SMARTDD_LOG(Warning) << "router: backend " << i << " ("
+                           << backends_[i]->channel->target()
+                           << ") unreachable at startup: "
+                           << status.ToString();
+    }
+  }
+  if (options_.probe_interval_ms > 0) {
+    probe_thread_ = std::thread([this]() { ProbeLoop(); });
+  }
+  return Status::OK();
+}
+
+void Router::Shutdown() {
+  if (!started_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    stop_probe_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  {
+    // Wait for in-flight streaming expansions: their observers hold HTTP
+    // streams that must hear OnDone before the router goes away.
+    std::unique_lock<std::mutex> lock(streams_mu_);
+    draining_ = true;
+    streams_cv_.wait(lock, [this]() { return active_streams_ == 0; });
+  }
+  for (auto& backend : backends_) backend->channel->Close();
+}
+
+bool Router::Ready() const {
+  for (const auto& backend : backends_) {
+    if (backend->healthy.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
+bool Router::backend_healthy(size_t i) const {
+  return i < backends_.size() &&
+         backends_[i]->healthy.load(std::memory_order_acquire);
+}
+
+size_t Router::backend_sessions(size_t i) const {
+  return i < backends_.size()
+             ? backends_[i]->sessions.load(std::memory_order_acquire)
+             : 0;
+}
+
+void Router::MarkHealth(size_t index, bool healthy) {
+  backends_[index]->healthy.store(healthy, std::memory_order_release);
+  backends_[index]->up_gauge->Set(healthy ? 1 : 0);
+}
+
+std::optional<size_t> Router::PickBackendForOpen() {
+  std::optional<size_t> best;
+  size_t best_sessions = 0;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (!backends_[i]->healthy.load(std::memory_order_acquire)) continue;
+    size_t sessions = backends_[i]->sessions.load(std::memory_order_acquire);
+    if (!best.has_value() || sessions < best_sessions) {
+      best = i;
+      best_sessions = sessions;
+    }
+  }
+  return best;
+}
+
+std::optional<size_t> Router::RouteFor(uint64_t token) {
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = routes_.find(token);
+    if (it != routes_.end()) return it->second;
+  }
+  // Unknown token: any backend's registry answers the canonical NOT_FOUND,
+  // so route to the first healthy one.
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i]->healthy.load(std::memory_order_acquire)) return i;
+  }
+  return std::nullopt;
+}
+
+api::WireResponse Router::Forward(size_t index, std::string_view line,
+                                  const Deadline& deadline) {
+  forwarded_total_.Inc();
+  auto result = backends_[index]->channel->Call(line, deadline);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kUnavailable) {
+      MarkHealth(index, false);
+      failovers_total_.Inc();
+    }
+    return ErrorEnvelope(result.status());
+  }
+  MarkHealth(index, true);
+  return FromResult(*result);
+}
+
+api::WireResponse Router::ServeWire(std::string_view line) {
+  auto request = api::ParseRequest(line);
+  if (!request.ok()) {
+    // Parse defects never reach a backend: the codec is shared code and
+    // its error envelope is byte-identical wherever it is produced.
+    return ErrorEnvelope(request.status());
+  }
+
+  // open: place the session on the least-loaded healthy backend and learn
+  // the token it minted.
+  if (std::holds_alternative<api::OpenRequest>(*request)) {
+    auto index = PickBackendForOpen();
+    if (!index.has_value()) {
+      return ErrorEnvelope(Status::Unavailable("no healthy backend"));
+    }
+    api::WireResponse wire = Forward(*index, line);
+    if (wire.status.ok()) {
+      if (auto token = ExtractToken(wire.json)) {
+        {
+          std::lock_guard<std::mutex> lock(routes_mu_);
+          routes_[*token] = *index;
+        }
+        backends_[*index]->sessions.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    return wire;
+  }
+
+  // ping: liveness through the cluster — first healthy backend answers.
+  if (std::holds_alternative<api::PingRequest>(*request)) {
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (backends_[i]->healthy.load(std::memory_order_acquire)) {
+        return Forward(i, line);
+      }
+    }
+    return ErrorEnvelope(Status::Unavailable("no healthy backend"));
+  }
+
+  // Everything else addresses a session token.
+  uint64_t token = std::visit(
+      [](const auto& req) -> uint64_t {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, api::OpenRequest> ||
+                      std::is_same_v<T, api::PingRequest>) {
+          return 0;  // unreachable; handled above
+        } else {
+          return req.session;
+        }
+      },
+      *request);
+  auto index = RouteFor(token);
+  if (!index.has_value()) {
+    return ErrorEnvelope(Status::Unavailable("no healthy backend"));
+  }
+  api::WireResponse wire = Forward(*index, line);
+  if (wire.status.ok() &&
+      std::holds_alternative<api::CloseRequest>(*request)) {
+    // The route entry survives (so the token still answers NOT_FOUND from
+    // its own backend), but the load accounting drops.
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    if (routes_.count(token) != 0) {
+      auto& sessions = backends_[*index]->sessions;
+      size_t current = sessions.load(std::memory_order_acquire);
+      while (current > 0 && !sessions.compare_exchange_weak(
+                                current, current - 1,
+                                std::memory_order_acq_rel)) {
+      }
+    }
+  }
+  return wire;
+}
+
+Status Router::SubmitExpandWire(const api::ExpandRequest& request,
+                                std::shared_ptr<api::WireObserver> observer) {
+  SMARTDD_CHECK(observer != nullptr);
+  auto index = RouteFor(request.session);
+  if (!index.has_value()) {
+    return Status::Unavailable("no healthy backend");
+  }
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    if (draining_) return Status::Unavailable("router is draining");
+    ++active_streams_;
+  }
+  // Each streaming expansion rides its own thread so this returns
+  // immediately, mirroring the local service's async submit. The thread
+  // blocks in CallStream; a dead backend fails it promptly (the channel's
+  // reader dies), and Shutdown waits for the count to reach zero.
+  std::string line = api::EncodeExpandLine(request);
+  std::thread([this, index = *index, line = std::move(line), observer]() {
+    auto on_step = [&observer](const rpc::StreamPayload& step) {
+      return observer->OnStepJson(step.json, step.seq);
+    };
+    auto result =
+        backends_[index]->channel->CallStream(line, Deadline(), on_step);
+    forwarded_total_.Inc();
+    api::WireResponse wire;
+    if (result.ok()) {
+      MarkHealth(index, true);
+      wire = FromResult(*result);
+    } else {
+      if (result.status().code() == StatusCode::kUnavailable) {
+        MarkHealth(index, false);
+        failovers_total_.Inc();
+      }
+      wire = ErrorEnvelope(result.status());
+    }
+    observer->OnDoneWire(wire);
+    {
+      // Notify under the lock: this thread is detached, so the waiter in
+      // Shutdown may destroy the condvar the instant it can re-acquire the
+      // mutex and see the count hit zero — notifying after unlocking would
+      // touch a dead condvar.
+      std::lock_guard<std::mutex> lock(streams_mu_);
+      --active_streams_;
+      streams_cv_.notify_all();
+    }
+  }).detach();
+  return Status::OK();
+}
+
+void Router::ProbeNow() {
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    auto result = backends_[i]->channel->Call(
+        "ping", Deadline::AfterMillis(options_.probe_timeout_ms));
+    MarkHealth(i, result.ok());
+  }
+}
+
+void Router::ProbeLoop() {
+  std::unique_lock<std::mutex> lock(probe_mu_);
+  while (!stop_probe_) {
+    probe_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.probe_interval_ms),
+                       [this]() { return stop_probe_; });
+    if (stop_probe_) break;
+    lock.unlock();
+    ProbeNow();
+    lock.lock();
+  }
+}
+
+}  // namespace smartdd::cluster

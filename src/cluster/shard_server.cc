@@ -1,0 +1,85 @@
+#include "cluster/shard_server.h"
+
+#include <utility>
+#include <variant>
+
+#include "api/codec.h"
+#include "common/logging.h"
+
+namespace smartdd::cluster {
+
+namespace {
+
+rpc::ResultPayload ToResult(const api::WireResponse& wire) {
+  rpc::ResultPayload result;
+  result.code = wire.status.code();
+  result.partial = wire.partial;
+  result.has_tree = wire.has_tree;
+  result.json = wire.json;
+  return result;
+}
+
+/// Bridges a streaming expansion onto the RPC connection: each step rides
+/// a STREAM frame, the completion a RESULT. Returning false from a failed
+/// Stream (peer cancelled or died) cancels the engine's remaining steps.
+class RpcExpandObserver : public api::WireObserver {
+ public:
+  explicit RpcExpandObserver(std::shared_ptr<rpc::Responder> responder)
+      : responder_(std::move(responder)) {}
+
+  bool OnStepJson(std::string_view node_json, size_t step) override {
+    (void)step;  // STREAM seq numbers are assigned by the responder
+    return responder_->Stream(node_json);
+  }
+
+  void OnDoneWire(const api::WireResponse& response) override {
+    responder_->Finish(ToResult(response));
+  }
+
+ private:
+  std::shared_ptr<rpc::Responder> responder_;
+};
+
+}  // namespace
+
+ShardServer::ShardServer(api::WireService* wire, rpc::ServerOptions options)
+    : wire_(wire),
+      server_([this](const std::shared_ptr<rpc::Responder>& r) {
+                HandleCall(r);
+              },
+              std::move(options)) {
+  SMARTDD_CHECK(wire_ != nullptr);
+}
+
+void ShardServer::HandleCall(
+    const std::shared_ptr<rpc::Responder>& responder) {
+  if (!responder->wants_stream()) {
+    responder->Finish(ToResult(wire_->ServeWire(responder->line())));
+    return;
+  }
+
+  // Streamed calls must be expansions; validate locally so the error
+  // envelope is the codec's own.
+  auto parsed = api::ParseRequest(responder->line());
+  const api::ExpandRequest* expand =
+      parsed.ok() ? std::get_if<api::ExpandRequest>(&*parsed) : nullptr;
+  if (expand == nullptr) {
+    api::Response response;
+    response.status = parsed.ok() ? Status::InvalidArgument(
+                                        "stream requires an expand request")
+                                  : parsed.status();
+    responder->Finish(ToResult(api::ToWireResponse(response)));
+    return;
+  }
+  auto observer = std::make_shared<RpcExpandObserver>(responder);
+  Status submitted = wire_->SubmitExpandWire(*expand, observer);
+  if (!submitted.ok()) {
+    // The observer will never hear OnDone; answer here with the same
+    // envelope shape.
+    api::Response response;
+    response.status = submitted;
+    responder->Finish(ToResult(api::ToWireResponse(response)));
+  }
+}
+
+}  // namespace smartdd::cluster

@@ -35,6 +35,10 @@ namespace smartdd {
 ///   scheduler.task         TaskScheduler, before each task body
 ///   sample_handler.create  SampleHandler, before each Create pass
 ///   http.dispatch          HTTP adapter, before routing a request
+///   rpc.server.dispatch    RPC server, before invoking a call handler
+///   rpc.client.send        RPC channel, before writing a CALL frame
+///   rpc.client.recv        RPC channel reader loop (kills the connection,
+///                          exactly like a peer crash)
 class FaultRegistry {
  public:
   /// Process-wide instance. First call arms points from $SMARTDD_FAULTS.

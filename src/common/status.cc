@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

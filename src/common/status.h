@@ -19,6 +19,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDeadlineExceeded,
+  /// A required peer (a cluster backend, a dead connection) cannot serve the
+  /// request right now; retrying later or elsewhere may succeed.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -58,6 +61,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "api/codec.h"
+#include "common/build_info.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 
@@ -31,6 +32,16 @@ HttpResponse CodecError(Status status) {
   return JsonResponse(http, api::EncodeResponse(response));
 }
 
+HttpResponse WireHttpResponse(const api::WireResponse& wire) {
+  int http = HttpStatusFor(wire.status);
+  // Degraded-but-usable beats failed: a deadline-exceeded expansion that
+  // still carries a partial tree ships as 200 (the body's error code and
+  // "partial":true marker tell the story); a 504 is reserved for blown
+  // deadlines with nothing to show.
+  if (wire.partial && wire.has_tree) http = 200;
+  return JsonResponse(http, wire.json);
+}
+
 /// One SSE event: `event: <type>` + a single `data:` line (codec responses
 /// are newline-free by contract).
 std::string SseEvent(std::string_view type, std::string_view data) {
@@ -47,24 +58,23 @@ std::string SseEvent(std::string_view type, std::string_view data) {
 /// have returned. Write() returning false (slow client past the buffer
 /// cap, or a vanished connection) cancels the remaining steps — the engine
 /// worker moves on instead of blocking.
-class SseSink : public api::ProgressSink {
+class SseSink : public api::WireObserver {
  public:
   explicit SseSink(std::shared_ptr<StreamWriter> stream)
       : stream_(std::move(stream)) {}
 
-  bool OnStep(const api::NodeView& rule, size_t step, size_t k) override {
-    (void)k;
+  bool OnStepJson(std::string_view node_json, size_t step) override {
     std::string id = StrFormat("id: %zu\n", step);
-    return stream_->Write(id + SseEvent("step", api::EncodeNode(rule)));
+    return stream_->Write(id + SseEvent("step", node_json));
   }
 
-  void OnDone(const api::Response& response) override {
+  void OnDoneWire(const api::WireResponse& response) override {
     // A deadline-degraded expansion terminates with `degraded` instead of
     // `done`: the data line still carries the full envelope (error code +
     // partial tree), but the event name lets a client switch on the
     // outcome without parsing the body.
-    stream_->Write(SseEvent(response.partial ? "degraded" : "done",
-                            api::EncodeResponse(response)));
+    stream_->Write(
+        SseEvent(response.partial ? "degraded" : "done", response.json));
     stream_->End();
   }
 
@@ -99,6 +109,15 @@ std::string QueryParam(std::string_view query, std::string_view name) {
   return std::string();
 }
 
+HttpResponse ProbeResponse(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = std::move(body);
+  if (status == 503) r.extra_headers.emplace_back("Retry-After", "1");
+  return r;
+}
+
 }  // namespace
 
 int HttpStatusFor(const Status& status) {
@@ -111,6 +130,7 @@ int HttpStatusFor(const Status& status) {
     case StatusCode::kNotFound:
       return 404;
     case StatusCode::kCapacityExceeded:
+    case StatusCode::kUnavailable:
       return 503;
     case StatusCode::kUnimplemented:
       return 501;
@@ -123,9 +143,18 @@ int HttpStatusFor(const Status& status) {
   return 500;
 }
 
+ExplorationHttpAdapter::ExplorationHttpAdapter(api::WireService* wire)
+    : wire_(wire) {
+  SMARTDD_CHECK(wire_ != nullptr);
+  // Any process serving /metrics identifies its build (version, revision,
+  // resolved scan-kernel path) — how mixed cluster deployments are spotted.
+  RegisterBuildInfoMetric();
+}
+
 ExplorationHttpAdapter::ExplorationHttpAdapter(api::ExplorationService* service)
-    : service_(service) {
-  SMARTDD_CHECK(service_ != nullptr);
+    : owned_wire_(std::make_unique<api::LocalWireService>(service)),
+      wire_(owned_wire_.get()) {
+  RegisterBuildInfoMetric();
 }
 
 HttpHandler ExplorationHttpAdapter::AsHandler() {
@@ -142,16 +171,7 @@ HttpResponse ExplorationHttpAdapter::ServeCodecLine(std::string_view verb,
     line += ' ';
     line += body;
   }
-  auto request = api::ParseRequest(line);
-  if (!request.ok()) return CodecError(request.status());
-  api::Response response = service_->Execute(*request);
-  int http = HttpStatusFor(response.status);
-  // Degraded-but-usable beats failed: a deadline-exceeded expansion that
-  // still carries a partial tree ships as 200 (the body's error code and
-  // "partial":true marker tell the story); a 504 is reserved for blown
-  // deadlines with nothing to show.
-  if (response.partial && response.tree) http = 200;
-  return JsonResponse(http, api::EncodeResponse(response));
+  return WireHttpResponse(wire_->ServeWire(line));
 }
 
 HttpResponse ExplorationHttpAdapter::ServeExpandStream(
@@ -200,13 +220,13 @@ HttpResponse ExplorationHttpAdapter::ServeExpandStream(
     return CodecError(Status::Internal("client disconnected"));
   }
   auto sink = std::make_shared<SseSink>(stream);
-  Status submitted = service_->SubmitExpand(*expand, sink);
+  Status submitted = wire_->SubmitExpandWire(*expand, sink);
   if (!submitted.ok()) {
     // The sink will never hear OnDone; finish the stream ourselves with
     // the same envelope shape.
     api::Response response;
     response.status = submitted;
-    sink->OnDone(response);
+    sink->OnDoneWire(api::ToWireResponse(response));
   }
   return HttpResponse::Streaming();
 }
@@ -223,20 +243,36 @@ HttpResponse ExplorationHttpAdapter::Handle(
   }
 
   if (path == "/healthz") {
+    // Liveness only: the process is up and answering. Rotation decisions
+    // belong to /readyz.
     if (request.method != "GET") {
       return JsonResponse(405, "{\"ok\":false,\"error\":{\"code\":"
                                "\"INVALID_ARGUMENT\",\"message\":\"GET "
                                "only\"}}");
     }
-    HttpResponse r;
-    r.content_type = "text/plain; charset=utf-8";
-    r.body = "ok\n";
-    return r;
+    return ProbeResponse(200, "ok\n");
+  }
+  if (path == "/readyz") {
+    if (request.method != "GET") {
+      return JsonResponse(405, "{\"ok\":false,\"error\":{\"code\":"
+                               "\"INVALID_ARGUMENT\",\"message\":\"GET "
+                               "only\"}}");
+    }
+    // Readiness: unready while the transport is draining (shutdown in
+    // progress) or before the service behind the seam can actually serve
+    // opens (engines still loading, no healthy cluster backend).
+    if (readiness_probe_ && !readiness_probe_()) {
+      return ProbeResponse(503, "draining\n");
+    }
+    if (!wire_->Ready()) {
+      return ProbeResponse(503, "loading\n");
+    }
+    return ProbeResponse(200, "ready\n");
   }
   if (path == "/metrics") {
     // Scrape-time gauge: sweep age is a derived "how stale" reading, so it
     // is refreshed when observed rather than on every sweep.
-    if (auto age = service_->last_sweep_age_ms()) {
+    if (auto age = wire_->last_sweep_age_ms()) {
       MetricsRegistry::Default()
           .GetGauge("smartdd_sessions_last_sweep_age_ms",
                     "Milliseconds since the registry's last idle sweep")
@@ -260,7 +296,7 @@ HttpResponse ExplorationHttpAdapter::Handle(
         "  POST /v1/exact         <session>\n"
         "  POST /v1/close         <session>\n"
         "  GET|POST /v1/expand/stream   SSE greedy steps\n"
-        "  GET /healthz  GET /metrics\n";
+        "  GET /healthz  GET /readyz  GET /metrics\n";
     return r;
   }
 

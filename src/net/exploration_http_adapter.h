@@ -1,21 +1,25 @@
 #ifndef SMARTDD_NET_EXPLORATION_HTTP_ADAPTER_H_
 #define SMARTDD_NET_EXPLORATION_HTTP_ADAPTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "api/service.h"
+#include "api/wire_service.h"
 #include "net/http_server.h"
 
 namespace smartdd::net {
 
 /// The HTTP face of smart drill-down: a thin adapter mapping routes onto
-/// the transport-agnostic api::ExplorationService. Request bodies are
-/// api/codec argument lines (the verb comes from the path), responses are
-/// the codec's one-line JSON envelopes — so the HTTP surface is
-/// byte-identical to the scripted wire protocol and inherits its parser
-/// hardening.
+/// the byte-level api::WireService seam. Request bodies are api/codec
+/// argument lines (the verb comes from the path), responses are the
+/// codec's one-line JSON envelopes — so the HTTP surface is byte-identical
+/// to the scripted wire protocol and inherits its parser hardening.
+/// Because the adapter only sees rendered envelopes, a single-process
+/// ExplorationService and a cluster router proxying shard-server
+/// processes serve byte-identical HTTP responses.
 ///
 /// Routes:
 ///   POST /v1/open           body: open arguments (k=3 dataset=... ...)
@@ -30,22 +34,40 @@ namespace smartdd::net {
 ///        rule as it lands, then one `done` event with the full response.
 ///        POST body: <session> <node> [<column>]; GET query:
 ///        session=<token>&node=<id>[&column=<c>]. Rides
-///        ExplorationService::SubmitExpand — the expansion runs on the
+///        WireService::SubmitExpandWire — the expansion runs on the
 ///        engine's fair scheduler and a slow client cancels it via stream
 ///        backpressure instead of blocking an engine worker.
-///   GET /healthz            liveness probe
+///   GET /healthz            liveness probe: 200 while the process serves
+///   GET /readyz             readiness probe: 503 before engines/backends
+///        are available or while the server is draining, 200 otherwise —
+///        the signal a load balancer keys rotation on
 ///   GET /metrics            Prometheus text format (common/metrics)
 ///   GET /                   human-readable endpoint index
 ///
 /// HTTP status codes mirror the wire Status codes (400 InvalidArgument /
-/// OutOfRange, 404 NotFound, 503 CapacityExceeded, 501 Unimplemented,
-/// 500 IOError/Internal); the JSON body always carries the stable wire
-/// error code, so thin clients may ignore HTTP-level status entirely.
+/// OutOfRange, 404 NotFound, 503 CapacityExceeded/Unavailable, 501
+/// Unimplemented, 500 IOError/Internal, 504 DeadlineExceeded); the JSON
+/// body always carries the stable wire error code, so thin clients may
+/// ignore HTTP-level status entirely.
 ///
-/// The service (and its engines) must outlive the adapter and the server.
+/// The wire service (and whatever is behind it) must outlive the adapter
+/// and the server.
 class ExplorationHttpAdapter {
  public:
+  /// Serves `wire` — a LocalWireService, a cluster router, anything
+  /// honoring the seam.
+  explicit ExplorationHttpAdapter(api::WireService* wire);
+
+  /// Convenience for the single-process deployment: wraps `service` in an
+  /// internally owned LocalWireService.
   explicit ExplorationHttpAdapter(api::ExplorationService* service);
+
+  /// Attaches the transport's half of the readiness signal (typically
+  /// "the HttpServer is not draining"). /readyz answers 503 whenever the
+  /// probe says false, regardless of engine state.
+  void SetReadinessProbe(std::function<bool()> probe) {
+    readiness_probe_ = std::move(probe);
+  }
 
   /// Binds this adapter as an HttpServer handler.
   HttpHandler AsHandler();
@@ -60,7 +82,10 @@ class ExplorationHttpAdapter {
   HttpResponse ServeExpandStream(const HttpRequest& request,
                                  const std::shared_ptr<StreamWriter>& stream);
 
-  api::ExplorationService* service_;
+  /// Set when constructed from an ExplorationService; wire_ points at it.
+  std::unique_ptr<api::LocalWireService> owned_wire_;
+  api::WireService* wire_;
+  std::function<bool()> readiness_probe_;
 };
 
 /// Maps a wire Status code onto the HTTP status the adapter answers with.

@@ -162,6 +162,11 @@ class HttpServer {
   /// True between successful Start() and Shutdown().
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// True once Shutdown() began draining (the readiness probe's "stop
+  /// sending me traffic" signal; liveness stays true until the process
+  /// exits).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   /// Live accepted connections (for tests).
   size_t open_connections() const;
 

@@ -1,0 +1,126 @@
+#ifndef SMARTDD_RPC_CHANNEL_H_
+#define SMARTDD_RPC_CHANNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "rpc/frame.h"
+
+namespace smartdd::rpc {
+
+struct ChannelOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Dial + handshake budget for each (re)connect attempt.
+  double connect_timeout_ms = 2000;
+};
+
+/// Per-step callback for streaming calls. Runs on the channel's reader
+/// thread, in seq order; return false to cancel the remaining steps (a
+/// CANCEL frame goes out and the call still completes with its RESULT).
+using StreamCallback = std::function<bool(const StreamPayload&)>;
+
+/// A multiplexing client for rpc::Server: one TCP connection, any number of
+/// concurrent calls from any number of threads, matched to responses by
+/// call id on a single reader thread. A dead connection fails every
+/// in-flight call with Unavailable and is re-dialed lazily by the next
+/// call, so a restarted backend heals without external coordination.
+/// Instrumented via common/metrics (smartdd_rpc_client_*). Fault points:
+/// `rpc.client.send` fires before each call is written, `rpc.client.recv`
+/// in the reader loop (an armed error kills the connection, exactly like a
+/// peer crash).
+class Channel {
+ public:
+  explicit Channel(ChannelOptions options);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Dials and handshakes if not connected. Unary and streaming calls do
+  /// this lazily; an explicit Connect() is for fail-fast startup checks.
+  Status Connect();
+
+  /// True while a handshaken connection is up (a dead peer flips this the
+  /// moment the reader notices).
+  bool connected() const;
+
+  /// "host:port", for logs and error messages.
+  const std::string& target() const { return target_; }
+
+  /// One codec line in, one RESULT out. The deadline bounds the whole
+  /// exchange; its remaining budget also rides the CALL frame so the
+  /// server re-arms it. Transport failures (dead/unreachable peer) come
+  /// back as Unavailable; a deadline that fires while waiting sends CANCEL
+  /// and returns DeadlineExceeded. Application-level errors are NOT errors
+  /// here: they arrive as a RESULT whose payload carries the coded
+  /// envelope.
+  Result<ResultPayload> Call(std::string_view line,
+                             const Deadline& deadline = {});
+
+  /// Like Call, but asks the server for STREAM frames and feeds each to
+  /// `on_step` (reader thread) before the RESULT completes the call.
+  Result<ResultPayload> CallStream(std::string_view line,
+                                   const Deadline& deadline,
+                                   StreamCallback on_step);
+
+  /// Drops the connection (in-flight calls fail with Unavailable).
+  /// Idempotent; the next call re-dials.
+  void Close();
+
+ private:
+  struct PendingCall {
+    std::string result_bytes;  ///< encoded RESULT payload once done
+    Status transport = Status::OK();
+    bool done = false;
+    bool cancelled = false;  ///< on_step said stop; drop later steps
+    StreamCallback on_step;
+  };
+
+  /// Dials + handshakes; requires state_mu_ held and no live connection.
+  Status ConnectLocked();
+  /// Reaps a finished reader thread; requires state_mu_ held.
+  void ReapReaderLocked();
+  /// Fails every pending call; requires state_mu_ held.
+  void FailPendingLocked(const Status& status);
+  void ReaderLoop(int fd);
+  Result<ResultPayload> DoCall(std::string_view line, const Deadline& deadline,
+                               StreamCallback on_step);
+  /// Serialized socket write; false on a send failure (connection is dead).
+  bool SendBytes(const std::string& bytes);
+  void SendCancel(uint64_t call_id);
+
+  const ChannelOptions options_;
+  const std::string target_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  bool connected_once_ = false;  ///< distinguishes dials from re-dials
+  bool reader_done_ = false;     ///< reader exited; thread awaits join
+  bool goaway_ = false;          ///< peer is draining; new calls must re-dial
+  std::thread reader_;
+  uint64_t next_call_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+
+  std::mutex send_mu_;
+
+  Counter& calls_total_;
+  Counter& errors_total_;
+  Counter& reconnects_total_;
+  Histogram& call_seconds_;
+};
+
+}  // namespace smartdd::rpc
+
+#endif  // SMARTDD_RPC_CHANNEL_H_

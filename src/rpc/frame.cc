@@ -1,0 +1,209 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartdd::rpc {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'D', 'R', 'P'};
+
+void AppendU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendF64(std::string& out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+uint16_t ReadU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                               (static_cast<uint8_t>(p[1]) << 8));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+double ReadF64(const char* p) {
+  uint64_t bits = ReadU64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool ValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kCall) &&
+         t <= static_cast<uint8_t>(FrameType::kGoAway);
+}
+
+}  // namespace
+
+std::string EncodeHandshake(uint16_t version) {
+  std::string out;
+  out.reserve(kHandshakeBytes);
+  out.append(kMagic, sizeof(kMagic));
+  AppendU16(out, version);
+  AppendU16(out, 0);  // reserved
+  return out;
+}
+
+Result<uint16_t> DecodeHandshake(std::string_view bytes) {
+  if (bytes.size() < kHandshakeBytes) {
+    return Status::InvalidArgument(
+        StrFormat("handshake needs %zu bytes, got %zu", kHandshakeBytes,
+                  bytes.size()));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad handshake magic (not an SDRP peer)");
+  }
+  uint16_t version = ReadU16(bytes.data() + 4);
+  if (version == 0 || version > kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported protocol version %u (this build speaks <= %u)",
+                  unsigned{version}, unsigned{kProtocolVersion}));
+  }
+  return version;
+}
+
+void AppendFrame(std::string& out, FrameType type, uint64_t call_id,
+                 std::string_view payload) {
+  SMARTDD_CHECK(payload.size() <= kMaxFramePayload);
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(type));
+  AppendU64(out, call_id);
+  out.append(payload);
+}
+
+DecodeState DecodeFrame(std::string_view buf, Frame* frame, size_t* consumed,
+                        std::string* error) {
+  *consumed = 0;
+  if (buf.size() < kFrameHeaderBytes) return DecodeState::kNeedMore;
+  uint32_t len = ReadU32(buf.data());
+  uint8_t type = static_cast<uint8_t>(buf[4]);
+  if (len > kMaxFramePayload) {
+    if (error != nullptr) {
+      *error = StrFormat("frame payload of %u bytes exceeds the %zu cap",
+                         unsigned{len}, kMaxFramePayload);
+    }
+    return DecodeState::kError;
+  }
+  if (!ValidFrameType(type)) {
+    if (error != nullptr) {
+      *error = StrFormat("unknown frame type %u", unsigned{type});
+    }
+    return DecodeState::kError;
+  }
+  if (buf.size() < kFrameHeaderBytes + len) return DecodeState::kNeedMore;
+  frame->type = static_cast<FrameType>(type);
+  frame->call_id = ReadU64(buf.data() + 5);
+  frame->payload.assign(buf.data() + kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  return DecodeState::kFrame;
+}
+
+std::string EncodeCallPayload(const CallPayload& call) {
+  std::string out;
+  out.reserve(1 + 8 + call.line.size());
+  out.push_back(static_cast<char>(call.wants_stream ? 1 : 0));
+  AppendF64(out, call.deadline_ms);
+  out.append(call.line);
+  return out;
+}
+
+Result<CallPayload> DecodeCallPayload(std::string_view payload) {
+  if (payload.size() < 9) {
+    return Status::InvalidArgument("CALL payload truncated");
+  }
+  CallPayload call;
+  uint8_t flags = static_cast<uint8_t>(payload[0]);
+  if ((flags & ~uint8_t{1}) != 0) {
+    return Status::InvalidArgument("CALL payload has unknown flag bits");
+  }
+  call.wants_stream = (flags & 1) != 0;
+  call.deadline_ms = ReadF64(payload.data() + 1);
+  if (!(call.deadline_ms >= 0)) {  // also rejects NaN
+    return Status::InvalidArgument("CALL deadline must be >= 0");
+  }
+  call.line.assign(payload.substr(9));
+  return call;
+}
+
+std::string EncodeResultPayload(const ResultPayload& result) {
+  std::string out;
+  out.reserve(2 + result.json.size());
+  out.push_back(static_cast<char>(result.code));
+  uint8_t flags = (result.partial ? 1 : 0) | (result.has_tree ? 2 : 0);
+  out.push_back(static_cast<char>(flags));
+  out.append(result.json);
+  return out;
+}
+
+Result<ResultPayload> DecodeResultPayload(std::string_view payload) {
+  if (payload.size() < 2) {
+    return Status::InvalidArgument("RESULT payload truncated");
+  }
+  uint8_t code = static_cast<uint8_t>(payload[0]);
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument(
+        StrFormat("RESULT carries unknown status code %u", unsigned{code}));
+  }
+  uint8_t flags = static_cast<uint8_t>(payload[1]);
+  if ((flags & ~uint8_t{3}) != 0) {
+    return Status::InvalidArgument("RESULT payload has unknown flag bits");
+  }
+  ResultPayload result;
+  result.code = static_cast<StatusCode>(code);
+  result.partial = (flags & 1) != 0;
+  result.has_tree = (flags & 2) != 0;
+  result.json.assign(payload.substr(2));
+  return result;
+}
+
+std::string EncodeStreamPayload(const StreamPayload& step) {
+  std::string out;
+  out.reserve(4 + step.json.size());
+  AppendU32(out, step.seq);
+  out.append(step.json);
+  return out;
+}
+
+Result<StreamPayload> DecodeStreamPayload(std::string_view payload) {
+  if (payload.size() < 4) {
+    return Status::InvalidArgument("STREAM payload truncated");
+  }
+  StreamPayload step;
+  step.seq = ReadU32(payload.data());
+  step.json.assign(payload.substr(4));
+  return step;
+}
+
+}  // namespace smartdd::rpc

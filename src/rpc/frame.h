@@ -1,0 +1,120 @@
+#ifndef SMARTDD_RPC_FRAME_H_
+#define SMARTDD_RPC_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace smartdd::rpc {
+
+/// The cluster's wire format: a compact length-prefixed binary framing for
+/// carrying the api/codec byte protocol between the front router and the
+/// shard-server processes. The payload of a call is literally a codec
+/// request line and the payload of a result is literally the codec's JSON
+/// response line — the golden-tested text protocol stays the canonical
+/// surface, and this layer only adds what a multi-process deployment needs:
+/// version negotiation, call multiplexing, deadline propagation, streaming,
+/// and cancellation.
+///
+/// Connection preamble (both directions, client first):
+///
+///   +----+----+----+----+----------+----------+
+///   | 'S'| 'D'| 'R'| 'P'| u16 ver  | u16 rsvd |
+///   +----+----+----+----+----------+----------+
+///
+/// Frame grammar (all integers little-endian):
+///
+///   +-------------+---------+--------------+----------------------+
+///   | u32 len     | u8 type | u64 call_id  | payload (len bytes)  |
+///   +-------------+---------+--------------+----------------------+
+///
+///   CALL    payload = u8 flags (bit0: wants stream) |
+///                     f64 deadline_ms (0 = none)    | request line bytes
+///   RESULT  payload = u8 status code | u8 flags (bit0: partial,
+///                     bit1: has-tree) | response JSON bytes
+///   STREAM  payload = u32 seq | step JSON bytes  (one greedy BRS step)
+///   CANCEL  payload = empty   (client stops caring about call_id)
+///   GOAWAY  payload = reason bytes (server is draining; finish and leave)
+///
+/// A RESULT terminates its call_id; STREAM frames (0..n, ordered by seq)
+/// may precede it. Payloads are capped at kMaxFramePayload so a hostile or
+/// corrupted peer cannot make a receiver buffer without bound.
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kHandshakeBytes = 8;
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8;
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kCall = 1,
+  kResult = 2,
+  kStream = 3,
+  kCancel = 4,
+  kGoAway = 5,
+};
+
+struct Frame {
+  FrameType type = FrameType::kCall;
+  uint64_t call_id = 0;
+  std::string payload;
+};
+
+/// The 8-byte connection preamble for `version`.
+std::string EncodeHandshake(uint16_t version = kProtocolVersion);
+
+/// Validates a peer's preamble; returns its protocol version. Bad magic or
+/// a version this build cannot speak is InvalidArgument (the connection
+/// must be closed — nothing after a failed handshake is trustworthy).
+Result<uint16_t> DecodeHandshake(std::string_view bytes);
+
+/// Appends one encoded frame to `out`. `payload` must fit kMaxFramePayload.
+void AppendFrame(std::string& out, FrameType type, uint64_t call_id,
+                 std::string_view payload);
+
+/// Incremental frame extraction from the front of a receive buffer.
+enum class DecodeState {
+  kFrame,     ///< *frame is filled, *consumed bytes belong to it
+  kNeedMore,  ///< the buffer holds a frame prefix; read more bytes
+  kError,     ///< malformed (bad type, oversized payload); close the peer
+};
+DecodeState DecodeFrame(std::string_view buf, Frame* frame, size_t* consumed,
+                        std::string* error);
+
+/// CALL payload: the codec request line plus what the transport must know
+/// without parsing it — whether the caller wants STREAM frames, and how
+/// much of the client's deadline budget remains (re-armed server-side, so
+/// the budget spans the process boundary).
+struct CallPayload {
+  bool wants_stream = false;
+  double deadline_ms = 0;  ///< 0 = no deadline
+  std::string line;
+};
+std::string EncodeCallPayload(const CallPayload& call);
+Result<CallPayload> DecodeCallPayload(std::string_view payload);
+
+/// RESULT payload: the codec JSON response line plus the envelope facts an
+/// adapter needs without parsing JSON — the wire status code, the degraded
+/// marker, and whether a tree payload is attached (HTTP maps
+/// partial-with-tree to 200; SSE names its final event by `partial`).
+struct ResultPayload {
+  StatusCode code = StatusCode::kOk;
+  bool partial = false;
+  bool has_tree = false;
+  std::string json;
+};
+std::string EncodeResultPayload(const ResultPayload& result);
+Result<ResultPayload> DecodeResultPayload(std::string_view payload);
+
+/// STREAM payload: one pre-encoded greedy-step JSON object, sequenced.
+struct StreamPayload {
+  uint32_t seq = 0;
+  std::string json;
+};
+std::string EncodeStreamPayload(const StreamPayload& step);
+Result<StreamPayload> DecodeStreamPayload(std::string_view payload);
+
+}  // namespace smartdd::rpc
+
+#endif  // SMARTDD_RPC_FRAME_H_

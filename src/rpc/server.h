@@ -1,0 +1,198 @@
+#ifndef SMARTDD_RPC_SERVER_H_
+#define SMARTDD_RPC_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "rpc/frame.h"
+
+namespace smartdd::rpc {
+
+struct RpcServerCore;
+struct RpcConn;
+
+struct ServerOptions {
+  /// Address/port to listen on; port 0 binds an ephemeral port (read it
+  /// back from Server::port() after Start()).
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+  /// Threads running call handlers. The shard-server's engine work rides
+  /// the engine's own scheduler, so a handful is plenty.
+  size_t worker_threads = 4;
+  /// Accepted connections beyond this are closed immediately (a router
+  /// keeps one multiplexed connection per backend, so the cap is small).
+  size_t max_connections = 64;
+  /// Per-connection cap on buffered unsent bytes. A peer that stops
+  /// reading past this backlog has its connection aborted rather than
+  /// buffering without bound.
+  size_t max_out_buffer_bytes = 4 * 1024 * 1024;
+  /// How long Shutdown() waits for in-flight calls to drain before closing
+  /// their connections anyway.
+  uint64_t drain_timeout_ms = 10000;
+};
+
+/// Thread-safe handle for answering one CALL. Handlers may keep it past
+/// their return (async completion); the in-flight slot is released by
+/// Finish. A Responder abandoned without Finish answers Internal on
+/// destruction, so a buggy handler can never hang its caller.
+class Responder {
+ public:
+  ~Responder();
+
+  Responder(const Responder&) = delete;
+  Responder& operator=(const Responder&) = delete;
+
+  /// The codec request line carried by the CALL.
+  const std::string& line() const { return line_; }
+
+  /// Whether the caller asked for STREAM frames before the RESULT.
+  bool wants_stream() const { return wants_stream_; }
+
+  /// The call's budget, re-armed server-side from the CALL's remaining
+  /// milliseconds and tied to the cancel state — expired() also fires once
+  /// the peer sent CANCEL or its connection died. Valid while this
+  /// Responder is alive.
+  const Deadline& deadline() const { return deadline_; }
+
+  /// True once the peer cancelled this call or its connection is gone.
+  bool cancelled() const;
+
+  /// Sends one STREAM frame (seq assigned 0,1,2,... in call order).
+  /// Returns false once the call is cancelled or the connection died —
+  /// the handler should stop producing.
+  bool Stream(std::string_view step_json);
+
+  /// Sends the RESULT frame and completes the call. One-shot (later calls
+  /// are ignored); safe from any thread.
+  void Finish(const ResultPayload& result);
+
+ private:
+  friend class Server;
+  Responder(std::shared_ptr<RpcServerCore> core, std::shared_ptr<RpcConn> conn,
+            uint64_t call_id, CallPayload call);
+
+  const std::shared_ptr<RpcServerCore> core_;
+  const std::shared_ptr<RpcConn> conn_;
+  const uint64_t call_id_;
+  const std::string line_;
+  const bool wants_stream_;
+  const std::shared_ptr<std::atomic<bool>> cancel_flag_;
+  Deadline deadline_;
+  uint64_t dispatch_ms_ = 0;
+  std::atomic<uint32_t> next_seq_{0};
+  std::atomic<bool> finished_{false};
+};
+
+/// The call handler. Runs on a server worker thread; must eventually call
+/// responder->Finish (directly or from an async completion).
+using CallHandler = std::function<void(const std::shared_ptr<Responder>&)>;
+
+/// A non-blocking epoll-driven RPC server speaking the rpc/frame wire
+/// format: one event-loop thread owns every socket (accept, handshake,
+/// frame reassembly, flush) and a small worker pool runs handlers, so a
+/// slow peer can never wedge the loop and a slow handler can never wedge
+/// other connections' I/O. Calls multiplex freely on one connection;
+/// CANCEL frames flip the matching call's cancel flag (visible through
+/// Responder::deadline()). Shutdown() is graceful (GOAWAY to every peer,
+/// drain in-flight calls, flush, close); Stop() is abrupt (close
+/// everything now — the chaos path). Instrumented via common/metrics
+/// (smartdd_rpc_server_*). Fault point `rpc.server.dispatch` fires before
+/// each handler invocation.
+class Server {
+ public:
+  explicit Server(CallHandler handler, ServerOptions options = {});
+  /// Calls Shutdown() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event loop + workers. IOError on any
+  /// socket failure (port in use, bad address).
+  Status Start();
+
+  /// Graceful shutdown: closes the listener, sends GOAWAY on live
+  /// connections, waits up to drain_timeout_ms for in-flight calls, then
+  /// flushes and closes everything and joins. Idempotent.
+  void Shutdown();
+
+  /// Abrupt stop: closes every connection immediately, abandoning buffered
+  /// output and in-flight calls (their Responders outlive the server
+  /// safely and their peers observe a dead connection). For tests that
+  /// simulate a crashing backend without a process kill.
+  void Stop();
+
+  /// The bound port (after Start()); useful with port 0.
+  uint16_t port() const { return port_; }
+
+  /// True between successful Start() and Shutdown()/Stop().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Live accepted connections (for tests).
+  size_t open_connections() const;
+
+  /// Calls dispatched but not yet finished (for tests).
+  size_t inflight_calls() const;
+
+ private:
+  void EventLoop();
+  void WorkerLoop();
+  void AcceptAll();
+  void HandleIo(const std::shared_ptr<RpcConn>& conn, uint32_t events);
+  /// Decodes buffered input into frames and acts on them.
+  void Advance(const std::shared_ptr<RpcConn>& conn);
+  void DispatchCall(const std::shared_ptr<RpcConn>& conn, Frame frame);
+  /// Writes as much pending output as the socket accepts; arms EPOLLOUT
+  /// when it blocks. Event-loop thread only.
+  void FlushOut(const std::shared_ptr<RpcConn>& conn);
+  void CloseConn(const std::shared_ptr<RpcConn>& conn);
+  void ShutdownThreads(bool flush);
+
+  const CallHandler handler_;
+  const ServerOptions options_;
+  const std::shared_ptr<RpcServerCore> core_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex tasks_mu_;
+  std::condition_variable tasks_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool workers_stop_ = false;
+
+  /// Event-loop-thread-only connection table.
+  std::unordered_map<uint64_t, std::shared_ptr<RpcConn>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> abort_flush_{false};
+  std::atomic<size_t> open_conns_{0};
+
+  // smartdd_rpc_server_* instruments (process-wide registry).
+  Counter& calls_total_;
+  Counter& protocol_errors_total_;
+  Counter& connections_total_;
+  Gauge& connections_open_;
+};
+
+}  // namespace smartdd::rpc
+
+#endif  // SMARTDD_RPC_SERVER_H_

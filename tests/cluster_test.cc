@@ -1,0 +1,350 @@
+// cluster/ tests: the session-partitioned scale-out contract. A Router
+// fronting shard-server processes must serve byte-identical envelopes to a
+// single-process service (the correctness bar for the whole subsystem),
+// place sessions on the least-loaded healthy backend, forward streaming
+// expansions step-for-step, answer a dead backend's tokens with clean
+// UNAVAILABLE envelopes while the rest of the cluster keeps serving, and
+// re-admit a restarted backend via the health probe.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "api/wire_service.h"
+#include "cluster/router.h"
+#include "cluster/shard_server.h"
+#include "data/synth.h"
+#include "explore/engine.h"
+#include "weights/standard_weights.h"
+
+namespace smartdd {
+namespace {
+
+using cluster::BackendAddress;
+using cluster::Router;
+using cluster::RouterOptions;
+using cluster::ShardServer;
+
+Table MakeTable() {
+  SynthSpec spec;
+  spec.rows = 20000;
+  spec.cardinalities = {6, 5, 4, 3};
+  spec.zipf = {1.1, 0.7, 1.3, 0.4};
+  spec.seed = 505;
+  return GenerateSyntheticTable(spec);
+}
+
+constexpr uint64_t kSeedA = 0xA11CE;
+constexpr uint64_t kSeedB = 0xB0B00;
+
+/// One in-process "backend process": engine + service + wire seam + RPC
+/// server, the exact stack examples/shard_server.cpp runs.
+struct BackendProcess {
+  BackendProcess(const Table& table, uint64_t token_seed, uint16_t port = 0)
+      : engine(*ExplorationEngine::Create(table, weight)) {
+    api::ServiceOptions options;
+    options.token_seed = token_seed;
+    service = std::make_unique<api::ExplorationService>(options);
+    EXPECT_TRUE(service->AddEngine("synth", engine.get()).ok());
+    wire = std::make_unique<api::LocalWireService>(service.get());
+    rpc::ServerOptions sopts;
+    sopts.port = port;
+    server = std::make_unique<ShardServer>(wire.get(), sopts);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  SizeWeight weight;
+  std::unique_ptr<ExplorationEngine> engine;
+  std::unique_ptr<api::ExplorationService> service;
+  std::unique_ptr<api::LocalWireService> wire;
+  std::unique_ptr<ShardServer> server;
+};
+
+struct ClusterFixture {
+  explicit ClusterFixture(const Table& table, RouterOptions ropts = []() {
+    RouterOptions o;
+    o.probe_interval_ms = 0;  // probe on demand via ProbeNow()
+    return o;
+  }()) {
+    backends.push_back(std::make_unique<BackendProcess>(table, kSeedA));
+    backends.push_back(std::make_unique<BackendProcess>(table, kSeedB));
+    std::vector<BackendAddress> addresses;
+    for (auto& backend : backends) {
+      addresses.push_back({"127.0.0.1", backend->server->port()});
+    }
+    router = std::make_unique<Router>(addresses, ropts);
+    EXPECT_TRUE(router->Start().ok());
+  }
+  ~ClusterFixture() { router->Shutdown(); }
+
+  std::vector<std::unique_ptr<BackendProcess>> backends;
+  std::unique_ptr<Router> router;
+};
+
+std::string ExtractToken(const std::string& open_json) {
+  size_t at = open_json.find("\"session\":\"");
+  EXPECT_NE(at, std::string::npos) << open_json;
+  return open_json.substr(at + 11, 16);
+}
+
+TEST(ClusterTest, StartRequiresBackends) {
+  Router empty({}, {});
+  Status started = empty.Start();
+  EXPECT_FALSE(started.ok());
+  EXPECT_EQ(started.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterTest, TranscriptByteIdenticalToSingleProcess) {
+  Table table = MakeTable();
+
+  // Single-process baseline with the same token seed the first backend
+  // uses: the router places the first open on backend 0, so the whole
+  // transcript — tokens included — must match byte-for-byte.
+  SizeWeight weight;
+  ExplorationEngine baseline_engine(table, weight);
+  api::ServiceOptions options;
+  options.token_seed = kSeedA;
+  api::ExplorationService baseline(options);
+  ASSERT_TRUE(baseline.AddEngine("synth", &baseline_engine).ok());
+  api::LocalWireService local(&baseline);
+
+  ClusterFixture cluster(table);
+
+  // Learn the token a first open mints under this seed (the throwaway
+  // local stack above is then discarded; the replay below uses fresh ones).
+  std::string baseline_token =
+      ExtractToken(local.ServeWire("open k=3").json);
+
+  // Replay identical scripts: every response line must match.
+  std::vector<std::string> lines = {
+      "ping",
+      "open k=3",
+      "expand " + baseline_token + " 0",
+      "expand " + baseline_token + " 1",
+      "show " + baseline_token,
+      "expand " + baseline_token + " 999",   // error envelope parity
+      "bogus-verb",                          // parse-error parity
+      "close " + baseline_token,
+      "show " + baseline_token,              // closed-session parity
+      "show deadbeefdeadbeef",               // never-seen-token parity
+  };
+  // Drive both stacks with the same pre-planned request lines. The
+  // baseline service already consumed one open above, so rebuild it fresh
+  // for an exact replay.
+  ExplorationEngine fresh_engine(table, weight);
+  api::ExplorationService fresh_baseline(options);
+  ASSERT_TRUE(fresh_baseline.AddEngine("synth", &fresh_engine).ok());
+  api::LocalWireService fresh_local(&fresh_baseline);
+
+  for (const std::string& line : lines) {
+    api::WireResponse local_response = fresh_local.ServeWire(line);
+    api::WireResponse cluster_response = cluster.router->ServeWire(line);
+    EXPECT_EQ(local_response.json, cluster_response.json) << "line: " << line;
+    EXPECT_EQ(local_response.status.code(), cluster_response.status.code());
+    EXPECT_EQ(local_response.partial, cluster_response.partial);
+    EXPECT_EQ(local_response.has_tree, cluster_response.has_tree);
+  }
+}
+
+TEST(ClusterTest, OpensBalanceAcrossBackends) {
+  Table table = MakeTable();
+  ClusterFixture cluster(table);
+
+  // Four opens: least-loaded with lowest-index ties → 0, 1, 0, 1.
+  for (int i = 0; i < 4; ++i) {
+    api::WireResponse open = cluster.router->ServeWire("open k=3");
+    ASSERT_TRUE(open.status.ok()) << open.json;
+  }
+  EXPECT_EQ(cluster.router->backend_sessions(0), 2u);
+  EXPECT_EQ(cluster.router->backend_sessions(1), 2u);
+
+  // Closing releases the load accounting (the route itself is kept).
+  api::WireResponse open = cluster.router->ServeWire("open k=3");
+  std::string token = ExtractToken(open.json);
+  ASSERT_TRUE(cluster.router->ServeWire("close " + token).status.ok());
+  EXPECT_EQ(cluster.router->backend_sessions(0) +
+                cluster.router->backend_sessions(1),
+            4u);
+  // The closed token still answers its backend's canonical NOT_FOUND.
+  api::WireResponse closed = cluster.router->ServeWire("show " + token);
+  EXPECT_EQ(closed.status.code(), StatusCode::kNotFound);
+  EXPECT_NE(closed.json.find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(ClusterTest, SessionsStickToTheirBackend) {
+  Table table = MakeTable();
+  ClusterFixture cluster(table);
+
+  // Opens alternate backends; each session's expansions must land on the
+  // backend that minted its token (distinct seeds make mixups fail loud:
+  // the other backend would answer NOT_FOUND).
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 4; ++i) {
+    tokens.push_back(ExtractToken(cluster.router->ServeWire("open k=3").json));
+  }
+  for (const std::string& token : tokens) {
+    api::WireResponse expand =
+        cluster.router->ServeWire("expand " + token + " 0");
+    EXPECT_TRUE(expand.status.ok()) << expand.json;
+  }
+}
+
+/// Collects streamed steps and the final envelope.
+class CollectingObserver : public api::WireObserver {
+ public:
+  bool OnStepJson(std::string_view node_json, size_t step) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    steps_.emplace_back(step, std::string(node_json));
+    return true;
+  }
+  void OnDoneWire(const api::WireResponse& response) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    response_ = response;
+    done_ = true;
+    cv_.notify_all();
+  }
+  api::WireResponse Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::seconds(30), [this]() { return done_; });
+    EXPECT_TRUE(done_);
+    return response_;
+  }
+  std::vector<std::pair<size_t, std::string>> steps() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steps_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<size_t, std::string>> steps_;
+  api::WireResponse response_;
+  bool done_ = false;
+};
+
+TEST(ClusterTest, StreamingExpandMatchesLocalStepForStep) {
+  Table table = MakeTable();
+
+  SizeWeight weight;
+  ExplorationEngine baseline_engine(table, weight);
+  api::ServiceOptions options;
+  options.token_seed = kSeedA;
+  api::ExplorationService baseline(options);
+  ASSERT_TRUE(baseline.AddEngine("synth", &baseline_engine).ok());
+  api::LocalWireService local(&baseline);
+
+  ClusterFixture cluster(table);
+
+  std::string local_token = ExtractToken(local.ServeWire("open k=3").json);
+  std::string cluster_token =
+      ExtractToken(cluster.router->ServeWire("open k=3").json);
+  ASSERT_EQ(local_token, cluster_token);  // same seed, same first backend
+
+  api::ExpandRequest request;
+  request.session = *api::ParseToken(local_token);
+  request.node = 0;
+
+  auto local_observer = std::make_shared<CollectingObserver>();
+  ASSERT_TRUE(local.SubmitExpandWire(request, local_observer).ok());
+  api::WireResponse local_done = local_observer->Wait();
+
+  auto cluster_observer = std::make_shared<CollectingObserver>();
+  ASSERT_TRUE(
+      cluster.router->SubmitExpandWire(request, cluster_observer).ok());
+  api::WireResponse cluster_done = cluster_observer->Wait();
+
+  EXPECT_EQ(local_done.json, cluster_done.json);
+  auto local_steps = local_observer->steps();
+  auto cluster_steps = cluster_observer->steps();
+  ASSERT_EQ(local_steps.size(), cluster_steps.size());
+  ASSERT_FALSE(local_steps.empty());
+  for (size_t i = 0; i < local_steps.size(); ++i) {
+    EXPECT_EQ(local_steps[i].first, cluster_steps[i].first);
+    EXPECT_EQ(local_steps[i].second, cluster_steps[i].second);
+  }
+}
+
+TEST(ClusterTest, DeadBackendFailsCleanAndClusterSurvives) {
+  Table table = MakeTable();
+  ClusterFixture cluster(table);
+
+  std::string token_a =
+      ExtractToken(cluster.router->ServeWire("open k=3").json);  // backend 0
+  std::string token_b =
+      ExtractToken(cluster.router->ServeWire("open k=3").json);  // backend 1
+
+  // Simulated crash of backend 0.
+  cluster.backends[0]->server->Stop();
+
+  api::WireResponse lost =
+      cluster.router->ServeWire("expand " + token_a + " 0");
+  EXPECT_EQ(lost.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(lost.json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lost.json.find("UNAVAILABLE"), std::string::npos);
+  EXPECT_FALSE(cluster.router->backend_healthy(0));
+
+  // The surviving backend keeps serving its sessions and takes every new
+  // open; the router stays Ready.
+  EXPECT_TRUE(cluster.router->Ready());
+  EXPECT_TRUE(
+      cluster.router->ServeWire("expand " + token_b + " 0").status.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cluster.router->ServeWire("open k=3").status.ok());
+  }
+  EXPECT_EQ(cluster.router->backend_sessions(1), 4u);
+
+  // Streaming to the dead backend also terminates with a clean envelope.
+  api::ExpandRequest request;
+  request.session = *api::ParseToken(token_a);
+  request.node = 0;
+  auto observer = std::make_shared<CollectingObserver>();
+  ASSERT_TRUE(cluster.router->SubmitExpandWire(request, observer).ok());
+  api::WireResponse done = observer->Wait();
+  EXPECT_EQ(done.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(done.json.find("UNAVAILABLE"), std::string::npos);
+  EXPECT_TRUE(observer->steps().empty());
+}
+
+TEST(ClusterTest, ProbeReadmitsARestartedBackend) {
+  Table table = MakeTable();
+  ClusterFixture cluster(table);
+
+  uint16_t port0 = cluster.backends[0]->server->port();
+  cluster.backends[0]->server->Stop();
+
+  // The probe notices the crash; opens then avoid the dead backend.
+  cluster.router->ProbeNow();
+  EXPECT_FALSE(cluster.router->backend_healthy(0));
+  EXPECT_TRUE(cluster.router->ServeWire("open k=3").status.ok());
+
+  // ...and a restart on the same port heals it through the probe alone.
+  BackendProcess revived(table, kSeedA, port0);
+  ASSERT_EQ(revived.server->port(), port0);
+  cluster.router->ProbeNow();
+  EXPECT_TRUE(cluster.router->backend_healthy(0));
+  EXPECT_TRUE(cluster.router->ServeWire("open k=3").status.ok());
+}
+
+TEST(ClusterTest, NoHealthyBackendAnswersUnavailable) {
+  Table table = MakeTable();
+  ClusterFixture cluster(table);
+  cluster.backends[0]->server->Stop();
+  cluster.backends[1]->server->Stop();
+  cluster.router->ProbeNow();
+
+  EXPECT_FALSE(cluster.router->Ready());
+  api::WireResponse open = cluster.router->ServeWire("open k=3");
+  EXPECT_EQ(open.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(open.json.find("UNAVAILABLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartdd

@@ -1,0 +1,117 @@
+// common/deadline tests: the cooperative cancellation token carried through
+// every options struct from the service front door down to the chunked
+// scans. Pins the three properties the request path leans on: time expiry
+// is monotonic (once fired, every later poll agrees), the external cancel
+// flag composes with the wall budget (either one fires expired()), and the
+// default-constructed token is inert — active() false, expired() false,
+// no clock reads — so the no-deadline hot path stays branch-cheap.
+
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace smartdd {
+namespace {
+
+TEST(DeadlineTest, InertByDefault) {
+  Deadline d;
+  EXPECT_FALSE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), std::numeric_limits<double>::infinity());
+
+  // The inert token must stay inert under the polling pattern the scan
+  // loops use (a poll per chunk, thousands per request): no accumulated
+  // state, no surprise flips.
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_FALSE(d.expired());
+  }
+  EXPECT_FALSE(d.active());
+}
+
+TEST(DeadlineTest, InertPollIsCheap) {
+  // Not a benchmark, a regression tripwire: 1M inert polls must be far
+  // from a timeout (each is meant to be one branch + one null check, no
+  // clock read). Budget is deliberately loose — minutes of slack even
+  // under sanitizers — while still catching an accidental Clock::now()
+  // on the inactive path, which would cost ~20ns+ per poll.
+  Deadline d;
+  auto start = std::chrono::steady_clock::now();
+  size_t fired = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    fired += d.expired() ? 1 : 0;
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(fired, 0u);
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+}
+
+TEST(DeadlineTest, ExpiryIsMonotonic) {
+  Deadline d = Deadline::AfterMillis(20);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+
+  // Poll until it fires, then verify it never un-fires: the scan loops
+  // treat the first true as terminal and a flicker back to false would
+  // let a cancelled search resume.
+  while (!d.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(d.expired());
+  }
+  EXPECT_LE(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetExpiresImmediately) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).expired());
+}
+
+TEST(DeadlineTest, CancelFlagAloneArmsTheToken) {
+  std::atomic<bool> cancel{false};
+  Deadline d = Deadline().WithCancelFlag(&cancel);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.expired());
+  // No wall budget: remaining_ms ignores the flag by contract.
+  EXPECT_EQ(d.remaining_ms(), std::numeric_limits<double>::infinity());
+
+  cancel.store(true, std::memory_order_release);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, CancelFlagComposesWithTimeBudget) {
+  std::atomic<bool> cancel{false};
+  Deadline d = Deadline::AfterMillis(60000).WithCancelFlag(&cancel);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.expired());
+
+  // The flag fires long before the hour-scale budget would.
+  cancel.store(true, std::memory_order_release);
+  EXPECT_TRUE(d.expired());
+  // The wall budget is untouched by the flag.
+  EXPECT_GT(d.remaining_ms(), 0.0);
+
+  // And the other way round: an expired budget fires expired() with the
+  // flag still clear (how the RPC server re-arms a propagated deadline —
+  // one poll sees both the peer's CANCEL and the budget).
+  std::atomic<bool> clear{false};
+  Deadline expired_budget = Deadline::AfterMillis(-1).WithCancelFlag(&clear);
+  EXPECT_TRUE(expired_budget.expired());
+}
+
+TEST(DeadlineTest, WithCancelFlagIsValueCopy) {
+  // WithCancelFlag returns a derived token; the original stays unarmed.
+  std::atomic<bool> cancel{true};
+  Deadline base = Deadline::AfterMillis(60000);
+  Deadline derived = base.WithCancelFlag(&cancel);
+  EXPECT_TRUE(derived.expired());
+  EXPECT_FALSE(base.expired());
+}
+
+}  // namespace
+}  // namespace smartdd

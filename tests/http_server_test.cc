@@ -846,6 +846,82 @@ TEST(HttpAdapterTest, HealthMetricsAndRouting) {
   EXPECT_NE(metrics.find("smartdd_scheduler_queue_depth"), std::string::npos);
   EXPECT_NE(metrics.find("smartdd_http_request_seconds_bucket"),
             std::string::npos);
+  // Build identity ships with every /metrics-serving process: the value is
+  // a constant 1, the information lives in the labels.
+  EXPECT_NE(metrics.find("smartdd_build_info{version="), std::string::npos);
+  EXPECT_NE(metrics.find("git_sha="), std::string::npos);
+  EXPECT_NE(metrics.find("kernel="), std::string::npos);
+}
+
+// Liveness (/healthz) answers 200 for the whole process lifetime;
+// readiness (/readyz) is the rotation signal — 503 before the service can
+// serve opens and 503 the moment a drain starts.
+TEST(HttpAdapterTest, ReadyzTracksEngineLoadAndDraining) {
+  // A service with no engines yet: alive but not ready.
+  api::ExplorationService empty_service;
+  ExplorationHttpAdapter adapter(&empty_service);
+  HttpServer server(adapter.AsHandler(), {});
+  adapter.SetReadinessProbe([&server]() { return !server.draining(); });
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    TestClient client(server.port());
+    client.Send(GetRequest("/healthz"));
+    std::string health = client.ReadResponse();
+    EXPECT_EQ(StatusOf(health), 200);
+    EXPECT_NE(health.find("ok"), std::string::npos);
+
+    client.Send(GetRequest("/readyz"));
+    std::string not_ready = client.ReadResponse();
+    EXPECT_EQ(StatusOf(not_ready), 503);
+    EXPECT_NE(not_ready.find("loading"), std::string::npos);
+    EXPECT_NE(not_ready.find("Retry-After"), std::string::npos);
+
+    client.Send(PostRequest("/readyz", ""));  // probes are GET-only
+    EXPECT_EQ(StatusOf(client.ReadResponse()), 405);
+  }
+
+  // Engines registered: ready.
+  Table table = MakeTable();
+  SizeWeight weight;
+  auto engine = ExplorationEngine::Create(table, weight);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(empty_service.AddEngine("synth", engine->get()).ok());
+  {
+    TestClient client(server.port());
+    client.Send(GetRequest("/readyz"));
+    std::string ready = client.ReadResponse();
+    EXPECT_EQ(StatusOf(ready), 200);
+    EXPECT_NE(ready.find("ready"), std::string::npos);
+  }
+  server.Shutdown();
+}
+
+TEST(HttpAdapterTest, ReadyzAnswersDrainingViaProbe) {
+  Table table = MakeTable();
+  AdapterFixture fixture(table);
+
+  // Engines are loaded and no drain is in progress: ready. The probe is
+  // the transport's half of the signal, so flipping it must answer 503
+  // "draining" even while the engines stay healthy.
+  std::atomic<bool> draining{false};
+  fixture.adapter.SetReadinessProbe(
+      [&draining]() { return !draining.load(); });
+
+  TestClient client(fixture.server.port());
+  client.Send(GetRequest("/readyz"));
+  EXPECT_EQ(StatusOf(client.ReadResponse()), 200);
+
+  draining = true;
+  client.Send(GetRequest("/readyz"));
+  std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 503);
+  EXPECT_NE(response.find("draining"), std::string::npos);
+
+  // Liveness is unaffected — the process should NOT be restarted, only
+  // rotated out.
+  client.Send(GetRequest("/healthz"));
+  EXPECT_EQ(StatusOf(client.ReadResponse()), 200);
 }
 
 }  // namespace
