@@ -15,7 +15,16 @@
 //   collapse <id>       roll up
 //   k <n>               change the number of rules per expansion
 //   exact               refresh displayed counts to exact values
+//   append <csv-row>    append a row to a live table (--live; dimension
+//                       cells then measure cells, schema order)
+//   tableinfo           current table version, row count, WAL bytes
 //   help, quit
+//
+// Live-table mode:
+//   interactive_cli --live[=wal.log] [file.csv]
+// registers the dataset as an appendable live table (every append publishes
+// a new snapshot version; sessions keep the version they opened). With
+// =wal.log, appends are durably logged and replayed on the next start.
 //
 // Raw service mode:
 //   interactive_cli --serve [file.csv]
@@ -43,6 +52,7 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -68,7 +78,16 @@ using namespace smartdd;
 void Help() {
   std::printf(
       "commands: show | expand <id> | star <id> <col> | collapse <id> | "
-      "k <n> | exact | help | quit\n");
+      "k <n> | exact | append <csv-row> | tableinfo | help | quit\n");
+}
+
+void PrintTableInfo(const api::TableInfoView& info) {
+  std::printf("table %s: version=%llu rows=%llu pending=%llu wal_bytes=%llu\n",
+              info.dataset.c_str(),
+              static_cast<unsigned long long>(info.version),
+              static_cast<unsigned long long>(info.rows),
+              static_cast<unsigned long long>(info.pending_rows),
+              static_cast<unsigned long long>(info.wal_bytes));
 }
 
 void PrintStatus(const Status& status) {
@@ -287,6 +306,9 @@ int RunInteractive(api::ExplorationService& service, const Table& table) {
     if (response.tree) {
       std::printf("%s", api::RenderSnapshot(*response.tree).c_str());
     }
+    if (response.table) {
+      PrintTableInfo(*response.table);
+    }
   }
   std::printf("bye\n");
   return 0;
@@ -298,6 +320,8 @@ int main(int argc, char** argv) {
   size_t num_sessions = 0;
   bool serve = false;
   bool http = false;
+  bool live = false;
+  std::string wal_path;
   uint16_t http_port = 0;
   const char* csv_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -328,6 +352,11 @@ int main(int argc, char** argv) {
       num_sessions = static_cast<size_t>(parsed);
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
+    } else if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
+    } else if (std::strncmp(argv[i], "--live=", 7) == 0) {
+      live = true;
+      wal_path = argv[i] + 7;
     } else {
       csv_path = argv[i];
     }
@@ -348,18 +377,31 @@ int main(int argc, char** argv) {
   }
 
   SizeWeight weight;
-  auto engine = ExplorationEngine::Create(table, weight);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
+  std::optional<Result<std::unique_ptr<ExplorationEngine>>> engine;
   api::ServiceOptions service_options;
   // Deterministic tokens so sessions are scriptable byte-for-byte (the CI
   // smoke replays scripts/service_smoke.txt against a golden transcript).
   // Real deployments keep the entropy-seeded default.
   service_options.token_seed = 0x5D177EEDULL;
+  // Every append publishes a snapshot version immediately: interactive and
+  // scripted users see their row land without waiting for a batch.
+  service_options.live_snapshot_every_rows = 1;
   api::ExplorationService service(service_options);
-  SMARTDD_CHECK(service.AddEngine("default", engine->get()).ok());
+  if (live) {
+    Status added = service.AddLiveTable("default", table, weight, wal_path);
+    if (!added.ok()) {
+      std::fprintf(stderr, "live table: %s\n", added.ToString().c_str());
+      return 1;
+    }
+  } else {
+    engine.emplace(ExplorationEngine::Create(table, weight));
+    if (!engine->ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   engine->status().ToString().c_str());
+      return 1;
+    }
+    SMARTDD_CHECK(service.AddEngine("default", (*engine)->get()).ok());
+  }
 
   if (http) return RunHttp(service, http_port);
   if (serve) return RunServe(service);

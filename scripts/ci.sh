@@ -28,13 +28,13 @@ fi
 # run: the parallel differential suites, everything touching the background
 # prefetcher and registry, and the chaos suite (which arms fault schedules
 # while 16 sessions hammer the service).
-SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test|sharded_engine_test|packed_column_test|deadline_test|rpc_test|cluster_test"
+SAN_TESTS="parallel_marginal_test|parallel_sampling_test|sample_handler_test|session_test|concurrent_sessions_test|task_scheduler_test|service_test|codec_test|metrics_test|http_server_test|chaos_test|disk_table_test|sharded_engine_test|packed_column_test|deadline_test|rpc_test|cluster_test|live_table_test|expansion_cache_test"
 SAN_TARGETS=(
   parallel_marginal_test parallel_sampling_test sample_handler_test
   session_test concurrent_sessions_test task_scheduler_test
   service_test codec_test metrics_test http_server_test chaos_test
   disk_table_test sharded_engine_test packed_column_test
-  deadline_test rpc_test cluster_test
+  deadline_test rpc_test cluster_test live_table_test expansion_cache_test
 )
 
 run_sanitizer_stage() {
@@ -60,7 +60,7 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # Service-protocol smoke: a scripted session's codec bytes in must
   # reproduce the golden snapshot bytes out (the paper's retail walkthrough
   # through the front-door ExplorationService; tokens are deterministic).
-  ./build/example_interactive_cli --serve < scripts/service_smoke.txt \
+  ./build/example_interactive_cli --serve --live < scripts/service_smoke.txt \
     | diff - scripts/service_smoke.golden \
     || { echo "service smoke: output diverged from scripts/service_smoke.golden"; exit 1; }
   echo "service smoke: golden snapshot matched"
@@ -82,6 +82,18 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # answer a clean UNAVAILABLE while the router keeps serving
   # (see scripts/cluster_smoke.sh).
   scripts/cluster_smoke.sh build
+
+  # Live-table smoke: HTTP appends publish new versions while an already
+  # open session keeps exploring its pinned version; both trees must match
+  # goldens and /v1/tableinfo must report the version walk
+  # (see scripts/live_smoke.sh).
+  scripts/live_smoke.sh build
+
+  # Expansion-cache smoke: warm hits must replay byte-identical trees at
+  # >= 10x the cold p50 (the bench exits nonzero when either gate fails).
+  (cd build && SMARTDD_CENSUS_ROWS=50000 SMARTDD_BENCH_REPS=3 \
+    ./bench_expansion_cache)
+  echo "expansion cache smoke: warm hits byte-identical and >= 10x faster"
 
   # Sharded-engine smoke: 1/2/4-shard scatter-gather must return identical
   # trees (the bench exits nonzero on drift).

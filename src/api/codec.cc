@@ -279,6 +279,42 @@ Result<Request> ParseRequest(std::string_view line, size_t max_line_bytes) {
     SMARTDD_ASSIGN_OR_RETURN(req.node, ParseNodeId(tokens[2]));
     return Request(std::move(req));
   }
+  if (cmd == "append") {
+    // Raw-remainder parse: everything after the command word (and the
+    // optional leading dataset=<name>) is the CSV row verbatim, because
+    // cells may contain spaces. Skip the token machinery entirely.
+    AppendRequest req;
+    std::string_view rest = Trim(trimmed.substr(cmd.size()));
+    constexpr std::string_view kDataset = "dataset=";
+    if (rest.compare(0, kDataset.size(), kDataset) == 0) {
+      size_t end = rest.find_first_of(" \t");
+      if (end == std::string_view::npos) {
+        return ArityError(tokens, "append [dataset=<name>] <csv-row>");
+      }
+      req.dataset = std::string(rest.substr(kDataset.size(),
+                                            end - kDataset.size()));
+      rest = Trim(rest.substr(end));
+    }
+    if (rest.empty()) {
+      return ArityError(tokens, "append [dataset=<name>] <csv-row>");
+    }
+    req.row = std::string(rest);
+    return Request(std::move(req));
+  }
+  if (cmd == "tableinfo") {
+    TableInfoRequest req;
+    if (tokens.size() > 2) {
+      return ArityError(tokens, "tableinfo [dataset=<name>]");
+    }
+    if (tokens.size() == 2) {
+      constexpr std::string_view kDataset = "dataset=";
+      if (tokens[1].compare(0, kDataset.size(), kDataset) != 0) {
+        return ArityError(tokens, "tableinfo [dataset=<name>]");
+      }
+      req.dataset = tokens[1].substr(kDataset.size());
+    }
+    return Request(std::move(req));
+  }
   if (cmd == "show" || cmd == "exact" || cmd == "close") {
     if (tokens.size() != 2) {
       return Status::InvalidArgument(
@@ -293,8 +329,22 @@ Result<Request> ParseRequest(std::string_view line, size_t max_line_bytes) {
   }
   return Status::InvalidArgument(
       StrFormat("unknown command '%s' (try: open expand star collapse show "
-                "exact close ping)",
+                "exact close append tableinfo ping)",
                 Preview(cmd).c_str()));
+}
+
+/// Encodes the live-table payload of append/tableinfo responses.
+std::string EncodeTableInfo(const TableInfoView& info) {
+  std::string out = "{";
+  out += "\"dataset\":\"" + Escape(info.dataset) + "\",";
+  out += StrFormat("\"version\":%llu,\"rows\":%llu,\"pending_rows\":%llu,"
+                   "\"wal_bytes\":%llu",
+                   static_cast<unsigned long long>(info.version),
+                   static_cast<unsigned long long>(info.rows),
+                   static_cast<unsigned long long>(info.pending_rows),
+                   static_cast<unsigned long long>(info.wal_bytes));
+  out += "}";
+  return out;
 }
 
 std::string EncodeNode(const NodeView& node) {
@@ -364,6 +414,9 @@ std::string EncodeResponse(const Response& response) {
   }
   if (response.tree) {
     out += ",\"tree\":" + EncodeTree(*response.tree);
+  }
+  if (response.table) {
+    out += ",\"table\":" + EncodeTableInfo(*response.table);
   }
   out += "}";
   return out;

@@ -25,11 +25,19 @@ namespace smartdd::api {
 ///   show     <session>
 ///   exact    <session>
 ///   close    <session>
+///   append   [dataset=<name>] <csv-row>
+///   tableinfo [dataset=<name>]
 ///   ping
+///
+/// `append` is the one command whose final argument is NOT tokenized: after
+/// the command word (and the optional dataset=<name>, which must come
+/// first), the rest of the line verbatim is the CSV row — cells may contain
+/// spaces and RFC-4180 quoting.
 ///
 /// Responses (single line, no internal newlines):
 ///
 ///   {"ok":true,"session":"<token>","tree":{...}}   success
+///   {"ok":true,"table":{...}}                      append / tableinfo
 ///   {"ok":true}                                    success, no payload
 ///   {"ok":false,"error":{"code":"<CODE>","message":"..."}}
 ///

@@ -82,9 +82,26 @@ struct CloseRequest {
 /// `ping` — liveness probe.
 struct PingRequest {};
 
+/// `append` — append one CSV row to a live (WAL-backed) table. The row is
+/// validated against the table schema, durably logged, and folded into the
+/// next published snapshot version; sessions opened before the append keep
+/// exploring their pinned version.
+struct AppendRequest {
+  /// Live dataset to append to; empty selects the service's default.
+  std::string dataset;
+  /// One CSV record: dimension cells then measure cells, schema order.
+  std::string row;
+};
+
+/// `tableinfo` — current version, row counts, and WAL size of a dataset.
+struct TableInfoRequest {
+  /// Dataset to describe; empty selects the service's default.
+  std::string dataset;
+};
+
 using Request = std::variant<OpenRequest, ExpandRequest, CollapseRequest,
                              ShowRequest, RefreshRequest, CloseRequest,
-                             PingRequest>;
+                             PingRequest, AppendRequest, TableInfoRequest>;
 
 /// One displayed rule, fully rendered for a thin client.
 struct NodeView {
@@ -119,13 +136,29 @@ struct TreeSnapshot {
   std::vector<NodeView> nodes;
 };
 
+/// Live-table state rendered for a thin client (`append` / `tableinfo`).
+struct TableInfoView {
+  std::string dataset;
+  /// Published snapshot version (1 = pristine base; 0 for static datasets,
+  /// which never version).
+  uint64_t version = 0;
+  /// Rows in the latest published snapshot.
+  uint64_t rows = 0;
+  /// Appended rows durably logged but not yet folded into a snapshot.
+  uint64_t pending_rows = 0;
+  /// Bytes in the write-ahead log (0 when the table runs without one).
+  uint64_t wal_bytes = 0;
+};
+
 /// Uniform response envelope: a Status (OK or a stable-coded error) plus
 /// whichever payload the request produces. `session` is set by open and
-/// echoed by session-addressed requests; `tree` is the resulting snapshot.
+/// echoed by session-addressed requests; `tree` is the resulting snapshot;
+/// `table` is set by append/tableinfo.
 struct Response {
   Status status;
   std::optional<uint64_t> session;
   std::optional<TreeSnapshot> tree;
+  std::optional<TableInfoView> table;
   /// Degraded-result marker: true when status is DEADLINE_EXCEEDED but a
   /// well-formed partial `tree` (the steps that completed in budget) is
   /// attached. Never set on OK responses.

@@ -213,6 +213,7 @@ bool SessionRegistry::Evict(uint64_t token) {
   }
   TeardownEntry(*entry, scheduler, async_queue);
   Counters().closed.Inc();
+  if (options_.on_evict) options_.on_evict(token);
   return true;
 }
 
@@ -297,6 +298,7 @@ bool SessionRegistry::TryEvictUnlessBusy(uint64_t token,
   }
   TeardownEntry(*entry, scheduler, async_queue);
   Counters().evicted.Inc();
+  if (options_.on_evict) options_.on_evict(token);
   return true;
 }
 

@@ -47,6 +47,12 @@ class SessionRegistry {
     /// reproducible scripting (tests, the CI smoke golden) — deterministic
     /// tokens let anyone address other users' sessions.
     uint64_t token_seed = 0;
+    /// Called after a session is destroyed by any teardown path (explicit
+    /// close, TTL/LRU eviction, registry destruction). Runs with no
+    /// registry locks held and the token already unmapped, so the owner
+    /// can drop per-token bookkeeping it keeps outside the registry (and
+    /// may call back into it safely).
+    std::function<void(uint64_t token)> on_evict;
   };
 
   SessionRegistry();

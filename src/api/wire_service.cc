@@ -82,6 +82,8 @@ Status LocalWireService::SubmitExpandWire(
 
 bool LocalWireService::Ready() const { return service_->num_datasets() > 0; }
 
+bool LocalWireService::Replaying() const { return service_->replaying(); }
+
 std::optional<uint64_t> LocalWireService::last_sweep_age_ms() const {
   return service_->last_sweep_age_ms();
 }

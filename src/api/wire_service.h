@@ -66,6 +66,12 @@ class WireService {
   /// cluster backend.
   virtual bool Ready() const = 0;
 
+  /// True while a live table behind this service is still rebuilding its
+  /// snapshot from a write-ahead log (startup recovery). /readyz
+  /// distinguishes this from plain "loading" so operators can tell a slow
+  /// WAL replay from a misconfigured dataset.
+  virtual bool Replaying() const { return false; }
+
   /// Milliseconds since the last idle-session sweep, when the
   /// implementation runs one (the /metrics gauge refresh hook).
   virtual std::optional<uint64_t> last_sweep_age_ms() const {
@@ -85,6 +91,7 @@ class LocalWireService : public WireService {
   Status SubmitExpandWire(const ExpandRequest& request,
                           std::shared_ptr<WireObserver> observer) override;
   bool Ready() const override;
+  bool Replaying() const override;
   std::optional<uint64_t> last_sweep_age_ms() const override;
 
  private:

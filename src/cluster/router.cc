@@ -209,8 +209,11 @@ api::WireResponse Router::ServeWire(std::string_view line) {
     return wire;
   }
 
-  // ping: liveness through the cluster — first healthy backend answers.
-  if (std::holds_alternative<api::PingRequest>(*request)) {
+  // ping / tableinfo: not session-addressed — first healthy backend
+  // answers (replicas hold the same data, so any one's info is the
+  // cluster's).
+  if (std::holds_alternative<api::PingRequest>(*request) ||
+      std::holds_alternative<api::TableInfoRequest>(*request)) {
     for (size_t i = 0; i < backends_.size(); ++i) {
       if (backends_[i]->healthy.load(std::memory_order_acquire)) {
         return Forward(i, line);
@@ -219,12 +222,33 @@ api::WireResponse Router::ServeWire(std::string_view line) {
     return ErrorEnvelope(Status::Unavailable("no healthy backend"));
   }
 
+  // append: broadcast to every healthy backend so the replicas' live
+  // tables stay row-identical (each versions independently; the row lands
+  // in all of them). The first failure wins the envelope — a divergent
+  // replica is marked unhealthy by Forward's failure path and re-admitted
+  // by the probe once it heals.
+  if (std::holds_alternative<api::AppendRequest>(*request)) {
+    std::optional<api::WireResponse> last;
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (!backends_[i]->healthy.load(std::memory_order_acquire)) continue;
+      api::WireResponse wire = Forward(i, line);
+      if (!wire.status.ok()) return wire;
+      last = std::move(wire);
+    }
+    if (!last.has_value()) {
+      return ErrorEnvelope(Status::Unavailable("no healthy backend"));
+    }
+    return *std::move(last);
+  }
+
   // Everything else addresses a session token.
   uint64_t token = std::visit(
       [](const auto& req) -> uint64_t {
         using T = std::decay_t<decltype(req)>;
         if constexpr (std::is_same_v<T, api::OpenRequest> ||
-                      std::is_same_v<T, api::PingRequest>) {
+                      std::is_same_v<T, api::PingRequest> ||
+                      std::is_same_v<T, api::AppendRequest> ||
+                      std::is_same_v<T, api::TableInfoRequest>) {
           return 0;  // unreachable; handled above
         } else {
           return req.session;

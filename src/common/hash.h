@@ -34,6 +34,17 @@ inline uint64_t HashCodes(const std::vector<uint32_t>& v) {
   return HashCodes(v.data(), v.size());
 }
 
+/// FNV-1a over raw bytes; used for cache-key sharding.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace smartdd
 
 #endif  // SMARTDD_COMMON_HASH_H_

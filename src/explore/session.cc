@@ -263,6 +263,51 @@ Result<std::vector<int>> ExplorationSession::ExpandStar(
   return ExpandInternal(node_id, column, on_step, deadline);
 }
 
+Result<std::vector<int>> ExplorationSession::ApplyExpansion(
+    int node_id, const std::vector<ScoredRule>& steps,
+    const std::vector<ScoredRule>& rules, double base_mass,
+    const ExpandStepCallback& on_step) {
+  // Mirror ExpandInternal's exact (non-sampling) branch step for step, so a
+  // cache hit is observationally identical to the cold run it memoized:
+  // `steps` replays the greedy-order stream, `rules` the weight-sorted,
+  // exactly re-scored children the cold run installed.
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size()) ||
+      !nodes_[node_id].alive) {
+    return Status::InvalidArgument("no such display node");
+  }
+  SMARTDD_RETURN_IF_ERROR(WaitForPrefetch());
+  if (!nodes_[node_id].children.empty()) {
+    SMARTDD_RETURN_IF_ERROR(Collapse(node_id));
+  }
+  // Stream the steps in greedy order. A declining callback stops the
+  // stream (matching the cold path's observer contract) but the full child
+  // list still lands in the tree: the result is already computed, so
+  // unlike the cold path there is no work left to save, and truncating
+  // would leave the session's tree dependent on client speed.
+  for (size_t step = 0; step < steps.size(); ++step) {
+    if (on_step && !on_step(steps[step], step, /*exact=*/true)) break;
+  }
+  std::vector<int> child_ids;
+  for (const ScoredRule& sr : rules) {
+    ExplorationNode child;
+    child.rule = sr.rule;
+    child.weight = sr.weight;
+    child.mass = sr.mass;
+    child.marginal_mass = sr.marginal_mass;
+    child.exact = true;
+    child.parent = node_id;
+    child.depth = nodes_[node_id].depth + 1;
+    int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(child));
+    nodes_[node_id].children.push_back(id);
+    child_ids.push_back(id);
+  }
+  nodes_[node_id].mass = base_mass;
+  nodes_[node_id].exact = true;
+  AfterExpansion();
+  return child_ids;
+}
+
 void ExplorationSession::KillSubtree(int node_id) {
   for (int child : nodes_[node_id].children) {
     KillSubtree(child);

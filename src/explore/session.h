@@ -117,6 +117,25 @@ class ExplorationSession {
                                       ExpandStepCallback on_step = nullptr,
                                       const Deadline& deadline = {});
 
+  /// Replays a previously computed exact expansion onto `node_id` without
+  /// running the greedy search: `steps` are the streamed rules in greedy
+  /// selection order (what OnStep observers saw on the cold run), `rules`
+  /// the weight-sorted, exactly re-scored children the cold run installed,
+  /// and `base_mass` the re-measured mass of the expanded rule. Streams
+  /// `on_step` per step and mutates the tree identically to the cold path.
+  /// One deliberate divergence: a declining callback stops the stream but
+  /// the full child list still lands — the result is already computed, so
+  /// there is no work to save by truncating, and the tree state stays
+  /// independent of client speed. This is the expansion cache's hit path;
+  /// it is only valid for exact (non-sampling) engines, where the memoized
+  /// result is deterministic.
+  Result<std::vector<int>> ApplyExpansion(int node_id,
+                                          const std::vector<ScoredRule>& steps,
+                                          const std::vector<ScoredRule>& rules,
+                                          double base_mass,
+                                          const ExpandStepCallback& on_step =
+                                              nullptr);
+
   /// Roll up: removes the node's descendants from the display.
   Status Collapse(int node_id);
 

@@ -1,0 +1,128 @@
+#ifndef SMARTDD_LIVE_TABLE_VERSIONS_H_
+#define SMARTDD_LIVE_TABLE_VERSIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "live/wal.h"
+#include "storage/table.h"
+
+namespace smartdd::live {
+
+/// One immutable, frozen generation of a live table. Snapshots are handed
+/// out as shared_ptr<const TableSnapshot>: the refcount IS the version
+/// lifecycle — a long-lived session (via its version engine) keeps the
+/// snapshot it opened alive while the LiveTable moves on, and a retired
+/// version's storage frees when the last holder lets go.
+struct TableSnapshot {
+  uint64_t version = 0;
+  Table table;  ///< frozen; dictionaries private to this version
+};
+
+/// Snapshot cadence + durability knobs for a LiveTable.
+struct LiveTableOptions {
+  /// WAL file path. Empty disables durability: appends live only in memory
+  /// (still versioned, just not crash-safe).
+  std::string wal_path;
+  /// Publish a new snapshot once this many appended rows are pending
+  /// (0 = only on explicit PublishSnapshot calls or the time cadence).
+  uint64_t snapshot_every_rows = 256;
+  /// Publish pending rows when this many milliseconds passed since the last
+  /// publish (0 = off). Checked on append — there is no timer thread.
+  int64_t snapshot_every_ms = 0;
+  /// WAL fsync batching (see WalWriter::Options).
+  size_t fsync_every_records = 1;
+  /// Millisecond clock for the time cadence; tests inject a fake.
+  std::function<int64_t()> clock_ms;
+};
+
+/// Point-in-time shape of a live table, the `tableinfo` verb's payload.
+struct LiveTableInfo {
+  uint64_t version = 0;        ///< latest published snapshot version
+  uint64_t rows = 0;           ///< rows in that snapshot
+  uint64_t pending_rows = 0;   ///< appended but not yet in a snapshot
+  uint64_t wal_bytes = 0;      ///< WAL file size (0 when not durable)
+};
+
+/// An append-only live table: a WAL feeding versioned immutable snapshots.
+///
+/// Version lifecycle:
+///
+///   base table ──► snapshot v1 (frozen)
+///        append rows… (WAL'd, buffered as pending)
+///   publish    ──► snapshot v2 = copy(v1) + pending, frozen
+///        sessions opened on v1 keep their shared_ptr and explore an
+///        unchanging table; new sessions get v2; v1 frees with its last ref
+///
+/// Each snapshot's Table owns private dictionary clones
+/// (Table::UnfrozenCopyWithPrivateDicts), so encoding new values for
+/// version N+1 never mutates the code space version-N readers scan.
+///
+/// Appends take raw CSV row text (categorical cells then measure cells, the
+/// same column order the base table was loaded with). The WAL records the
+/// raw text; recovery re-parses it, so the log is self-describing and
+/// greppable. Create() replays an existing WAL before returning — rows in
+/// the valid prefix land in snapshot v2 (v1 stays the pristine base), torn
+/// tails are truncated per the WAL contract.
+///
+/// All methods are thread-safe; Latest() is a shared_ptr copy under a short
+/// critical section, publishing is O(rows) but leaves readers untouched.
+class LiveTable {
+ public:
+  /// Wraps a frozen `base` table. Replays `options.wal_path` when present:
+  /// recovered rows are published immediately as version 2.
+  static Result<std::unique_ptr<LiveTable>> Create(Table base,
+                                                   LiveTableOptions options);
+
+  /// Appends one CSV row (RFC-4180 quoting honored). Validates arity and
+  /// measure parse *before* touching the WAL, so the log never stores a row
+  /// that cannot replay. May publish a snapshot per the cadence knobs.
+  Status Append(std::string_view csv_row);
+
+  /// Publishes pending rows as a new snapshot now (no-op when none are
+  /// pending). Returns the latest snapshot either way.
+  std::shared_ptr<const TableSnapshot> PublishSnapshot();
+
+  /// The latest published snapshot.
+  std::shared_ptr<const TableSnapshot> Latest() const;
+
+  LiveTableInfo Info() const;
+
+  /// Forces the WAL to disk (no-op when not durable).
+  Status SyncWal();
+
+ private:
+  LiveTable(LiveTableOptions options, size_t num_measures);
+
+  Status ParseRow(std::string_view csv_row, std::vector<std::string>* cells,
+                  std::vector<double>* measures) const;
+  Status AppendParsedLocked(std::vector<std::string> cells,
+                            std::vector<double> measures);
+  void PublishLocked();
+
+  struct PendingRow {
+    std::vector<std::string> cells;
+    std::vector<double> measures;
+  };
+
+  LiveTableOptions options_;
+  size_t num_columns_ = 0;
+  size_t num_measures_ = 0;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const TableSnapshot> latest_;
+  std::vector<PendingRow> pending_;
+  std::unique_ptr<WalWriter> wal_;
+  int64_t last_publish_ms_ = 0;
+};
+
+}  // namespace smartdd::live
+
+#endif  // SMARTDD_LIVE_TABLE_VERSIONS_H_

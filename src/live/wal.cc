@@ -1,0 +1,277 @@
+#include "live/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace smartdd::live {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'D', 'W', 'L'};
+constexpr uint16_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t GetU32(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrFormat("wal write failed: %s", std::strerror(errno)));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, char* data, size_t len, size_t* got) {
+  *got = 0;
+  while (*got < len) {
+    ssize_t n = ::read(fd, data + *got, len - *got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrFormat("wal read failed: %s", std::strerror(errno)));
+    }
+    if (n == 0) break;  // EOF
+    *got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t WalCrc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : std::string_view(data)) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   Options options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("wal open(%s) failed: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::Internal(
+        StrFormat("wal lseek failed: %s", std::strerror(errno)));
+  }
+  if (size == 0) {
+    char header[kHeaderBytes];
+    std::memcpy(header, kMagic, 4);
+    header[4] = static_cast<char>(kFormatVersion & 0xFF);
+    header[5] = static_cast<char>(kFormatVersion >> 8);
+    header[6] = 0;
+    header[7] = 0;
+    Status status = WriteAll(fd, header, kHeaderBytes);
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+    size = kHeaderBytes;
+  } else {
+    if (::lseek(fd, 0, SEEK_SET) < 0) {
+      ::close(fd);
+      return Status::Internal(
+          StrFormat("wal lseek failed: %s", std::strerror(errno)));
+    }
+    char header[kHeaderBytes];
+    size_t got = 0;
+    Status status = ReadExact(fd, header, kHeaderBytes, &got);
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+    if (got != kHeaderBytes || std::memcmp(header, kMagic, 4) != 0) {
+      ::close(fd);
+      return Status::InvalidArgument(
+          StrFormat("%s is not a smartdd WAL (bad header)", path.c_str()));
+    }
+    uint16_t version = static_cast<uint16_t>(
+        static_cast<unsigned char>(header[4]) |
+        static_cast<unsigned char>(header[5]) << 8);
+    if (version != kFormatVersion) {
+      ::close(fd);
+      return Status::InvalidArgument(
+          StrFormat("wal %s has format version %u, expected %u", path.c_str(),
+                    unsigned{version}, unsigned{kFormatVersion}));
+    }
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+      ::close(fd);
+      return Status::Internal(
+          StrFormat("wal lseek failed: %s", std::strerror(errno)));
+    }
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(fd, static_cast<uint64_t>(size), options));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument(
+        StrFormat("wal record of %zu bytes exceeds the %u byte cap",
+                  payload.size(), kMaxRecordBytes));
+  }
+  SMARTDD_RETURN_IF_ERROR(InjectFault("live.wal.append"));
+  char frame_header[kFrameHeaderBytes];
+  PutU32(frame_header, static_cast<uint32_t>(payload.size()));
+  PutU32(frame_header + 4, WalCrc32(payload));
+  SMARTDD_RETURN_IF_ERROR(WriteAll(fd_, frame_header, kFrameHeaderBytes));
+  SMARTDD_RETURN_IF_ERROR(WriteAll(fd_, payload.data(), payload.size()));
+  offset_ += kFrameHeaderBytes + payload.size();
+  ++appended_;
+  ++unsynced_;
+  if (options_.fsync_every_records > 0 &&
+      unsynced_ >= options_.fsync_every_records) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  SMARTDD_RETURN_IF_ERROR(InjectFault("live.wal.fsync"));
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(
+        StrFormat("wal fsync failed: %s", std::strerror(errno)));
+  }
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+Result<WalReplayStats> WalReplay(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& on_record) {
+  WalReplayStats stats;
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return stats;  // no log yet: empty history
+    return Status::Internal(StrFormat("wal open(%s) failed: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  char header[kHeaderBytes];
+  size_t got = 0;
+  Status status = ReadExact(fd, header, kHeaderBytes, &got);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  if (got != kHeaderBytes || std::memcmp(header, kMagic, 4) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("%s is not a smartdd WAL (bad header)", path.c_str()));
+  }
+  uint64_t valid_end = kHeaderBytes;
+  std::vector<char> payload;
+  bool torn = false;
+  for (;;) {
+    bool short_read = false;
+    Status fault = InjectFault("live.wal.replay", &short_read);
+    if (!fault.ok()) {
+      ::close(fd);
+      return fault;
+    }
+    if (short_read) {
+      // An armed short read models a frame the crash cut mid-write: stop
+      // treating bytes past this point as committed history.
+      torn = true;
+      break;
+    }
+    char frame_header[kFrameHeaderBytes];
+    status = ReadExact(fd, frame_header, kFrameHeaderBytes, &got);
+    if (!status.ok()) break;
+    if (got == 0) break;  // clean end of log
+    if (got < kFrameHeaderBytes) {
+      torn = true;
+      break;
+    }
+    uint32_t len = GetU32(frame_header);
+    uint32_t crc = GetU32(frame_header + 4);
+    if (len > WalWriter::kMaxRecordBytes) {
+      torn = true;  // garbage length: corruption, not a record
+      break;
+    }
+    payload.resize(len);
+    status = ReadExact(fd, payload.data(), len, &got);
+    if (!status.ok()) break;
+    if (got < len ||
+        WalCrc32(std::string_view(payload.data(), len)) != crc) {
+      torn = true;
+      break;
+    }
+    status = on_record(std::string_view(payload.data(), len));
+    if (!status.ok()) break;
+    ++stats.records;
+    valid_end += kFrameHeaderBytes + len;
+  }
+  if (status.ok() && torn) {
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+      status = Status::Internal(
+          StrFormat("wal lseek failed: %s", std::strerror(errno)));
+    } else {
+      stats.truncated_bytes = static_cast<uint64_t>(size) - valid_end;
+      if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+        status = Status::Internal(
+            StrFormat("wal truncate failed: %s", std::strerror(errno)));
+      } else if (::fsync(fd) != 0) {
+        status = Status::Internal(
+            StrFormat("wal fsync after truncate failed: %s",
+                      std::strerror(errno)));
+      }
+    }
+  }
+  ::close(fd);
+  if (!status.ok()) return status;
+  stats.valid_bytes = valid_end;
+  return stats;
+}
+
+}  // namespace smartdd::live

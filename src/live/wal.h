@@ -1,0 +1,116 @@
+#ifndef SMARTDD_LIVE_WAL_H_
+#define SMARTDD_LIVE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace smartdd::live {
+
+/// Append-only write-ahead log for live tables: the durability half of the
+/// WAL -> versioned-snapshot pipeline (live/table_versions.h).
+///
+/// On-disk format. The file opens with an 8-byte header:
+///
+///   "SDWL" u16 format_version(=1) u16 reserved(=0)
+///
+/// followed by length-prefixed, checksummed record frames:
+///
+///   u32 payload_len | u32 crc32(payload) | payload bytes
+///
+/// All integers little-endian. A payload is one opaque record — for live
+/// tables, the raw CSV row text of one append — capped at kMaxRecordBytes.
+/// The frame grammar is deliberately tiny: a record is valid iff its length
+/// fits, its CRC matches, and every prior frame was valid. The first frame
+/// that fails either test marks the torn tail: everything from its offset on
+/// is the debris of a crash mid-write (kill -9, power loss, ENOSPC), and
+/// recovery truncates it away, yielding a valid *prefix* of the append
+/// history — never a torn row, never a resurrected one.
+///
+/// Durability knob: fsync batching. Every append is written (and buffered by
+/// the kernel) immediately; fsync is issued once per `fsync_every_records`
+/// appends rather than per record, trading a bounded window of recent
+/// appends against fsync latency on the hot path. Sync() forces the fsync.
+///
+/// Fault points (common/fault_injection.h):
+///   live.wal.append   before writing a record frame
+///   live.wal.fsync    before fsync
+///   live.wal.replay   per frame during Replay; an armed short_read tears
+///                     the current frame, exercising tail truncation
+struct WalWriterOptions {
+  /// fsync once per this many appended records (1 = every append, the
+  /// safe default; 0 = never fsync, caller syncs explicitly).
+  size_t fsync_every_records = 1;
+};
+
+class WalWriter {
+ public:
+  using Options = WalWriterOptions;
+
+  /// Longest accepted payload. Keeps a corrupt length prefix from driving a
+  /// multi-gigabyte allocation during replay.
+  static constexpr uint32_t kMaxRecordBytes = 1u << 20;
+
+  /// Opens `path` for appending, creating it (with a fresh header) when
+  /// absent. An existing file must carry a valid header; run Replay first
+  /// when recovering — opening does not scan or truncate.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 Options options = Options());
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record frame and applies the fsync-batching policy. On an
+  /// injected or real write error the frame may be partially on disk — the
+  /// torn tail Replay truncates on the next recovery.
+  Status Append(std::string_view payload);
+
+  /// Forces an fsync of everything appended so far.
+  Status Sync();
+
+  /// Bytes of the file (header + all committed frames).
+  uint64_t byte_size() const { return offset_; }
+  /// Records appended through this writer (not counting pre-existing ones).
+  uint64_t records_appended() const { return appended_; }
+
+ private:
+  WalWriter(int fd, uint64_t offset, Options options)
+      : fd_(fd), offset_(offset), options_(options) {}
+
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  uint64_t appended_ = 0;
+  size_t unsynced_ = 0;
+  Options options_;
+};
+
+/// Replay outcome: how much of the log was valid and what was cut.
+struct WalReplayStats {
+  uint64_t records = 0;        ///< valid records delivered to the callback
+  uint64_t valid_bytes = 0;    ///< header + valid frames
+  uint64_t truncated_bytes = 0;  ///< torn-tail bytes removed (0 = clean log)
+};
+
+/// Replays every valid record of the WAL at `path` through `on_record`, in
+/// append order. A torn tail — short frame, bad CRC, oversized length — is
+/// truncated from the file (the crash-recovery contract: recover to a valid
+/// prefix, never a torn row). A missing file is not an error: zero records.
+/// The callback returning a non-OK status aborts the replay with it.
+Result<WalReplayStats> WalReplay(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& on_record);
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of `data` — exposed
+/// for tests that forge corrupt frames.
+uint32_t WalCrc32(std::string_view data);
+
+}  // namespace smartdd::live
+
+#endif  // SMARTDD_LIVE_WAL_H_

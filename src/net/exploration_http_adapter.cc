@@ -1,5 +1,6 @@
 #include "net/exploration_http_adapter.h"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -264,6 +265,11 @@ HttpResponse ExplorationHttpAdapter::Handle(
     if (readiness_probe_ && !readiness_probe_()) {
       return ProbeResponse(503, "draining\n");
     }
+    // `replaying` outranks `loading`: a node rebuilding snapshots from its
+    // WAL may already count datasets, but traffic must wait for recovery.
+    if (wire_->Replaying()) {
+      return ProbeResponse(503, "replaying\n");
+    }
     if (!wire_->Ready()) {
       return ProbeResponse(503, "loading\n");
     }
@@ -295,6 +301,9 @@ HttpResponse ExplorationHttpAdapter::Handle(
         "  POST /v1/tree          <session>\n"
         "  POST /v1/exact         <session>\n"
         "  POST /v1/close         <session>\n"
+        "  POST /v1/append        [dataset=<name>] <csv-row>\n"
+        "  POST /v1/append/bulk[?dataset=<name>]   one CSV row per line\n"
+        "  GET|POST /v1/tableinfo [dataset=<name>]\n"
         "  GET|POST /v1/expand/stream   SSE greedy steps\n"
         "  GET /healthz  GET /readyz  GET /metrics\n";
     return r;
@@ -316,6 +325,61 @@ HttpResponse ExplorationHttpAdapter::Handle(
     }
     return ServeCodecLine("ping", "");
   }
+  if (path == "/v1/tableinfo") {
+    if (request.method != "GET" && request.method != "POST") {
+      HttpResponse r = CodecError(Status::InvalidArgument("use GET or POST"));
+      r.status = 405;
+      return r;
+    }
+    std::string args;
+    if (request.method == "POST") {
+      auto body = SingleLineBody(request);
+      if (!body.ok()) return CodecError(body.status());
+      args = std::string(*body);
+    } else if (std::string ds = QueryParam(request.query, "dataset");
+               !ds.empty()) {
+      args = "dataset=" + ds;
+    }
+    return ServeCodecLine("tableinfo", args);
+  }
+  if (path == "/v1/append/bulk") {
+    // Bulk CSV form: each nonempty body line is one append row (rows with
+    // embedded newlines are not accepted here — use /v1/append). Stops at
+    // the first failure and returns its envelope; on success the envelope
+    // is the last append's, whose table payload reflects every row.
+    if (request.method != "POST") {
+      HttpResponse r = CodecError(
+          Status::InvalidArgument("/v1/append/bulk requires POST"));
+      r.status = 405;
+      return r;
+    }
+    std::string prefix = "append ";
+    if (std::string ds = QueryParam(request.query, "dataset"); !ds.empty()) {
+      prefix += "dataset=" + ds + " ";
+    }
+    std::optional<api::WireResponse> last;
+    size_t row = 0;
+    std::string_view rest = request.body;
+    while (!rest.empty()) {
+      size_t nl = rest.find('\n');
+      std::string_view line = Trim(rest.substr(0, nl));
+      rest = nl == std::string_view::npos ? std::string_view()
+                                          : rest.substr(nl + 1);
+      if (line.empty()) continue;
+      ++row;
+      api::WireResponse wire = wire_->ServeWire(prefix + std::string(line));
+      if (!wire.status.ok()) {
+        return WireHttpResponse(wire);  // envelope names the bad row's defect
+      }
+      last = std::move(wire);
+    }
+    if (!last.has_value()) {
+      return CodecError(
+          Status::InvalidArgument("bulk append body carries no rows"));
+    }
+    (void)row;
+    return WireHttpResponse(*last);
+  }
 
   struct Route {
     const char* path;
@@ -325,7 +389,7 @@ HttpResponse ExplorationHttpAdapter::Handle(
       {"/v1/open", "open"},         {"/v1/expand", "expand"},
       {"/v1/expandstar", "star"},   {"/v1/collapse", "collapse"},
       {"/v1/tree", "show"},         {"/v1/exact", "exact"},
-      {"/v1/close", "close"},
+      {"/v1/close", "close"},       {"/v1/append", "append"},
   };
   for (const Route& route : kRoutes) {
     if (path != route.path) continue;

@@ -29,6 +29,13 @@ namespace smartdd::net {
 ///   POST /v1/tree           body: <session>          (codec `show`)
 ///   POST /v1/exact          body: <session>
 ///   POST /v1/close          body: <session>
+///   POST /v1/append         body: [dataset=<name>] <csv-row> — appends one
+///        row to a live (WAL-backed) table; the envelope carries the
+///        table's version/row/WAL state after the append
+///   POST /v1/append/bulk[?dataset=<name>]   body: one CSV row per line;
+///        stops at the first bad row and returns its envelope
+///   GET|POST /v1/tableinfo  body/query: dataset=<name> — version, row
+///        count, pending rows, WAL bytes
 ///   GET|POST /v1/ping
 ///   GET|POST /v1/expand/stream   SSE: one `step` event per greedy BRS
 ///        rule as it lands, then one `done` event with the full response.
@@ -38,9 +45,11 @@ namespace smartdd::net {
 ///        engine's fair scheduler and a slow client cancels it via stream
 ///        backpressure instead of blocking an engine worker.
 ///   GET /healthz            liveness probe: 200 while the process serves
-///   GET /readyz             readiness probe: 503 before engines/backends
-///        are available or while the server is draining, 200 otherwise —
-///        the signal a load balancer keys rotation on
+///   GET /readyz             readiness probe: 503 `replaying` while a live
+///        table is rebuilding snapshots from its WAL, 503 `loading` before
+///        engines/backends are available, 503 `draining` during shutdown,
+///        200 `ready` otherwise — the signal a load balancer keys
+///        rotation on
 ///   GET /metrics            Prometheus text format (common/metrics)
 ///   GET /                   human-readable endpoint index
 ///

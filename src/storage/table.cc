@@ -43,6 +43,23 @@ Table Table::SliceRows(uint64_t row_begin, uint64_t row_end) const {
   return t;
 }
 
+Table Table::UnfrozenCopyWithPrivateDicts() const {
+  Table t(schema_.names());
+  for (size_t c = 0; c < dicts_.size(); ++c) {
+    *t.dicts_[c] = *dicts_[c];  // clone the code space, keep codes stable
+  }
+  t.measure_names_ = measure_names_;
+  t.measures_ = measures_;
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    t.cols_[c].Reserve(num_rows_);
+    for (uint64_t r = 0; r < num_rows_; ++r) {
+      t.cols_[c].Append(cols_[c].Get(r));
+    }
+  }
+  t.num_rows_ = num_rows_;
+  return t;
+}
+
 uint32_t Table::EncodeValue(size_t col, std::string_view value) {
   SMARTDD_CHECK(col < dicts_.size());
   return dicts_[col]->GetOrAdd(value);

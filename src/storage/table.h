@@ -40,6 +40,14 @@ class Table {
   /// in shard order, is exactly the original row sequence.
   Table SliceRows(uint64_t row_begin, uint64_t row_end) const;
 
+  /// Copies every row into a new *unfrozen* table whose dictionaries are
+  /// private clones (same codes, separate objects). This is the live-table
+  /// snapshot builder's primitive: appending new rows into the copy may
+  /// grow its dictionaries without racing readers of the original — the
+  /// shared-dictionary invariant EmptyLike relies on would make a frozen
+  /// snapshot's code space mutate under concurrent sessions otherwise.
+  Table UnfrozenCopyWithPrivateDicts() const;
+
   // --- Building -------------------------------------------------------
 
   /// Encodes `value` in column `col`'s dictionary (get-or-add).

@@ -10,7 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
@@ -27,6 +33,8 @@
 #include "data/census_gen.h"
 #include "data/synth.h"
 #include "explore/engine.h"
+#include "live/table_versions.h"
+#include "live/wal.h"
 #include "storage/disk_table.h"
 #include "storage/scan_source.h"
 #include "weights/standard_weights.h"
@@ -524,6 +532,80 @@ TEST_F(ChaosTest, SweepSkipsBusySessionAndReportsAge) {
   EXPECT_EQ(service.num_sessions(), 1u);  // survived the sweep
   EXPECT_NE(service.ServeLine("close " + token).find("\"ok\":true"),
             std::string::npos);
+}
+
+/// The WAL crash-recovery contract under the bluntest possible failure: a
+/// child process appending rows through a live table is SIGKILLed mid-append
+/// (no destructors, no flush — the closest test-reachable stand-in for power
+/// loss). The parent then replays the log and must find a valid *prefix* of
+/// the append history: self-validating rows with contiguous indices from 0,
+/// never a torn or reordered row, and LiveTable::Create must publish exactly
+/// that prefix as version 2.
+TEST(WalCrashChaosTest, KillNineMidAppendRecoversWalToValidPrefix) {
+  std::string wal_path = ::testing::TempDir() + "/chaos_kill9.wal";
+  std::remove(wal_path.c_str());
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: append self-validating rows as fast as the fsync-per-record
+    // policy allows until the parent kills us. No gtest machinery here —
+    // only _exit(), so a failure cannot run atexit handlers or flush
+    // buffered state the crash is supposed to destroy.
+    live::LiveTableOptions opts;
+    opts.wal_path = wal_path;
+    opts.fsync_every_records = 1;
+    opts.snapshot_every_rows = 0;  // rows live only in the WAL
+    auto table = live::LiveTable::Create(MakeMemTable(), opts);
+    if (!table.ok()) _exit(10);
+    for (uint64_t i = 0;; ++i) {
+      std::string row = "kill9-store-" + std::to_string(i) + ",kill9-product-" +
+                        std::to_string(i) + ",kill9-region-" + std::to_string(i);
+      if (!(*table)->Append(row).ok()) _exit(11);
+    }
+  }
+
+  // Parent: wait for a handful of frames to land, then kill -9 while the
+  // child is (with high probability) mid-append.
+  struct stat st;
+  for (int spin = 0; spin < 10000; ++spin) {
+    if (::stat(wal_path.c_str(), &st) == 0 && st.st_size > 2048) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Replay: every surviving record must be exactly the row the child wrote,
+  // with indices contiguous from 0 — a valid prefix, never a torn row.
+  uint64_t next = 0;
+  auto stats = live::WalReplay(wal_path, [&](std::string_view payload) {
+    std::string want = "kill9-store-" + std::to_string(next) +
+                       ",kill9-product-" + std::to_string(next) +
+                       ",kill9-region-" + std::to_string(next);
+    EXPECT_EQ(payload, want) << "record " << next << " is torn or reordered";
+    ++next;
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records, next);
+  EXPECT_GT(next, 0u) << "child was killed before any frame became durable";
+
+  // And the live table recovers that same prefix as version 2.
+  Table base = MakeMemTable();
+  uint64_t base_rows = base.num_rows();
+  live::LiveTableOptions recover;
+  recover.wal_path = wal_path;
+  auto recovered = live::LiveTable::Create(std::move(base), recover);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto info = (*recovered)->Info();
+  EXPECT_EQ(info.version, next > 0 ? 2u : 1u);
+  EXPECT_EQ(info.rows, base_rows + next);
+  EXPECT_EQ(info.pending_rows, 0u);
+
+  std::remove(wal_path.c_str());
 }
 
 }  // namespace

@@ -23,9 +23,11 @@
 
 #include "api/codec.h"
 #include "api/service.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "data/synth.h"
 #include "explore/engine.h"
+#include "live/wal.h"
 #include "net/exploration_http_adapter.h"
 #include "net/http_parser.h"
 #include "weights/standard_weights.h"
@@ -922,6 +924,129 @@ TEST(HttpAdapterTest, ReadyzAnswersDrainingViaProbe) {
   // rotated out.
   client.Send(GetRequest("/healthz"));
   EXPECT_EQ(StatusOf(client.ReadResponse()), 200);
+}
+
+// While AddLiveTable rebuilds snapshots from a write-ahead log, /readyz
+// must answer 503 `replaying` (with Retry-After, like every not-ready
+// state) so a load balancer keeps traffic off the node until recovery
+// lands — and flip to 200 `ready` the moment the replay finishes.
+TEST(HttpAdapterTest, ReadyzAnswersReplayingDuringWalRebuild) {
+  auto& faults = FaultRegistry::Default();
+  faults.DisarmAll();
+  std::string wal_path = ::testing::TempDir() + "/readyz_replaying.wal";
+  std::remove(wal_path.c_str());
+  {
+    auto writer = live::WalWriter::Open(wal_path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE((*writer)->Append("a,b,c,d").ok());
+    }
+  }
+
+  api::ExplorationService service;
+  ExplorationHttpAdapter adapter(&service);
+  HttpServer server(adapter.AsHandler(), {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Slow the replay down to an observable window: 50ms per frame.
+  faults.ArmLatency("live.wal.replay", 50.0, 0);
+  Table table = MakeTable();
+  SizeWeight weight;
+  std::thread loader([&service, &table, &weight, &wal_path]() {
+    ASSERT_TRUE(
+        service.AddLiveTable("synth", table, weight, wal_path).ok());
+  });
+
+  bool saw_replaying = false;
+  for (int attempt = 0; attempt < 200 && !saw_replaying; ++attempt) {
+    TestClient client(server.port());
+    client.Send(GetRequest("/readyz"));
+    std::string response = client.ReadResponse();
+    if (response.find("replaying") != std::string::npos) {
+      saw_replaying = true;
+      EXPECT_EQ(StatusOf(response), 503);
+      EXPECT_NE(response.find("Retry-After"), std::string::npos) << response;
+      // `replaying` outranks `loading`: the node is doing recovery work,
+      // not waiting for configuration.
+      EXPECT_EQ(response.find("loading"), std::string::npos);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  loader.join();
+  faults.DisarmAll();
+  EXPECT_TRUE(saw_replaying)
+      << "/readyz never reported `replaying` during the WAL rebuild";
+
+  // Recovery done: the dataset is registered and the node is ready.
+  TestClient client(server.port());
+  client.Send(GetRequest("/readyz"));
+  std::string ready = client.ReadResponse();
+  EXPECT_EQ(StatusOf(ready), 200);
+  EXPECT_NE(ready.find("ready"), std::string::npos);
+  server.Shutdown();
+  std::remove(wal_path.c_str());
+}
+
+// The live-table HTTP surface: /v1/append (single row), /v1/append/bulk
+// (newline-separated rows, first bad row reported), /v1/tableinfo — and
+// the version contract over HTTP: a session opened before the appends
+// keeps serving its pinned version's bytes.
+TEST(HttpAdapterTest, AppendAndTableInfoRoutes) {
+  Table table = MakeTable();
+  SizeWeight weight;
+  api::ServiceOptions options;
+  options.live_snapshot_every_rows = 1;
+  api::ExplorationService service(options);
+  ASSERT_TRUE(service.AddLiveTable("synth", table, weight).ok());
+  ExplorationHttpAdapter adapter(&service);
+  HttpServer server(adapter.AsHandler(), {});
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  client.Send(PostRequest("/v1/open", "k=3"));
+  std::string open = client.ReadResponse();
+  EXPECT_EQ(StatusOf(open), 200);
+  size_t at = open.find("\"session\":\"");
+  ASSERT_NE(at, std::string::npos) << open;
+  std::string token = open.substr(at + 11, 16);
+  client.Send(PostRequest("/v1/tree", token));
+  std::string before = client.ReadResponse();
+
+  client.Send(GetRequest("/v1/tableinfo?dataset=synth"));
+  std::string info = client.ReadResponse();
+  EXPECT_EQ(StatusOf(info), 200);
+  EXPECT_NE(info.find("\"version\":1"), std::string::npos) << info;
+
+  client.Send(PostRequest("/v1/append", "w,x,y,z"));
+  std::string appended = client.ReadResponse();
+  EXPECT_EQ(StatusOf(appended), 200);
+  EXPECT_NE(appended.find("\"version\":2"), std::string::npos) << appended;
+
+  client.Send(PostRequest("/v1/append/bulk?dataset=synth",
+                          "b1,b1,b1,b1\nb2,b2,b2,b2\n\nb3,b3,b3,b3\n"));
+  std::string bulk = client.ReadResponse();
+  EXPECT_EQ(StatusOf(bulk), 200);
+  EXPECT_NE(bulk.find("\"version\":5"), std::string::npos) << bulk;
+
+  // A bulk body with a bad row stops there and reports it.
+  client.Send(PostRequest("/v1/append/bulk", "ok,ok,ok,ok\nshort,row\n"));
+  std::string bad_bulk = client.ReadResponse();
+  EXPECT_EQ(StatusOf(bad_bulk), 400);
+  EXPECT_NE(bad_bulk.find("INVALID_ARGUMENT"), std::string::npos) << bad_bulk;
+  // The good prefix landed before the bad row was rejected.
+  client.Send(GetRequest("/v1/tableinfo?dataset=synth"));
+  EXPECT_NE(client.ReadResponse().find("\"version\":6"), std::string::npos);
+
+  client.Send(PostRequest("/v1/append/bulk", ""));
+  EXPECT_EQ(StatusOf(client.ReadResponse()), 400);
+
+  // The pre-append session still renders its version-1 tree bytes.
+  client.Send(PostRequest("/v1/tree", token));
+  EXPECT_EQ(client.ReadResponse(), before);
+  client.Send(PostRequest("/v1/close", token));
+  EXPECT_EQ(StatusOf(client.ReadResponse()), 200);
+  server.Shutdown();
 }
 
 }  // namespace
